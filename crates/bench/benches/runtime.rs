@@ -1,0 +1,50 @@
+//! Criterion micro-benches of the SHMT runtime itself: planning +
+//! virtual-time scheduling + real computation per policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shmt::sampling::SamplingMethod;
+use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
+use shmt_kernels::Benchmark;
+
+fn bench_policies(c: &mut Criterion) {
+    let b = Benchmark::Sobel;
+    let n = 256;
+    let platform = Platform::jetson(b);
+    let mut group = c.benchmark_group("runtime");
+    for (name, policy) in [
+        ("even", Policy::EvenDistribution),
+        ("ws", Policy::WorkStealing),
+        (
+            "qaws-ts",
+            Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding },
+        ),
+        (
+            "qaws-lr",
+            Policy::Qaws {
+                assignment: QawsAssignment::DeviceLimits,
+                sampling: SamplingMethod::Reduction,
+            },
+        ),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter_batched(
+                || Vop::from_benchmark(b, b.generate_inputs(n, n, 1)).unwrap(),
+                |vop| {
+                    let mut cfg = RuntimeConfig::new(policy);
+                    cfg.partitions = 16;
+                    cfg.quality.sampling_rate = 0.01;
+                    ShmtRuntime::new(platform.clone(), cfg).execute(&vop).unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies
+}
+criterion_main!(benches);

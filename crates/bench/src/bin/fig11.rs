@@ -1,0 +1,18 @@
+//! Regenerates the paper's Fig 11: memory footprint of SHMT relative to
+//! the GPU baseline.
+
+fn main() {
+    let config = shmt_bench::parse_config(std::env::args().skip(1));
+    let rows = shmt::experiments::fig11_table3(config).expect("fig11 experiment");
+    let header: Vec<&str> = rows.iter().map(|r| r.benchmark.as_str()).collect();
+    let table = vec![(
+        "memory ratio".to_string(),
+        rows.iter().map(|r| r.memory_ratio).collect::<Vec<_>>(),
+    )];
+    shmt_bench::print_table(
+        &format!("Fig 11: memory footprint ratio over GPU baseline ({0}x{0})", config.size),
+        &header,
+        &table,
+        3,
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates the paper's Fig 12: QAWS-TS speedup vs problem size
+//! (4K .. 64M elements; pass --size to bound the largest edge).
+
+fn main() {
+    let config = shmt_bench::parse_config(std::env::args().skip(1));
+    // Edges 64 (4K) doubling up to the configured size (default 2048; the
+    // paper's 64M point is --size 8192).
+    let mut edges = Vec::new();
+    let mut e = 64usize;
+    while e <= config.size {
+        edges.push(e);
+        e *= 2;
+    }
+    let rows = shmt::experiments::fig12(config, &edges).expect("fig12 experiment");
+    let header = shmt_bench::benchmark_header();
+    let table: Vec<(String, Vec<f64>)> = rows
+        .into_iter()
+        .map(|r| {
+            let label = if r.elements >= 1 << 20 {
+                format!("{}M", r.elements >> 20)
+            } else {
+                format!("{}K", r.elements >> 10)
+            };
+            let mut v = r.speedups;
+            v.push(r.gmean);
+            (label, v)
+        })
+        .collect();
+    shmt_bench::print_table(
+        "Fig 12: QAWS-TS speedup vs problem size",
+        &header,
+        &table,
+        2,
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's Fig 6: end-to-end speedup of every scheduling
+//! policy relative to the GPU baseline.
+
+fn main() {
+    let config = shmt_bench::parse_config(std::env::args().skip(1));
+    let rows = shmt::experiments::fig6(config).expect("fig6 experiment");
+    let header = shmt_bench::benchmark_header();
+    let table: Vec<(String, Vec<f64>)> = rows
+        .into_iter()
+        .map(|r| {
+            let mut v = r.speedups;
+            v.push(r.gmean);
+            (r.policy, v)
+        })
+        .collect();
+    shmt_bench::print_table(
+        &format!("Fig 6: speedup over GPU baseline ({}x{})", config.size, config.size),
+        &header,
+        &table,
+        2,
+    );
+}

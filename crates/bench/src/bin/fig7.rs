@@ -1,0 +1,21 @@
+//! Regenerates the paper's Fig 7: MAPE (%) of every quality policy.
+
+fn main() {
+    let config = shmt_bench::parse_config(std::env::args().skip(1));
+    let rows = shmt::experiments::fig7(config).expect("fig7 experiment");
+    let header = shmt_bench::benchmark_header();
+    let table: Vec<(String, Vec<f64>)> = rows
+        .into_iter()
+        .map(|r| {
+            let mut v: Vec<f64> = r.values.iter().map(|m| m * 100.0).collect();
+            v.push(r.gmean * 100.0);
+            (r.policy, v)
+        })
+        .collect();
+    shmt_bench::print_table(
+        &format!("Fig 7: MAPE %, lower is better ({}x{})", config.size, config.size),
+        &header,
+        &table,
+        2,
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates the paper's Fig 8: SSIM of the six image workloads.
+
+fn main() {
+    let config = shmt_bench::parse_config(std::env::args().skip(1));
+    let rows = shmt::experiments::fig8(config).expect("fig8 experiment");
+    let mut header: Vec<&str> = shmt_kernels::ALL_BENCHMARKS
+        .iter()
+        .filter(|b| b.is_image())
+        .map(|b| b.name())
+        .collect();
+    header.push("GMEAN");
+    let table: Vec<(String, Vec<f64>)> = rows
+        .into_iter()
+        .map(|r| {
+            let mut v = r.values;
+            v.push(r.gmean);
+            (r.policy, v)
+        })
+        .collect();
+    shmt_bench::print_table(
+        &format!("Fig 8: SSIM, higher is better ({}x{})", config.size, config.size),
+        &header,
+        &table,
+        4,
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates the paper's Fig 9: QAWS-TS quality and speedup across
+//! sampling rates 2^-21 .. 2^-14 (the paper uses 2048x2048 inputs here).
+
+fn main() {
+    let config = shmt_bench::parse_config(std::env::args().skip(1));
+    let rates: Vec<i32> = (-21..=-14).collect();
+    let rows = shmt::experiments::fig9(config, &rates).expect("fig9 experiment");
+    let header = shmt_bench::benchmark_header();
+    let mape_rows: Vec<(String, Vec<f64>)> = rows
+        .iter()
+        .map(|r| {
+            let mut v: Vec<f64> = r.mape.iter().map(|m| m * 100.0).collect();
+            v.push(r.mape_gmean * 100.0);
+            (format!("rate 2^{}", r.log2_rate), v)
+        })
+        .collect();
+    shmt_bench::print_table(
+        &format!("Fig 9(a): MAPE % vs QAWS-TS sampling rate ({0}x{0})", config.size),
+        &header,
+        &mape_rows,
+        2,
+    );
+    let speed_rows: Vec<(String, Vec<f64>)> = rows
+        .iter()
+        .map(|r| {
+            let mut v = r.speedup.clone();
+            v.push(r.speedup_gmean);
+            (format!("rate 2^{}", r.log2_rate), v)
+        })
+        .collect();
+    shmt_bench::print_table(
+        &format!("Fig 9(b): speedup vs QAWS-TS sampling rate ({0}x{0})", config.size),
+        &header,
+        &speed_rows,
+        2,
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Table 3: communication overhead per benchmark.
+
+fn main() {
+    let config = shmt_bench::parse_config(std::env::args().skip(1));
+    let rows = shmt::experiments::fig11_table3(config).expect("table3 experiment");
+    let header: Vec<&str> = rows.iter().map(|r| r.benchmark.as_str()).collect();
+    let table = vec![(
+        "comm overhead %".to_string(),
+        rows.iter().map(|r| r.comm_overhead * 100.0).collect::<Vec<_>>(),
+    )];
+    shmt_bench::print_table(
+        &format!("Table 3: communication overhead percent ({0}x{0})", config.size),
+        &header,
+        &table,
+        2,
+    );
+}

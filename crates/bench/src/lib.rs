@@ -1,0 +1,88 @@
+//! Experiment harness for the SHMT reproduction.
+//!
+//! Each `fig*`/`table*` binary regenerates one table or figure of the
+//! paper's evaluation by calling the drivers in [`shmt::experiments`] and
+//! printing the rows in the paper's layout. All binaries accept:
+//!
+//! ```text
+//! --size N        dataset edge length (default 2048; paper uses 8192)
+//! --partitions N  HLOP partition count (default 64)
+//! --seed N        dataset seed
+//! ```
+
+use shmt::experiments::ExperimentConfig;
+
+/// Parses the common `--size/--partitions/--seed` flags from `args`.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed flags.
+pub fn parse_config(args: impl Iterator<Item = String>) -> ExperimentConfig {
+    let mut config = ExperimentConfig::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} needs a positive integer"))
+        };
+        match flag.as_str() {
+            "--size" => config.size = take("--size"),
+            "--partitions" => config.partitions = take("--partitions"),
+            "--seed" => config.seed = take("--seed") as u64,
+            other => panic!("unknown flag {other}; accepted: --size --partitions --seed"),
+        }
+    }
+    config
+}
+
+/// Prints one formatted table: a header of benchmark names and one line per
+/// row label with its values.
+pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)], precision: usize) {
+    println!("== {title} ==");
+    print!("{:<18}", "");
+    for h in header {
+        print!("{h:>12}");
+    }
+    println!();
+    for (label, values) in rows {
+        print!("{label:<18}");
+        for v in values {
+            print!("{v:>12.precision$}");
+        }
+        println!();
+    }
+    println!();
+}
+
+/// The benchmark-name header used by most tables (plus GMEAN).
+pub fn benchmark_header() -> Vec<&'static str> {
+    let mut h: Vec<&'static str> =
+        shmt_kernels::ALL_BENCHMARKS.iter().map(|b| b.name()).collect();
+    h.push("GMEAN");
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let d = parse_config(std::iter::empty());
+        assert_eq!(d.size, 2048);
+        let c = parse_config(
+            ["--size", "512", "--partitions", "16", "--seed", "9"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(c.size, 512);
+        assert_eq!(c.partitions, 16);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn header_has_eleven_columns() {
+        assert_eq!(benchmark_header().len(), 11);
+    }
+}

@@ -1,0 +1,27 @@
+use std::fmt;
+
+/// Errors raised by the SHMT runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmtError {
+    /// The VOP's inputs do not satisfy the kernel's arity or shape rules.
+    InvalidVop(String),
+    /// The runtime configuration is unusable (e.g. zero partitions).
+    InvalidConfig(String),
+    /// No device in the platform can execute the requested HLOPs.
+    NoCapableDevice(String),
+}
+
+impl fmt::Display for ShmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmtError::InvalidVop(msg) => write!(f, "invalid VOP: {msg}"),
+            ShmtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ShmtError::NoCapableDevice(msg) => write!(f, "no capable device: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShmtError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ShmtError>;

@@ -1,0 +1,235 @@
+//! Parallel execution of HLOP computations on the host.
+//!
+//! The SHMT runtime's virtual-time scheduler decides *where* each HLOP
+//! runs and *when* it completes on the modeled platform; the actual
+//! numerical work (exact fp32 for CPU/GPU HLOPs, the int8 NPU path for
+//! Edge TPU HLOPs) is host computation. This module fans that computation
+//! out over worker threads — the software analogue of the paper's
+//! per-device monitor threads (§3.3.1) — while keeping results bit-exact
+//! and deterministic:
+//!
+//! * Tile-aggregated kernels write disjoint output tiles, so workers
+//!   compute into private buffers that are stitched in one pass.
+//! * Reduction kernels (Histogram, reduce_*) produce per-HLOP partial
+//!   buffers that are folded in task order, so float accumulation order
+//!   never changes regardless of which worker ran which task.
+
+use crossbeam::channel;
+use shmt_kernels::{Aggregation, Kernel};
+use shmt_tensor::tile::Tile;
+use shmt_tensor::Tensor;
+
+/// One unit of host compute: which partition, and through which path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeTask {
+    /// The partition to compute.
+    pub tile: Tile,
+    /// `true` for the Edge TPU's int8 NPU path.
+    pub npu: bool,
+}
+
+/// Number of worker threads to use by default.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
+}
+
+/// Computes every task and assembles the results into `output`.
+///
+/// With `threads <= 1` the tasks run inline; otherwise they are spread
+/// over worker threads. The assembled output is identical either way.
+///
+/// # Panics
+///
+/// Panics if a worker panics (kernel contract violations).
+pub fn compute_tasks(
+    kernel: &dyn Kernel,
+    inputs: &[&Tensor],
+    tasks: &[ComputeTask],
+    output: &mut Tensor,
+    threads: usize,
+) {
+    if tasks.is_empty() {
+        return;
+    }
+    let aggregation = kernel.shape().aggregation;
+    if threads <= 1 || tasks.len() == 1 {
+        for task in tasks {
+            run_one(kernel, inputs, *task, output);
+        }
+        return;
+    }
+
+    let (out_rows, out_cols) = output.shape();
+    let (task_tx, task_rx) = channel::unbounded::<(usize, ComputeTask)>();
+    for (i, t) in tasks.iter().enumerate() {
+        task_tx.send((i, *t)).expect("channel open");
+    }
+    drop(task_tx);
+
+    let n_workers = threads.min(tasks.len());
+    match aggregation {
+        Aggregation::Tile => {
+            // Workers write into private full-shape buffers; tiles are
+            // disjoint, so stitching is order-independent and exact.
+            let results: Vec<(Vec<usize>, Tensor)> = crossbeam::scope(|scope| {
+                let mut handles = Vec::with_capacity(n_workers);
+                for _ in 0..n_workers {
+                    let task_rx = task_rx.clone();
+                    handles.push(scope.spawn(move |_| {
+                        let mut local = Tensor::zeros(out_rows, out_cols);
+                        let mut ran = Vec::new();
+                        while let Ok((i, task)) = task_rx.recv() {
+                            run_one(kernel, inputs, task, &mut local);
+                            ran.push(i);
+                        }
+                        (ran, local)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("scope");
+            for (ran, local) in &results {
+                for &i in ran {
+                    let tile = tasks[i].tile;
+                    for r in tile.row0..tile.row0 + tile.rows {
+                        let src = &local.row(r)[tile.col0..tile.col0 + tile.cols];
+                        output.row_mut(r)[tile.col0..tile.col0 + tile.cols]
+                            .copy_from_slice(src);
+                    }
+                }
+            }
+        }
+        Aggregation::Reduce { op, .. } => {
+            // Reduction buffers are tiny: workers return one buffer per
+            // *task*, and the fold runs in ascending task order — float
+            // accumulation order is then independent of which worker ran
+            // which task.
+            let shape = kernel.shape();
+            let mut partials: Vec<(usize, Tensor)> = crossbeam::scope(|scope| {
+                let mut handles = Vec::with_capacity(n_workers);
+                for _ in 0..n_workers {
+                    let task_rx = task_rx.clone();
+                    let shape = shape;
+                    handles.push(scope.spawn(move |_| {
+                        let mut mine = Vec::new();
+                        while let Ok((i, task)) = task_rx.recv() {
+                            let mut buf = shape.allocate_output(out_rows, out_cols);
+                            run_one(kernel, inputs, task, &mut buf);
+                            mine.push((i, buf));
+                        }
+                        mine
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+            .expect("scope");
+            partials.sort_by_key(|(i, _)| *i);
+            for (_, buf) in &partials {
+                for r in 0..output.rows() {
+                    let dst = output.row_mut(r);
+                    for (d, s) in dst.iter_mut().zip(buf.row(r)) {
+                        *d = op.combine(*d, *s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_one(kernel: &dyn Kernel, inputs: &[&Tensor], task: ComputeTask, out: &mut Tensor) {
+    if task.npu {
+        kernel.run_npu(inputs, task.tile, out);
+    } else {
+        kernel.run_exact(inputs, task.tile, out);
+    }
+}
+
+/// Computes the exact whole-dataset output in parallel row bands — the
+/// fast path for reference outputs and the GPU baseline's real compute.
+pub fn compute_exact_parallel(
+    kernel: &dyn Kernel,
+    inputs: &[&Tensor],
+    rows: usize,
+    cols: usize,
+    threads: usize,
+) -> Tensor {
+    let shape = kernel.shape();
+    let mut output = shape.allocate_output(rows, cols);
+    let bands = crate::partition::partition_tiles(rows, cols, threads.max(1) * 2, &shape);
+    let tasks: Vec<ComputeTask> =
+        bands.iter().map(|t| ComputeTask { tile: *t, npu: false }).collect();
+    compute_tasks(kernel, inputs, &tasks, &mut output, threads);
+    kernel.finalize(&mut output);
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmt_kernels::Benchmark;
+
+    fn tasks_for(b: Benchmark, n: usize, npu_every: usize) -> (Vec<ComputeTask>, Vec<Tensor>) {
+        let shape = b.kernel().shape();
+        let tiles = crate::partition::partition_tiles(n, n, 8, &shape);
+        let tasks = tiles
+            .iter()
+            .map(|t| ComputeTask { tile: *t, npu: npu_every != 0 && t.index % npu_every == 0 })
+            .collect();
+        (tasks, b.generate_inputs(n, n, 3))
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_tiles() {
+        for b in [Benchmark::Sobel, Benchmark::Dct8x8, Benchmark::Fft] {
+            let kernel = b.kernel();
+            let (tasks, inputs) = tasks_for(b, 128, 3);
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let mut serial = kernel.shape().allocate_output(128, 128);
+            compute_tasks(kernel.as_ref(), &refs, &tasks, &mut serial, 1);
+            let mut parallel = kernel.shape().allocate_output(128, 128);
+            compute_tasks(kernel.as_ref(), &refs, &tasks, &mut parallel, 4);
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "{b}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_sum() {
+        let b = Benchmark::Histogram;
+        let kernel = b.kernel();
+        let (tasks, inputs) = tasks_for(b, 128, 2);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let mut serial = kernel.shape().allocate_output(128, 128);
+        compute_tasks(kernel.as_ref(), &refs, &tasks, &mut serial, 1);
+        let mut parallel = kernel.shape().allocate_output(128, 128);
+        compute_tasks(kernel.as_ref(), &refs, &tasks, &mut parallel, 4);
+        // Counts are integral here, so even float folds agree exactly.
+        assert_eq!(serial.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn compute_exact_parallel_matches_single_tile() {
+        let b = Benchmark::MeanFilter;
+        let kernel = b.kernel();
+        let inputs = b.generate_inputs(96, 96, 5);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let fast = compute_exact_parallel(kernel.as_ref(), &refs, 96, 96, 4);
+        let mut slow = kernel.shape().allocate_output(96, 96);
+        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 96, cols: 96 };
+        kernel.run_exact(&refs, tile, &mut slow);
+        assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn empty_task_list_is_noop() {
+        let b = Benchmark::Sobel;
+        let kernel = b.kernel();
+        let inputs = b.generate_inputs(32, 32, 1);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let mut out = Tensor::filled(32, 32, 7.0);
+        compute_tasks(kernel.as_ref(), &refs, &[], &mut out, 4);
+        assert!(out.as_slice().iter().all(|&v| v == 7.0));
+    }
+}

@@ -1,0 +1,634 @@
+//! Experiment drivers regenerating every table and figure in the paper's
+//! evaluation (§5). Each function returns typed rows; the `shmt-bench`
+//! crate's `fig*`/`table*` binaries print them in the paper's layout.
+//!
+//! The drivers are size-parametric: integration tests exercise them at
+//! small sizes, the bench binaries run them at paper scale.
+
+use serde::{Deserialize, Serialize};
+use shmt_kernels::{Benchmark, ALL_BENCHMARKS};
+use shmt_tensor::Tensor;
+
+use crate::baseline::{exact_reference, gpu_baseline, software_pipelining};
+use crate::calibration::bench_profile;
+use crate::error::Result;
+use crate::platform::Platform;
+use crate::quality::{mape, ssim};
+use crate::report::{BaselineReport, RunReport};
+use crate::runtime::{RuntimeConfig, ShmtRuntime};
+use crate::sched::{Policy, QawsAssignment};
+use crate::sampling::SamplingMethod;
+use crate::vop::Vop;
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Dataset edge length (datasets are `size x size`).
+    pub size: usize,
+    /// Desired HLOP count.
+    pub partitions: usize,
+    /// QAWS sampling rate.
+    pub sampling_rate: f64,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            size: 2048,
+            partitions: 64,
+            sampling_rate: 2.0f64.powi(-15),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A small configuration for fast tests.
+    pub fn tiny() -> Self {
+        ExperimentConfig { size: 128, partitions: 8, sampling_rate: 0.02, seed: 0xC0FFEE }
+    }
+}
+
+/// Geometric mean.
+pub fn gmean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// The ten Fig 6 policies in the paper's legend order.
+pub fn fig6_policies() -> Vec<(String, Fig6Policy)> {
+    let mut out = vec![
+        ("IRA-sampling".to_string(), Fig6Policy::Runtime(Policy::IraSampling)),
+        ("SW pipelining".to_string(), Fig6Policy::SoftwarePipelining),
+        ("even distribution".to_string(), Fig6Policy::Runtime(Policy::EvenDistribution)),
+        ("work-stealing".to_string(), Fig6Policy::Runtime(Policy::WorkStealing)),
+    ];
+    for p in Policy::qaws_variants() {
+        out.push((p.name(), Fig6Policy::Runtime(p)));
+    }
+    out
+}
+
+/// A Fig 6 policy: either an SHMT runtime policy or the GPU-side
+/// software-pipelining reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fig6Policy {
+    /// Executed through [`ShmtRuntime`].
+    Runtime(Policy),
+    /// Executed through [`software_pipelining`].
+    SoftwarePipelining,
+}
+
+/// Everything needed to evaluate one benchmark at one size: the VOP, the
+/// exact reference output, and the GPU baseline report.
+pub struct BenchContext {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The VOP under test.
+    pub vop: Vop,
+    /// Ground-truth output.
+    pub reference: Tensor,
+    /// The GPU baseline run.
+    pub baseline: BaselineReport,
+    /// Experiment parameters.
+    pub config: ExperimentConfig,
+}
+
+impl std::fmt::Debug for BenchContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchContext").field("benchmark", &self.benchmark).finish()
+    }
+}
+
+impl BenchContext {
+    /// Prepares inputs, reference, and baseline for one benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VOP validation and partitioning errors.
+    pub fn new(benchmark: Benchmark, config: ExperimentConfig) -> Result<Self> {
+        let inputs = benchmark.generate_inputs(config.size, config.size, config.seed);
+        let vop = Vop::from_benchmark(benchmark, inputs)?;
+        let reference = exact_reference(&vop);
+        let baseline =
+            gpu_baseline(&Platform::jetson(benchmark), &vop, config.partitions)?;
+        Ok(BenchContext { benchmark, vop, reference, baseline, config })
+    }
+
+    /// Runs one SHMT policy on this context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn run(&self, policy: Policy) -> Result<RunReport> {
+        self.run_with(RuntimeConfig {
+            policy,
+            partitions: self.config.partitions,
+            quality: crate::sched::QualityConfig {
+                sampling_rate: self.config.sampling_rate,
+                ..Default::default()
+            },
+            ..RuntimeConfig::new(policy)
+        })
+    }
+
+    /// Runs with an explicit runtime configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn run_with(&self, config: RuntimeConfig) -> Result<RunReport> {
+        ShmtRuntime::new(Platform::jetson(self.benchmark), config).execute(&self.vop)
+    }
+
+    /// Speedup of a run over the GPU baseline.
+    pub fn speedup(&self, report: &RunReport) -> f64 {
+        self.baseline.makespan_s / report.makespan_s
+    }
+
+    /// MAPE of a run against the exact reference.
+    pub fn mape(&self, report: &RunReport) -> f64 {
+        mape(&self.reference, &report.output)
+    }
+
+    /// SSIM of a run against the exact reference.
+    pub fn ssim(&self, report: &RunReport) -> f64 {
+        ssim(&self.reference, &report.output)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig 2: motivation — solo Edge TPU vs theoretical gains.
+// ---------------------------------------------------------------------
+
+/// One row of Fig 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Measured solo Edge TPU speedup over the GPU baseline.
+    pub edge_tpu: f64,
+    /// Theoretical gain of the conventional best-device approach.
+    pub conventional: f64,
+    /// Theoretical gain of SHMT (all devices' throughputs combined).
+    pub shmt: f64,
+}
+
+/// Regenerates Fig 2 for every benchmark, plus a GMEAN row.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn fig2(config: ExperimentConfig) -> Result<Vec<Fig2Row>> {
+    let mut rows = Vec::new();
+    for b in ALL_BENCHMARKS {
+        let ctx = BenchContext::new(b, config)?;
+        let tpu_run = ctx.run_with(RuntimeConfig {
+            partitions: config.partitions,
+            ..RuntimeConfig::new(Policy::WorkStealing).tpu_only()
+        })?;
+        let p = bench_profile(b);
+        rows.push(Fig2Row {
+            benchmark: b.name().to_string(),
+            edge_tpu: ctx.speedup(&tpu_run),
+            conventional: p.tpu_ratio.max(1.0),
+            shmt: 1.0 + p.cpu_ratio + p.tpu_ratio,
+        });
+    }
+    rows.push(Fig2Row {
+        benchmark: "GMEAN".into(),
+        edge_tpu: gmean(&rows.iter().map(|r| r.edge_tpu).collect::<Vec<_>>()),
+        conventional: gmean(&rows.iter().map(|r| r.conventional).collect::<Vec<_>>()),
+        shmt: gmean(&rows.iter().map(|r| r.shmt).collect::<Vec<_>>()),
+    });
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Fig 6: end-to-end speedup per policy.
+// ---------------------------------------------------------------------
+
+/// One (policy, benchmark) speedup cell of Fig 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Policy legend name.
+    pub policy: String,
+    /// Per-benchmark speedups in `ALL_BENCHMARKS` order.
+    pub speedups: Vec<f64>,
+    /// Geometric mean across benchmarks.
+    pub gmean: f64,
+}
+
+/// Regenerates Fig 6: speedup of every policy over the GPU baseline.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn fig6(config: ExperimentConfig) -> Result<Vec<SpeedupRow>> {
+    let contexts: Vec<BenchContext> = ALL_BENCHMARKS
+        .iter()
+        .map(|&b| BenchContext::new(b, config))
+        .collect::<Result<_>>()?;
+    let mut rows = Vec::new();
+    for (name, policy) in fig6_policies() {
+        let mut speedups = Vec::new();
+        for ctx in &contexts {
+            let s = match policy {
+                Fig6Policy::Runtime(p) => ctx.speedup(&ctx.run(p)?),
+                Fig6Policy::SoftwarePipelining => {
+                    let pipe = software_pipelining(
+                        &Platform::jetson(ctx.benchmark),
+                        &ctx.vop,
+                        config.partitions,
+                    )?;
+                    ctx.baseline.makespan_s / pipe.makespan_s
+                }
+            };
+            speedups.push(s);
+        }
+        let g = gmean(&speedups);
+        rows.push(SpeedupRow { policy: name, speedups, gmean: g });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Fig 7 / Fig 8: quality per policy.
+// ---------------------------------------------------------------------
+
+/// The quality-policy list of Fig 7/8 in legend order.
+pub fn quality_policies() -> Vec<(String, QualityPolicy)> {
+    let mut out = vec![
+        ("edgeTPU".to_string(), QualityPolicy::TpuOnly),
+        ("IRA-sampling".to_string(), QualityPolicy::Runtime(Policy::IraSampling)),
+        ("work-stealing".to_string(), QualityPolicy::Runtime(Policy::WorkStealing)),
+    ];
+    for p in Policy::qaws_variants() {
+        out.push((p.name(), QualityPolicy::Runtime(p)));
+    }
+    out.push(("oracle".to_string(), QualityPolicy::Runtime(Policy::Oracle)));
+    out
+}
+
+/// A Fig 7/8 policy: a runtime policy or the TPU-only reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QualityPolicy {
+    /// Everything on the Edge TPU.
+    TpuOnly,
+    /// An SHMT runtime policy.
+    Runtime(Policy),
+}
+
+/// One policy row of Fig 7 (MAPE) or Fig 8 (SSIM).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualityRow {
+    /// Policy legend name.
+    pub policy: String,
+    /// Per-benchmark values.
+    pub values: Vec<f64>,
+    /// Geometric mean.
+    pub gmean: f64,
+}
+
+fn run_quality_policy(ctx: &BenchContext, policy: QualityPolicy) -> Result<RunReport> {
+    match policy {
+        QualityPolicy::TpuOnly => ctx.run_with(RuntimeConfig {
+            partitions: ctx.config.partitions,
+            ..RuntimeConfig::new(Policy::WorkStealing).tpu_only()
+        }),
+        QualityPolicy::Runtime(p) => ctx.run(p),
+    }
+}
+
+/// Regenerates Fig 7: MAPE (as a fraction) for every policy over all ten
+/// benchmarks.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn fig7(config: ExperimentConfig) -> Result<Vec<QualityRow>> {
+    let contexts: Vec<BenchContext> = ALL_BENCHMARKS
+        .iter()
+        .map(|&b| BenchContext::new(b, config))
+        .collect::<Result<_>>()?;
+    quality_table(&contexts, |ctx, r| ctx.mape(r))
+}
+
+/// Regenerates Fig 8: SSIM for the six image benchmarks.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn fig8(config: ExperimentConfig) -> Result<Vec<QualityRow>> {
+    let contexts: Vec<BenchContext> = ALL_BENCHMARKS
+        .iter()
+        .filter(|b| b.is_image())
+        .map(|&b| BenchContext::new(b, config))
+        .collect::<Result<_>>()?;
+    quality_table(&contexts, |ctx, r| ctx.ssim(r))
+}
+
+fn quality_table(
+    contexts: &[BenchContext],
+    metric: impl Fn(&BenchContext, &RunReport) -> f64,
+) -> Result<Vec<QualityRow>> {
+    let mut rows = Vec::new();
+    for (name, policy) in quality_policies() {
+        let mut values = Vec::new();
+        for ctx in contexts {
+            let report = run_quality_policy(ctx, policy)?;
+            values.push(metric(ctx, &report));
+        }
+        let g = gmean(&values);
+        rows.push(QualityRow { policy: name, values, gmean: g });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Fig 9: sampling-rate sensitivity of QAWS-TS.
+// ---------------------------------------------------------------------
+
+/// One sampling-rate row of Fig 9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Row {
+    /// log2 of the sampling rate (e.g. -15).
+    pub log2_rate: i32,
+    /// Per-benchmark MAPE.
+    pub mape: Vec<f64>,
+    /// Per-benchmark speedup.
+    pub speedup: Vec<f64>,
+    /// MAPE geometric mean.
+    pub mape_gmean: f64,
+    /// Speedup geometric mean.
+    pub speedup_gmean: f64,
+}
+
+/// Regenerates Fig 9: QAWS-TS quality and speedup across sampling rates
+/// 2⁻²¹ … 2⁻¹⁴ (paper uses 2048x2048 inputs here).
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn fig9(config: ExperimentConfig, log2_rates: &[i32]) -> Result<Vec<Fig9Row>> {
+    let contexts: Vec<BenchContext> = ALL_BENCHMARKS
+        .iter()
+        .map(|&b| BenchContext::new(b, config))
+        .collect::<Result<_>>()?;
+    let qaws_ts =
+        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding };
+    let mut rows = Vec::new();
+    for &lr in log2_rates {
+        let rate = 2.0f64.powi(lr);
+        let mut mapes = Vec::new();
+        let mut speedups = Vec::new();
+        for ctx in &contexts {
+            let report = ctx.run_with(RuntimeConfig {
+                partitions: config.partitions,
+                quality: crate::sched::QualityConfig {
+                    sampling_rate: rate,
+                    ..Default::default()
+                },
+                ..RuntimeConfig::new(qaws_ts)
+            })?;
+            mapes.push(ctx.mape(&report));
+            speedups.push(ctx.speedup(&report));
+        }
+        rows.push(Fig9Row {
+            log2_rate: lr,
+            mape_gmean: gmean(&mapes),
+            speedup_gmean: gmean(&speedups),
+            mape: mapes,
+            speedup: speedups,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Fig 10: energy and EDP.
+// ---------------------------------------------------------------------
+
+/// One benchmark row of Fig 10 (all values normalized to the GPU
+/// baseline's total energy, except EDP which is normalized to the
+/// baseline's EDP).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Baseline active energy fraction.
+    pub baseline_active: f64,
+    /// Baseline idle energy fraction.
+    pub baseline_idle: f64,
+    /// SHMT active energy fraction.
+    pub shmt_active: f64,
+    /// SHMT idle energy fraction.
+    pub shmt_idle: f64,
+    /// SHMT EDP relative to baseline EDP.
+    pub shmt_edp: f64,
+}
+
+/// Regenerates Fig 10 with SHMT under QAWS-TS.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn fig10(config: ExperimentConfig) -> Result<Vec<Fig10Row>> {
+    let qaws_ts =
+        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding };
+    let mut rows = Vec::new();
+    for b in ALL_BENCHMARKS {
+        let ctx = BenchContext::new(b, config)?;
+        let shmt = ctx.run(qaws_ts)?;
+        let base_total = ctx.baseline.energy.total_j();
+        rows.push(Fig10Row {
+            benchmark: b.name().to_string(),
+            baseline_active: ctx.baseline.energy.active_j / base_total,
+            baseline_idle: ctx.baseline.energy.idle_j / base_total,
+            shmt_active: shmt.energy.active_j / base_total,
+            shmt_idle: shmt.energy.idle_j / base_total,
+            shmt_edp: shmt.edp() / ctx.baseline.edp(),
+        });
+    }
+    let g = |f: fn(&Fig10Row) -> f64, rows: &[Fig10Row]| {
+        gmean(&rows.iter().map(f).collect::<Vec<_>>())
+    };
+    rows.push(Fig10Row {
+        benchmark: "GMEAN".into(),
+        baseline_active: g(|r| r.baseline_active, &rows),
+        baseline_idle: g(|r| r.baseline_idle, &rows),
+        shmt_active: g(|r| r.shmt_active, &rows),
+        shmt_idle: g(|r| r.shmt_idle, &rows),
+        shmt_edp: g(|r| r.shmt_edp, &rows),
+    });
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Fig 11: memory footprint. Table 3: communication overhead.
+// ---------------------------------------------------------------------
+
+/// One benchmark entry of Fig 11 / Table 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// SHMT peak memory over baseline peak memory (Fig 11).
+    pub memory_ratio: f64,
+    /// Communication overhead fraction (Table 3).
+    pub comm_overhead: f64,
+}
+
+/// Regenerates Fig 11 and Table 3 in one pass (both come from the same
+/// QAWS-TS run).
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn fig11_table3(config: ExperimentConfig) -> Result<Vec<OverheadRow>> {
+    let qaws_ts =
+        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding };
+    let mut rows = Vec::new();
+    for b in ALL_BENCHMARKS {
+        let ctx = BenchContext::new(b, config)?;
+        let shmt = ctx.run(qaws_ts)?;
+        rows.push(OverheadRow {
+            benchmark: b.name().to_string(),
+            memory_ratio: shmt.peak_memory_bytes as f64 / ctx.baseline.peak_memory_bytes as f64,
+            comm_overhead: shmt.comm_overhead(),
+        });
+    }
+    rows.push(OverheadRow {
+        benchmark: "GMEAN".into(),
+        memory_ratio: gmean(&rows.iter().map(|r| r.memory_ratio).collect::<Vec<_>>()),
+        comm_overhead: gmean(
+            &rows.iter().map(|r| r.comm_overhead.max(1e-9)).collect::<Vec<_>>(),
+        ),
+    });
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Fig 12: problem-size scaling.
+// ---------------------------------------------------------------------
+
+/// One problem-size column of Fig 12.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12Row {
+    /// Dataset elements (the x axis: 4K … 64M).
+    pub elements: usize,
+    /// Per-benchmark QAWS-TS speedups.
+    pub speedups: Vec<f64>,
+    /// Geometric mean.
+    pub gmean: f64,
+}
+
+/// Regenerates Fig 12: QAWS-TS speedup across problem sizes. `edges` are
+/// the square dataset edge lengths to sweep (e.g. 64 → 4K elements).
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn fig12(base: ExperimentConfig, edges: &[usize]) -> Result<Vec<Fig12Row>> {
+    let qaws_ts =
+        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding };
+    let mut rows = Vec::new();
+    for &edge in edges {
+        let config = ExperimentConfig { size: edge, ..base };
+        let mut speedups = Vec::new();
+        for b in ALL_BENCHMARKS {
+            let ctx = BenchContext::new(b, config)?;
+            let report = ctx.run(qaws_ts)?;
+            speedups.push(ctx.speedup(&report));
+        }
+        let g = gmean(&speedups);
+        rows.push(Fig12Row { elements: edge * edge, speedups, gmean: g });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_matches_hand_computed() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(gmean(&[]), 0.0);
+    }
+
+    #[test]
+    fn fig6_has_ten_policies_in_order() {
+        let names: Vec<String> = fig6_policies().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 10);
+        assert_eq!(names[0], "IRA-sampling");
+        assert_eq!(names[3], "work-stealing");
+        assert_eq!(names[4], "QAWS-TS");
+        assert_eq!(names[9], "QAWS-LR");
+    }
+
+    #[test]
+    fn quality_policies_bracket_with_tpu_and_oracle() {
+        let names: Vec<String> = quality_policies().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.first().unwrap(), "edgeTPU");
+        assert_eq!(names.last().unwrap(), "oracle");
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn fig9_sweep_produces_rows_per_rate() {
+        let rows = fig9(ExperimentConfig::tiny(), &[-10, -6]).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.mape.len(), 10);
+            assert_eq!(r.speedup.len(), 10);
+            assert!(r.mape_gmean >= 0.0);
+            assert!(r.speedup_gmean > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig10_energy_rows_are_normalized() {
+        let rows = fig10(ExperimentConfig::tiny()).unwrap();
+        assert_eq!(rows.len(), 11);
+        for r in &rows[..10] {
+            let base_total = r.baseline_active + r.baseline_idle;
+            assert!((base_total - 1.0).abs() < 1e-9, "{}: {base_total}", r.benchmark);
+            assert!(r.shmt_edp > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig11_table3_rows_are_positive() {
+        let rows = fig11_table3(ExperimentConfig::tiny()).unwrap();
+        assert_eq!(rows.len(), 11);
+        for r in &rows[..10] {
+            assert!(r.memory_ratio > 0.0, "{}", r.benchmark);
+            assert!(r.comm_overhead >= 0.0 && r.comm_overhead < 1.0, "{}", r.benchmark);
+        }
+    }
+
+    #[test]
+    fn fig12_sweeps_sizes() {
+        let rows = fig12(ExperimentConfig::tiny(), &[64, 128]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].elements, 4096);
+        assert_eq!(rows[1].elements, 16384);
+        assert!(rows.iter().all(|r| r.gmean > 0.0));
+    }
+
+    #[test]
+    fn fig2_rows_cover_all_benchmarks() {
+        let rows = fig2(ExperimentConfig::tiny()).unwrap();
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows.last().unwrap().benchmark, "GMEAN");
+        for r in &rows[..10] {
+            assert!(r.shmt > r.conventional, "{}: SHMT bound above conventional", r.benchmark);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! High-level operations — the basic scheduling identity of SHMT
+//! (paper §3.2.2).
+
+use hetsim::DeviceKind;
+use serde::{Deserialize, Serialize};
+use shmt_tensor::tile::Tile;
+
+use crate::vop::Opcode;
+
+/// Identifier of an HLOP within its VOP (equal to its partition index).
+pub type HlopId = usize;
+
+/// One high-level operation: a partition of a VOP's computation sized for a
+/// device. HLOPs share their VOP's opcode; unlike the VOP they carry fixed
+/// data sizes, and remain hardware-independent so the runtime "can still
+/// adjust the task assignment if necessary" (§3.1) — that adjustability is
+/// what work stealing exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hlop {
+    /// Identifier within the VOP.
+    pub id: HlopId,
+    /// The shared opcode.
+    pub opcode: Opcode,
+    /// The output/input partition this HLOP covers.
+    pub tile: Tile,
+    /// Sampled criticality rank metadata filled in by quality-aware
+    /// policies: `None` when the policy did not sample.
+    pub criticality: Option<f32>,
+}
+
+impl Hlop {
+    /// Creates an HLOP over a partition.
+    pub fn new(id: HlopId, opcode: Opcode, tile: Tile) -> Self {
+        Hlop { id, opcode, tile, criticality: None }
+    }
+
+    /// Number of elements in the partition.
+    pub fn elements(&self) -> usize {
+        self.tile.len()
+    }
+}
+
+/// Where one HLOP ended up executing, with its timing — the completion
+/// record the runtime keeps for aggregation and reporting (§3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HlopRecord {
+    /// The HLOP's identifier.
+    pub id: HlopId,
+    /// Device that executed it.
+    pub device: DeviceKind,
+    /// Virtual start time (seconds).
+    pub start_s: f64,
+    /// Virtual completion time (seconds).
+    pub end_s: f64,
+    /// Whether the HLOP was stolen from its originally assigned queue.
+    pub stolen: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hlop_reports_partition_size() {
+        let t = Tile { index: 3, row0: 0, col0: 0, rows: 4, cols: 8 };
+        let h = Hlop::new(3, Opcode::Sobel, t);
+        assert_eq!(h.elements(), 32);
+        assert_eq!(h.id, 3);
+        assert!(h.criticality.is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! # SHMT — Simultaneous and Heterogeneous Multithreading
+//!
+//! A reproduction of the runtime from *"Simultaneous and Heterogenous
+//! Multithreading"* (Hsu & Tseng, MICRO '23): a programming and execution
+//! model that co-executes a **single compute kernel** across heterogeneous
+//! processing units — CPU, GPU, and an int8 Edge TPU — at the same time,
+//! with quality control over the precision mismatch.
+//!
+//! The moving parts, mirroring the paper's §3:
+//!
+//! * [`vop`] — virtual operations (VOPs), the hardware-independent command
+//!   set of the SHMT virtual device (Table 1).
+//! * [`hlop`] — high-level operations (HLOPs), the device-sized partitions
+//!   of a VOP that form the unit of scheduling.
+//! * [`partition`] — the page-granularity partitioner (§3.4).
+//! * [`sampling`] / [`criticality`] — Algorithms 3–5 and the range+stddev
+//!   criticality metric (§3.5).
+//! * [`sched`] — even distribution, work stealing, the six QAWS variants
+//!   (Algorithms 1–2 × 3 sampling methods), IRA, and the oracle.
+//! * [`runtime`] — the virtual-device driver that plays a schedule out on
+//!   the modeled platform in virtual time while *really computing* every
+//!   partition (exact fp32 on CPU/GPU, int8 NPU path on the Edge TPU).
+//! * [`platform`] / [`calibration`] — the modeled Jetson-Nano-class
+//!   hardware, with per-benchmark device ratios taken from the paper's
+//!   Fig 2.
+//! * [`baseline`] — the GPU baseline and software-pipelining references.
+//! * [`exec`] — host-side parallel execution of the HLOP computations.
+//! * [`quality`] — MAPE and SSIM.
+//! * [`experiments`] — drivers that regenerate every figure and table of
+//!   the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use shmt::{Platform, Policy, RuntimeConfig, ShmtRuntime, Vop};
+//! use shmt_kernels::Benchmark;
+//!
+//! # fn main() -> Result<(), shmt::ShmtError> {
+//! let benchmark = Benchmark::Sobel;
+//! let inputs = benchmark.generate_inputs(256, 256, 42);
+//! let vop = Vop::from_benchmark(benchmark, inputs)?;
+//!
+//! let runtime = ShmtRuntime::new(
+//!     Platform::jetson(benchmark),
+//!     RuntimeConfig::new(Policy::WorkStealing),
+//! );
+//! let report = runtime.execute(&vop)?;
+//! println!("makespan: {:.3} ms", report.makespan_s * 1e3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod calibration;
+pub mod criticality;
+mod error;
+pub mod exec;
+pub mod experiments;
+pub mod hlop;
+pub mod partition;
+pub mod pipeline;
+pub mod platform;
+pub mod quality;
+pub mod report;
+pub mod runtime;
+pub mod sampling;
+pub mod sched;
+pub mod vop;
+
+pub use error::{Result, ShmtError};
+pub use platform::Platform;
+pub use report::{BaselineReport, RunReport};
+pub use runtime::{RuntimeConfig, ShmtRuntime};
+pub use sched::{Policy, QawsAssignment, QualityConfig};
+pub use vop::{Opcode, ParallelModel, Vop};

@@ -1,0 +1,107 @@
+//! The modeled hardware platform: device profiles, bus, and power, resolved
+//! from the calibration tables for one benchmark (paper §4.1).
+
+use hetsim::{DeviceProfile, Interconnect};
+use shmt_kernels::Benchmark;
+
+use crate::calibration::{bench_profile, generic_profile, BenchProfile, Calibration};
+
+/// The virtual Jetson-Nano-plus-Edge-TPU platform, specialized with the
+/// per-benchmark device speed ratios from the calibration tables.
+///
+/// Device order matches the scheduler's queue indices:
+/// [`GPU`](crate::sched::GPU), [`CPU`](crate::sched::CPU), [`TPU`](crate::sched::TPU).
+///
+/// # Examples
+///
+/// ```
+/// use shmt::platform::Platform;
+/// use shmt_kernels::Benchmark;
+///
+/// let platform = Platform::jetson(Benchmark::Fft);
+/// let profiles = platform.device_profiles();
+/// // The Edge TPU runs FFT 3.22x faster than the GPU (paper Fig 2).
+/// assert!(profiles[2].throughput > 3.0 * profiles[0].throughput);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    cal: Calibration,
+    bench: BenchProfile,
+    profiles: [DeviceProfile; 3],
+    idle_power_w: f64,
+}
+
+impl Platform {
+    /// The prototype platform specialized for one benchmark.
+    pub fn jetson(benchmark: Benchmark) -> Self {
+        Self::with_profiles(Calibration::default(), bench_profile(benchmark))
+    }
+
+    /// The prototype platform with generic (non-benchmark) VOP ratios.
+    pub fn generic() -> Self {
+        Self::with_profiles(Calibration::default(), generic_profile())
+    }
+
+    /// Builds a platform from explicit calibration values.
+    pub fn with_profiles(cal: Calibration, bench: BenchProfile) -> Self {
+        let gpu = DeviceProfile::jetson_gpu(cal.gpu_throughput);
+        let cpu = DeviceProfile::arm_cpu(cal.gpu_throughput * bench.cpu_ratio);
+        let tpu = DeviceProfile::edge_tpu(cal.gpu_throughput * bench.tpu_ratio);
+        Platform { cal, bench, profiles: [gpu, cpu, tpu], idle_power_w: 3.02 }
+    }
+
+    /// Global calibration constants.
+    pub fn calibration(&self) -> &Calibration {
+        &self.cal
+    }
+
+    /// The per-benchmark calibration profile.
+    pub fn bench_profile(&self) -> &BenchProfile {
+        &self.bench
+    }
+
+    /// The three device profiles in queue-index order (GPU, CPU, TPU).
+    pub fn device_profiles(&self) -> [DeviceProfile; 3] {
+        self.profiles
+    }
+
+    /// A fresh instance of the shared interconnect.
+    pub fn bus(&self) -> Interconnect {
+        Interconnect::jetson_prototype()
+    }
+
+    /// The platform's measured idle power floor (watts).
+    pub fn idle_power_w(&self) -> f64 {
+        self.idle_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{CPU, GPU, TPU};
+
+    #[test]
+    fn device_order_matches_queue_indices() {
+        let p = Platform::jetson(Benchmark::Sobel);
+        let profiles = p.device_profiles();
+        assert_eq!(profiles[GPU].kind, hetsim::DeviceKind::Gpu);
+        assert_eq!(profiles[CPU].kind, hetsim::DeviceKind::Cpu);
+        assert_eq!(profiles[TPU].kind, hetsim::DeviceKind::EdgeTpu);
+    }
+
+    #[test]
+    fn throughputs_follow_calibration_ratios() {
+        let p = Platform::jetson(Benchmark::MeanFilter); // tpu_ratio 0.31
+        let profiles = p.device_profiles();
+        let r = profiles[TPU].throughput / profiles[GPU].throughput;
+        assert!((r - 0.31).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generic_platform_is_usable() {
+        let p = Platform::generic();
+        assert!(p.device_profiles()[GPU].throughput > 0.0);
+        assert_eq!(p.idle_power_w(), 3.02);
+    }
+}

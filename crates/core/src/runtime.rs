@@ -1,0 +1,580 @@
+//! The SHMT runtime system — the "driver" of the virtual hardware device
+//! (paper §3.3).
+//!
+//! `ShmtRuntime::execute` takes a VOP through the full paper pipeline:
+//! partition into HLOPs (§3.4), consult the scheduling policy for the
+//! initial queue plan (§3.4–3.5), then play the queues out on the modeled
+//! platform in virtual time — devices pull HLOPs from their incoming
+//! queues, steal across queues under the policy's rules when they drain,
+//! and every HLOP's data movement (int8 casting, PCIe transfer to the Edge
+//! TPU, result restoration, §3.3.2) is charged on the shared bus. The
+//! *computation is real*: GPU/CPU HLOPs run the exact kernel, Edge TPU
+//! HLOPs run the int8 NPU path, and the assembled output is returned for
+//! quality measurement.
+
+use hetsim::{DeviceTimeline, EnergyMeter, MemoryTracker, QueuePair, SimTime};
+use shmt_tensor::Tensor;
+
+use crate::error::{Result, ShmtError};
+use crate::hlop::{Hlop, HlopRecord};
+use crate::partition::partition_vop;
+use crate::platform::Platform;
+use crate::report::{DeviceStats, RunReport};
+use crate::sched::{plan, Plan, PlanContext, Policy, QualityConfig, CPU, GPU, TPU};
+use crate::vop::Vop;
+
+/// Configuration of one runtime instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Desired HLOP partition count (the partitioner may produce fewer for
+    /// small datasets). Default 64, matching 1024-row bands on the paper's
+    /// 8192x8192 default datasets.
+    pub partitions: usize,
+    /// Quality-policy tuning knobs.
+    pub quality: QualityConfig,
+    /// Which devices participate, in queue-index order (GPU, CPU, TPU).
+    /// Disabled devices' initial assignments are redistributed.
+    pub device_mask: [bool; 3],
+    /// Ablation knob: force synchronous (non-double-buffered) casts and
+    /// transfers regardless of policy.
+    pub force_synchronous: bool,
+    /// Host worker threads for the real HLOP computations (does not affect
+    /// the modeled virtual time; results are bit-identical at any count).
+    pub compute_threads: usize,
+}
+
+impl RuntimeConfig {
+    /// A configuration with defaults for everything but the policy.
+    pub fn new(policy: Policy) -> Self {
+        RuntimeConfig {
+            policy,
+            partitions: 64,
+            quality: QualityConfig::default(),
+            device_mask: [true; 3],
+            force_synchronous: false,
+            compute_threads: crate::exec::default_threads(),
+        }
+    }
+
+    /// Restricts execution to the Edge TPU (the paper's "edge TPU" solo
+    /// reference rows).
+    pub fn tpu_only(mut self) -> Self {
+        self.device_mask = [false, false, true];
+        self
+    }
+}
+
+/// The SHMT virtual device runtime.
+#[derive(Debug, Clone)]
+pub struct ShmtRuntime {
+    platform: Platform,
+    config: RuntimeConfig,
+}
+
+impl ShmtRuntime {
+    /// Creates a runtime for a platform and configuration.
+    pub fn new(platform: Platform, config: RuntimeConfig) -> Self {
+        ShmtRuntime { platform, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The platform being driven.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Executes a VOP end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmtError::InvalidConfig`] for a zero partition count or
+    /// an all-disabled device mask.
+    pub fn execute(&self, vop: &Vop) -> Result<RunReport> {
+        if self.config.partitions == 0 {
+            return Err(ShmtError::InvalidConfig("partition count must be positive".into()));
+        }
+        if !self.config.device_mask.iter().any(|&m| m) {
+            return Err(ShmtError::NoCapableDevice("all devices disabled".into()));
+        }
+
+        let hlops = partition_vop(vop, self.config.partitions)?;
+        let profiles = self.platform.device_profiles();
+        let mut the_plan = plan(
+            self.config.policy,
+            vop,
+            &hlops,
+            &self.config.quality,
+            PlanContext { gpu_throughput: profiles[GPU].throughput },
+        );
+        self.apply_device_mask(&mut the_plan);
+        if self.config.force_synchronous {
+            the_plan.pipelined = false;
+        }
+
+        self.play(vop, &hlops, the_plan)
+    }
+
+    /// Moves HLOPs off disabled devices' queues, round-robin over enabled
+    /// ones, and forbids stealing from/to disabled devices.
+    fn apply_device_mask(&self, plan: &mut Plan) {
+        let mask = self.config.device_mask;
+        let enabled: Vec<usize> = (0..3).filter(|&i| mask[i]).collect();
+        let mut rr = 0usize;
+        for d in 0..3 {
+            if mask[d] {
+                continue;
+            }
+            let orphans = std::mem::take(&mut plan.queues[d]);
+            for h in orphans {
+                plan.queues[enabled[rr % enabled.len()]].push(h);
+                rr += 1;
+            }
+            for i in 0..3 {
+                plan.steal[d][i] = false;
+                plan.steal[i][d] = false;
+            }
+        }
+    }
+
+    /// Plays the plan out in virtual time, computing real outputs.
+    fn play(&self, vop: &Vop, hlops: &[Hlop], the_plan: Plan) -> Result<RunReport> {
+        let kernel = vop.kernel();
+        let shape = kernel.shape();
+        let inputs: Vec<&Tensor> = vop.inputs().iter().collect();
+        let (rows, cols) = vop.partition_space();
+        let mut output = shape.allocate_output(rows, cols);
+
+        let cal = *self.platform.calibration();
+        let bench = *self.platform.bench_profile();
+        let profiles = self.platform.device_profiles();
+        let t0 = SimTime::from_secs(the_plan.overhead_s);
+
+        let mut timelines: Vec<DeviceTimeline> =
+            profiles.iter().map(|p| DeviceTimeline::starting_at(*p, t0)).collect();
+        let mut bus = self.platform.bus();
+        let mut queues: Vec<QueuePair<Hlop>> = the_plan
+            .queues
+            .iter()
+            .map(|q| {
+                let mut pair = QueuePair::new();
+                for h in q {
+                    pair.enqueue(t0, *h);
+                }
+                pair
+            })
+            .collect();
+
+        let mut done = [false, false, false];
+        for d in 0..3 {
+            if !self.config.device_mask[d] {
+                done[d] = true;
+            }
+        }
+        let mut prev_start = [t0; 3];
+        let mut latest_completion = t0;
+        let mut records: Vec<HlopRecord> = Vec::with_capacity(hlops.len());
+        let mut stolen_ids: Vec<bool> = vec![false; hlops.len()];
+        let mut steals = 0usize;
+        let mut tpu_elements = 0usize;
+        let mut compute: Vec<crate::exec::ComputeTask> = Vec::with_capacity(hlops.len());
+
+        let work_per_elem = kernel.work_per_element();
+        // Kernels with native uint8 NPU models take 8-bit image data
+        // without a host-side cast; everything else pays the fp32->int8
+        // conversion on the way in and out (§3.3.2).
+        let cast_s = if kernel.npu_native_u8() { 0.0 } else { cal.cast_s_per_elem };
+
+        loop {
+            // The next device to act is the earliest-free one with work
+            // available (its own queue, or a queue it may steal from).
+            let Some(d) = (0..3)
+                .filter(|&i| !done[i])
+                .min_by(|&a, &b| timelines[a].free_at().cmp(&timelines[b].free_at()))
+            else {
+                break;
+            };
+
+            let pending_total: usize = queues.iter().map(QueuePair::pending).sum();
+            if !queues[d].is_idle() && pending_total <= 6 {
+                // §3.4: the runtime may *withdraw* unprocessed HLOPs from a
+                // device's assignment. In the endgame (at most a couple of
+                // pending partitions per device left), a device
+                // retires from pulling its own queue when a still-active
+                // device that may steal from it would finish the item
+                // sooner even after draining its own backlog — otherwise a
+                // slow device's final pull defines the makespan.
+                let item_work =
+                    queues[d].peek_front().expect("non-empty").elements() as f64 * work_per_elem;
+                let my_completion =
+                    timelines[d].free_at() + profiles[d].exec_time(item_work);
+                let beaten = (0..3).any(|e| {
+                    if e == d || done[e] || !the_plan.steal[e][d] {
+                        return false;
+                    }
+                    let backlog: f64 = queues[e]
+                        .iter_pending()
+                        .map(|h| profiles[e].exec_time(h.elements() as f64 * work_per_elem))
+                        .sum();
+                    timelines[e].free_at() + backlog + profiles[e].exec_time(item_work)
+                        <= my_completion
+                });
+                if beaten {
+                    done[d] = true;
+                    continue;
+                }
+            }
+
+            if queues[d].is_idle() {
+                // Work stealing (§3.4): take one pending HLOP from the most
+                // loaded queue this device is allowed to steal from. A
+                // steal is only worthwhile when the thief finishes the item
+                // before the victim would get around to it — otherwise a
+                // slow device becomes a schedule-defining straggler.
+                let victim = (0..3)
+                    .filter(|&v| the_plan.steal[d][v] && !queues[v].is_idle())
+                    .filter(|&v| {
+                        let item_work =
+                            queues[v].peek_back().expect("non-empty").elements() as f64
+                                * work_per_elem;
+                        let victim_backlog: f64 = queues[v]
+                            .iter_pending()
+                            .map(|h| {
+                                profiles[v].exec_time(h.elements() as f64 * work_per_elem)
+                            })
+                            .sum();
+                        profiles[d].exec_time(item_work) <= victim_backlog
+                    })
+                    .max_by_key(|&v| queues[v].pending());
+                match victim {
+                    Some(v) => {
+                        // Stealing from the back takes the victim's most
+                        // critical pending work under quality-aware plans.
+                        let h = queues[v].steal_back().expect("victim has items");
+                        stolen_ids[h.id] = true;
+                        queues[d].enqueue(timelines[d].free_at(), h);
+                        steals += 1;
+                    }
+                    None => {
+                        done[d] = true;
+                        continue;
+                    }
+                }
+            }
+
+            let hlop = queues[d].pop_front().expect("queue refilled above");
+            let elems = hlop.elements();
+            let work = elems as f64 * work_per_elem;
+
+            // Data distribution (§3.3.2). The CPU and GPU share the
+            // system's main memory (zero-copy on the prototype); the Edge
+            // TPU sits behind the PCIe bus and needs int8 casting both
+            // ways.
+            let (data_ready, is_tpu) = if d == TPU {
+                let issue = if the_plan.pipelined {
+                    // Double buffering: the next HLOP's cast/transfer
+                    // overlaps the device's current compute.
+                    prev_start[d].max(t0)
+                } else {
+                    timelines[d].free_at()
+                };
+                let cast_done = issue + elems as f64 * cast_s;
+                let bytes_in = (elems as f64 * cal.tpu_bytes_per_elem_in) as usize;
+                let xfer = bus.transfer(cast_done, bytes_in);
+                (xfer.end, true)
+            } else {
+                (t0, false)
+            };
+
+            // The Edge TPU's 8 MB device memory may force a large HLOP to
+            // run as several sub-invocations (§3.4: "the runtime system may
+            // need to further fuse or partition HLOPs").
+            let extra_launches = if is_tpu {
+                let dev_mem = profiles[TPU].device_memory_bytes.unwrap_or(usize::MAX);
+                let need = elems * 2; // int8 in + out
+                (need / dev_mem.max(1)) as f64 * profiles[TPU].launch_overhead
+            } else {
+                0.0
+            };
+
+            let start = timelines[d].free_at().max(data_ready);
+            prev_start[d] = start;
+            let mut end = timelines[d].execute(data_ready, work);
+            if extra_launches > 0.0 {
+                timelines[d].stall_until(end + extra_launches);
+                end += extra_launches;
+            }
+
+            // Result restoration (§3.3.2).
+            let completion = if is_tpu {
+                let bytes_out = (elems as f64 * cal.tpu_bytes_per_elem_out) as usize;
+                let xfer = bus.transfer(end, bytes_out);
+                let restored = xfer.end + elems as f64 * cast_s;
+                if !the_plan.pipelined {
+                    // Synchronous mode: the device blocks on the drain.
+                    timelines[d].stall_until(restored);
+                }
+                restored
+            } else {
+                end
+            };
+            latest_completion = latest_completion.max(completion);
+
+            // Real computation is deferred to the parallel compute phase
+            // below; record which path this partition takes.
+            compute.push(crate::exec::ComputeTask { tile: hlop.tile, npu: is_tpu });
+            if is_tpu {
+                tpu_elements += elems;
+            }
+
+            // The device's monitor thread moves the finished HLOP to the
+            // completion queue for aggregation (§3.3.1).
+            queues[d].complete(completion, hlop);
+            records.push(HlopRecord {
+                id: hlop.id,
+                device: profiles[d].kind,
+                start_s: start.as_secs(),
+                end_s: completion.as_secs(),
+                stolen: stolen_ids[hlop.id],
+            });
+        }
+
+        debug_assert_eq!(records.len(), hlops.len(), "every HLOP must execute");
+
+        // Real computation: exact fp32 for CPU/GPU partitions, the int8
+        // NPU path for Edge TPU partitions, fanned out over host threads.
+        crate::exec::compute_tasks(
+            kernel,
+            &inputs,
+            &compute,
+            &mut output,
+            self.config.compute_threads,
+        );
+        kernel.finalize(&mut output);
+
+        // Host-side chunk staging overlaps the multi-device execution (the
+        // baseline pays it serially; see `baseline`).
+        let total_elems: usize = hlops.iter().map(Hlop::elements).sum();
+        let ideal_gpu_kernel_s = total_elems as f64 * work_per_elem / profiles[GPU].throughput;
+        let staging_s = bench.host_staging_frac * ideal_gpu_kernel_s;
+        let makespan = latest_completion.max(t0 + staging_s).as_secs();
+
+        // Energy (§5.5): platform idle floor over the makespan, plus each
+        // device's active power over its busy time; the CPU also pays for
+        // scheduling overhead and staging.
+        let mut meter = EnergyMeter::new(self.platform.idle_power_w());
+        for t in &timelines {
+            meter.record_busy(t.profile().kind, t.busy_time(), t.profile().active_power_w);
+        }
+        meter.record_busy(
+            profiles[CPU].kind,
+            the_plan.overhead_s + staging_s,
+            profiles[CPU].active_power_w,
+        );
+        let energy = meter.finish(makespan);
+
+        let devices: Vec<DeviceStats> = timelines
+            .iter()
+            .zip(&mut queues)
+            .map(|(t, q)| {
+                let completed_count = q.drain_completed().count();
+                debug_assert_eq!(completed_count, t.completed());
+                DeviceStats {
+                    kind: t.profile().kind,
+                    busy_s: t.busy_time(),
+                    wait_s: t.transfer_wait(),
+                    hlops: t.completed(),
+                    max_queue_depth: q.max_depth(),
+                    stolen_away: q.total_stolen_away(),
+                }
+            })
+            .collect();
+
+        let tpu_fraction = tpu_elements as f64 / total_elems as f64;
+        let peak_memory_bytes =
+            self.memory_model(vop, hlops.len(), tpu_fraction, output.len());
+
+        Ok(RunReport {
+            output,
+            makespan_s: makespan,
+            scheduling_overhead_s: the_plan.overhead_s,
+            devices,
+            energy,
+            bus_bytes: bus.total_bytes(),
+            records,
+            tpu_fraction,
+            steals,
+            peak_memory_bytes,
+        })
+    }
+
+    /// The Fig 11 footprint model: shared input/output datasets, plus
+    /// band-sized (not dataset-sized) GPU intermediates, plus the Edge
+    /// TPU's staging buffers when it participates.
+    fn memory_model(
+        &self,
+        vop: &Vop,
+        hlop_count: usize,
+        tpu_fraction: f64,
+        out_elems: usize,
+    ) -> u64 {
+        let bench = self.platform.bench_profile();
+        let (rows, cols) = vop.partition_space();
+        let n = (rows * cols) as u64;
+        let band_elems = n / hlop_count.max(1) as u64;
+        let mut mem = MemoryTracker::new();
+        mem.alloc("inputs", 4 * n * vop.inputs().len() as u64);
+        mem.alloc("output", 4 * out_elems as u64);
+        if self.config.device_mask[GPU] || self.config.device_mask[CPU] {
+            // Per-HLOP intermediates, double buffered.
+            mem.alloc("gpu-intermediates", (bench.gpu_intermediate * (band_elems * 4) as f64 * 2.0) as u64);
+        }
+        if self.config.device_mask[TPU] && tpu_fraction > 0.0 {
+            // int8 in/out plus f32 snap staging, double buffered, plus the
+            // resident compiled-model constant.
+            mem.alloc("tpu-staging", band_elems * 10 * 2);
+            mem.alloc("tpu-model", 6 * 1024 * 1024);
+        }
+        mem.alloc("runtime", (hlop_count * 512) as u64);
+        mem.peak_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::mape;
+    use crate::sched::QawsAssignment;
+    use crate::sampling::SamplingMethod;
+    use shmt_kernels::Benchmark;
+
+    /// A slowed-down virtual platform: at test-sized datasets the real
+    /// prototype would be launch-overhead-bound (the Fig 12 small-size
+    /// regime); dividing throughput keeps compute dominant so the
+    /// policies' steady-state behaviour is observable.
+    fn slow_platform(b: Benchmark) -> Platform {
+        Platform::with_profiles(
+            crate::calibration::Calibration { gpu_throughput: 1.0e6, ..Default::default() },
+            crate::calibration::bench_profile(b),
+        )
+    }
+
+    fn run(policy: Policy, b: Benchmark, n: usize) -> RunReport {
+        let vop = Vop::from_benchmark(b, b.generate_inputs(n, n, 7)).unwrap();
+        let mut cfg = RuntimeConfig::new(policy);
+        cfg.partitions = 16;
+        cfg.quality.sampling_rate = 0.01;
+        ShmtRuntime::new(slow_platform(b), cfg).execute(&vop).unwrap()
+    }
+
+    fn exact_reference(b: Benchmark, n: usize) -> Tensor {
+        let vop = Vop::from_benchmark(b, b.generate_inputs(n, n, 7)).unwrap();
+        let kernel = vop.kernel();
+        let inputs: Vec<&Tensor> = vop.inputs().iter().collect();
+        let mut out = kernel.shape().allocate_output(n, n);
+        let tile =
+            shmt_tensor::tile::Tile { index: 0, row0: 0, col0: 0, rows: n, cols: n };
+        kernel.run_exact(&inputs, tile, &mut out);
+        out
+    }
+
+    #[test]
+    fn work_stealing_executes_all_hlops_and_beats_gpu_busy() {
+        let r = run(Policy::WorkStealing, Benchmark::Fft, 128);
+        assert_eq!(r.records.len(), 16);
+        assert!(r.makespan_s > 0.0);
+        // All three devices should have contributed for FFT (TPU fast).
+        assert!(r.device(hetsim::DeviceKind::EdgeTpu).unwrap().hlops > 0);
+        assert!(r.tpu_fraction > 0.0);
+    }
+
+    #[test]
+    fn work_stealing_output_close_to_exact() {
+        let r = run(Policy::WorkStealing, Benchmark::MeanFilter, 128);
+        let reference = exact_reference(Benchmark::MeanFilter, 128);
+        let e = mape(&reference, &r.output);
+        assert!(e < 0.25, "WS output should be approximately right, mape={e}");
+        assert!(e > 0.0, "some partitions ran on the int8 TPU");
+    }
+
+    #[test]
+    fn qaws_quality_beats_plain_work_stealing() {
+        let b = Benchmark::Sobel;
+        let reference = exact_reference(b, 256);
+        let vop = Vop::from_benchmark(b, b.generate_inputs(256, 256, 7)).unwrap();
+        let mk = |policy| {
+            let mut cfg = RuntimeConfig::new(policy);
+            cfg.partitions = 32;
+            cfg.quality.sampling_rate = 0.02;
+            ShmtRuntime::new(slow_platform(b), cfg).execute(&vop).unwrap()
+        };
+        let ws = mk(Policy::WorkStealing);
+        let qaws = mk(Policy::Qaws {
+            assignment: QawsAssignment::TopK,
+            sampling: SamplingMethod::Striding,
+        });
+        assert!(ws.tpu_fraction > 0.1, "TPU must participate: {}", ws.tpu_fraction);
+        let e_ws = mape(&reference, &ws.output);
+        let e_qaws = mape(&reference, &qaws.output);
+        assert!(
+            e_qaws < e_ws,
+            "criticality routing must improve quality: QAWS {e_qaws} vs WS {e_ws}"
+        );
+    }
+
+    #[test]
+    fn tpu_only_runs_everything_on_the_tpu() {
+        let b = Benchmark::Histogram;
+        let vop = Vop::from_benchmark(b, b.generate_inputs(128, 128, 7)).unwrap();
+        let cfg = RuntimeConfig::new(Policy::WorkStealing).tpu_only();
+        let r = ShmtRuntime::new(Platform::jetson(b), cfg).execute(&vop).unwrap();
+        assert!((r.tpu_fraction - 1.0).abs() < 1e-9);
+        assert_eq!(r.device(hetsim::DeviceKind::Gpu).unwrap().hlops, 0);
+        // Histogram counts survive the int8 count regression approximately.
+        let total: f32 = r.output.as_slice().iter().sum();
+        let expect = 128.0 * 128.0;
+        assert!((total - expect).abs() < 0.05 * expect, "total = {total}");
+    }
+
+    #[test]
+    fn even_distribution_is_slower_than_work_stealing_for_slow_tpu() {
+        // MF: TPU 0.31x — a forced 50/50 split is bounded by the TPU.
+        let even = run(Policy::EvenDistribution, Benchmark::MeanFilter, 256);
+        let ws = run(Policy::WorkStealing, Benchmark::MeanFilter, 256);
+        assert!(
+            even.makespan_s > ws.makespan_s,
+            "even {} vs ws {}",
+            even.makespan_s,
+            ws.makespan_s
+        );
+    }
+
+    #[test]
+    fn rejects_empty_device_mask() {
+        let b = Benchmark::Sobel;
+        let vop = Vop::from_benchmark(b, b.generate_inputs(64, 64, 1)).unwrap();
+        let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
+        cfg.device_mask = [false; 3];
+        let err = ShmtRuntime::new(Platform::jetson(b), cfg).execute(&vop).unwrap_err();
+        assert!(matches!(err, ShmtError::NoCapableDevice(_)));
+    }
+
+    #[test]
+    fn energy_includes_idle_and_active_parts() {
+        let r = run(Policy::WorkStealing, Benchmark::Srad, 128);
+        assert!(r.energy.idle_j > 0.0);
+        assert!(r.energy.active_j > 0.0);
+        assert!(r.edp() > 0.0);
+    }
+
+    #[test]
+    fn comm_overhead_is_small_under_pipelining() {
+        let r = run(Policy::WorkStealing, Benchmark::Dct8x8, 256);
+        assert!(r.comm_overhead() < 0.10, "comm overhead = {}", r.comm_overhead());
+    }
+}

@@ -1,0 +1,712 @@
+//! Scheduling policies (paper §3.4–§3.5).
+//!
+//! A policy produces a [`Plan`]: the initial per-device queue assignment,
+//! the serial scheduling overhead it incurred (sampling, canary runs), the
+//! work-stealing permission matrix, and whether transfers are pipelined.
+//! The runtime then plays the plan out in virtual time, stealing HLOPs
+//! between queues as devices drain.
+//!
+//! Implemented policies:
+//!
+//! * **Even distribution** — naive static 50/50 round-robin between the GPU
+//!   and the Edge TPU, no stealing, synchronous transfers (the paper's
+//!   quality-unaware reference that loses on 6 of 10 benchmarks).
+//! * **Work stealing** (§3.4) — even initial split across all devices, any
+//!   device steals from the most loaded queue.
+//! * **QAWS** (§3.5) — work stealing with criticality sampling; assignment
+//!   by *device limits* (Algorithm 1) or *Top-K* (Algorithm 2), sampling by
+//!   striding / uniform-random / reduction (Algorithms 3–5); stealing
+//!   restricted so lower-accuracy devices never take higher-accuracy work.
+//! * **IRA sampling** — the full input-responsiveness baseline: canary
+//!   *computations* per partition (accurate but expensive, ~45% slowdown).
+//! * **Oracle** — true per-partition NPU error measured offline, not
+//!   charged any time (the paper's manually-optimized quality reference).
+
+use serde::{Deserialize, Serialize};
+use shmt_tensor::tile::Tile;
+use shmt_tensor::Tensor;
+
+use crate::criticality::{CriticalityMetric, CriticalityStats};
+use crate::hlop::Hlop;
+use crate::sampling::{sample_partition, SampleSet, SamplingMethod};
+use crate::vop::Vop;
+
+/// Index of a device queue. By the paper's convention the GPU queue is
+/// index 0 and the Edge TPU queue the last index; we insert the CPU
+/// (exact, like the GPU) in between.
+pub type QueueIndex = usize;
+
+/// Queue index of the GPU.
+pub const GPU: QueueIndex = 0;
+/// Queue index of the CPU.
+pub const CPU: QueueIndex = 1;
+/// Queue index of the Edge TPU.
+pub const TPU: QueueIndex = 2;
+
+/// Accuracy class per queue index: lower is more accurate. The GPU and CPU
+/// compute exact fp32; the Edge TPU is approximate int8.
+pub const ACCURACY_CLASS: [u8; 3] = [0, 0, 1];
+
+/// The QAWS hardware-assignment flavor (the `T`/`L` in QAWS-XY).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QawsAssignment {
+    /// Algorithm 1: device-dependent criticality limits.
+    DeviceLimits,
+    /// Algorithm 2: application-dependent top-K% ranking within windows.
+    TopK,
+}
+
+/// A scheduling policy for one VOP execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Static even split between GPU and Edge TPU; no stealing.
+    EvenDistribution,
+    /// The basic work-stealing scheduler (§3.4).
+    WorkStealing,
+    /// Quality-aware work stealing (§3.5).
+    Qaws {
+        /// Hardware assignment flavor.
+        assignment: QawsAssignment,
+        /// Sampling mechanism.
+        sampling: SamplingMethod,
+    },
+    /// The full IRA canary baseline.
+    IraSampling,
+    /// Offline-oracle criticality assignment.
+    Oracle,
+}
+
+impl Policy {
+    /// The six QAWS variants in the paper's order (TS, TU, TR, LS, LU, LR).
+    pub fn qaws_variants() -> [Policy; 6] {
+        use QawsAssignment::*;
+        use SamplingMethod::*;
+        [
+            Policy::Qaws { assignment: TopK, sampling: Striding },
+            Policy::Qaws { assignment: TopK, sampling: UniformRandom },
+            Policy::Qaws { assignment: TopK, sampling: Reduction },
+            Policy::Qaws { assignment: DeviceLimits, sampling: Striding },
+            Policy::Qaws { assignment: DeviceLimits, sampling: UniformRandom },
+            Policy::Qaws { assignment: DeviceLimits, sampling: Reduction },
+        ]
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> String {
+        match self {
+            Policy::EvenDistribution => "even distribution".into(),
+            Policy::WorkStealing => "work-stealing".into(),
+            Policy::Qaws { assignment, sampling } => {
+                let a = match assignment {
+                    QawsAssignment::TopK => "T",
+                    QawsAssignment::DeviceLimits => "L",
+                };
+                format!("QAWS-{a}{}", sampling.suffix())
+            }
+            Policy::IraSampling => "IRA-sampling".into(),
+            Policy::Oracle => "oracle".into(),
+        }
+    }
+
+    /// Whether transfers/casts are double-buffered under this policy. Only
+    /// the naive even distribution runs synchronously.
+    pub fn pipelined(&self) -> bool {
+        !matches!(self, Policy::EvenDistribution)
+    }
+}
+
+/// Tuning knobs for the quality-aware policies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityConfig {
+    /// Sampling rate (fraction of partition elements sampled; Fig 9 sweeps
+    /// 2⁻²¹…2⁻¹⁴). Default 2⁻¹⁵, the paper's sweet spot.
+    pub sampling_rate: f64,
+    /// Criticality metric over the samples.
+    pub metric: CriticalityMetric,
+    /// Window size W for Top-K ranking (Algorithm 2).
+    pub window: usize,
+    /// Device-limit factor: the Edge TPU accepts partitions whose
+    /// criticality is below `limit_factor x median partition criticality`.
+    /// The hardware limit binds harder than Top-K ranking (the paper finds
+    /// the rank-based approach lets the TPU take more partitions, §5.2).
+    pub limit_factor: f32,
+    /// Fraction of each partition executed as the IRA canary (for the
+    /// quality estimate).
+    pub ira_canary_frac: f64,
+    /// IRA's end-to-end time overhead as a multiple of the ideal GPU
+    /// kernel time — the full technique executes canaries through every
+    /// candidate approximation configuration before committing, which the
+    /// paper measures at a 45% end-to-end slowdown.
+    pub ira_time_factor: f64,
+    /// Ablation knob: drop QAWS's accuracy-ordered steal restriction and
+    /// let any device steal any queue (quality-unsafe).
+    pub unrestricted_steal: bool,
+    /// Seed for random sampling.
+    pub seed: u64,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        QualityConfig {
+            sampling_rate: 2.0f64.powi(-15),
+            metric: CriticalityMetric::default(),
+            window: 16,
+            limit_factor: 1.2,
+            ira_canary_frac: 1.0 / 8.0,
+            ira_time_factor: 1.45,
+            unrestricted_steal: false,
+            seed: 0x5111_AD,
+        }
+    }
+}
+
+/// A policy's output: initial queues, overhead, and stealing rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Initial queue contents per device index (front = next to run).
+    pub queues: Vec<Vec<Hlop>>,
+    /// Serial scheduler-side overhead in seconds (sampling, canaries).
+    pub overhead_s: f64,
+    /// Whether casts/transfers overlap compute.
+    pub pipelined: bool,
+    /// `steal[thief][victim]` — may `thief` take pending HLOPs from
+    /// `victim`'s queue?
+    pub steal: [[bool; 3]; 3],
+}
+
+impl Plan {
+    /// Total HLOPs across all queues.
+    pub fn total_hlops(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+}
+
+/// Unrestricted stealing between distinct devices.
+fn steal_any() -> [[bool; 3]; 3] {
+    let mut m = [[true; 3]; 3];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = false;
+    }
+    m
+}
+
+/// No stealing at all.
+fn steal_none() -> [[bool; 3]; 3] {
+    [[false; 3]; 3]
+}
+
+/// Accuracy-restricted stealing (§3.5): a device may steal only from a
+/// victim whose accuracy class is the same or lower (a higher-accuracy
+/// device can absorb approximate-eligible work; the Edge TPU can never
+/// take work reserved for exact hardware).
+fn steal_accuracy_ordered() -> [[bool; 3]; 3] {
+    let mut m = [[false; 3]; 3];
+    for thief in 0..3 {
+        for victim in 0..3 {
+            if thief != victim && ACCURACY_CLASS[thief] <= ACCURACY_CLASS[victim] {
+                m[thief][victim] = true;
+            }
+        }
+    }
+    m
+}
+
+/// Device throughputs the planner needs to price scheduling overheads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanContext {
+    /// GPU sustained throughput (work units/s).
+    pub gpu_throughput: f64,
+}
+
+/// Builds the plan for `policy` over the partitioned VOP.
+pub fn plan(
+    policy: Policy,
+    vop: &Vop,
+    hlops: &[Hlop],
+    quality: &QualityConfig,
+    ctx: PlanContext,
+) -> Plan {
+    match policy {
+        Policy::EvenDistribution => {
+            // Round-robin between GPU and Edge TPU only (§5.2).
+            let mut queues = vec![Vec::new(), Vec::new(), Vec::new()];
+            for (i, h) in hlops.iter().enumerate() {
+                queues[if i % 2 == 0 { GPU } else { TPU }].push(*h);
+            }
+            // Even distribution is naive about *where* work goes, not about
+            // how transfers run: double buffering is part of the runtime
+            // infrastructure (§5.6), so it stays pipelined.
+            Plan { queues, overhead_s: 0.0, pipelined: true, steal: steal_none() }
+        }
+        Policy::WorkStealing => {
+            // Even initial split across all devices (§3.4), free stealing.
+            let mut queues = vec![Vec::new(), Vec::new(), Vec::new()];
+            for (i, h) in hlops.iter().enumerate() {
+                queues[i % 3].push(*h);
+            }
+            Plan { queues, overhead_s: 0.0, pipelined: true, steal: steal_any() }
+        }
+        Policy::Qaws { assignment, sampling } => {
+            let (scores, cost) = sample_scores(vop, hlops, sampling, quality);
+            let indices = match assignment {
+                QawsAssignment::DeviceLimits => {
+                    let limits = device_limits_from(&scores, quality.limit_factor);
+                    algorithm1_device_limits(&scores, &limits)
+                }
+                QawsAssignment::TopK => {
+                    let k = (vop.criticality_hint() * quality.window as f64).round() as usize;
+                    algorithm2_top_k(&scores, k.max(1), quality.window)
+                }
+            };
+            Plan {
+                queues: queues_from_classes(hlops, &scores, &indices),
+                overhead_s: cost,
+                pipelined: true,
+                steal: if quality.unrestricted_steal {
+                    steal_any()
+                } else {
+                    steal_accuracy_ordered()
+                },
+            }
+        }
+        Policy::IraSampling => {
+            // Full IRA: canary computations through both paths give a real
+            // per-partition quality estimate, at a cost comparable to
+            // re-running the kernel (paper: 45% end-to-end slowdown).
+            let (errors, _) = canary_errors(vop, hlops, quality.ira_canary_frac);
+            let total_work: f64 =
+                hlops.iter().map(|h| h.elements() as f64).sum::<f64>()
+                    * vop.kernel().work_per_element();
+            let overhead_s = quality.ira_time_factor * total_work / ctx.gpu_throughput.max(1.0);
+            let indices = rank_assignment(&errors, vop.criticality_hint());
+            Plan {
+                queues: queues_from_classes(hlops, &errors, &indices),
+                overhead_s,
+                pipelined: true,
+                steal: steal_accuracy_ordered(),
+            }
+        }
+        Policy::Oracle => {
+            // True full-partition error, free of charge: the "manually
+            // identified critical regions" reference.
+            let (errors, _) = canary_errors(vop, hlops, 1.0);
+            let indices = rank_assignment(&errors, vop.criticality_hint());
+            Plan {
+                queues: queues_from_classes(hlops, &errors, &indices),
+                overhead_s: 0.0,
+                pipelined: true,
+                steal: steal_accuracy_ordered(),
+            }
+        }
+    }
+}
+
+/// Samples every partition and scores its criticality; returns the scores
+/// and the total serial sampling cost.
+fn sample_scores(
+    vop: &Vop,
+    hlops: &[Hlop],
+    method: SamplingMethod,
+    quality: &QualityConfig,
+) -> (Vec<f32>, f64) {
+    let input = &vop.inputs()[0];
+    let mut cost = 0.0;
+    let scores = hlops
+        .iter()
+        .map(|h| {
+            let SampleSet { values, cost_s } =
+                sample_partition(input, h.tile, method, quality.sampling_rate, quality.seed);
+            cost += cost_s;
+            CriticalityStats::from_samples(&values).score(quality.metric)
+        })
+        .collect();
+    (scores, cost)
+}
+
+/// Algorithm 1 (Device Limitation): assign each partition to the least
+/// accurate device whose criticality limit admits its sampled score,
+/// defaulting to the most accurate queue.
+///
+/// `limits` is `(limit, queue_index)` sorted ascending by limit — i.e. from
+/// the most limited (least accurate) device upward, which realizes the
+/// paper's "assigns only data inputs lower than the criticality limits to
+/// that computing resource".
+pub fn algorithm1_device_limits(scores: &[f32], limits: &[(f32, QueueIndex)]) -> Vec<QueueIndex> {
+    scores
+        .iter()
+        .map(|&s| {
+            let mut q = GPU; // default: the most accurate queue
+            for &(limit, queue) in limits {
+                if s < limit {
+                    q = queue;
+                    break;
+                }
+            }
+            q
+        })
+        .collect()
+}
+
+/// Derives the Edge TPU's criticality limit from the score distribution:
+/// `limit_factor x median`. The exact devices have an infinite limit.
+pub fn device_limits_from(scores: &[f32], limit_factor: f32) -> Vec<(f32, QueueIndex)> {
+    let mut sorted: Vec<f32> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = if sorted.is_empty() { 0.0 } else { sorted[sorted.len() / 2] };
+    vec![(median * limit_factor, TPU), (f32::INFINITY, GPU)]
+}
+
+/// Algorithm 2 (Top-K criticality): within each window of `w` partitions,
+/// the `k` highest-criticality partitions go to the accurate queue (0) and
+/// the rest to the approximate queue.
+///
+/// # Panics
+///
+/// Panics if `k > w` or `w == 0`.
+pub fn algorithm2_top_k(scores: &[f32], k: usize, w: usize) -> Vec<QueueIndex> {
+    assert!(w > 0, "window must be positive");
+    assert!(k <= w, "K must not exceed the window size");
+    let mut out = vec![TPU; scores.len()];
+    for (w_idx, chunk) in scores.chunks(w).enumerate() {
+        let base = w_idx * w;
+        let mut order: Vec<usize> = (0..chunk.len()).collect();
+        order.sort_by(|&a, &b| {
+            chunk[b].partial_cmp(&chunk[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for (rank, &local) in order.iter().enumerate() {
+            out[base + local] = if rank < k { GPU } else { TPU };
+        }
+    }
+    out
+}
+
+/// Rank-based assignment for oracle/IRA: the top `critical_fraction` of
+/// partitions by measured error go to the exact queue.
+fn rank_assignment(errors: &[f32], critical_fraction: f64) -> Vec<QueueIndex> {
+    let n = errors.len();
+    let k = ((n as f64 * critical_fraction).round() as usize).min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| errors[b].partial_cmp(&errors[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![TPU; n];
+    for &i in order.iter().take(k) {
+        out[i] = GPU;
+    }
+    out
+}
+
+/// Materializes queues from per-partition class decisions and attaches
+/// criticality metadata to each HLOP.
+///
+/// The TPU's queue is ordered by *ascending* criticality: the device works
+/// through the most benign partitions first, and since exact devices steal
+/// from the **back** of a victim's queue, whatever they reclaim is exactly
+/// the most critical TPU-eligible work — the quality-preserving direction
+/// of §3.5's restricted stealing.
+fn queues_from_classes(hlops: &[Hlop], scores: &[f32], classes: &[QueueIndex]) -> Vec<Vec<Hlop>> {
+    let mut queues = vec![Vec::new(), Vec::new(), Vec::new()];
+    for ((h, &score), &class) in hlops.iter().zip(scores).zip(classes) {
+        let mut h = *h;
+        h.criticality = Some(score);
+        if class == TPU {
+            queues[TPU].push(h);
+        } else {
+            // All exact-class work starts in the GPU queue; the CPU (same
+            // accuracy class) steals at its own pace, which shares the
+            // critical work in proportion to actual device speed instead
+            // of a blind round-robin that can strand a slow CPU with a
+            // schedule-defining straggler.
+            queues[GPU].push(h);
+        }
+    }
+    let by_score_asc = |a: &Hlop, b: &Hlop| {
+        a.criticality
+            .partial_cmp(&b.criticality)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    };
+    queues[TPU].sort_by(by_score_asc);
+    // Exact queues stay in arrival order: critical partitions land
+    // anywhere in the schedule, including its tail, where they can only
+    // run on exact hardware — the small utilization price quality
+    // awareness pays relative to unrestricted work stealing (§5.2).
+    queues
+}
+
+/// Measures each partition's true NPU-vs-exact error on a canary subregion
+/// (`frac` of its rows, at least one). Returns per-partition mean absolute
+/// errors and the total canary work in kernel work units (two runs each).
+fn canary_errors(vop: &Vop, hlops: &[Hlop], frac: f64) -> (Vec<f32>, f64) {
+    let kernel = vop.kernel();
+    let inputs: Vec<&Tensor> = vop.inputs().iter().collect();
+    let (rows, cols) = vop.partition_space();
+    let shape = kernel.shape();
+    let canaries: Vec<Tile> = hlops
+        .iter()
+        .map(|h| {
+            let canary_rows = ((h.tile.rows as f64 * frac).ceil() as usize).clamp(1, h.tile.rows);
+            // Keep block kernels in phase: canary height rounded up to the
+            // block edge when possible.
+            let align = shape.block_align.max(1);
+            let canary_rows = (canary_rows.div_ceil(align) * align).min(h.tile.rows);
+            Tile {
+                index: h.tile.index,
+                row0: h.tile.row0,
+                col0: h.tile.col0,
+                rows: canary_rows,
+                cols: h.tile.cols,
+            }
+        })
+        .collect();
+    let work: f64 = canaries
+        .iter()
+        .map(|c| 2.0 * c.len() as f64 * kernel.work_per_element())
+        .sum();
+
+    let errors = match shape.aggregation {
+        shmt_kernels::Aggregation::Tile => {
+            // All canary tiles are disjoint: compute both paths across all
+            // partitions in parallel, then diff per canary region.
+            let threads = crate::exec::default_threads();
+            let mut exact = shape.allocate_output(rows, cols);
+            let exact_tasks: Vec<crate::exec::ComputeTask> = canaries
+                .iter()
+                .map(|&tile| crate::exec::ComputeTask { tile, npu: false })
+                .collect();
+            crate::exec::compute_tasks(kernel, &inputs, &exact_tasks, &mut exact, threads);
+            let mut approx = shape.allocate_output(rows, cols);
+            let npu_tasks: Vec<crate::exec::ComputeTask> = canaries
+                .iter()
+                .map(|&tile| crate::exec::ComputeTask { tile, npu: true })
+                .collect();
+            crate::exec::compute_tasks(kernel, &inputs, &npu_tasks, &mut approx, threads);
+            canaries
+                .iter()
+                .map(|&tile| mean_abs_diff(&exact, &approx, tile, &shape))
+                .collect()
+        }
+        shmt_kernels::Aggregation::Reduce { .. } => canaries
+            .iter()
+            .map(|&canary| {
+                let mut exact = shape.allocate_output(rows, cols);
+                let mut approx = shape.allocate_output(rows, cols);
+                kernel.run_exact(&inputs, canary, &mut exact);
+                kernel.run_npu(&inputs, canary, &mut approx);
+                mean_abs_diff(&exact, &approx, canary, &shape)
+            })
+            .collect(),
+    };
+    (errors, work)
+}
+
+fn mean_abs_diff(
+    a: &Tensor,
+    b: &Tensor,
+    tile: Tile,
+    shape: &shmt_kernels::KernelShape,
+) -> f32 {
+    match shape.aggregation {
+        shmt_kernels::Aggregation::Tile => {
+            let mut acc = 0.0f64;
+            for r in tile.row0..tile.row0 + tile.rows {
+                let ra = &a.row(r)[tile.col0..tile.col0 + tile.cols];
+                let rb = &b.row(r)[tile.col0..tile.col0 + tile.cols];
+                for (x, y) in ra.iter().zip(rb) {
+                    acc += (x - y).abs() as f64;
+                }
+            }
+            (acc / tile.len() as f64) as f32
+        }
+        shmt_kernels::Aggregation::Reduce { .. } => {
+            let acc: f64 = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| (x - y).abs() as f64)
+                .sum();
+            (acc / a.len() as f64) as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_vop;
+    use shmt_kernels::Benchmark;
+
+    fn sobel_vop(n: usize) -> Vop {
+        Vop::from_benchmark(Benchmark::Sobel, Benchmark::Sobel.generate_inputs(n, n, 3)).unwrap()
+    }
+
+    #[test]
+    fn policy_names_match_paper_legends() {
+        assert_eq!(Policy::WorkStealing.name(), "work-stealing");
+        assert_eq!(
+            Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding }
+                .name(),
+            "QAWS-TS"
+        );
+        assert_eq!(
+            Policy::Qaws {
+                assignment: QawsAssignment::DeviceLimits,
+                sampling: SamplingMethod::Reduction
+            }
+            .name(),
+            "QAWS-LR"
+        );
+        let names: Vec<String> = Policy::qaws_variants().iter().map(Policy::name).collect();
+        assert_eq!(names, ["QAWS-TS", "QAWS-TU", "QAWS-TR", "QAWS-LS", "QAWS-LU", "QAWS-LR"]);
+    }
+
+    #[test]
+    fn algorithm2_assigns_top_k_to_accurate_queue() {
+        let scores = [1.0, 9.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0];
+        let q = algorithm2_top_k(&scores, 2, 8);
+        assert_eq!(q[1], GPU);
+        assert_eq!(q[3], GPU);
+        assert_eq!(q.iter().filter(|&&x| x == GPU).count(), 2);
+    }
+
+    #[test]
+    fn algorithm2_windows_rank_independently() {
+        let scores = [10.0, 1.0, 1.0, 1.0, /* window 2 */ 2.0, 3.0, 1.0, 1.0];
+        let q = algorithm2_top_k(&scores, 1, 4);
+        assert_eq!(q[0], GPU);
+        assert_eq!(q[5], GPU);
+        assert_eq!(q.iter().filter(|&&x| x == GPU).count(), 2);
+    }
+
+    #[test]
+    fn algorithm2_handles_ragged_final_window() {
+        let scores = [1.0, 2.0, 3.0, 4.0, 9.0];
+        let q = algorithm2_top_k(&scores, 2, 4);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q[4], GPU, "lone partition in final window ranks first");
+    }
+
+    #[test]
+    #[should_panic(expected = "K must not exceed")]
+    fn algorithm2_rejects_k_above_window() {
+        algorithm2_top_k(&[1.0], 5, 4);
+    }
+
+    #[test]
+    fn algorithm1_assigns_by_limits() {
+        let scores = [0.5, 5.0, 1.9];
+        let limits = vec![(2.0, TPU), (f32::INFINITY, GPU)];
+        let q = algorithm1_device_limits(&scores, &limits);
+        assert_eq!(q, vec![TPU, GPU, TPU]);
+    }
+
+    #[test]
+    fn algorithm1_supports_multiple_device_limits() {
+        // Algorithm 1 is written for M devices: e.g. an int8 TPU (tight
+        // limit), a 16-bit DSP (wider limit), and an exact GPU. Partitions
+        // fall to the least accurate device that tolerates them.
+        let scores = [0.5, 3.0, 10.0, 0.9];
+        let limits = vec![(1.0, 2), (5.0, 1), (f32::INFINITY, 0)];
+        let q = algorithm1_device_limits(&scores, &limits);
+        assert_eq!(q, vec![2, 1, 0, 2]);
+    }
+
+    #[test]
+    fn device_limits_derive_from_median() {
+        let limits = device_limits_from(&[1.0, 2.0, 3.0, 4.0, 100.0], 1.5);
+        assert_eq!(limits[0], (4.5, TPU));
+        assert!(limits[0].0 > 0.0);
+        assert_eq!(limits[1].1, GPU);
+    }
+
+    #[test]
+    fn even_distribution_uses_gpu_and_tpu_only() {
+        let vop = sobel_vop(128);
+        let hlops = partition_vop(&vop, 8).unwrap();
+        let plan =
+            plan(Policy::EvenDistribution, &vop, &hlops, &QualityConfig::default(), PlanContext { gpu_throughput: 1.0e9 });
+        assert!(plan.queues[CPU].is_empty());
+        assert!(!plan.queues[GPU].is_empty());
+        assert!(!plan.queues[TPU].is_empty());
+        assert!(plan.pipelined, "double buffering is infrastructure, not policy");
+        assert_eq!(plan.steal, steal_none());
+        assert_eq!(plan.total_hlops(), hlops.len());
+    }
+
+    #[test]
+    fn work_stealing_splits_across_all_devices() {
+        let vop = sobel_vop(128);
+        let hlops = partition_vop(&vop, 9).unwrap();
+        let plan = plan(Policy::WorkStealing, &vop, &hlops, &QualityConfig::default(), PlanContext { gpu_throughput: 1.0e9 });
+        assert!(plan.queues.iter().all(|q| !q.is_empty()));
+        assert!(plan.steal[TPU][GPU], "unrestricted stealing");
+        assert_eq!(plan.overhead_s, 0.0);
+    }
+
+    #[test]
+    fn qaws_restricts_stealing_by_accuracy() {
+        let vop = sobel_vop(256);
+        let hlops = partition_vop(&vop, 16).unwrap();
+        let p = plan(
+            Policy::Qaws {
+                assignment: QawsAssignment::TopK,
+                sampling: SamplingMethod::Striding,
+            },
+            &vop,
+            &hlops,
+            &QualityConfig::default(),
+            PlanContext { gpu_throughput: 1.0e9 },
+        );
+        assert!(p.steal[GPU][TPU], "GPU may steal approximate work");
+        assert!(!p.steal[TPU][GPU], "TPU must not steal exact work");
+        assert!(p.steal[GPU][CPU] && p.steal[CPU][GPU], "exact peers steal freely");
+        assert!(p.overhead_s > 0.0, "sampling costs time");
+        // Every HLOP got a criticality annotation.
+        for q in &p.queues {
+            for h in q {
+                assert!(h.criticality.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn qaws_routes_critical_partitions_to_exact_devices() {
+        let vop = sobel_vop(256);
+        let hlops = partition_vop(&vop, 16).unwrap();
+        let p = plan(
+            Policy::Qaws {
+                assignment: QawsAssignment::TopK,
+                sampling: SamplingMethod::Striding,
+            },
+            &vop,
+            &hlops,
+            &QualityConfig { sampling_rate: 0.05, ..QualityConfig::default() },
+            PlanContext { gpu_throughput: 1.0e9 },
+        );
+        let max_exact: f32 = p.queues[GPU]
+            .iter()
+            .chain(&p.queues[CPU])
+            .filter_map(|h| h.criticality)
+            .fold(0.0, f32::max);
+        let min_exact: f32 = p.queues[GPU]
+            .iter()
+            .chain(&p.queues[CPU])
+            .filter_map(|h| h.criticality)
+            .fold(f32::INFINITY, f32::min);
+        let max_tpu: f32 =
+            p.queues[TPU].iter().filter_map(|h| h.criticality).fold(0.0, f32::max);
+        // Ranking is windowed, so strict global separation is not
+        // guaranteed — but the exact queues must hold high-criticality work.
+        assert!(max_exact >= max_tpu, "exact {max_exact} vs tpu {max_tpu}");
+        assert!(min_exact > 0.0);
+    }
+
+    #[test]
+    fn ira_charges_canary_overhead_and_oracle_does_not() {
+        let vop = sobel_vop(128);
+        let hlops = partition_vop(&vop, 8).unwrap();
+        let ira = plan(Policy::IraSampling, &vop, &hlops, &QualityConfig::default(), PlanContext { gpu_throughput: 1.0e9 });
+        let oracle = plan(Policy::Oracle, &vop, &hlops, &QualityConfig::default(), PlanContext { gpu_throughput: 1.0e9 });
+        assert!(ira.overhead_s > 0.0);
+        assert_eq!(oracle.overhead_s, 0.0);
+        assert_eq!(ira.total_hlops(), hlops.len());
+        assert_eq!(oracle.total_hlops(), hlops.len());
+    }
+}

@@ -1,0 +1,198 @@
+//! 8x8 block discrete cosine transform (CUDA Examples baseline).
+//!
+//! The classic JPEG-style DCT-II applied independently to each 8x8 block of
+//! the image. Blocks are addressed in *dataset* coordinates, so tiles must
+//! start on multiples of 8 ([`KernelShape::block_align`]); blocks that
+//! straddle the dataset edge are padded by clamping.
+
+use shmt_tensor::tile::Tile;
+use shmt_tensor::Tensor;
+
+use crate::{Kernel, KernelShape};
+
+const N: usize = 8;
+
+/// 8x8 blockwise 2-D DCT-II with orthonormal scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Dct8x8;
+
+/// DCT basis value `c(u) * cos((2x+1) u pi / 16)`.
+fn basis(u: usize, x: usize) -> f32 {
+    let cu = if u == 0 { (1.0f32 / N as f32).sqrt() } else { (2.0f32 / N as f32).sqrt() };
+    cu * ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / (2.0 * N as f32)).cos()
+}
+
+/// Transforms one 8x8 block anchored at `(br, bc)` in dataset coordinates,
+/// reading clamped input and writing only coordinates inside `tile`.
+fn transform_block(input: &Tensor, br: usize, bc: usize, tile: Tile, out: &mut Tensor) {
+    let (rows, cols) = input.shape();
+    let read = |r: usize, c: usize| -> f32 {
+        input[(r.min(rows - 1), c.min(cols - 1))]
+    };
+    for u in 0..N {
+        let or = br + u;
+        if or < tile.row0 || or >= tile.row0 + tile.rows || or >= rows {
+            continue;
+        }
+        for v in 0..N {
+            let oc = bc + v;
+            if oc < tile.col0 || oc >= tile.col0 + tile.cols || oc >= cols {
+                continue;
+            }
+            let mut acc = 0.0f32;
+            for x in 0..N {
+                let bu = basis(u, x);
+                for y in 0..N {
+                    acc += read(br + x, bc + y) * bu * basis(v, y);
+                }
+            }
+            out[(or, oc)] = acc;
+        }
+    }
+}
+
+impl Kernel for Dct8x8 {
+    fn name(&self) -> &'static str {
+        "DCT8x8"
+    }
+
+    fn shape(&self) -> KernelShape {
+        KernelShape::blocked(N)
+    }
+
+    fn run_exact(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
+        let input = inputs[0];
+        let br0 = (tile.row0 / N) * N;
+        let bc0 = (tile.col0 / N) * N;
+        let mut br = br0;
+        while br < tile.row0 + tile.rows {
+            let mut bc = bc0;
+            while bc < tile.col0 + tile.cols {
+                transform_block(input, br, bc, tile, out);
+                bc += N;
+            }
+            br += N;
+        }
+    }
+
+    fn run_npu(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
+        // Edge TPU models quantize per channel; for a DCT model each of
+        // the 64 coefficient positions is one channel, so the DC term's
+        // huge range does not flatten the near-zero AC terms.
+        crate::npu::run_via_npu_quant(
+            self,
+            inputs,
+            tile,
+            out,
+            self.npu_fidelity(),
+            crate::npu::OutputQuant::BlockChannels { edge: N },
+        );
+    }
+
+    fn npu_native_u8(&self) -> bool {
+        true
+    }
+
+    fn work_per_element(&self) -> f64 {
+        // 64 multiply-adds per output coefficient.
+        128.0
+    }
+}
+
+/// Inverse 8x8 blockwise DCT, provided for round-trip testing and the image
+/// pipeline example.
+pub fn idct8x8(coeffs: &Tensor) -> Tensor {
+    let (rows, cols) = coeffs.shape();
+    let mut out = Tensor::zeros(rows, cols);
+    let mut br = 0;
+    while br < rows {
+        let mut bc = 0;
+        while bc < cols {
+            for x in 0..N.min(rows - br) {
+                for y in 0..N.min(cols - bc) {
+                    let mut acc = 0.0f32;
+                    for u in 0..N.min(rows - br) {
+                        let bu = basis(u, x);
+                        for v in 0..N.min(cols - bc) {
+                            acc += coeffs[(br + u, bc + v)] * bu * basis(v, y);
+                        }
+                    }
+                    out[(br + x, bc + y)] = acc;
+                }
+            }
+            bc += N;
+        }
+        br += N;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_block_concentrates_in_dc() {
+        let input = Tensor::filled(8, 8, 10.0);
+        let mut out = Tensor::zeros(8, 8);
+        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 };
+        Dct8x8.run_exact(&[&input], tile, &mut out);
+        // DC coefficient = 8 * mean = 80 with orthonormal scaling.
+        assert!((out[(0, 0)] - 80.0).abs() < 1e-3, "dc = {}", out[(0, 0)]);
+        for r in 0..8 {
+            for c in 0..8 {
+                if (r, c) != (0, 0) {
+                    assert!(out[(r, c)].abs() < 1e-3, "ac({r},{c}) = {}", out[(r, c)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dct_preserves_energy() {
+        let input = Tensor::from_fn(8, 8, |r, c| ((r * 13 + c * 7) % 11) as f32 - 5.0);
+        let mut out = Tensor::zeros(8, 8);
+        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 };
+        Dct8x8.run_exact(&[&input], tile, &mut out);
+        let e_in: f32 = input.as_slice().iter().map(|v| v * v).sum();
+        let e_out: f32 = out.as_slice().iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-4, "{e_in} vs {e_out}");
+    }
+
+    #[test]
+    fn idct_round_trips() {
+        let input = Tensor::from_fn(16, 16, |r, c| ((r * 5 + c * 3) % 17) as f32);
+        let mut coeffs = Tensor::zeros(16, 16);
+        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 16, cols: 16 };
+        Dct8x8.run_exact(&[&input], tile, &mut coeffs);
+        let back = idct8x8(&coeffs);
+        for (a, b) in input.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn partial_tile_matches_full_run() {
+        let input = Tensor::from_fn(16, 16, |r, c| ((r * 31 + c * 17) % 23) as f32);
+        let mut full = Tensor::zeros(16, 16);
+        Dct8x8.run_exact(
+            &[&input],
+            Tile { index: 0, row0: 0, col0: 0, rows: 16, cols: 16 },
+            &mut full,
+        );
+        let mut partial = Tensor::zeros(16, 16);
+        Dct8x8.run_exact(
+            &[&input],
+            Tile { index: 0, row0: 8, col0: 0, rows: 8, cols: 16 },
+            &mut partial,
+        );
+        for r in 8..16 {
+            for c in 0..16 {
+                assert_eq!(full[(r, c)], partial[(r, c)]);
+            }
+        }
+        for c in 0..16 {
+            assert_eq!(partial[(0, c)], 0.0);
+        }
+    }
+}

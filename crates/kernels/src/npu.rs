@@ -1,0 +1,350 @@
+//! The Edge TPU / NPU execution path.
+//!
+//! The paper's Edge TPU HLOPs are pre-trained int8 neural networks that
+//! approximate each kernel (§4.2, following the NPU line of work). We model
+//! that data path faithfully at the precision level:
+//!
+//! 1. The runtime casts the HLOP's input partition (plus halo) to int8 with
+//!    an affine quantization derived from the partition's own range
+//!    (§3.3.2's "data type casting through the desired quantization
+//!    method").
+//! 2. The device computes the kernel on the dequantized values.
+//! 3. The result is emitted through the int8 output grid; a per-kernel
+//!    *fidelity* factor (>= 1) coarsens that grid to stand in for the
+//!    residual approximation error of the NN itself.
+//!
+//! Because both grids derive from the *partition's* value range, partitions
+//! with wide ranges lose more absolute precision — the property QAWS's
+//! criticality sampling (range + standard deviation, §3.5) is designed to
+//! detect and route away from the NPU.
+
+use shmt_tensor::quant::QuantParams;
+use shmt_tensor::tile::Tile;
+use shmt_tensor::Tensor;
+
+use crate::{Aggregation, Kernel};
+
+/// How the NPU's int8 output grid is organized.
+///
+/// Edge TPU models use *per-channel* quantization where a layer's channels
+/// have very different dynamic ranges; our transform kernels exploit the
+/// same freedom: a DCT model quantizes each of the 64 coefficient
+/// positions on its own grid (the DC term would otherwise drown the AC
+/// terms), and a DWT model quantizes each subband separately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutputQuant {
+    /// One grid derived from the whole output tile's range.
+    PerTile,
+    /// One grid per position within an `edge x edge` block (DCT8x8).
+    BlockChannels {
+        /// Block edge (8 for DCT8x8).
+        edge: usize,
+    },
+    /// One grid per quadrant subband of an `edge x edge` block (DWT).
+    Subbands {
+        /// Block edge (32 for the blocked DWT).
+        edge: usize,
+    },
+}
+
+/// Runs `kernel` on `tile` through the modeled NPU path, writing the
+/// degraded result into `out`.
+///
+/// `fidelity` coarsens the output grid: `1.0` is pure int8; larger values
+/// model an NN whose approximation error exceeds a quantization step.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the kernel's arity, if the tile is out
+/// of bounds, or if `fidelity < 1.0`.
+pub fn run_via_npu<K: Kernel + ?Sized>(
+    kernel: &K,
+    inputs: &[&Tensor],
+    tile: Tile,
+    out: &mut Tensor,
+    fidelity: f32,
+) {
+    run_via_npu_quant(kernel, inputs, tile, out, fidelity, OutputQuant::PerTile);
+}
+
+/// [`run_via_npu`] with an explicit output-grid organization.
+///
+/// # Panics
+///
+/// As [`run_via_npu`].
+pub fn run_via_npu_quant<K: Kernel + ?Sized>(
+    kernel: &K,
+    inputs: &[&Tensor],
+    tile: Tile,
+    out: &mut Tensor,
+    fidelity: f32,
+    quant: OutputQuant,
+) {
+    assert!(fidelity >= 1.0, "fidelity must be >= 1.0, got {fidelity}");
+    let shape = kernel.shape();
+    assert_eq!(inputs.len(), shape.num_inputs, "kernel {} arity", kernel.name());
+    let (rows, cols) = inputs[0].shape();
+
+    // Extract the partition plus halo, aligned down to the block edge so
+    // block transforms keep their phase, spanning full rows if required.
+    let ext = extended_region(tile, shape.halo, shape.block_align, shape.full_rows, rows, cols);
+
+    // Quantize-snap each input region: this is the int8 device buffer.
+    // Kernels with native uint8 models take integer 8-bit image data
+    // losslessly; everything else goes through the affine int8 cast.
+    let native_u8 = kernel.npu_native_u8();
+    let snapped: Vec<Tensor> = inputs
+        .iter()
+        .map(|t| {
+            let view = t.view(ext.row0, ext.col0, ext.rows, ext.cols);
+            let mut local = view.to_tensor();
+            let (lo, hi) = local.min_max();
+            if native_u8 && lo >= 0.0 && hi <= 255.0 {
+                local.map_inplace(|v| v.round());
+            } else {
+                let params = QuantParams::from_slice(local.as_slice());
+                local.map_inplace(|v| params.snap(v));
+            }
+            local
+        })
+        .collect();
+    let snapped_refs: Vec<&Tensor> = snapped.iter().collect();
+
+    // Run the exact kernel on the snapped local data.
+    let local_tile = Tile {
+        index: tile.index,
+        row0: tile.row0 - ext.row0,
+        col0: tile.col0 - ext.col0,
+        rows: tile.rows,
+        cols: tile.cols,
+    };
+    match shape.aggregation {
+        Aggregation::Tile => {
+            let mut local_out = Tensor::zeros(ext.rows, ext.cols);
+            kernel.run_exact(&snapped_refs, local_tile, &mut local_out);
+            // Re-quantize the produced tile through the (possibly coarsened)
+            // int8 output grid, then publish it to the global output.
+            match quant {
+                OutputQuant::PerTile => snap_tile(&mut local_out, local_tile, fidelity),
+                OutputQuant::BlockChannels { edge } => {
+                    snap_channels(&mut local_out, local_tile, fidelity, |r, c| {
+                        (r % edge) * edge + c % edge
+                    }, edge * edge)
+                }
+                OutputQuant::Subbands { edge } => {
+                    snap_channels(&mut local_out, local_tile, fidelity, |r, c| {
+                        let half = edge / 2;
+                        usize::from(r % edge >= half) * 2 + usize::from(c % edge >= half)
+                    }, 4)
+                }
+            }
+            for r in 0..tile.rows {
+                let src = local_out.view(local_tile.row0 + r, local_tile.col0, 1, tile.cols);
+                out.try_view_mut(tile.row0 + r, tile.col0, 1, tile.cols)
+                    .expect("output tile within bounds")
+                    .copy_from(&src)
+                    .expect("same shape");
+            }
+        }
+        Aggregation::Reduce { rows: srows, cols: scols, op } => {
+            // Reduction kernels accumulate into the shared buffer; partial
+            // buffers fold with the reduction's own operation.
+            let shape2 = kernel.shape();
+            let mut local_out = shape2.allocate_output(srows, scols);
+            kernel.run_exact(&snapped_refs, local_tile, &mut local_out);
+            for r in 0..srows {
+                let dst = out.row_mut(r);
+                for (d, s) in dst.iter_mut().zip(local_out.row(r)) {
+                    *d = op.combine(*d, *s);
+                }
+            }
+        }
+    }
+}
+
+/// The tile expanded by its halo, aligned and clamped; `(row0, col0)` is the
+/// region origin in dataset coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Region {
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+}
+
+fn extended_region(
+    tile: Tile,
+    halo: usize,
+    block_align: usize,
+    full_rows: bool,
+    rows: usize,
+    cols: usize,
+) -> Region {
+    assert!(
+        tile.row0 + tile.rows <= rows && tile.col0 + tile.cols <= cols,
+        "tile out of dataset bounds"
+    );
+    let align_down = |v: usize| (v / block_align) * block_align;
+    let row0 = align_down(tile.row0.saturating_sub(halo));
+    let row_end = (tile.row0 + tile.rows + halo).min(rows);
+    let (col0, col_end) = if full_rows {
+        (0, cols)
+    } else {
+        (align_down(tile.col0.saturating_sub(halo)), (tile.col0 + tile.cols + halo).min(cols))
+    };
+    Region { row0, col0, rows: row_end - row0, cols: col_end - col0 }
+}
+
+/// Snaps the `tile` region of `t` per channel: each channel id gets its own
+/// int8 grid derived from that channel's observed range within the tile.
+/// Channel ids are computed from *local* coordinates, which share the
+/// global block phase because the extraction region is block-aligned.
+fn snap_channels(
+    t: &mut Tensor,
+    tile: Tile,
+    fidelity: f32,
+    channel_of: impl Fn(usize, usize) -> usize,
+    channels: usize,
+) {
+    let mut lo = vec![f32::INFINITY; channels];
+    let mut hi = vec![f32::NEG_INFINITY; channels];
+    for r in tile.row0..tile.row0 + tile.rows {
+        for c in tile.col0..tile.col0 + tile.cols {
+            let ch = channel_of(r, c);
+            let v = t[(r, c)];
+            lo[ch] = lo[ch].min(v);
+            hi[ch] = hi[ch].max(v);
+        }
+    }
+    let params: Vec<QuantParams> = (0..channels)
+        .map(|ch| {
+            if lo[ch] > hi[ch] {
+                QuantParams::from_range(0.0, 1.0)
+            } else {
+                let mid = 0.5 * (lo[ch] + hi[ch]);
+                let half = 0.5 * (hi[ch] - lo[ch]) * fidelity;
+                QuantParams::from_range(mid - half, mid + half)
+            }
+        })
+        .collect();
+    for r in tile.row0..tile.row0 + tile.rows {
+        for c in tile.col0..tile.col0 + tile.cols {
+            let ch = channel_of(r, c);
+            t[(r, c)] = params[ch].snap(t[(r, c)]);
+        }
+    }
+}
+
+/// Snaps the `tile` region of `t` to an int8 grid derived from that region's
+/// range, with the step coarsened by `fidelity`.
+fn snap_tile(t: &mut Tensor, tile: Tile, fidelity: f32) {
+    let view = t.view(tile.row0, tile.col0, tile.rows, tile.cols);
+    let (lo, hi) = view.min_max();
+    // Coarsen by pretending the range is `fidelity` times wider.
+    let mid = 0.5 * (lo + hi);
+    let half = 0.5 * (hi - lo) * fidelity;
+    let params = QuantParams::from_range(mid - half, mid + half);
+    for r in tile.row0..tile.row0 + tile.rows {
+        let start = tile.col0;
+        for v in &mut t.row_mut(r)[start..start + tile.cols] {
+            *v = params.snap(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn extended_region_clamps_at_edges() {
+        let t = Tile { index: 0, row0: 0, col0: 0, rows: 4, cols: 4 };
+        let r = extended_region(t, 2, 1, false, 16, 16);
+        assert_eq!((r.row0, r.col0, r.rows, r.cols), (0, 0, 6, 6));
+    }
+
+    #[test]
+    fn extended_region_aligns_to_blocks() {
+        let t = Tile { index: 0, row0: 8, col0: 16, rows: 8, cols: 8 };
+        let r = extended_region(t, 0, 8, false, 64, 64);
+        assert_eq!((r.row0, r.col0), (8, 16));
+        let t2 = Tile { index: 0, row0: 9, col0: 17, rows: 7, cols: 7 };
+        let r2 = extended_region(t2, 1, 8, false, 64, 64);
+        assert_eq!(r2.row0 % 8, 0);
+        assert_eq!(r2.col0 % 8, 0);
+    }
+
+    #[test]
+    fn extended_region_full_rows_spans_width() {
+        let t = Tile { index: 0, row0: 4, col0: 8, rows: 2, cols: 8 };
+        let r = extended_region(t, 0, 1, true, 16, 32);
+        assert_eq!((r.col0, r.cols), (0, 32));
+    }
+
+    #[test]
+    fn npu_output_close_but_not_exact() {
+        let bench = Benchmark::Sobel;
+        let kernel = bench.kernel();
+        let inputs = bench.generate_inputs(64, 64, 3);
+        let refs: Vec<_> = inputs.iter().collect();
+        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 64, cols: 64 };
+
+        let mut exact = Tensor::zeros(64, 64);
+        kernel.run_exact(&refs, tile, &mut exact);
+        let mut npu = Tensor::zeros(64, 64);
+        kernel.run_npu(&refs, tile, &mut npu);
+
+        let (lo, hi) = exact.min_max();
+        let range = hi - lo;
+        let mut max_err = 0.0f32;
+        let mut any_diff = false;
+        for (a, b) in exact.as_slice().iter().zip(npu.as_slice()) {
+            let e = (a - b).abs();
+            max_err = max_err.max(e);
+            any_diff |= e > 0.0;
+        }
+        assert!(any_diff, "NPU path should differ from exact");
+        assert!(max_err < 0.2 * range, "NPU error should be bounded: {max_err} vs range {range}");
+    }
+
+    #[test]
+    fn npu_wide_range_partition_has_larger_absolute_error() {
+        // Two synthetic partitions: one narrow, one wide. The wide one must
+        // show larger absolute error after the NPU path — the mechanism
+        // QAWS depends on.
+        let bench = Benchmark::MeanFilter;
+        let kernel = bench.kernel();
+        let narrow = Tensor::from_fn(32, 32, |r, c| 100.0 + ((r * 31 + c * 17) % 10) as f32 * 0.1);
+        let wide = Tensor::from_fn(32, 32, |r, c| ((r * 31 + c * 17) % 100) as f32 * 25.0);
+        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 32, cols: 32 };
+
+        let mean_abs_err = |input: &Tensor| {
+            let refs = vec![input];
+            let mut exact = Tensor::zeros(32, 32);
+            kernel.run_exact(&refs, tile, &mut exact);
+            let mut npu = Tensor::zeros(32, 32);
+            kernel.run_npu(&refs, tile, &mut npu);
+            exact
+                .as_slice()
+                .iter()
+                .zip(npu.as_slice())
+                .map(|(a, b)| (a - b).abs() as f64)
+                .sum::<f64>()
+                / 1024.0
+        };
+        assert!(mean_abs_err(&wide) > 10.0 * mean_abs_err(&narrow));
+    }
+
+    #[test]
+    #[should_panic(expected = "fidelity")]
+    fn rejects_sub_unit_fidelity() {
+        let bench = Benchmark::Sobel;
+        let kernel = bench.kernel();
+        let inputs = bench.generate_inputs(16, 16, 1);
+        let refs: Vec<_> = inputs.iter().collect();
+        let mut out = Tensor::zeros(16, 16);
+        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 16, cols: 16 };
+        run_via_npu(kernel.as_ref(), &refs, tile, &mut out, 0.5);
+    }
+}

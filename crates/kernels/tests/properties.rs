@@ -1,0 +1,156 @@
+//! Property tests for the kernel contracts the SHMT runtime depends on:
+//!
+//! * **Partition independence** — computing a dataset tile by tile, in any
+//!   split, yields exactly the full-run output (this is what lets HLOPs
+//!   execute on different devices and be stitched back together).
+//! * **NPU error physics** — the int8 path's error grows with a
+//!   partition's value range and never corrupts elements outside its tile.
+
+use proptest::prelude::*;
+use shmt_kernels::{Aggregation, Benchmark, ALL_BENCHMARKS};
+use shmt_tensor::tile::Tile;
+use shmt_tensor::Tensor;
+
+fn full_tile(rows: usize, cols: usize) -> Tile {
+    Tile { index: 0, row0: 0, col0: 0, rows, cols }
+}
+
+/// Splits an `n x n` space into four quadrant tiles at an aligned cut.
+fn quad_split(n: usize, cut_r: usize, cut_c: usize) -> Vec<Tile> {
+    let mut tiles = Vec::new();
+    let mut index = 0;
+    for (r0, h) in [(0, cut_r), (cut_r, n - cut_r)] {
+        for (c0, w) in [(0, cut_c), (cut_c, n - cut_c)] {
+            if h > 0 && w > 0 {
+                tiles.push(Tile { index, row0: r0, col0: c0, rows: h, cols: w });
+                index += 1;
+            }
+        }
+    }
+    tiles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any quadrant split reproduces the full run bit-for-bit, for every
+    /// benchmark kernel (FFT excepted: its partitions must span rows, so
+    /// it is split row-wise).
+    #[test]
+    fn tile_splits_match_full_run(
+        bench in prop::sample::select(ALL_BENCHMARKS.to_vec()),
+        cut_sel in 1usize..3,
+        seed in 0u64..100,
+    ) {
+        let n = 96usize;
+        let kernel = bench.kernel();
+        let shape = kernel.shape();
+        let align = shape.block_align.max(1);
+        // Aligned interior cut.
+        let cut = (n / 3 * cut_sel) / align * align;
+        let cut = cut.clamp(align.min(n), n - align.min(n));
+
+        let inputs = bench.generate_inputs(n, n, seed);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+
+        let mut whole = shape.allocate_output(n, n);
+        kernel.run_exact(&refs, full_tile(n, n), &mut whole);
+
+        let tiles = if shape.full_rows {
+            vec![
+                Tile { index: 0, row0: 0, col0: 0, rows: cut, cols: n },
+                Tile { index: 1, row0: cut, col0: 0, rows: n - cut, cols: n },
+            ]
+        } else {
+            quad_split(n, cut, cut)
+        };
+        let mut split = shape.allocate_output(n, n);
+        for t in &tiles {
+            kernel.run_exact(&refs, *t, &mut split);
+        }
+        prop_assert_eq!(whole.as_slice(), split.as_slice());
+    }
+
+    /// The NPU path writes only inside its tile (tile aggregation) and the
+    /// result stays within the neighborhood of the exact output.
+    #[test]
+    fn npu_stays_inside_its_tile(
+        bench in prop::sample::select(
+            ALL_BENCHMARKS.iter().copied()
+                .filter(|b| !matches!(b.kernel().shape().aggregation, Aggregation::Reduce{..}))
+                .collect::<Vec<_>>()
+        ),
+        seed in 0u64..50,
+    ) {
+        let n = 64usize;
+        let kernel = bench.kernel();
+        let shape = kernel.shape();
+        let align = shape.block_align.max(1);
+        let half = (n / 2) / align * align;
+        let tile = if shape.full_rows {
+            Tile { index: 0, row0: 0, col0: 0, rows: half, cols: n }
+        } else {
+            Tile { index: 0, row0: 0, col0: 0, rows: half, cols: half }
+        };
+
+        let inputs = bench.generate_inputs(n, n, seed);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let sentinel = -12345.0f32;
+        let mut out = Tensor::filled(n, n, sentinel);
+        kernel.run_npu(&refs, tile, &mut out);
+        // Everything outside the tile is untouched.
+        for r in 0..n {
+            for c in 0..n {
+                let inside = r >= tile.row0
+                    && r < tile.row0 + tile.rows
+                    && c >= tile.col0
+                    && c < tile.col0 + tile.cols;
+                if !inside {
+                    prop_assert_eq!(out[(r, c)], sentinel, "{} wrote outside at ({}, {})", bench, r, c);
+                }
+            }
+        }
+    }
+
+    /// Scaling the input range up scales the Blackscholes NPU absolute
+    /// error up: the quantization-physics property QAWS exploits.
+    #[test]
+    fn npu_error_scales_with_range(scale in 4.0f32..64.0) {
+        let bench = Benchmark::Blackscholes;
+        let kernel = bench.kernel();
+        let n = 32usize;
+        let tile = full_tile(n, n);
+        let base = Tensor::from_fn(n, n, |r, c| 40.0 + ((r * 13 + c * 7) % 32) as f32 * 0.25);
+        let wide = base.map(|v| 40.0 + (v - 40.0) * scale);
+        let err = |input: &Tensor| {
+            let refs = vec![input];
+            let mut exact = Tensor::zeros(n, n);
+            kernel.run_exact(&refs, tile, &mut exact);
+            let mut npu = Tensor::zeros(n, n);
+            kernel.run_npu(&refs, tile, &mut npu);
+            exact
+                .as_slice()
+                .iter()
+                .zip(npu.as_slice())
+                .map(|(a, b)| (a - b).abs() as f64)
+                .sum::<f64>()
+        };
+        prop_assert!(err(&wide) > err(&base), "wider inputs must hurt more");
+    }
+}
+
+#[test]
+fn sum_kernels_accumulate_across_tiles() {
+    // Histogram's contract: run_exact *adds*, so disjoint tiles compose.
+    let b = Benchmark::Histogram;
+    let kernel = b.kernel();
+    let inputs = b.generate_inputs(64, 64, 9);
+    let refs: Vec<&Tensor> = inputs.iter().collect();
+    let mut whole = kernel.shape().allocate_output(64, 64);
+    kernel.run_exact(&refs, full_tile(64, 64), &mut whole);
+    let mut split = kernel.shape().allocate_output(64, 64);
+    for t in quad_split(64, 32, 32) {
+        kernel.run_exact(&refs, t, &mut split);
+    }
+    assert_eq!(whole.as_slice(), split.as_slice());
+}

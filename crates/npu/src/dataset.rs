@@ -1,0 +1,148 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A supervised regression dataset: input vectors and target vectors.
+///
+/// Paper §4.2 step 1: datasets are built "by running the target
+/// algorithm/function ... with randomly-generated input data and
+/// collecting the output".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    inputs: Vec<Vec<f32>>,
+    targets: Vec<Vec<f32>>,
+}
+
+impl Dataset {
+    /// Builds a dataset by evaluating `f` on `n` uniformly random inputs
+    /// drawn from `[lo, hi)` per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `in_dim == 0`, `lo >= hi`, or `f` returns
+    /// vectors of inconsistent length.
+    pub fn from_function<F>(f: F, n: usize, in_dim: usize, lo: f32, hi: f32, seed: u64) -> Self
+    where
+        F: Fn(&[f32]) -> Vec<f32>,
+    {
+        assert!(n > 0 && in_dim > 0, "degenerate dataset request");
+        assert!(lo < hi, "input range must be non-empty");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut inputs = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        let mut out_dim = None;
+        for _ in 0..n {
+            let x: Vec<f32> = (0..in_dim).map(|_| rng.gen_range(lo..hi)).collect();
+            let y = f(&x);
+            match out_dim {
+                None => out_dim = Some(y.len()),
+                Some(d) => assert_eq!(d, y.len(), "target dimension must be consistent"),
+            }
+            inputs.push(x);
+            targets.push(y);
+        }
+        Dataset { inputs, targets }
+    }
+
+    /// Wraps pre-computed pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides differ in length or are empty.
+    pub fn from_pairs(inputs: Vec<Vec<f32>>, targets: Vec<Vec<f32>>) -> Self {
+        assert_eq!(inputs.len(), targets.len(), "inputs/targets must pair up");
+        assert!(!inputs.is_empty(), "dataset must be non-empty");
+        Dataset { inputs, targets }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// `true` when the dataset has no examples (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.inputs[0].len()
+    }
+
+    /// Target dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.targets[0].len()
+    }
+
+    /// One example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn example(&self, i: usize) -> (&[f32], &[f32]) {
+        (&self.inputs[i], &self.targets[i])
+    }
+
+    /// Iterates over `(input, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], &[f32])> {
+        self.inputs.iter().map(Vec::as_slice).zip(self.targets.iter().map(Vec::as_slice))
+    }
+
+    /// Splits into (train, validation) with `train_frac` of examples in
+    /// the training half.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_frac < 1` leaves both halves non-empty.
+    pub fn split(&self, train_frac: f64) -> (Dataset, Dataset) {
+        let k = ((self.len() as f64) * train_frac).round() as usize;
+        assert!(k > 0 && k < self.len(), "split must leave both halves non-empty");
+        (
+            Dataset {
+                inputs: self.inputs[..k].to_vec(),
+                targets: self.targets[..k].to_vec(),
+            },
+            Dataset {
+                inputs: self.inputs[k..].to_vec(),
+                targets: self.targets[k..].to_vec(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_function_evaluates_targets() {
+        let d = Dataset::from_function(|x| vec![x[0] * 2.0], 10, 1, 0.0, 1.0, 1);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.in_dim(), 1);
+        assert_eq!(d.out_dim(), 1);
+        for (x, y) in d.iter() {
+            assert_eq!(y[0], x[0] * 2.0);
+        }
+    }
+
+    #[test]
+    fn split_partitions_examples() {
+        let d = Dataset::from_function(|x| vec![x[0]], 10, 1, 0.0, 1.0, 2);
+        let (train, val) = d.split(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(val.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Dataset::from_function(|x| vec![x[0]], 5, 2, -1.0, 1.0, 3);
+        let b = Dataset::from_function(|x| vec![x[0]], 5, 2, -1.0, 1.0, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_pairs_rejected() {
+        Dataset::from_pairs(vec![vec![1.0]], vec![]);
+    }
+}

@@ -1,0 +1,38 @@
+//! `shmt-npu` — neural processing unit model construction (paper §4.2).
+//!
+//! The paper's Edge TPU HLOPs are *NPU models*: multilayer perceptrons
+//! trained to approximate a kernel, then post-training-quantized to int8
+//! for the Edge TPU, with quantization-aware retraining when accuracy
+//! drops too far. This crate implements that workflow end to end in pure
+//! Rust:
+//!
+//! 1. [`Dataset::from_function`] — "construct the training and validation
+//!    datasets by running the target algorithm/function ... with
+//!    randomly-generated input data".
+//! 2. [`Mlp`] + [`Mlp::train`] — train the NPU-HLOP model (dense layers
+//!    with relu/sigmoid activations, SGD with backpropagation).
+//! 3. [`QuantizedMlp::post_training`] — post-training quantization of
+//!    weights and activations to int8 grids.
+//! 4. [`Mlp::train_quant_aware`] — quantization-aware retraining (weights
+//!    fake-quantized in the forward pass) for when PTQ accuracy is
+//!    "significantly lower".
+//! 5. [`workflow::build_npu_model`] — the §4.2 topology search: take "the
+//!    first found and the simplest topology" whose learning curve meets
+//!    the target, escalating to QAT if the quantized model falls short.
+//!
+//! The benchmark-scale simulation in `shmt-kernels` models the *deployed*
+//! NPU as int8-quantized exact computation for speed; this crate exists to
+//! demonstrate that the model-construction pipeline itself is faithful,
+//! and is exercised by the `npu_training` example on real scalar kernels.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dataset;
+mod mlp;
+mod quantized;
+pub mod workflow;
+
+pub use dataset::Dataset;
+pub use mlp::{Activation, Dense, Mlp, TrainConfig};
+pub use quantized::QuantizedMlp;

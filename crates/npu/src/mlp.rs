@@ -1,0 +1,343 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Dataset;
+
+/// Activation functions supported by the Edge TPU-compatible topologies
+/// (paper §4.2: "sigmoid or relu as activation functions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No activation (output layers of regressors).
+    Identity,
+}
+
+impl Activation {
+    fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, given the
+    /// post-activation value.
+    fn grad_from_output(&self, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// One dense (fully connected) layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    /// Row-major weights: `out_dim x in_dim`.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-style uniform initialization.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut SmallRng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "degenerate layer");
+        let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        Dense {
+            weights: (0..in_dim * out_dim).map(|_| rng.gen_range(-limit..limit)).collect(),
+            bias: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+            activation,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Borrows the weight matrix (row-major `out_dim x in_dim`).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Borrows the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        (0..self.out_dim)
+            .map(|o| {
+                let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let z: f32 =
+                    row.iter().zip(x).map(|(w, v)| w * v).sum::<f32>() + self.bias[o];
+                self.activation.apply(z)
+            })
+            .collect()
+    }
+}
+
+/// Training hyperparameters for [`Mlp::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the dataset.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Seed for example shuffling.
+    pub seed: u64,
+    /// Fake-quantize weights in the forward pass (quantization-aware
+    /// training, §4.2 step 4).
+    pub quant_aware: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 200, learning_rate: 0.05, seed: 7, quant_aware: false }
+    }
+}
+
+/// A multilayer perceptron — the NPU-HLOP model topology of §4.2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths; hidden layers use
+    /// `hidden` activation, the output layer is linear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize], hidden: Activation, seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act =
+                    if i + 2 == widths.len() { Activation::Identity } else { hidden };
+                Dense::new(w[0], w[1], act, &mut rng)
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut v = x.to_vec();
+        for layer in &self.layers {
+            v = layer.forward(&v);
+        }
+        v
+    }
+
+    /// Mean squared error over a dataset.
+    pub fn mse(&self, data: &Dataset) -> f64 {
+        let mut acc = 0.0f64;
+        let mut count = 0usize;
+        for (x, y) in data.iter() {
+            let out = self.forward(x);
+            for (o, t) in out.iter().zip(y) {
+                acc += ((o - t) as f64).powi(2);
+                count += 1;
+            }
+        }
+        acc / count as f64
+    }
+
+    /// Trains with per-example SGD and backpropagation; returns the final
+    /// training MSE. With `config.quant_aware`, the forward pass sees
+    /// int8-snapped weights while gradients update the latent fp32 weights
+    /// (the standard straight-through fake-quantization scheme).
+    pub fn train(&mut self, data: &Dataset, config: TrainConfig) -> f64 {
+        assert_eq!(data.in_dim(), self.layers[0].in_dim, "dataset/input mismatch");
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        for _ in 0..config.epochs {
+            // Fisher-Yates shuffle.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for &i in &order {
+                let (x, y) = data.example(i);
+                self.sgd_step(x, y, config.learning_rate, config.quant_aware);
+            }
+        }
+        self.mse(data)
+    }
+
+    fn effective_weights(layer: &Dense, quant_aware: bool) -> Vec<f32> {
+        if quant_aware {
+            let params = shmt_tensor::quant::QuantParams::from_slice(&layer.weights);
+            layer.weights.iter().map(|&w| params.snap(w)).collect()
+        } else {
+            layer.weights.clone()
+        }
+    }
+
+    fn sgd_step(&mut self, x: &[f32], y: &[f32], lr: f32, quant_aware: bool) {
+        // Forward, keeping every layer's post-activation.
+        let mut activations: Vec<Vec<f32>> = vec![x.to_vec()];
+        let mut effective: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let w = Self::effective_weights(layer, quant_aware);
+            let input = activations.last().expect("non-empty");
+            let out: Vec<f32> = (0..layer.out_dim)
+                .map(|o| {
+                    let row = &w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                    let z: f32 = row.iter().zip(input).map(|(wv, v)| wv * v).sum::<f32>()
+                        + layer.bias[o];
+                    layer.activation.apply(z)
+                })
+                .collect();
+            activations.push(out);
+            effective.push(w);
+        }
+
+        // Backward: delta = dL/dz per layer (L = 0.5 * sum (out - y)^2).
+        let mut delta: Vec<f32> = activations
+            .last()
+            .expect("output exists")
+            .iter()
+            .zip(y)
+            .map(|(o, t)| o - t)
+            .collect();
+        for (li, layer) in self.layers.iter_mut().enumerate().rev() {
+            let out = &activations[li + 1];
+            for (d, &o) in delta.iter_mut().zip(out) {
+                *d *= layer.activation.grad_from_output(o);
+            }
+            let input = &activations[li];
+            // Gradient wrt inputs (for the next iteration down) uses the
+            // effective (possibly fake-quantized) weights; updates apply
+            // to the latent weights (straight-through estimator).
+            let mut next_delta = vec![0.0f32; layer.in_dim];
+            for o in 0..layer.out_dim {
+                let row = &effective[li][o * layer.in_dim..(o + 1) * layer.in_dim];
+                for (nd, &w) in next_delta.iter_mut().zip(row) {
+                    *nd += delta[o] * w;
+                }
+            }
+            for o in 0..layer.out_dim {
+                let row = &mut layer.weights[o * layer.in_dim..(o + 1) * layer.in_dim];
+                for (w, &v) in row.iter_mut().zip(input) {
+                    *w -= lr * delta[o] * v;
+                }
+                layer.bias[o] -= lr * delta[o];
+            }
+            delta = next_delta;
+        }
+    }
+
+    /// Quantization-aware retraining (paper §4.2 step 4): same SGD but the
+    /// forward pass sees int8-snapped weights.
+    pub fn train_quant_aware(&mut self, data: &Dataset, config: TrainConfig) -> f64 {
+        self.train(data, TrainConfig { quant_aware: true, ..config })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_dataset() -> Dataset {
+        Dataset::from_function(|x| vec![2.0 * x[0] - 1.0], 64, 1, -1.0, 1.0, 1)
+    }
+
+    #[test]
+    fn mlp_learns_a_linear_function() {
+        let data = linear_dataset();
+        let mut mlp = Mlp::new(&[1, 1], Activation::Relu, 42);
+        let before = mlp.mse(&data);
+        let after = mlp.train(&data, TrainConfig { epochs: 100, ..Default::default() });
+        assert!(after < before * 0.05, "before {before}, after {after}");
+        assert!(after < 1e-3, "after {after}");
+    }
+
+    #[test]
+    fn mlp_learns_a_nonlinear_function() {
+        let data = Dataset::from_function(|x| vec![(x[0] * 2.0).tanh()], 128, 1, -1.5, 1.5, 2);
+        let mut mlp = Mlp::new(&[1, 16, 1], Activation::Relu, 3);
+        let after = mlp.train(
+            &data,
+            TrainConfig { epochs: 400, learning_rate: 0.02, ..Default::default() },
+        );
+        assert!(after < 5e-3, "mse {after}");
+    }
+
+    #[test]
+    fn forward_respects_topology() {
+        let mlp = Mlp::new(&[3, 5, 2], Activation::Sigmoid, 1);
+        assert_eq!(mlp.layers().len(), 2);
+        assert_eq!(mlp.forward(&[0.1, 0.2, 0.3]).len(), 2);
+        assert_eq!(mlp.parameter_count(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn output_layer_is_linear() {
+        let mlp = Mlp::new(&[1, 4, 1], Activation::Relu, 1);
+        assert_eq!(mlp.layers()[0].activation(), Activation::Relu);
+        assert_eq!(mlp.layers()[1].activation(), Activation::Identity);
+    }
+
+    #[test]
+    fn activations_behave() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert_eq!(Activation::Identity.apply(3.5), 3.5);
+        assert_eq!(Activation::Relu.grad_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.grad_from_output(1.0), 1.0);
+    }
+
+    #[test]
+    fn quant_aware_training_converges() {
+        let data = linear_dataset();
+        let mut mlp = Mlp::new(&[1, 8, 1], Activation::Relu, 5);
+        let mse = mlp.train_quant_aware(
+            &data,
+            TrainConfig { epochs: 150, learning_rate: 0.02, ..Default::default() },
+        );
+        assert!(mse < 0.05, "QAT mse {mse}");
+    }
+}

@@ -1,0 +1,148 @@
+use shmt_tensor::quant::QuantParams;
+
+use crate::{Activation, Dataset, Mlp};
+
+/// An int8-quantized MLP — what `edgetpu_compiler` produces from the
+/// trained TensorFlow Lite model (paper §4.2 step 3).
+///
+/// Weights are stored as int8 codes with per-layer scales; activations are
+/// re-quantized between layers using scales calibrated on a representative
+/// dataset, mirroring TFLite post-training quantization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantLayer>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct QuantLayer {
+    codes: Vec<i8>,
+    weight_params: QuantParams,
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+    /// Activation quantization for this layer's output.
+    out_params: QuantParams,
+}
+
+impl QuantizedMlp {
+    /// Post-training quantization: snap weights to int8 and calibrate
+    /// activation ranges by running the fp32 model over `calibration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration set's input dimension mismatches.
+    pub fn post_training(mlp: &Mlp, calibration: &Dataset) -> Self {
+        // Calibrate per-layer output ranges.
+        let n_layers = mlp.layers().len();
+        let mut lo = vec![f32::INFINITY; n_layers];
+        let mut hi = vec![f32::NEG_INFINITY; n_layers];
+        for (x, _) in calibration.iter() {
+            let mut v = x.to_vec();
+            for (li, layer) in mlp.layers().iter().enumerate() {
+                v = layer.forward(&v);
+                for &o in &v {
+                    lo[li] = lo[li].min(o);
+                    hi[li] = hi[li].max(o);
+                }
+            }
+        }
+        let layers = mlp
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(li, layer)| {
+                let weight_params = QuantParams::from_slice(layer.weights());
+                QuantLayer {
+                    codes: layer.weights().iter().map(|&w| weight_params.quantize(w)).collect(),
+                    weight_params,
+                    bias: layer.bias().to_vec(),
+                    in_dim: layer.in_dim(),
+                    out_dim: layer.out_dim(),
+                    activation: layer.activation(),
+                    out_params: QuantParams::from_range(lo[li], hi[li]),
+                }
+            })
+            .collect();
+        QuantizedMlp { layers }
+    }
+
+    /// Forward pass through the quantized data path: dequantized int8
+    /// weights, with each layer's activations snapped to its calibrated
+    /// int8 grid.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut v = x.to_vec();
+        for layer in &self.layers {
+            assert_eq!(v.len(), layer.in_dim, "input dimension mismatch");
+            let mut out = Vec::with_capacity(layer.out_dim);
+            for o in 0..layer.out_dim {
+                let row = &layer.codes[o * layer.in_dim..(o + 1) * layer.in_dim];
+                let z: f32 = row
+                    .iter()
+                    .zip(&v)
+                    .map(|(&c, &inp)| layer.weight_params.dequantize(c) * inp)
+                    .sum::<f32>()
+                    + layer.bias[o];
+                let a = match layer.activation {
+                    Activation::Relu => z.max(0.0),
+                    Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+                    Activation::Identity => z,
+                };
+                out.push(layer.out_params.snap(a));
+            }
+            v = out;
+        }
+        v
+    }
+
+    /// Mean squared error over a dataset through the quantized path.
+    pub fn mse(&self, data: &Dataset) -> f64 {
+        let mut acc = 0.0f64;
+        let mut count = 0usize;
+        for (x, y) in data.iter() {
+            let out = self.forward(x);
+            for (o, t) in out.iter().zip(y) {
+                acc += ((o - t) as f64).powi(2);
+                count += 1;
+            }
+        }
+        acc / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrainConfig;
+
+    fn trained_pair() -> (Mlp, Dataset, Dataset) {
+        let data = Dataset::from_function(|x| vec![x[0] * 0.5 + 0.2], 96, 1, -1.0, 1.0, 4);
+        let (train, val) = data.split(0.75);
+        let mut mlp = Mlp::new(&[1, 8, 1], Activation::Relu, 9);
+        mlp.train(&train, TrainConfig { epochs: 200, learning_rate: 0.03, ..Default::default() });
+        (mlp, train, val)
+    }
+
+    #[test]
+    fn ptq_tracks_the_float_model() {
+        let (mlp, train, val) = trained_pair();
+        let q = QuantizedMlp::post_training(&mlp, &train);
+        let fp = mlp.mse(&val);
+        let quant = q.mse(&val);
+        assert!(quant < fp + 0.01, "fp {fp} vs quant {quant}");
+    }
+
+    #[test]
+    fn quantization_is_lossy_but_bounded() {
+        let (mlp, train, _) = trained_pair();
+        let q = QuantizedMlp::post_training(&mlp, &train);
+        let x = [0.3f32];
+        let fp = mlp.forward(&x)[0];
+        let qo = q.forward(&x)[0];
+        assert!((fp - qo).abs() < 0.05, "fp {fp} vs quant {qo}");
+        // Outputs land on the calibrated int8 grid, so tiny input changes
+        // can map to the same output code.
+        let qo2 = q.forward(&[0.3001])[0];
+        assert!((qo - qo2).abs() < 0.05);
+    }
+}

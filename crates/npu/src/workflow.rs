@@ -1,0 +1,137 @@
+//! The §4.2 NPU model construction workflow.
+//!
+//! The paper's four steps: (1) build datasets from the target function,
+//! (2) train the NPU-HLOP model, (3) post-training-quantize it for the
+//! Edge TPU, (4) if the quantized model's accuracy is "significantly
+//! lower", retrain with quantization-aware training. Topologies are tried
+//! simplest-first and the search stops at "the first found and the
+//! simplest topology" whose learning curve meets the target.
+
+use crate::{Activation, Dataset, Mlp, QuantizedMlp, TrainConfig};
+
+/// The outcome of the model-construction workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NpuModel {
+    /// The trained fp32 model.
+    pub float_model: Mlp,
+    /// The deployed int8 model.
+    pub quantized: QuantizedMlp,
+    /// Hidden widths of the chosen topology (empty = linear).
+    pub topology: Vec<usize>,
+    /// Validation MSE of the fp32 model.
+    pub float_mse: f64,
+    /// Validation MSE of the deployed int8 model.
+    pub quantized_mse: f64,
+    /// Whether quantization-aware retraining was needed.
+    pub used_qat: bool,
+}
+
+/// Configuration of the search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowConfig {
+    /// Candidate hidden-layer topologies, simplest first.
+    pub topologies: Vec<Vec<usize>>,
+    /// Validation MSE at which a float model is accepted.
+    pub target_mse: f64,
+    /// Factor by which the quantized model may exceed the float model's
+    /// MSE before QAT retraining kicks in ("significantly lower" accuracy).
+    pub qat_trigger: f64,
+    /// Training hyperparameters.
+    pub train: TrainConfig,
+}
+
+impl Default for WorkflowConfig {
+    fn default() -> Self {
+        WorkflowConfig {
+            topologies: vec![vec![], vec![8], vec![16], vec![16, 16]],
+            target_mse: 1e-3,
+            qat_trigger: 4.0,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// Runs the §4.2 workflow against a scalar target function.
+///
+/// Returns the first (simplest) topology whose trained model reaches the
+/// MSE target — or, if none does, the best model found. PTQ is applied,
+/// and QAT retraining is used when PTQ degrades accuracy beyond the
+/// configured trigger.
+///
+/// # Panics
+///
+/// Panics if `config.topologies` is empty or the dataset is degenerate.
+pub fn build_npu_model(data: &Dataset, config: &WorkflowConfig) -> NpuModel {
+    assert!(!config.topologies.is_empty(), "need at least one candidate topology");
+    let (train, val) = data.split(0.8);
+
+    let mut best: Option<(Mlp, Vec<usize>, f64)> = None;
+    for hidden in &config.topologies {
+        let mut widths = vec![train.in_dim()];
+        widths.extend_from_slice(hidden);
+        widths.push(train.out_dim());
+        let mut mlp = Mlp::new(&widths, Activation::Relu, config.train.seed);
+        mlp.train(&train, config.train);
+        let val_mse = mlp.mse(&val);
+        let better = best.as_ref().is_none_or(|(_, _, b)| val_mse < *b);
+        if better {
+            best = Some((mlp, hidden.clone(), val_mse));
+        }
+        if val_mse <= config.target_mse {
+            // "The first found and the simplest topology" that trains well.
+            break;
+        }
+    }
+    let (mut float_model, topology, float_mse) = best.expect("at least one topology tried");
+
+    // Step 3: post-training quantization; step 4: QAT if it degraded.
+    let mut quantized = QuantizedMlp::post_training(&float_model, &train);
+    let mut quantized_mse = quantized.mse(&val);
+    let mut used_qat = false;
+    if quantized_mse > float_mse.max(1e-9) * config.qat_trigger {
+        float_model.train_quant_aware(&train, config.train);
+        quantized = QuantizedMlp::post_training(&float_model, &train);
+        quantized_mse = quantized.mse(&val);
+        used_qat = true;
+    }
+
+    NpuModel { float_model, quantized, topology, float_mse, quantized_mse, used_qat }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workflow_picks_simplest_sufficient_topology() {
+        // A linear target: the empty (linear) topology should suffice and
+        // be chosen first.
+        let data = Dataset::from_function(|x| vec![3.0 * x[0] + 0.5], 100, 1, -1.0, 1.0, 11);
+        let model = build_npu_model(&data, &WorkflowConfig::default());
+        assert!(model.topology.is_empty(), "chose {:?}", model.topology);
+        assert!(model.float_mse < 1e-3, "mse {}", model.float_mse);
+    }
+
+    #[test]
+    fn workflow_escalates_for_nonlinear_targets() {
+        let data =
+            Dataset::from_function(|x| vec![(3.0 * x[0]).sin()], 160, 1, -1.0, 1.0, 12);
+        let config = WorkflowConfig {
+            target_mse: 5e-3,
+            train: TrainConfig { epochs: 300, learning_rate: 0.02, ..Default::default() },
+            ..Default::default()
+        };
+        let model = build_npu_model(&data, &config);
+        assert!(!model.topology.is_empty(), "a sine needs hidden units");
+        assert!(model.float_mse < 0.05, "mse {}", model.float_mse);
+    }
+
+    #[test]
+    fn quantized_model_is_usable() {
+        let data = Dataset::from_function(|x| vec![x[0].abs()], 120, 1, -1.0, 1.0, 13);
+        let model = build_npu_model(&data, &WorkflowConfig::default());
+        assert!(model.quantized_mse < model.float_mse + 0.05);
+        let y = model.quantized.forward(&[0.5]);
+        assert!((y[0] - 0.5).abs() < 0.2, "quantized |0.5| = {}", y[0]);
+    }
+}

@@ -1,0 +1,244 @@
+use serde::{Deserialize, Serialize};
+
+use crate::time::{Duration, SimTime};
+
+/// The kinds of processing units on the modeled platform (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Quad-core ARM Cortex-A57.
+    Cpu,
+    /// 128-core Maxwell GPU.
+    Gpu,
+    /// Google Edge TPU (M.2 accelerator).
+    EdgeTpu,
+}
+
+impl DeviceKind {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceKind::Cpu => "CPU",
+            DeviceKind::Gpu => "GPU",
+            DeviceKind::EdgeTpu => "EdgeTPU",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Native arithmetic precision of a device (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE single precision — exact for our purposes.
+    F32,
+    /// 8-bit integer with affine quantization — the Edge TPU data path.
+    Int8,
+}
+
+/// The static cost/power model of one processing unit.
+///
+/// Throughput is expressed in *work units per second*, where a work unit is
+/// one element-op of a reference element-wise kernel; kernels report their
+/// work per element and the SHMT calibration tables scale per-benchmark
+/// device speed ratios on top of this.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Which processing unit this is.
+    pub kind: DeviceKind,
+    /// Native precision of the compute path.
+    pub precision: Precision,
+    /// Fixed cost to launch one HLOP (kernel launch / inference setup).
+    pub launch_overhead: Duration,
+    /// Sustained throughput in work units per second.
+    pub throughput: f64,
+    /// Additional power drawn while busy, above platform idle (watts).
+    pub active_power_w: f64,
+    /// Private device memory, if any (the Edge TPU has 8 MB).
+    pub device_memory_bytes: Option<usize>,
+}
+
+impl DeviceProfile {
+    /// The prototype's Maxwell GPU at the given sustained throughput.
+    /// Active power from the measured 4.67 W GPU-baseline peak minus the
+    /// 3.02 W platform idle (§5.5).
+    pub fn jetson_gpu(throughput: f64) -> Self {
+        DeviceProfile {
+            kind: DeviceKind::Gpu,
+            precision: Precision::F32,
+            launch_overhead: 30.0e-6,
+            throughput,
+            active_power_w: 1.65,
+            device_memory_bytes: None,
+        }
+    }
+
+    /// The prototype's Edge TPU. Active power from the measured 5.23 W
+    /// SHMT peak minus the GPU-baseline peak (§5.5); 8 MB device memory
+    /// (§4.1). Inference setup dominates the per-HLOP launch overhead;
+    /// the double-buffered runtime amortizes most but not all of it.
+    pub fn edge_tpu(throughput: f64) -> Self {
+        DeviceProfile {
+            kind: DeviceKind::EdgeTpu,
+            precision: Precision::Int8,
+            launch_overhead: 150.0e-6,
+            throughput,
+            active_power_w: 0.56,
+            device_memory_bytes: Some(8 * 1024 * 1024),
+        }
+    }
+
+    /// The prototype's ARM A57 CPU complex.
+    pub fn arm_cpu(throughput: f64) -> Self {
+        DeviceProfile {
+            kind: DeviceKind::Cpu,
+            precision: Precision::F32,
+            launch_overhead: 8.0e-6,
+            throughput,
+            active_power_w: 0.90,
+            device_memory_bytes: None,
+        }
+    }
+
+    /// Time to execute `work_units` of compute as one HLOP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_units` is negative or the profile's throughput is
+    /// non-positive.
+    pub fn exec_time(&self, work_units: f64) -> Duration {
+        assert!(work_units >= 0.0, "negative work");
+        assert!(self.throughput > 0.0, "non-positive throughput");
+        self.launch_overhead + work_units / self.throughput
+    }
+}
+
+/// Busy/idle bookkeeping for one device over a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTimeline {
+    profile: DeviceProfile,
+    free_at: SimTime,
+    busy: Duration,
+    transfer_wait: Duration,
+    completed: usize,
+}
+
+impl DeviceTimeline {
+    /// Creates an idle timeline at the epoch.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Self::starting_at(profile, SimTime::ZERO)
+    }
+
+    /// Creates an idle timeline that becomes available at `start` (e.g.
+    /// after a serial scheduling phase).
+    pub fn starting_at(profile: DeviceProfile, start: SimTime) -> Self {
+        DeviceTimeline { profile, free_at: start, busy: 0.0, transfer_wait: 0.0, completed: 0 }
+    }
+
+    /// Blocks the device until `t` (waiting on an output transfer in
+    /// synchronous mode); the stall is accounted as transfer wait.
+    pub fn stall_until(&mut self, t: SimTime) {
+        self.transfer_wait += t.since(self.free_at);
+        self.free_at = self.free_at.max(t);
+    }
+
+    /// The device's static profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Instant at which the device next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total busy time accumulated.
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// Total time the device sat idle waiting for input data that arrived
+    /// after it became free (communication overhead, Table 3).
+    pub fn transfer_wait(&self) -> Duration {
+        self.transfer_wait
+    }
+
+    /// Number of HLOPs completed.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Executes `work_units` of compute, starting no earlier than
+    /// `data_ready`. Returns the completion instant.
+    pub fn execute(&mut self, data_ready: SimTime, work_units: f64) -> SimTime {
+        let start = self.free_at.max(data_ready);
+        // If the data arrived after we went idle, we waited on the bus.
+        self.transfer_wait += data_ready.since(self.free_at);
+        let dur = self.profile.exec_time(work_units);
+        self.busy += dur;
+        self.free_at = start + dur;
+        self.completed += 1;
+        self.free_at
+    }
+
+    /// Resets the timeline to idle at the epoch, keeping the profile.
+    pub fn reset(&mut self) {
+        self.free_at = SimTime::ZERO;
+        self.busy = 0.0;
+        self.transfer_wait = 0.0;
+        self.completed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_time_includes_launch_overhead() {
+        let p = DeviceProfile::jetson_gpu(1.0e6);
+        let t = p.exec_time(1.0e6);
+        assert!((t - (1.0 + 30.0e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn execute_serializes_on_the_device() {
+        let mut d = DeviceTimeline::new(DeviceProfile::arm_cpu(1.0e6));
+        let t1 = d.execute(SimTime::ZERO, 1.0e6);
+        let t2 = d.execute(SimTime::ZERO, 1.0e6);
+        assert!(t2 > t1);
+        assert!((t2.as_secs() - 2.0).abs() < 1e-3);
+        assert_eq!(d.completed(), 2);
+    }
+
+    #[test]
+    fn waiting_for_late_data_is_recorded() {
+        let mut d = DeviceTimeline::new(DeviceProfile::arm_cpu(1.0e6));
+        d.execute(SimTime::from_secs(0.5), 1.0e6);
+        assert!((d.transfer_wait() - 0.5).abs() < 1e-9);
+        // Second HLOP's data is ready before the device is free: no wait.
+        d.execute(SimTime::from_secs(0.1), 1.0e6);
+        assert!((d.transfer_wait() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_profile() {
+        let mut d = DeviceTimeline::new(DeviceProfile::edge_tpu(2.0e6));
+        d.execute(SimTime::ZERO, 1.0e6);
+        d.reset();
+        assert_eq!(d.free_at(), SimTime::ZERO);
+        assert_eq!(d.busy_time(), 0.0);
+        assert_eq!(d.completed(), 0);
+        assert_eq!(d.profile().kind, DeviceKind::EdgeTpu);
+    }
+
+    #[test]
+    fn canonical_profiles_have_expected_precision() {
+        assert_eq!(DeviceProfile::jetson_gpu(1.0).precision, Precision::F32);
+        assert_eq!(DeviceProfile::edge_tpu(1.0).precision, Precision::Int8);
+        assert!(DeviceProfile::edge_tpu(1.0).device_memory_bytes.is_some());
+    }
+}

@@ -1,0 +1,111 @@
+use serde::{Deserialize, Serialize};
+
+/// Peak-footprint accounting at the process virtual-memory level.
+///
+/// The paper's Fig 11 compares the total memory footprint of SHMT runs
+/// against the GPU baseline: Edge TPU HLOPs hold 1-byte int8 buffers and
+/// need fewer intermediate buffers than the equivalent GPU kernels, so
+/// benchmarks that push many HLOPs to the TPU can *shrink* their footprint
+/// (§5.6). The SHMT runtime registers every buffer class it allocates here.
+///
+/// # Examples
+///
+/// ```
+/// use hetsim::MemoryTracker;
+///
+/// let mut mem = MemoryTracker::new();
+/// mem.alloc("input", 1024);
+/// mem.alloc("scratch", 512);
+/// mem.free(512);
+/// assert_eq!(mem.current_bytes(), 1024);
+/// assert_eq!(mem.peak_bytes(), 1536);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemoryTracker {
+    current: u64,
+    peak: u64,
+    by_class: Vec<(String, u64)>,
+}
+
+impl MemoryTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an allocation of `bytes` under the given class label.
+    pub fn alloc(&mut self, class: &str, bytes: u64) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+        match self.by_class.iter_mut().find(|(c, _)| c == class) {
+            Some((_, b)) => *b += bytes,
+            None => self.by_class.push((class.to_owned(), bytes)),
+        }
+    }
+
+    /// Registers a release of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bytes are freed than are currently allocated.
+    pub fn free(&mut self, bytes: u64) {
+        assert!(bytes <= self.current, "freeing {bytes} of {} allocated", self.current);
+        self.current -= bytes;
+    }
+
+    /// Bytes currently allocated.
+    pub fn current_bytes(&self) -> u64 {
+        self.current
+    }
+
+    /// High-water mark.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+
+    /// Cumulative bytes ever allocated under a class label.
+    pub fn class_bytes(&self, class: &str) -> u64 {
+        self.by_class.iter().find(|(c, _)| c == class).map_or(0, |(_, b)| *b)
+    }
+
+    /// All class labels and their cumulative allocations.
+    pub fn classes(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.by_class.iter().map(|(c, b)| (c.as_str(), *b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MemoryTracker::new();
+        m.alloc("a", 100);
+        m.alloc("b", 50);
+        m.free(120);
+        m.alloc("c", 10);
+        assert_eq!(m.peak_bytes(), 150);
+        assert_eq!(m.current_bytes(), 40);
+    }
+
+    #[test]
+    fn classes_accumulate() {
+        let mut m = MemoryTracker::new();
+        m.alloc("input", 10);
+        m.alloc("input", 5);
+        m.alloc("output", 7);
+        assert_eq!(m.class_bytes("input"), 15);
+        assert_eq!(m.class_bytes("output"), 7);
+        assert_eq!(m.class_bytes("missing"), 0);
+        assert_eq!(m.classes().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut m = MemoryTracker::new();
+        m.alloc("a", 10);
+        m.free(11);
+    }
+}

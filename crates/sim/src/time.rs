@@ -1,0 +1,116 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A duration of virtual time, in seconds.
+pub type Duration = f64;
+
+/// An instant on the virtual clock, in seconds since simulation start.
+///
+/// `SimTime` is a thin newtype over `f64` that keeps instants and durations
+/// from being mixed up and provides a total order (times are never NaN by
+/// construction — all arithmetic goes through checked constructors).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates an instant at `secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid simulation time {secs}");
+        SimTime(secs)
+    }
+
+    /// Seconds since the epoch.
+    pub fn as_secs(&self) -> f64 {
+        self.0
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Duration from `earlier` to `self`; zero if `earlier` is later.
+    pub fn since(&self, earlier: SimTime) -> Duration {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        debug_assert!(rhs.is_finite() && rhs >= 0.0, "invalid duration {rhs}");
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.0 - rhs.0
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("sim times are never NaN")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::from_secs(1.5) + 0.5;
+        assert_eq!(t.as_secs(), 2.0);
+        assert_eq!(t - SimTime::from_secs(0.5), 1.5);
+        assert_eq!(t.since(SimTime::from_secs(3.0)), 0.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation time")]
+    fn negative_time_rejected() {
+        SimTime::from_secs(-1.0);
+    }
+}

@@ -1,0 +1,123 @@
+use crate::{Result, Tensor, TensorError};
+
+/// A rectangle within a 2-D tensor, addressed by its top-left corner.
+///
+/// Mirrors the `(dst, dpitch, src, spitch, width, height)` addressing of
+/// CUDA's `cudaMemcpy2D`, which the SHMT runtime's data-distribution
+/// machinery is modeled on (paper §3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// First row of the rectangle.
+    pub row0: usize,
+    /// First column of the rectangle.
+    pub col0: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Rect {
+    /// Creates a rectangle from its top-left corner and extent.
+    pub fn new(row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
+        Rect { row0, col0, rows, cols }
+    }
+
+    /// A rectangle covering an entire `rows x cols` tensor.
+    pub fn full(rows: usize, cols: usize) -> Self {
+        Rect { row0: 0, col0: 0, rows, cols }
+    }
+
+    /// Total number of elements covered.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the rectangle covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of bytes covered assuming `f32` elements.
+    pub fn byte_len(&self) -> usize {
+        self.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Copies a rectangle from `src` into a same-sized rectangle of `dst`.
+///
+/// This is the reproduction's equivalent of the `cudaMemcpy2D`-style memory
+/// operations the SHMT runtime issues when distributing an HLOP's input
+/// partition to a device and gathering its output (paper §3.3.2): the caller
+/// supplies the starting address (top-left corner) of the source and the
+/// effective addresses are computed from the row pitch.
+///
+/// # Errors
+///
+/// * [`TensorError::RectMismatch`] if the two rectangles differ in size.
+/// * [`TensorError::OutOfBounds`] if either rectangle exceeds its tensor.
+///
+/// # Examples
+///
+/// ```
+/// use shmt_tensor::{copy2d, Rect, Tensor};
+///
+/// # fn main() -> Result<(), shmt_tensor::TensorError> {
+/// let src = Tensor::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+/// let mut dst = Tensor::zeros(2, 2);
+/// copy2d(&src, Rect::new(1, 1, 2, 2), &mut dst, Rect::full(2, 2))?;
+/// assert_eq!(dst.as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn copy2d(src: &Tensor, src_rect: Rect, dst: &mut Tensor, dst_rect: Rect) -> Result<()> {
+    if (src_rect.rows, src_rect.cols) != (dst_rect.rows, dst_rect.cols) {
+        return Err(TensorError::RectMismatch {
+            src: (src_rect.rows, src_rect.cols),
+            dst: (dst_rect.rows, dst_rect.cols),
+        });
+    }
+    let src_view = src.try_view(src_rect.row0, src_rect.col0, src_rect.rows, src_rect.cols)?;
+    let mut dst_view =
+        dst.try_view_mut(dst_rect.row0, dst_rect.col0, dst_rect.rows, dst_rect.cols)?;
+    dst_view.copy_from(&src_view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_interior_rectangle() {
+        let src = Tensor::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let mut dst = Tensor::zeros(3, 3);
+        copy2d(&src, Rect::new(0, 0, 2, 2), &mut dst, Rect::new(1, 1, 2, 2)).unwrap();
+        assert_eq!(dst[(1, 1)], 0.0);
+        assert_eq!(dst[(1, 2)], 1.0);
+        assert_eq!(dst[(2, 1)], 3.0);
+        assert_eq!(dst[(2, 2)], 4.0);
+        assert_eq!(dst[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_rectangles() {
+        let src = Tensor::zeros(2, 2);
+        let mut dst = Tensor::zeros(2, 2);
+        let err = copy2d(&src, Rect::full(2, 2), &mut dst, Rect::new(0, 0, 1, 2)).unwrap_err();
+        assert!(matches!(err, TensorError::RectMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_source() {
+        let src = Tensor::zeros(2, 2);
+        let mut dst = Tensor::zeros(4, 4);
+        let err = copy2d(&src, Rect::new(1, 1, 2, 2), &mut dst, Rect::new(0, 0, 2, 2)).unwrap_err();
+        assert!(matches!(err, TensorError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn rect_byte_len_counts_f32() {
+        assert_eq!(Rect::new(0, 0, 2, 3).byte_len(), 24);
+        assert!(!Rect::full(1, 1).is_empty());
+    }
+}

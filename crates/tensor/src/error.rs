@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Errors raised by tensor construction, views, and copies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A requested shape has a zero dimension or would overflow `usize`.
+    InvalidShape {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+    },
+    /// The provided backing buffer does not match the requested shape.
+    ShapeMismatch {
+        /// Expected element count (`rows * cols`).
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// A view or copy rectangle extends past the bounds of its tensor.
+    OutOfBounds {
+        /// First out-of-range row touched by the request.
+        row: usize,
+        /// First out-of-range column touched by the request.
+        col: usize,
+        /// Bounding shape that was exceeded, as (rows, cols).
+        bounds: (usize, usize),
+    },
+    /// Source and destination rectangles of a copy differ in size.
+    RectMismatch {
+        /// Source rectangle size as (rows, cols).
+        src: (usize, usize),
+        /// Destination rectangle size as (rows, cols).
+        dst: (usize, usize),
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TensorError::InvalidShape { rows, cols } => {
+                write!(f, "invalid tensor shape {rows}x{cols}")
+            }
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "buffer of {actual} elements does not fit shape needing {expected}")
+            }
+            TensorError::OutOfBounds { row, col, bounds } => write!(
+                f,
+                "access at ({row}, {col}) is outside tensor of {}x{}",
+                bounds.0, bounds.1
+            ),
+            TensorError::RectMismatch { src, dst } => write!(
+                f,
+                "source rectangle {}x{} does not match destination {}x{}",
+                src.0, src.1, dst.0, dst.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,268 @@
+//! Affine int8 quantization modeling the Edge TPU data path.
+//!
+//! The early Edge TPU supports only INT8 arithmetic (paper §2.1). When the
+//! SHMT runtime schedules an HLOP onto the Edge TPU it "perform\[s\] data type
+//! casting through the desired quantization method before distributing the
+//! input data" and restores the application precision on completion
+//! (§3.3.2). [`QuantParams`] captures the affine mapping used for that
+//! round-trip, and [`quantize_tensor`]/[`dequantize_tensor`] apply it.
+//!
+//! The quality loss SHMT's QAWS policy manages comes precisely from this
+//! round-trip: partitions with wide value ranges lose more absolute
+//! precision per int8 step, which is why criticality is defined over the
+//! sampled range and standard deviation (§3.5).
+
+use crate::Tensor;
+
+/// Affine quantization parameters mapping `f32` values onto `i8` codes.
+///
+/// A real value `x` maps to `round(x / scale) + zero_point`, clamped to
+/// `[-128, 127]`.
+///
+/// # Examples
+///
+/// ```
+/// use shmt_tensor::quant::QuantParams;
+///
+/// let qp = QuantParams::from_range(-1.0, 1.0);
+/// let code = qp.quantize(0.5);
+/// let back = qp.dequantize(code);
+/// assert!((back - 0.5).abs() <= qp.scale());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    scale: f32,
+    lo: f32,
+}
+
+impl QuantParams {
+    /// Derives parameters covering the closed interval `[lo, hi]`.
+    ///
+    /// Degenerate inputs are widened to a tiny symmetric interval so the
+    /// mapping is always invertible: if `lo > hi` they are swapped, and if
+    /// the interval has zero width it is inflated around its midpoint.
+    pub fn from_range(lo: f32, hi: f32) -> Self {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let (lo, hi) = if (hi - lo).abs() < f32::EPSILON {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
+        // `lo` maps to code -128 and `hi` to 127. Anchoring the mapping at
+        // `lo` (rather than at a zero point) keeps it exact for ranges far
+        // from zero, where an integer zero point would overflow or lose
+        // float precision.
+        let scale = (hi - lo) / 255.0;
+        QuantParams { scale, lo }
+    }
+
+    /// Derives parameters from the observed range of a tensor.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        let (lo, hi) = t.min_max();
+        Self::from_range(lo, hi)
+    }
+
+    /// Derives parameters from the observed range of a slice.
+    ///
+    /// NaN elements are ignored; an empty or all-NaN slice yields the unit
+    /// interval `[0, 1]`.
+    pub fn from_slice(values: &[f32]) -> Self {
+        let mut it = values.iter().copied().filter(|v| !v.is_nan());
+        match it.next() {
+            None => Self::from_range(0.0, 1.0),
+            Some(first) => {
+                let (lo, hi) = it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v)));
+                Self::from_range(lo, hi)
+            }
+        }
+    }
+
+    /// The real-value width of one int8 step.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The code that represents real zero. For ranges that do not include
+    /// zero this lies outside the `i8` code space.
+    pub fn zero_point(&self) -> i32 {
+        (-self.lo / self.scale).round() as i32 - 128
+    }
+
+    /// Quantizes a single value.
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = ((x - self.lo) / self.scale).round().clamp(0.0, 255.0);
+        (q - 128.0) as i8
+    }
+
+    /// Dequantizes a single code.
+    pub fn dequantize(&self, code: i8) -> f32 {
+        self.lo + (f32::from(code) + 128.0) * self.scale
+    }
+
+    /// Rounds a value to the nearest representable point of this grid
+    /// (quantize + dequantize in one step).
+    pub fn snap(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+}
+
+/// An owned 2-D array of int8 codes plus the parameters that produced it —
+/// what an Edge TPU HLOP receives as its input buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTensor {
+    rows: usize,
+    cols: usize,
+    codes: Vec<i8>,
+    params: QuantParams,
+}
+
+impl QuantTensor {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantization parameters in effect.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Borrows the raw codes in row-major order.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// Byte size of the device buffer (1 byte per element).
+    pub fn byte_len(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+/// Quantizes a whole tensor with parameters derived from its own range.
+///
+/// # Examples
+///
+/// ```
+/// use shmt_tensor::{quant, Tensor};
+///
+/// let t = Tensor::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
+/// let q = quant::quantize_tensor(&t);
+/// let back = quant::dequantize_tensor(&q);
+/// for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+///     assert!((a - b).abs() <= q.params().scale());
+/// }
+/// ```
+pub fn quantize_tensor(t: &Tensor) -> QuantTensor {
+    quantize_tensor_with(t, QuantParams::from_tensor(t))
+}
+
+/// Quantizes a whole tensor with caller-chosen parameters.
+pub fn quantize_tensor_with(t: &Tensor, params: QuantParams) -> QuantTensor {
+    QuantTensor {
+        rows: t.rows(),
+        cols: t.cols(),
+        codes: t.as_slice().iter().map(|&v| params.quantize(v)).collect(),
+        params,
+    }
+}
+
+/// Restores a quantized tensor to `f32` ("restoring the result to the data
+/// precision that the application desires", §3.3.2).
+pub fn dequantize_tensor(q: &QuantTensor) -> Tensor {
+    let data: Vec<f32> = q.codes.iter().map(|&c| q.params.dequantize(c)).collect();
+    Tensor::from_vec(q.rows, q.cols, data).expect("quantized tensor has valid shape")
+}
+
+/// Snaps every element of a slice to the int8 grid derived from the slice's
+/// own range — the one-line model of "send through the TPU input path".
+pub fn snap_slice(values: &mut [f32]) {
+    let params = QuantParams::from_slice(values);
+    for v in values.iter_mut() {
+        *v = params.snap(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_is_bounded_by_scale() {
+        let qp = QuantParams::from_range(-10.0, 30.0);
+        for i in 0..=100 {
+            let x = -10.0 + 40.0 * (i as f32) / 100.0;
+            let err = (qp.snap(x) - x).abs();
+            assert!(err <= qp.scale() * 0.5 + 1e-5, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn endpoints_map_to_extreme_codes() {
+        let qp = QuantParams::from_range(0.0, 255.0);
+        assert_eq!(qp.quantize(0.0), -128);
+        assert_eq!(qp.quantize(255.0), 127);
+    }
+
+    #[test]
+    fn narrow_range_far_from_zero_round_trips() {
+        // Regression: an integer zero point would overflow for this range.
+        let qp = QuantParams::from_range(100.2, 100.7);
+        let x = 100.45f32;
+        assert!((qp.snap(x) - x).abs() <= qp.scale(), "snap={}", qp.snap(x));
+        assert!(qp.zero_point() < -30_000);
+    }
+
+    #[test]
+    fn degenerate_range_is_widened() {
+        let qp = QuantParams::from_range(5.0, 5.0);
+        assert!(qp.scale() > 0.0);
+        assert!((qp.snap(5.0) - 5.0).abs() <= qp.scale());
+    }
+
+    #[test]
+    fn swapped_range_is_normalized() {
+        let a = QuantParams::from_range(1.0, -1.0);
+        let b = QuantParams::from_range(-1.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_range_means_coarser_grid() {
+        let narrow = QuantParams::from_range(0.0, 1.0);
+        let wide = QuantParams::from_range(0.0, 1000.0);
+        assert!(wide.scale() > narrow.scale() * 500.0);
+    }
+
+    #[test]
+    fn tensor_round_trip_preserves_shape() {
+        let t = Tensor::from_fn(3, 5, |r, c| (r as f32) - (c as f32) * 0.25);
+        let q = quantize_tensor(&t);
+        assert_eq!(q.byte_len(), 15);
+        let back = dequantize_tensor(&q);
+        assert_eq!(back.shape(), t.shape());
+    }
+
+    #[test]
+    fn from_slice_ignores_nan_and_handles_empty() {
+        let qp = QuantParams::from_slice(&[f32::NAN, 1.0, 3.0]);
+        assert!((qp.snap(2.0) - 2.0).abs() <= qp.scale());
+        let empty = QuantParams::from_slice(&[]);
+        assert!(empty.scale() > 0.0);
+    }
+
+    #[test]
+    fn snap_slice_is_idempotent() {
+        let mut v = vec![0.1, 0.5, 0.9, -0.3];
+        snap_slice(&mut v);
+        let first = v.clone();
+        snap_slice(&mut v);
+        for (a, b) in first.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Portfolio option pricing with quality control: price a large synthetic
+//! book of European calls under every SHMT scheduling policy and report
+//! both the latency and the *dollar* impact of the Edge TPU's reduced
+//! precision — the tradeoff QAWS manages.
+//!
+//! ```text
+//! cargo run --release --example financial_risk
+//! ```
+
+use shmt::baseline::{exact_reference, gpu_baseline};
+use shmt::sampling::SamplingMethod;
+use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
+use shmt_kernels::Benchmark;
+use shmt_tensor::Tensor;
+
+/// Worst-case absolute pricing error across the book, in dollars per
+/// contract.
+fn max_abs_error(reference: &Tensor, priced: &Tensor) -> f64 {
+    reference
+        .as_slice()
+        .iter()
+        .zip(priced.as_slice())
+        .map(|(a, b)| (a - b).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+fn main() -> Result<(), shmt::ShmtError> {
+    let benchmark = Benchmark::Blackscholes;
+    let size = 2048; // ~4.2M contracts
+    println!("Pricing {} European calls\n", size * size);
+
+    let vop = Vop::from_benchmark(benchmark, benchmark.generate_inputs(size, size, 99))?;
+    let platform = Platform::jetson(benchmark);
+    let reference = exact_reference(&vop);
+    let baseline = gpu_baseline(&platform, &vop, 64)?;
+    let book_value: f64 =
+        reference.as_slice().iter().map(|&v| v as f64).sum();
+    println!(
+        "GPU baseline: {:.2} ms, book value ${:.0}\n",
+        baseline.makespan_s * 1e3,
+        book_value
+    );
+
+    let policies = [
+        Policy::WorkStealing,
+        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding },
+        Policy::Qaws {
+            assignment: QawsAssignment::DeviceLimits,
+            sampling: SamplingMethod::Reduction,
+        },
+        Policy::Oracle,
+    ];
+    println!(
+        "{:<18}{:>10}{:>10}{:>16}{:>18}",
+        "policy", "ms", "speedup", "MAPE %", "max err $/contract"
+    );
+    for policy in policies {
+        let runtime = ShmtRuntime::new(platform.clone(), RuntimeConfig::new(policy));
+        let report = runtime.execute(&vop)?;
+        println!(
+            "{:<18}{:>10.2}{:>10.2}{:>16.3}{:>18.4}",
+            policy.name(),
+            report.makespan_s * 1e3,
+            baseline.makespan_s / report.makespan_s,
+            shmt::quality::mape(&reference, &report.output) * 100.0,
+            max_abs_error(&reference, &report.output),
+        );
+    }
+    println!(
+        "\nQuality-aware policies keep the widest-distribution tranches on\n\
+         exact hardware, bounding the worst-case mispricing while retaining\n\
+         most of the heterogeneous speedup."
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! The paper's §4.2 NPU model-construction workflow, end to end: build a
+//! dataset from a target kernel, search topologies simplest-first, train,
+//! post-training-quantize for the Edge TPU, and fall back to
+//! quantization-aware training when PTQ degrades accuracy.
+//!
+//! ```text
+//! cargo run --release --example npu_training
+//! ```
+
+use shmt_npu::workflow::{build_npu_model, WorkflowConfig};
+use shmt_npu::{Dataset, TrainConfig};
+
+/// Black-Scholes call price as the scalar target function (normalized
+/// spot in [0.5, 1.5]) — the very kernel the paper's Blackscholes NPU
+/// model approximates, taken from the benchmark suite.
+fn blackscholes(x: &[f32]) -> Vec<f32> {
+    vec![shmt_kernels::blackscholes::Blackscholes::default().price(x[0])]
+}
+
+fn main() {
+    println!("NPU model construction (paper section 4.2)\n");
+    for (name, f, range) in [
+        ("tanh gate", (|x: &[f32]| vec![(2.0 * x[0]).tanh()]) as fn(&[f32]) -> Vec<f32>, (-1.5f32, 1.5f32)),
+        ("blackscholes", blackscholes as fn(&[f32]) -> Vec<f32>, (0.5, 1.5)),
+    ] {
+        // Step 1: datasets from the target function on random inputs.
+        let data = Dataset::from_function(f, 400, 1, range.0, range.1, 2024);
+        // Steps 2-4: topology search, training, PTQ, QAT fallback.
+        let config = WorkflowConfig {
+            topologies: vec![vec![], vec![8], vec![16], vec![16, 16]],
+            target_mse: 2e-4,
+            qat_trigger: 3.0,
+            train: TrainConfig { epochs: 300, learning_rate: 0.02, ..Default::default() },
+        };
+        let model = build_npu_model(&data, &config);
+        println!("target `{name}`:");
+        println!("  chosen topology : 1 -> {:?} -> 1", model.topology);
+        println!("  parameters      : {}", model.float_model.parameter_count());
+        println!("  fp32 val MSE    : {:.3e}", model.float_mse);
+        println!("  int8 val MSE    : {:.3e}", model.quantized_mse);
+        println!("  QAT retraining  : {}", if model.used_qat { "yes" } else { "no" });
+        let probe = 0.5 * (range.0 + range.1);
+        println!(
+            "  f({probe:.2}) = {:.4} exact vs {:.4} on the int8 path\n",
+            f(&[probe])[0],
+            model.quantized.forward(&[probe])[0]
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: run one kernel simultaneously across CPU + GPU + Edge TPU.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a Sobel VOP over a synthetic image, executes it under the
+//! quality-aware work-stealing policy on the modeled Jetson-class
+//! platform, and reports the speedup over the GPU baseline together with
+//! the result quality.
+
+use shmt::baseline::{exact_reference, gpu_baseline};
+use shmt::quality::{mape, ssim};
+use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
+use shmt::sampling::SamplingMethod;
+use shmt_kernels::Benchmark;
+
+fn main() -> Result<(), shmt::ShmtError> {
+    let benchmark = Benchmark::Sobel;
+    let size = 2048;
+    println!("SHMT quickstart: {benchmark} on a {size}x{size} image\n");
+
+    // A VOP describes the computation without fixing data sizes or target
+    // hardware (paper §3.2.1).
+    let inputs = benchmark.generate_inputs(size, size, 42);
+    let vop = Vop::from_benchmark(benchmark, inputs)?;
+
+    // The modeled platform: Maxwell-class GPU, quad-A57 CPU, int8 Edge
+    // TPU behind the PCIe bus, calibrated per benchmark.
+    let platform = Platform::jetson(benchmark);
+    let reference = exact_reference(&vop);
+    let baseline = gpu_baseline(&platform, &vop, 64)?;
+
+    // QAWS-TS: top-K criticality assignment with striding sampling — the
+    // paper's best-performing quality-aware policy.
+    let policy = Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    };
+    let runtime = ShmtRuntime::new(platform, RuntimeConfig::new(policy));
+    let report = runtime.execute(&vop)?;
+
+    println!("GPU baseline latency : {:8.2} ms", baseline.makespan_s * 1e3);
+    for row in report.gantt(60) {
+        println!("  {row}");
+    }
+    println!();
+    println!("SHMT latency         : {:8.2} ms", report.makespan_s * 1e3);
+    println!("speedup              : {:8.2}x", baseline.makespan_s / report.makespan_s);
+    println!();
+    for d in &report.devices {
+        println!(
+            "  {:<8} {:3} HLOPs, busy {:7.2} ms",
+            d.kind.to_string(),
+            d.hlops,
+            d.busy_s * 1e3
+        );
+    }
+    println!(
+        "\nquality: MAPE {:.2}%  SSIM {:.4}  ({}% of elements on the Edge TPU)",
+        mape(&reference, &report.output) * 100.0,
+        ssim(&reference, &report.output),
+        (report.tpu_fraction * 100.0).round()
+    );
+    println!(
+        "energy : {:.2} J vs baseline {:.2} J ({:.0}% saved)",
+        report.energy.total_j(),
+        baseline.energy.total_j(),
+        (1.0 - report.energy.total_j() / baseline.energy.total_j()) * 100.0
+    );
+    Ok(())
+}

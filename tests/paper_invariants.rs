@@ -1,0 +1,209 @@
+//! Shape invariants from the paper's evaluation (§5), asserted at test
+//! scale on a compute-bound virtual platform: orderings and directions the
+//! reproduction must preserve, independent of absolute magnitudes.
+
+use shmt::baseline::{exact_reference, gpu_baseline};
+use shmt::calibration::{bench_profile, Calibration};
+use shmt::quality::mape;
+use shmt::sampling::SamplingMethod;
+use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
+use shmt_kernels::Benchmark;
+
+const N: usize = 256;
+const PARTS: usize = 16;
+
+fn slow_platform(b: Benchmark) -> Platform {
+    Platform::with_profiles(
+        Calibration { gpu_throughput: 8.0e6, ..Default::default() },
+        bench_profile(b),
+    )
+}
+
+struct Ctx {
+    vop: Vop,
+    reference: shmt_tensor::Tensor,
+    baseline_s: f64,
+    baseline_j: f64,
+    platform: Platform,
+}
+
+fn ctx(b: Benchmark) -> Ctx {
+    let vop = Vop::from_benchmark(b, b.generate_inputs(N, N, 0xFE)).unwrap();
+    let platform = slow_platform(b);
+    let reference = exact_reference(&vop);
+    let base = gpu_baseline(&platform, &vop, PARTS).unwrap();
+    Ctx { vop, reference, baseline_s: base.makespan_s, baseline_j: base.energy.total_j(), platform }
+}
+
+fn run(c: &Ctx, policy: Policy) -> shmt::RunReport {
+    let mut cfg = RuntimeConfig::new(policy);
+    cfg.partitions = PARTS;
+    cfg.quality.sampling_rate = 0.01;
+    ShmtRuntime::new(c.platform.clone(), cfg).execute(&c.vop).unwrap()
+}
+
+fn qaws(s: SamplingMethod) -> Policy {
+    Policy::Qaws { assignment: QawsAssignment::TopK, sampling: s }
+}
+
+/// §5.2: work stealing speeds up every benchmark whose devices have spare
+/// throughput; even distribution is bounded by the slower device.
+#[test]
+fn fig6_work_stealing_beats_even_distribution() {
+    for b in [Benchmark::MeanFilter, Benchmark::Dwt, Benchmark::Laplacian, Benchmark::Hotspot] {
+        let c = ctx(b);
+        let ws = run(&c, Policy::WorkStealing);
+        let even = run(&c, Policy::EvenDistribution);
+        assert!(
+            ws.makespan_s < even.makespan_s,
+            "{b}: WS {} vs even {}",
+            ws.makespan_s,
+            even.makespan_s
+        );
+        assert!(c.baseline_s / ws.makespan_s > 1.2, "{b}: WS must actually speed up");
+    }
+}
+
+/// §5.2: the full IRA technique's canary executions make it slower than
+/// the GPU baseline.
+#[test]
+fn fig6_ira_is_slower_than_baseline() {
+    for b in [Benchmark::Fft, Benchmark::Sobel] {
+        let c = ctx(b);
+        let ira = run(&c, Policy::IraSampling);
+        assert!(
+            c.baseline_s / ira.makespan_s < 1.0,
+            "{b}: IRA speedup {}",
+            c.baseline_s / ira.makespan_s
+        );
+    }
+}
+
+/// §5.2: QAWS pays a bounded performance cost relative to unrestricted
+/// work stealing.
+#[test]
+fn fig6_qaws_close_to_but_not_above_work_stealing() {
+    for b in [Benchmark::Fft, Benchmark::Dct8x8, Benchmark::MeanFilter] {
+        let c = ctx(b);
+        let ws = run(&c, Policy::WorkStealing);
+        let ts = run(&c, qaws(SamplingMethod::Striding));
+        let ratio = ts.makespan_s / ws.makespan_s;
+        // Scheduling noise allows small inversions; QAWS must never be
+        // meaningfully faster (it only adds restrictions) nor much slower.
+        assert!(ratio >= 0.95, "{b}: QAWS should not meaningfully beat WS ({ratio})");
+        assert!(ratio < 1.5, "{b}: QAWS cost should be bounded ({ratio})");
+    }
+}
+
+/// §5.3: quality ordering — TPU-only is the worst, plain work stealing
+/// sits in the middle, quality-aware policies approach the oracle.
+#[test]
+fn fig7_quality_ordering() {
+    for b in [Benchmark::Sobel, Benchmark::Blackscholes] {
+        let c = ctx(b);
+        let mut tpu_cfg = RuntimeConfig::new(Policy::WorkStealing).tpu_only();
+        tpu_cfg.partitions = PARTS;
+        let tpu = ShmtRuntime::new(c.platform.clone(), tpu_cfg).execute(&c.vop).unwrap();
+        let ws = run(&c, Policy::WorkStealing);
+        let ts = run(&c, qaws(SamplingMethod::Reduction));
+        let oracle = run(&c, Policy::Oracle);
+
+        let e = |r: &shmt::RunReport| mape(&c.reference, &r.output);
+        let (e_tpu, e_ws, e_ts, e_oracle) = (e(&tpu), e(&ws), e(&ts), e(&oracle));
+        assert!(e_tpu > e_ws, "{b}: TPU-only {e_tpu} must be worst (WS {e_ws})");
+        assert!(e_ts <= e_ws * 1.05, "{b}: QAWS {e_ts} must not lose to WS {e_ws}");
+        assert!(e_oracle <= e_ts * 1.2, "{b}: oracle {e_oracle} near-best vs QAWS {e_ts}");
+    }
+}
+
+/// §5.4 (Fig 9): raising the sampling rate must not worsen quality, and
+/// speedup stays roughly flat.
+#[test]
+fn fig9_more_samples_do_not_hurt() {
+    let b = Benchmark::Sobel;
+    let c = ctx(b);
+    let rates = [2.0f64.powi(-12), 2.0f64.powi(-8), 2.0f64.powi(-5)];
+    let mut errors = Vec::new();
+    let mut times = Vec::new();
+    for rate in rates {
+        let mut cfg = RuntimeConfig::new(qaws(SamplingMethod::Striding));
+        cfg.partitions = PARTS;
+        cfg.quality.sampling_rate = rate;
+        let r = ShmtRuntime::new(c.platform.clone(), cfg).execute(&c.vop).unwrap();
+        errors.push(mape(&c.reference, &r.output));
+        times.push(r.makespan_s);
+    }
+    assert!(
+        errors[2] <= errors[0] * 1.1,
+        "denser sampling should not hurt quality: {errors:?}"
+    );
+    assert!(times[2] < times[0] * 1.3, "sampling cost stays modest: {times:?}");
+}
+
+/// §5.5 (Fig 10): SHMT reduces energy and EDP against the GPU baseline.
+#[test]
+fn fig10_energy_and_edp_reduction() {
+    for b in [Benchmark::Fft, Benchmark::Dct8x8, Benchmark::Srad] {
+        let c = ctx(b);
+        let r = run(&c, qaws(SamplingMethod::Striding));
+        assert!(
+            r.energy.total_j() < c.baseline_j,
+            "{b}: energy {} vs baseline {}",
+            r.energy.total_j(),
+            c.baseline_j
+        );
+        let edp_ratio = r.edp() / (c.baseline_j * c.baseline_s);
+        assert!(edp_ratio < 0.8, "{b}: EDP ratio {edp_ratio}");
+    }
+}
+
+/// §5.6 (Table 3): communication overhead stays small under pipelining.
+#[test]
+fn table3_comm_overhead_small() {
+    for b in [Benchmark::Fft, Benchmark::Histogram, Benchmark::Srad] {
+        let c = ctx(b);
+        let r = run(&c, qaws(SamplingMethod::Striding));
+        assert!(r.comm_overhead() < 0.08, "{b}: comm overhead {}", r.comm_overhead());
+    }
+}
+
+/// §5.6 (Fig 11): footprint ratios straddle 1 — small overhead for most
+/// benchmarks, reductions where the TPU replaces large GPU intermediates.
+/// (Measured at 1024x1024: the resident Edge TPU model is a fixed few MB,
+/// so tiny datasets would overstate the ratio.)
+#[test]
+fn fig11_memory_ratios() {
+    let base = |b: Benchmark| {
+        let vop = Vop::from_benchmark(b, b.generate_inputs(1024, 1024, 5)).unwrap();
+        let platform = slow_platform(b);
+        let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
+        cfg.partitions = PARTS;
+        let r = ShmtRuntime::new(platform.clone(), cfg).execute(&vop).unwrap();
+        let bl = gpu_baseline(&platform, &vop, PARTS).unwrap();
+        r.peak_memory_bytes as f64 / bl.peak_memory_bytes as f64
+    };
+    let sobel = base(Benchmark::Sobel); // big GPU intermediates
+    let bs = base(Benchmark::Blackscholes); // none
+    assert!(sobel < 1.0, "Sobel ratio {sobel}");
+    assert!(sobel < bs, "Sobel {sobel} must save more than Blackscholes {bs}");
+    assert!(bs > 0.95 && bs < 2.2, "Blackscholes ratio {bs}");
+}
+
+/// §5.7 (Fig 12): speedup grows with problem size on the *real* overhead
+/// calibration (launch overheads dominate small problems).
+#[test]
+fn fig12_speedup_grows_with_problem_size() {
+    let b = Benchmark::Fft;
+    let speedup_at = |n: usize| {
+        let vop = Vop::from_benchmark(b, b.generate_inputs(n, n, 1)).unwrap();
+        let platform = Platform::jetson(b);
+        let base = gpu_baseline(&platform, &vop, PARTS).unwrap();
+        let mut cfg = RuntimeConfig::new(qaws(SamplingMethod::Striding));
+        cfg.partitions = PARTS;
+        let r = ShmtRuntime::new(platform, cfg).execute(&vop).unwrap();
+        base.makespan_s / r.makespan_s
+    };
+    let small = speedup_at(64);
+    let large = speedup_at(512);
+    assert!(large > small, "speedup must grow with size: {small} -> {large}");
+}
