@@ -1,64 +1,50 @@
-//! Criterion micro-benches: the real compute cost of each benchmark
-//! kernel's exact and NPU paths (the hot loops the runtime executes).
+//! Micro-benches: the real compute cost of each benchmark kernel's exact
+//! and NPU paths (the hot loops the runtime executes).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use shmt_bench::harness::Group;
 use shmt_kernels::{Benchmark, ALL_BENCHMARKS};
 use shmt_tensor::tile::Tile;
 use shmt_tensor::Tensor;
 
-fn bench_kernels(c: &mut Criterion) {
+fn bench_kernels() {
     let n = 256;
     let tile = Tile { index: 0, row0: 0, col0: 0, rows: n, cols: n };
-    let mut group = c.benchmark_group("kernel");
+    let group = Group::new("kernel");
     for b in ALL_BENCHMARKS {
         let kernel = b.kernel();
         let inputs = b.generate_inputs(n, n, 1);
         let refs: Vec<&Tensor> = inputs.iter().collect();
         let shape = kernel.shape();
-        group.bench_function(format!("{b}/exact"), |bench| {
-            bench.iter(|| {
-                let mut out = shape.allocate_output(n, n);
-                kernel.run_exact(std::hint::black_box(&refs), tile, &mut out);
-                out
-            })
+        group.bench(&format!("{b}/exact"), || {
+            let mut out = shape.allocate_output(n, n);
+            kernel.run_exact(std::hint::black_box(&refs), tile, &mut out);
+            out
         });
-        group.bench_function(format!("{b}/npu"), |bench| {
-            bench.iter(|| {
-                let mut out = shape.allocate_output(n, n);
-                kernel.run_npu(std::hint::black_box(&refs), tile, &mut out);
-                out
-            })
+        group.bench(&format!("{b}/npu"), || {
+            let mut out = shape.allocate_output(n, n);
+            kernel.run_npu(std::hint::black_box(&refs), tile, &mut out);
+            out
         });
     }
-    group.finish();
 }
 
-fn bench_one(b: Benchmark, c: &mut Criterion) {
+fn bench_one(b: Benchmark) {
     let kernel = b.kernel();
-    let mut group = c.benchmark_group(format!("{b}-scaling"));
+    let group = Group::new(&format!("{b}-scaling"));
     for n in [64usize, 128, 256] {
         let inputs = b.generate_inputs(n, n, 1);
         let refs: Vec<&Tensor> = inputs.iter().collect();
         let tile = Tile { index: 0, row0: 0, col0: 0, rows: n, cols: n };
-        group.bench_function(format!("{n}"), |bench| {
-            bench.iter(|| {
-                let mut out = kernel.shape().allocate_output(n, n);
-                kernel.run_exact(std::hint::black_box(&refs), tile, &mut out);
-                out
-            })
+        group.bench(&format!("{n}"), || {
+            let mut out = kernel.shape().allocate_output(n, n);
+            kernel.run_exact(std::hint::black_box(&refs), tile, &mut out);
+            out
         });
     }
-    group.finish();
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    bench_one(Benchmark::Sobel, c);
-    bench_one(Benchmark::Fft, c);
+fn main() {
+    bench_kernels();
+    bench_one(Benchmark::Sobel);
+    bench_one(Benchmark::Fft);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_kernels, bench_scaling
-}
-criterion_main!(benches);

@@ -1,16 +1,17 @@
-//! Criterion micro-benches of the SHMT runtime itself: planning +
-//! virtual-time scheduling + real computation per policy.
+//! Micro-benches of the SHMT runtime itself: planning + virtual-time
+//! scheduling + real computation per policy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use shmt::sampling::SamplingMethod;
 use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
+use shmt_bench::harness::Group;
 use shmt_kernels::Benchmark;
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let b = Benchmark::Sobel;
     let n = 256;
     let platform = Platform::jetson(b);
-    let mut group = c.benchmark_group("runtime");
+    let vop = Vop::from_benchmark(b, b.generate_inputs(n, n, 1)).unwrap();
+    let group = Group::new("runtime");
     for (name, policy) in [
         ("even", Policy::EvenDistribution),
         ("ws", Policy::WorkStealing),
@@ -26,25 +27,11 @@ fn bench_policies(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_function(name, |bench| {
-            bench.iter_batched(
-                || Vop::from_benchmark(b, b.generate_inputs(n, n, 1)).unwrap(),
-                |vop| {
-                    let mut cfg = RuntimeConfig::new(policy);
-                    cfg.partitions = 16;
-                    cfg.quality.sampling_rate = 0.01;
-                    ShmtRuntime::new(platform.clone(), cfg).execute(&vop).unwrap()
-                },
-                criterion::BatchSize::LargeInput,
-            )
+        group.bench(name, || {
+            let mut cfg = RuntimeConfig::new(policy);
+            cfg.partitions = 16;
+            cfg.quality.sampling_rate = 0.01;
+            ShmtRuntime::new(platform.clone(), cfg).execute(std::hint::black_box(&vop)).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_policies
-}
-criterion_main!(benches);

@@ -1,47 +1,39 @@
-//! Criterion micro-benches of the scheduler-side costs: sampling
-//! mechanisms (Algorithms 3-5) and the partitioner.
+//! Micro-benches of the scheduler-side costs: sampling mechanisms
+//! (Algorithms 3-5) and the partitioner.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use shmt::partition::partition_tiles;
 use shmt::sampling::{sample_partition, SamplingMethod};
+use shmt_bench::harness::Group;
 use shmt_kernels::Benchmark;
-use shmt_tensor::tile::Tile;
 use shmt_tensor::gen;
+use shmt_tensor::tile::Tile;
 
-fn bench_sampling(c: &mut Criterion) {
+fn bench_sampling() {
     let t = gen::image8(1024, 1024, 1);
     let tile = Tile { index: 0, row0: 0, col0: 0, rows: 1024, cols: 1024 };
-    let mut group = c.benchmark_group("sampling");
+    let group = Group::new("sampling");
     for (name, method) in [
         ("striding", SamplingMethod::Striding),
         ("uniform", SamplingMethod::UniformRandom),
         ("reduction", SamplingMethod::Reduction),
     ] {
-        group.bench_function(name, |bench| {
-            bench.iter(|| {
-                sample_partition(
-                    std::hint::black_box(&t),
-                    tile,
-                    method,
-                    2.0f64.powi(-15),
-                    42,
-                )
-            })
+        group.bench(name, || {
+            sample_partition(std::hint::black_box(&t), tile, method, 2.0f64.powi(-15), 42)
         });
     }
-    group.finish();
 }
 
-fn bench_partitioner(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition");
+fn bench_partitioner() {
+    let group = Group::new("partition");
     for b in [Benchmark::Sobel, Benchmark::Dct8x8, Benchmark::Fft] {
         let shape = b.kernel().shape();
-        group.bench_function(format!("{b}"), |bench| {
-            bench.iter(|| partition_tiles(std::hint::black_box(8192), 8192, 64, &shape))
+        group.bench(&format!("{b}"), || {
+            partition_tiles(std::hint::black_box(8192), 8192, 64, &shape)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_sampling, bench_partitioner);
-criterion_main!(benches);
+fn main() {
+    bench_sampling();
+    bench_partitioner();
+}

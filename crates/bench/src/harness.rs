@@ -1,0 +1,96 @@
+//! A minimal wall-clock micro-bench harness.
+//!
+//! The `benches/` targets are plain binaries (`harness = false`) built on
+//! this module, so the workspace benches run with no registry
+//! dependencies. Each measurement warms up, sizes an iteration batch to a
+//! target duration, then reports the best and mean per-iteration time
+//! over several samples — the best is the least noisy estimate on a
+//! shared machine.
+
+use std::time::{Duration, Instant};
+
+/// Per-batch target; long enough to dwarf timer overhead, short enough
+/// that a full bench suite stays interactive.
+const TARGET_BATCH: Duration = Duration::from_millis(200);
+/// Samples per measurement; the minimum is reported.
+const SAMPLES: usize = 5;
+
+/// A named group of measurements, printed criterion-style as
+/// `group/name ... best <t> mean <t>`.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Starts a group with the given name.
+    pub fn new(name: &str) -> Self {
+        Group { name: name.to_owned() }
+    }
+
+    /// Measures `f`, printing one result row. The closure's return value
+    /// is passed through [`std::hint::black_box`] so the work is not
+    /// optimized away.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        // Warm up and size the batch.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let per_iter = start.elapsed() / iters;
+            best = best.min(per_iter);
+            total += per_iter;
+        }
+        let mean = total / SAMPLES as u32;
+        println!(
+            "{:<40} best {:>12} mean {:>12}  ({iters} iters x {SAMPLES})",
+            format!("{}/{}", self.name, name),
+            format_duration(best),
+            format_duration(mean),
+        );
+    }
+}
+
+/// Renders a duration with an SI unit chosen by magnitude.
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_pick_sane_units() {
+        assert_eq!(format_duration(Duration::from_nanos(120)), "120 ns");
+        assert_eq!(format_duration(Duration::from_micros(250)), "250.00 us");
+        assert_eq!(format_duration(Duration::from_millis(15)), "15.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(12)), "12.00 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut count = 0u64;
+        Group::new("test").bench("noop", || {
+            count += 1;
+            count
+        });
+        assert!(count > 0);
+    }
+}

@@ -12,6 +12,8 @@
 
 use shmt::experiments::ExperimentConfig;
 
+pub mod harness;
+
 /// Parses the common `--size/--partitions/--seed` flags from `args`.
 ///
 /// # Panics

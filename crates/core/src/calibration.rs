@@ -13,11 +13,10 @@
 //! magnitudes consistent with the paper's measured work-stealing speedups
 //! exceeding `1 + tpu_ratio` for the stencil benchmarks.
 
-use serde::{Deserialize, Serialize};
 use shmt_kernels::Benchmark;
 
 /// Global platform calibration constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Calibration {
     /// Sustained GPU throughput in kernel work-units per second.
     pub gpu_throughput: f64,
@@ -44,7 +43,7 @@ impl Default for Calibration {
 }
 
 /// Per-benchmark calibration: device speed ratios and model factors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchProfile {
     /// Application-dependent fraction of partitions that are generally
     /// critical — the paper's per-VOP Top-K hint "the programmer or the

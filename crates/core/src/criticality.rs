@@ -7,12 +7,11 @@
 //! distributions lose the most absolute precision through the Edge TPU's
 //! int8 grid, so they are the ones QAWS keeps on exact hardware.
 
-use serde::{Deserialize, Serialize};
 
 /// Which sampled statistic defines criticality. The paper uses range and
 /// standard deviation together; the separated variants exist for the
 /// ablation benches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CriticalityMetric {
     /// Sampled max - min.
     Range,
@@ -24,7 +23,7 @@ pub enum CriticalityMetric {
 }
 
 /// Summary statistics of one partition's samples.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CriticalityStats {
     /// Sampled minimum.
     pub min: f32,

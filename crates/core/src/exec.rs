@@ -14,7 +14,8 @@
 //!   buffers that are folded in task order, so float accumulation order
 //!   never changes regardless of which worker ran which task.
 
-use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use shmt_kernels::{Aggregation, Kernel};
 use shmt_tensor::tile::Tile;
 use shmt_tensor::Tensor;
@@ -60,34 +61,33 @@ pub fn compute_tasks(
     }
 
     let (out_rows, out_cols) = output.shape();
-    let (task_tx, task_rx) = channel::unbounded::<(usize, ComputeTask)>();
-    for (i, t) in tasks.iter().enumerate() {
-        task_tx.send((i, *t)).expect("channel open");
-    }
-    drop(task_tx);
+    // Workers claim tasks through a shared atomic cursor — the software
+    // analogue of pulling from a shared incoming queue.
+    let next = AtomicUsize::new(0);
 
     let n_workers = threads.min(tasks.len());
     match aggregation {
         Aggregation::Tile => {
             // Workers write into private full-shape buffers; tiles are
             // disjoint, so stitching is order-independent and exact.
-            let results: Vec<(Vec<usize>, Tensor)> = crossbeam::scope(|scope| {
+            let results: Vec<(Vec<usize>, Tensor)> = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(n_workers);
                 for _ in 0..n_workers {
-                    let task_rx = task_rx.clone();
-                    handles.push(scope.spawn(move |_| {
+                    let next = &next;
+                    handles.push(scope.spawn(move || {
                         let mut local = Tensor::zeros(out_rows, out_cols);
                         let mut ran = Vec::new();
-                        while let Ok((i, task)) = task_rx.recv() {
-                            run_one(kernel, inputs, task, &mut local);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = tasks.get(i) else { break };
+                            run_one(kernel, inputs, *task, &mut local);
                             ran.push(i);
                         }
                         (ran, local)
                     }));
                 }
                 handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("scope");
+            });
             for (ran, local) in &results {
                 for &i in ran {
                     let tile = tasks[i].tile;
@@ -105,16 +105,17 @@ pub fn compute_tasks(
             // accumulation order is then independent of which worker ran
             // which task.
             let shape = kernel.shape();
-            let mut partials: Vec<(usize, Tensor)> = crossbeam::scope(|scope| {
+            let mut partials: Vec<(usize, Tensor)> = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(n_workers);
                 for _ in 0..n_workers {
-                    let task_rx = task_rx.clone();
-                    let shape = shape;
-                    handles.push(scope.spawn(move |_| {
+                    let next = &next;
+                    handles.push(scope.spawn(move || {
                         let mut mine = Vec::new();
-                        while let Ok((i, task)) = task_rx.recv() {
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = tasks.get(i) else { break };
                             let mut buf = shape.allocate_output(out_rows, out_cols);
-                            run_one(kernel, inputs, task, &mut buf);
+                            run_one(kernel, inputs, *task, &mut buf);
                             mine.push((i, buf));
                         }
                         mine
@@ -124,8 +125,7 @@ pub fn compute_tasks(
                     .into_iter()
                     .flat_map(|h| h.join().expect("worker panicked"))
                     .collect()
-            })
-            .expect("scope");
+            });
             partials.sort_by_key(|(i, _)| *i);
             for (_, buf) in &partials {
                 for r in 0..output.rows() {

@@ -5,7 +5,6 @@
 //! The drivers are size-parametric: integration tests exercise them at
 //! small sizes, the bench binaries run them at paper scale.
 
-use serde::{Deserialize, Serialize};
 use shmt_kernels::{Benchmark, ALL_BENCHMARKS};
 use shmt_tensor::Tensor;
 
@@ -21,7 +20,7 @@ use crate::sampling::SamplingMethod;
 use crate::vop::Vop;
 
 /// Shared experiment parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
     /// Dataset edge length (datasets are `size x size`).
     pub size: usize,
@@ -166,7 +165,7 @@ impl BenchContext {
 // ---------------------------------------------------------------------
 
 /// One row of Fig 2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -213,7 +212,7 @@ pub fn fig2(config: ExperimentConfig) -> Result<Vec<Fig2Row>> {
 // ---------------------------------------------------------------------
 
 /// One (policy, benchmark) speedup cell of Fig 6.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedupRow {
     /// Policy legend name.
     pub policy: String,
@@ -284,7 +283,7 @@ pub enum QualityPolicy {
 }
 
 /// One policy row of Fig 7 (MAPE) or Fig 8 (SSIM).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QualityRow {
     /// Policy legend name.
     pub policy: String,
@@ -354,7 +353,7 @@ fn quality_table(
 // ---------------------------------------------------------------------
 
 /// One sampling-rate row of Fig 9.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Row {
     /// log2 of the sampling rate (e.g. -15).
     pub log2_rate: i32,
@@ -416,7 +415,7 @@ pub fn fig9(config: ExperimentConfig, log2_rates: &[i32]) -> Result<Vec<Fig9Row>
 /// One benchmark row of Fig 10 (all values normalized to the GPU
 /// baseline's total energy, except EDP which is normalized to the
 /// baseline's EDP).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -473,7 +472,7 @@ pub fn fig10(config: ExperimentConfig) -> Result<Vec<Fig10Row>> {
 // ---------------------------------------------------------------------
 
 /// One benchmark entry of Fig 11 / Table 3.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -517,7 +516,7 @@ pub fn fig11_table3(config: ExperimentConfig) -> Result<Vec<OverheadRow>> {
 // ---------------------------------------------------------------------
 
 /// One problem-size column of Fig 12.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Row {
     /// Dataset elements (the x axis: 4K … 64M).
     pub elements: usize,

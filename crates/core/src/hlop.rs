@@ -2,7 +2,6 @@
 //! (paper §3.2.2).
 
 use hetsim::DeviceKind;
-use serde::{Deserialize, Serialize};
 use shmt_tensor::tile::Tile;
 
 use crate::vop::Opcode;
@@ -15,7 +14,7 @@ pub type HlopId = usize;
 /// data sizes, and remain hardware-independent so the runtime "can still
 /// adjust the task assignment if necessary" (§3.1) — that adjustability is
 /// what work stealing exploits.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hlop {
     /// Identifier within the VOP.
     pub id: HlopId,
@@ -42,7 +41,7 @@ impl Hlop {
 
 /// Where one HLOP ended up executing, with its timing — the completion
 /// record the runtime keeps for aggregation and reporting (§3.3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HlopRecord {
     /// The HLOP's identifier.
     pub id: HlopId,

@@ -28,6 +28,10 @@
 //! * [`quality`] — MAPE and SSIM.
 //! * [`experiments`] — drivers that regenerate every figure and table of
 //!   the paper's evaluation.
+//! * [`trace`] (re-exported `shmt-trace`) — structured event tracing:
+//!   [`runtime::ShmtRuntime::execute_traced`] captures every dispatch,
+//!   cast, transfer, compute span, steal, and aggregation in virtual time,
+//!   exportable as Chrome trace-event JSON for Perfetto.
 //!
 //! # Quickstart
 //!
@@ -74,4 +78,6 @@ pub use platform::Platform;
 pub use report::{BaselineReport, RunReport};
 pub use runtime::{RuntimeConfig, ShmtRuntime};
 pub use sched::{Policy, QawsAssignment, QualityConfig};
+pub use shmt_trace as trace;
+pub use shmt_trace::{NullSink, RingBufferSink, TraceData, TraceRecorder, TraceSink};
 pub use vop::{Opcode, ParallelModel, Vop};

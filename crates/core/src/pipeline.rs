@@ -89,12 +89,33 @@ impl Program {
     ///
     /// Propagates VOP validation and runtime errors.
     pub fn run_shmt(&self, input: Tensor, config: RuntimeConfig) -> Result<ProgramReport> {
+        self.run_shmt_impl(input, config, false)
+    }
+
+    /// [`Program::run_shmt`] with per-stage trace capture: every stage's
+    /// [`RunReport`] carries its own finalized `trace`, so a multi-VOP
+    /// program can be inspected stage by stage in Perfetto.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VOP validation and runtime errors.
+    pub fn run_shmt_traced(&self, input: Tensor, config: RuntimeConfig) -> Result<ProgramReport> {
+        self.run_shmt_impl(input, config, true)
+    }
+
+    fn run_shmt_impl(
+        &self,
+        input: Tensor,
+        config: RuntimeConfig,
+        traced: bool,
+    ) -> Result<ProgramReport> {
         let mut flowing = input;
         let mut reports = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
             let vop = Self::stage_vop(stage, flowing)?;
             let runtime = ShmtRuntime::new(Platform::jetson(stage.benchmark), config);
-            let report = runtime.execute(&vop)?;
+            let report =
+                if traced { runtime.execute_traced(&vop)? } else { runtime.execute(&vop)? };
             flowing = sanitize(report.output.clone());
             reports.push(report);
         }
@@ -159,8 +180,9 @@ mod tests {
         assert_eq!(report.output.shape(), (128, 128));
         assert!(report.total_latency_s > 0.0);
         assert!(report.total_energy_j > 0.0);
-        // Sobel magnitudes are non-negative.
-        assert!(report.output.as_slice().iter().all(|&v| v >= 0.0));
+        // Sobel magnitudes are non-negative up to int8 grid rounding (the
+        // TPU output grid's lower edge can dequantize a hair below zero).
+        assert!(report.output.as_slice().iter().all(|&v| v >= -1e-3));
     }
 
     #[test]

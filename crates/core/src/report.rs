@@ -1,13 +1,13 @@
 //! Execution reports: what one VOP run (or baseline run) produced and cost.
 
 use hetsim::{DeviceKind, EnergyBreakdown};
-use serde::{Deserialize, Serialize};
 use shmt_tensor::Tensor;
+use shmt_trace::TraceData;
 
 use crate::hlop::HlopRecord;
 
 /// Per-device accounting for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceStats {
     /// Which device.
     pub kind: DeviceKind,
@@ -49,6 +49,9 @@ pub struct RunReport {
     pub steals: usize,
     /// Modeled peak memory footprint (bytes).
     pub peak_memory_bytes: u64,
+    /// The structured event trace, when the run was captured through
+    /// [`crate::runtime::ShmtRuntime::execute_traced`]; `None` otherwise.
+    pub trace: Option<TraceData>,
 }
 
 impl RunReport {
@@ -169,6 +172,7 @@ mod tests {
             tpu_fraction: 0.33,
             steals: 1,
             peak_memory_bytes: 1024,
+            trace: None,
         }
     }
 

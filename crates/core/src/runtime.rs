@@ -14,14 +14,19 @@
 
 use hetsim::{DeviceTimeline, EnergyMeter, MemoryTracker, QueuePair, SimTime};
 use shmt_tensor::Tensor;
+use shmt_trace::{EventKind, NullSink, TraceRecorder, TraceSink};
 
 use crate::error::{Result, ShmtError};
 use crate::hlop::{Hlop, HlopRecord};
 use crate::partition::partition_vop;
 use crate::platform::Platform;
 use crate::report::{DeviceStats, RunReport};
-use crate::sched::{plan, Plan, PlanContext, Policy, QualityConfig, CPU, GPU, TPU};
+use crate::sched::{plan_traced, Plan, PlanContext, Policy, QualityConfig, CPU, GPU, TPU};
 use crate::vop::Vop;
+
+/// Gauge-series names for the per-device incoming-queue depths, indexed
+/// by queue index.
+const QUEUE_GAUGE: [&str; 3] = ["queue.GPU", "queue.CPU", "queue.EdgeTPU"];
 
 /// Configuration of one runtime instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,6 +101,33 @@ impl ShmtRuntime {
     /// Returns [`ShmtError::InvalidConfig`] for a zero partition count or
     /// an all-disabled device mask.
     pub fn execute(&self, vop: &Vop) -> Result<RunReport> {
+        self.execute_with_sink(vop, &mut NullSink)
+    }
+
+    /// [`ShmtRuntime::execute`] with full trace capture: records every
+    /// event into a fresh [`TraceRecorder`] and attaches the finalized
+    /// [`shmt_trace::TraceData`] to the report's `trace` field.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShmtRuntime::execute`].
+    pub fn execute_traced(&self, vop: &Vop) -> Result<RunReport> {
+        let mut recorder = TraceRecorder::new();
+        let mut report = self.execute_with_sink(vop, &mut recorder)?;
+        report.trace = Some(recorder.finish());
+        Ok(report)
+    }
+
+    /// [`ShmtRuntime::execute`], streaming events into a caller-supplied
+    /// sink (a [`shmt_trace::RingBufferSink`] for long sweeps, a
+    /// [`TraceRecorder`] shared across runs, …). The untraced `execute`
+    /// is exactly this method with a [`NullSink`]: one code path, so
+    /// traced and untraced runs produce bit-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShmtRuntime::execute`].
+    pub fn execute_with_sink(&self, vop: &Vop, sink: &mut dyn TraceSink) -> Result<RunReport> {
         if self.config.partitions == 0 {
             return Err(ShmtError::InvalidConfig("partition count must be positive".into()));
         }
@@ -103,21 +135,30 @@ impl ShmtRuntime {
             return Err(ShmtError::NoCapableDevice("all devices disabled".into()));
         }
 
+        if sink.enabled() {
+            sink.record(0.0, EventKind::PartitionStart { partitions: self.config.partitions });
+        }
         let hlops = partition_vop(vop, self.config.partitions)?;
+        if sink.enabled() {
+            // Partitioning is host-side pointer arithmetic; it is not
+            // charged virtual time, so the span collapses at the epoch.
+            sink.record(0.0, EventKind::PartitionEnd { hlops: hlops.len() });
+        }
         let profiles = self.platform.device_profiles();
-        let mut the_plan = plan(
+        let mut the_plan = plan_traced(
             self.config.policy,
             vop,
             &hlops,
             &self.config.quality,
             PlanContext { gpu_throughput: profiles[GPU].throughput },
+            sink,
         );
         self.apply_device_mask(&mut the_plan);
         if self.config.force_synchronous {
             the_plan.pipelined = false;
         }
 
-        self.play(vop, &hlops, the_plan)
+        self.play(vop, &hlops, the_plan, sink)
     }
 
     /// Moves HLOPs off disabled devices' queues, round-robin over enabled
@@ -126,8 +167,8 @@ impl ShmtRuntime {
         let mask = self.config.device_mask;
         let enabled: Vec<usize> = (0..3).filter(|&i| mask[i]).collect();
         let mut rr = 0usize;
-        for d in 0..3 {
-            if mask[d] {
+        for (d, &enabled_dev) in mask.iter().enumerate() {
+            if enabled_dev {
                 continue;
             }
             let orphans = std::mem::take(&mut plan.queues[d]);
@@ -143,7 +184,13 @@ impl ShmtRuntime {
     }
 
     /// Plays the plan out in virtual time, computing real outputs.
-    fn play(&self, vop: &Vop, hlops: &[Hlop], the_plan: Plan) -> Result<RunReport> {
+    fn play(
+        &self,
+        vop: &Vop,
+        hlops: &[Hlop],
+        the_plan: Plan,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunReport> {
         let kernel = vop.kernel();
         let shape = kernel.shape();
         let inputs: Vec<&Tensor> = vop.inputs().iter().collect();
@@ -161,21 +208,21 @@ impl ShmtRuntime {
         let mut queues: Vec<QueuePair<Hlop>> = the_plan
             .queues
             .iter()
-            .map(|q| {
+            .enumerate()
+            .map(|(d, q)| {
                 let mut pair = QueuePair::new();
                 for h in q {
-                    pair.enqueue(t0, *h);
+                    pair.enqueue_traced(t0, *h, QUEUE_GAUGE[d], sink);
+                    if sink.enabled() {
+                        sink.record(t0.as_secs(), EventKind::Dispatch { hlop: h.id, device: d });
+                    }
                 }
                 pair
             })
             .collect();
 
-        let mut done = [false, false, false];
-        for d in 0..3 {
-            if !self.config.device_mask[d] {
-                done[d] = true;
-            }
-        }
+        // A disabled device is born "done": it never acts.
+        let mut done = self.config.device_mask.map(|enabled| !enabled);
         let mut prev_start = [t0; 3];
         let mut latest_completion = t0;
         let mut records: Vec<HlopRecord> = Vec::with_capacity(hlops.len());
@@ -190,15 +237,12 @@ impl ShmtRuntime {
         // conversion on the way in and out (§3.3.2).
         let cast_s = if kernel.npu_native_u8() { 0.0 } else { cal.cast_s_per_elem };
 
-        loop {
-            // The next device to act is the earliest-free one with work
-            // available (its own queue, or a queue it may steal from).
-            let Some(d) = (0..3)
-                .filter(|&i| !done[i])
-                .min_by(|&a, &b| timelines[a].free_at().cmp(&timelines[b].free_at()))
-            else {
-                break;
-            };
+        // The next device to act is always the earliest-free one with work
+        // available (its own queue, or a queue it may steal from).
+        while let Some(d) = (0..3)
+            .filter(|&i| !done[i])
+            .min_by(|&a, &b| timelines[a].free_at().cmp(&timelines[b].free_at()))
+        {
 
             let pending_total: usize = queues.iter().map(QueuePair::pending).sum();
             if !queues[d].is_idle() && pending_total <= 6 {
@@ -257,8 +301,17 @@ impl ShmtRuntime {
                         // critical pending work under quality-aware plans.
                         let h = queues[v].steal_back().expect("victim has items");
                         stolen_ids[h.id] = true;
-                        queues[d].enqueue(timelines[d].free_at(), h);
+                        let now = timelines[d].free_at();
+                        queues[d].enqueue_traced(now, h, QUEUE_GAUGE[d], sink);
                         steals += 1;
+                        if sink.enabled() {
+                            sink.record(
+                                now.as_secs(),
+                                EventKind::Steal { hlop: h.id, from: v, to: d },
+                            );
+                            sink.counter("steals", 1.0);
+                            sink.gauge(QUEUE_GAUGE[v], now.as_secs(), queues[v].pending() as f64);
+                        }
                     }
                     None => {
                         done[d] = true;
@@ -268,6 +321,13 @@ impl ShmtRuntime {
             }
 
             let hlop = queues[d].pop_front().expect("queue refilled above");
+            if sink.enabled() {
+                sink.gauge(
+                    QUEUE_GAUGE[d],
+                    timelines[d].free_at().as_secs(),
+                    queues[d].pending() as f64,
+                );
+            }
             let elems = hlop.elements();
             let work = elems as f64 * work_per_elem;
 
@@ -284,8 +344,15 @@ impl ShmtRuntime {
                     timelines[d].free_at()
                 };
                 let cast_done = issue + elems as f64 * cast_s;
+                if sink.enabled() && cast_s > 0.0 {
+                    sink.record(issue.as_secs(), EventKind::CastStart { hlop: hlop.id, device: d });
+                    sink.record(
+                        cast_done.as_secs(),
+                        EventKind::CastEnd { hlop: hlop.id, device: d },
+                    );
+                }
                 let bytes_in = (elems as f64 * cal.tpu_bytes_per_elem_in) as usize;
-                let xfer = bus.transfer(cast_done, bytes_in);
+                let xfer = bus.transfer_traced(cast_done, bytes_in, hlop.id, d, sink);
                 (xfer.end, true)
             } else {
                 (t0, false)
@@ -304,7 +371,7 @@ impl ShmtRuntime {
 
             let start = timelines[d].free_at().max(data_ready);
             prev_start[d] = start;
-            let mut end = timelines[d].execute(data_ready, work);
+            let mut end = timelines[d].execute_traced(data_ready, work, hlop.id, d, sink);
             if extra_launches > 0.0 {
                 timelines[d].stall_until(end + extra_launches);
                 end += extra_launches;
@@ -313,8 +380,18 @@ impl ShmtRuntime {
             // Result restoration (§3.3.2).
             let completion = if is_tpu {
                 let bytes_out = (elems as f64 * cal.tpu_bytes_per_elem_out) as usize;
-                let xfer = bus.transfer(end, bytes_out);
+                let xfer = bus.transfer_traced(end, bytes_out, hlop.id, d, sink);
                 let restored = xfer.end + elems as f64 * cast_s;
+                if sink.enabled() && cast_s > 0.0 {
+                    sink.record(
+                        xfer.end.as_secs(),
+                        EventKind::CastStart { hlop: hlop.id, device: d },
+                    );
+                    sink.record(
+                        restored.as_secs(),
+                        EventKind::CastEnd { hlop: hlop.id, device: d },
+                    );
+                }
                 if !the_plan.pipelined {
                     // Synchronous mode: the device blocks on the drain.
                     timelines[d].stall_until(restored);
@@ -335,6 +412,13 @@ impl ShmtRuntime {
             // The device's monitor thread moves the finished HLOP to the
             // completion queue for aggregation (§3.3.1).
             queues[d].complete(completion, hlop);
+            if sink.enabled() {
+                sink.record(
+                    completion.as_secs(),
+                    EventKind::Aggregate { hlop: hlop.id, device: d },
+                );
+                sink.counter("hlops.completed", 1.0);
+            }
             records.push(HlopRecord {
                 id: hlop.id,
                 device: profiles[d].kind,
@@ -369,12 +453,18 @@ impl ShmtRuntime {
         // scheduling overhead and staging.
         let mut meter = EnergyMeter::new(self.platform.idle_power_w());
         for t in &timelines {
-            meter.record_busy(t.profile().kind, t.busy_time(), t.profile().active_power_w);
+            meter.record_busy_traced(
+                t.profile().kind,
+                t.busy_time(),
+                t.profile().active_power_w,
+                sink,
+            );
         }
-        meter.record_busy(
+        meter.record_busy_traced(
             profiles[CPU].kind,
             the_plan.overhead_s + staging_s,
             profiles[CPU].active_power_w,
+            sink,
         );
         let energy = meter.finish(makespan);
 
@@ -410,6 +500,7 @@ impl ShmtRuntime {
             tpu_fraction,
             steals,
             peak_memory_bytes,
+            trace: None,
         })
     }
 

@@ -14,15 +14,13 @@
 //!   reduction "performs the worst due to the relatively higher sampling
 //!   overhead".
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use shmt_tensor::rng::Pcg32;
 use shmt_tensor::tile::Tile;
 use shmt_tensor::Tensor;
 
 /// The sampling mechanism used by a QAWS policy (the `S`/`U`/`R` suffix in
 /// the paper's policy names).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SamplingMethod {
     /// Algorithm 3: fixed-stride sampling.
     Striding,
@@ -103,7 +101,7 @@ pub fn sample_partition(
         }
         SamplingMethod::UniformRandom => {
             // Algorithm 4: S[i] = D[random()].
-            let mut rng = SmallRng::seed_from_u64(seed ^ (tile.index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = Pcg32::seed_from_u64(seed ^ (tile.index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
             (0..n).map(|_| at_flat(rng.gen_range(0..len))).collect()
         }
         SamplingMethod::Reduction => {

@@ -22,9 +22,9 @@
 //! * **Oracle** — true per-partition NPU error measured offline, not
 //!   charged any time (the paper's manually-optimized quality reference).
 
-use serde::{Deserialize, Serialize};
 use shmt_tensor::tile::Tile;
 use shmt_tensor::Tensor;
+use shmt_trace::{EventKind, NullSink, TraceSink};
 
 use crate::criticality::{CriticalityMetric, CriticalityStats};
 use crate::hlop::Hlop;
@@ -48,7 +48,7 @@ pub const TPU: QueueIndex = 2;
 pub const ACCURACY_CLASS: [u8; 3] = [0, 0, 1];
 
 /// The QAWS hardware-assignment flavor (the `T`/`L` in QAWS-XY).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QawsAssignment {
     /// Algorithm 1: device-dependent criticality limits.
     DeviceLimits,
@@ -57,7 +57,7 @@ pub enum QawsAssignment {
 }
 
 /// A scheduling policy for one VOP execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// Static even split between GPU and Edge TPU; no stealing.
     EvenDistribution,
@@ -116,7 +116,7 @@ impl Policy {
 }
 
 /// Tuning knobs for the quality-aware policies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QualityConfig {
     /// Sampling rate (fraction of partition elements sampled; Fig 9 sweeps
     /// 2⁻²¹…2⁻¹⁴). Default 2⁻¹⁵, the paper's sweet spot.
@@ -155,13 +155,13 @@ impl Default for QualityConfig {
             ira_canary_frac: 1.0 / 8.0,
             ira_time_factor: 1.45,
             unrestricted_steal: false,
-            seed: 0x5111_AD,
+            seed: 0x0051_11AD,
         }
     }
 }
 
 /// A policy's output: initial queues, overhead, and stealing rules.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Initial queue contents per device index (front = next to run).
     pub queues: Vec<Vec<Hlop>>,
@@ -226,6 +226,20 @@ pub fn plan(
     quality: &QualityConfig,
     ctx: PlanContext,
 ) -> Plan {
+    plan_traced(policy, vop, hlops, quality, ctx, &mut NullSink)
+}
+
+/// [`plan`], emitting `SampleOverhead` events into `sink`: one per
+/// partition, stamped at the instant the partition's share of the serial
+/// overhead window ends, so the events tile `[0, overhead_s]` exactly.
+pub fn plan_traced(
+    policy: Policy,
+    vop: &Vop,
+    hlops: &[Hlop],
+    quality: &QualityConfig,
+    ctx: PlanContext,
+    sink: &mut dyn TraceSink,
+) -> Plan {
     match policy {
         Policy::EvenDistribution => {
             // Round-robin between GPU and Edge TPU only (§5.2).
@@ -247,7 +261,7 @@ pub fn plan(
             Plan { queues, overhead_s: 0.0, pipelined: true, steal: steal_any() }
         }
         Policy::Qaws { assignment, sampling } => {
-            let (scores, cost) = sample_scores(vop, hlops, sampling, quality);
+            let (scores, cost) = sample_scores(vop, hlops, sampling, quality, sink);
             let indices = match assignment {
                 QawsAssignment::DeviceLimits => {
                     let limits = device_limits_from(&scores, quality.limit_factor);
@@ -278,6 +292,18 @@ pub fn plan(
                 hlops.iter().map(|h| h.elements() as f64).sum::<f64>()
                     * vop.kernel().work_per_element();
             let overhead_s = quality.ira_time_factor * total_work / ctx.gpu_throughput.max(1.0);
+            if sink.enabled() && !hlops.is_empty() {
+                // The canary cost is charged as one serial window; attribute
+                // an equal share to each partition so the trace shows where
+                // the IRA slowdown goes.
+                let share = overhead_s / hlops.len() as f64;
+                for (i, h) in hlops.iter().enumerate() {
+                    sink.record(
+                        (i + 1) as f64 * share,
+                        EventKind::SampleOverhead { hlop: h.id, cost_s: share },
+                    );
+                }
+            }
             let indices = rank_assignment(&errors, vop.criticality_hint());
             Plan {
                 queues: queues_from_classes(hlops, &errors, &indices),
@@ -308,6 +334,7 @@ fn sample_scores(
     hlops: &[Hlop],
     method: SamplingMethod,
     quality: &QualityConfig,
+    sink: &mut dyn TraceSink,
 ) -> (Vec<f32>, f64) {
     let input = &vop.inputs()[0];
     let mut cost = 0.0;
@@ -317,6 +344,11 @@ fn sample_scores(
             let SampleSet { values, cost_s } =
                 sample_partition(input, h.tile, method, quality.sampling_rate, quality.seed);
             cost += cost_s;
+            if sink.enabled() {
+                // Stamped at the end of this partition's slice of the
+                // serial sampling window.
+                sink.record(cost, EventKind::SampleOverhead { hlop: h.id, cost_s });
+            }
             CriticalityStats::from_samples(&values).score(quality.metric)
         })
         .collect();

@@ -3,7 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use shmt_kernels::primitives::{BinaryOp, UnaryOp};
 use shmt_kernels::{Benchmark, Kernel, KernelShape};
 use shmt_tensor::tile::Tile;
@@ -14,7 +13,7 @@ use crate::error::{Result, ShmtError};
 /// The parallelization model a VOP admits (paper §3.2.1: "either an
 /// element-wise vector processing model or a tile-wise matrix processing
 /// model").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ParallelModel {
     /// Element-wise vector processing.
     Vector,
@@ -23,7 +22,7 @@ pub enum ParallelModel {
 }
 
 /// The VOP opcodes of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Opcode {
     // Vector model.

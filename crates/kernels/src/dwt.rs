@@ -123,6 +123,9 @@ fn transform_block(input: &Tensor, br: usize, bc: usize, tile: Tile, out: &mut T
         forward_lift97(row);
     }
     let mut col_buf = vec![0.0f32; brows];
+    // Column pass: `c` strides across every row, so no single slice to
+    // iterate — the index form is the natural one here.
+    #[allow(clippy::needless_range_loop)]
     for c in 0..bcols {
         for (r, buf) in col_buf.iter_mut().enumerate() {
             *buf = block[r][c];

@@ -1,11 +1,10 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use shmt_tensor::tile::Tile;
 use shmt_tensor::Tensor;
 
 /// How two partial reduction buffers combine (for reduction VOPs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReduceOp {
     /// Element-wise sum of partials (reduce_sum, reduce_hist256).
     Sum,
@@ -36,7 +35,7 @@ impl ReduceOp {
 }
 
 /// How the outputs of a kernel's HLOPs combine into the VOP result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Aggregation {
     /// Each HLOP writes a disjoint tile of the output; aggregation is a
     /// gather of the tiles (the element-wise and tile-wise models of
@@ -56,7 +55,7 @@ pub enum Aggregation {
 }
 
 /// Static facts the runtime needs to partition a kernel correctly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelShape {
     /// Stencil halo (elements read outside the tile, clamped at dataset
     /// edges). Zero for element-wise and block kernels.
@@ -158,7 +157,7 @@ pub trait Kernel: Send + Sync + fmt::Debug {
 }
 
 /// The paper's ten benchmark applications (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Benchmark {
     /// European option pricing (CUDA Examples).
     Blackscholes,

@@ -1,5 +1,4 @@
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use shmt_tensor::rng::Pcg32;
 
 /// A supervised regression dataset: input vectors and target vectors.
 ///
@@ -26,7 +25,7 @@ impl Dataset {
     {
         assert!(n > 0 && in_dim > 0, "degenerate dataset request");
         assert!(lo < hi, "input range must be non-empty");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Pcg32::seed_from_u64(seed);
         let mut inputs = Vec::with_capacity(n);
         let mut targets = Vec::with_capacity(n);
         let mut out_dim = None;

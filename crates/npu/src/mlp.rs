@@ -1,5 +1,4 @@
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use shmt_tensor::rng::Pcg32;
 
 use crate::Dataset;
 
@@ -54,7 +53,7 @@ pub struct Dense {
 
 impl Dense {
     /// Creates a layer with Xavier-style uniform initialization.
-    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut SmallRng) -> Self {
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut Pcg32) -> Self {
         assert!(in_dim > 0 && out_dim > 0, "degenerate layer");
         let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
         Dense {
@@ -140,7 +139,7 @@ impl Mlp {
     /// Panics if fewer than two widths are given.
     pub fn new(widths: &[usize], hidden: Activation, seed: u64) -> Self {
         assert!(widths.len() >= 2, "need at least input and output widths");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Pcg32::seed_from_u64(seed);
         let layers = widths
             .windows(2)
             .enumerate()
@@ -193,7 +192,7 @@ impl Mlp {
     pub fn train(&mut self, data: &Dataset, config: TrainConfig) -> f64 {
         assert_eq!(data.in_dim(), self.layers[0].in_dim, "dataset/input mismatch");
         let mut order: Vec<usize> = (0..data.len()).collect();
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = Pcg32::seed_from_u64(config.seed);
         for _ in 0..config.epochs {
             // Fisher-Yates shuffle.
             for i in (1..order.len()).rev() {
@@ -253,18 +252,18 @@ impl Mlp {
             // effective (possibly fake-quantized) weights; updates apply
             // to the latent weights (straight-through estimator).
             let mut next_delta = vec![0.0f32; layer.in_dim];
-            for o in 0..layer.out_dim {
+            for (o, &d) in delta.iter().enumerate() {
                 let row = &effective[li][o * layer.in_dim..(o + 1) * layer.in_dim];
                 for (nd, &w) in next_delta.iter_mut().zip(row) {
-                    *nd += delta[o] * w;
+                    *nd += d * w;
                 }
             }
-            for o in 0..layer.out_dim {
+            for (o, &d) in delta.iter().enumerate() {
                 let row = &mut layer.weights[o * layer.in_dim..(o + 1) * layer.in_dim];
                 for (w, &v) in row.iter_mut().zip(input) {
-                    *w -= lr * delta[o] * v;
+                    *w -= lr * d * v;
                 }
-                layer.bias[o] -= lr * delta[o];
+                layer.bias[o] -= lr * d;
             }
             delta = next_delta;
         }

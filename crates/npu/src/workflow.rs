@@ -73,7 +73,8 @@ pub fn build_npu_model(data: &Dataset, config: &WorkflowConfig) -> NpuModel {
         let mut mlp = Mlp::new(&widths, Activation::Relu, config.train.seed);
         mlp.train(&train, config.train);
         let val_mse = mlp.mse(&val);
-        let better = best.as_ref().is_none_or(|(_, _, b)| val_mse < *b);
+        // (`Option::is_none_or` needs Rust 1.82; the workspace MSRV is 1.75.)
+        let better = best.as_ref().map_or(true, |(_, _, b)| val_mse < *b);
         if better {
             best = Some((mlp, hidden.clone(), val_mse));
         }

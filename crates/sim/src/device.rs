@@ -1,9 +1,10 @@
-use serde::{Deserialize, Serialize};
+
+use shmt_trace::{DeviceId, EventKind, NullSink, TraceSink};
 
 use crate::time::{Duration, SimTime};
 
 /// The kinds of processing units on the modeled platform (paper §4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DeviceKind {
     /// Quad-core ARM Cortex-A57.
     Cpu,
@@ -31,7 +32,7 @@ impl std::fmt::Display for DeviceKind {
 }
 
 /// Native arithmetic precision of a device (paper §2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// IEEE single precision — exact for our purposes.
     F32,
@@ -45,7 +46,7 @@ pub enum Precision {
 /// one element-op of a reference element-wise kernel; kernels report their
 /// work per element and the SHMT calibration tables scale per-benchmark
 /// device speed ratios on top of this.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceProfile {
     /// Which processing unit this is.
     pub kind: DeviceKind,
@@ -174,6 +175,22 @@ impl DeviceTimeline {
     /// Executes `work_units` of compute, starting no earlier than
     /// `data_ready`. Returns the completion instant.
     pub fn execute(&mut self, data_ready: SimTime, work_units: f64) -> SimTime {
+        self.execute_traced(data_ready, work_units, 0, 0, &mut NullSink)
+    }
+
+    /// [`DeviceTimeline::execute`], emitting a `ComputeStart`/`ComputeEnd`
+    /// span into `sink` that covers exactly the busy interval charged to
+    /// the device — summing a run's compute spans per device reproduces
+    /// its `busy_time()` to the bit. The untraced `execute` is this method
+    /// with a [`NullSink`], so tracing never changes behaviour.
+    pub fn execute_traced(
+        &mut self,
+        data_ready: SimTime,
+        work_units: f64,
+        hlop: usize,
+        device: DeviceId,
+        sink: &mut dyn TraceSink,
+    ) -> SimTime {
         let start = self.free_at.max(data_ready);
         // If the data arrived after we went idle, we waited on the bus.
         self.transfer_wait += data_ready.since(self.free_at);
@@ -181,6 +198,10 @@ impl DeviceTimeline {
         self.busy += dur;
         self.free_at = start + dur;
         self.completed += 1;
+        if sink.enabled() {
+            sink.record(start.as_secs(), EventKind::ComputeStart { hlop, device });
+            sink.record(self.free_at.as_secs(), EventKind::ComputeEnd { hlop, device });
+        }
         self.free_at
     }
 

@@ -1,9 +1,10 @@
-use serde::{Deserialize, Serialize};
+
+use shmt_trace::{DeviceId, EventKind, NullSink, TraceSink};
 
 use crate::time::{Duration, SimTime};
 
 /// A completed bus transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transfer {
     /// Instant the transfer began moving on the bus.
     pub start: SimTime,
@@ -36,7 +37,7 @@ impl Transfer {
 /// let t2 = bus.transfer(SimTime::ZERO, 1 << 20);
 /// assert!(t2.start >= t1.end, "transfers serialize");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Interconnect {
     bandwidth: f64,
     latency: Duration,
@@ -79,6 +80,20 @@ impl Interconnect {
     /// transfer's occupancy window. Zero-byte transfers complete instantly
     /// without touching the bus.
     pub fn transfer(&mut self, ready: SimTime, bytes: usize) -> Transfer {
+        self.transfer_traced(ready, bytes, 0, 0, &mut NullSink)
+    }
+
+    /// [`Interconnect::transfer`], emitting a `TransferStart`/`TransferEnd`
+    /// span for the bus occupancy window, a `bus.bytes` counter, and a
+    /// `bus.busy_s` occupancy gauge into `sink`.
+    pub fn transfer_traced(
+        &mut self,
+        ready: SimTime,
+        bytes: usize,
+        hlop: usize,
+        device: DeviceId,
+        sink: &mut dyn TraceSink,
+    ) -> Transfer {
         if bytes == 0 {
             return Transfer { start: ready, end: ready, bytes: 0 };
         }
@@ -88,6 +103,12 @@ impl Interconnect {
         self.free_at = end;
         self.total_bytes += bytes as u64;
         self.total_busy += dur;
+        if sink.enabled() {
+            sink.record(start.as_secs(), EventKind::TransferStart { hlop, device, bytes });
+            sink.record(end.as_secs(), EventKind::TransferEnd { hlop, device, bytes });
+            sink.counter("bus.bytes", bytes as f64);
+            sink.gauge("bus.busy_s", end.as_secs(), self.total_busy);
+        }
         Transfer { start, end, bytes }
     }
 

@@ -24,6 +24,13 @@
 //! executes where, charges each HLOP's compute and transfer costs here, and
 //! reads back makespan, energy, and overhead statistics.
 //!
+//! Every cost-charging entry point has a `*_traced` variant taking a
+//! `shmt_trace::TraceSink` ([`DeviceTimeline::execute_traced`],
+//! [`Interconnect::transfer_traced`], [`QueuePair::enqueue_traced`],
+//! [`EnergyMeter::record_busy_traced`]); the untraced methods call them
+//! with a `NullSink`, so there is a single code path and tracing can never
+//! change simulated behaviour.
+//!
 //! # Examples
 //!
 //! ```

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 /// Peak-footprint accounting at the process virtual-memory level.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(mem.current_bytes(), 1024);
 /// assert_eq!(mem.peak_bytes(), 1536);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MemoryTracker {
     current: u64,
     peak: u64,

@@ -1,11 +1,12 @@
-use serde::{Deserialize, Serialize};
+
+use shmt_trace::{NullSink, TraceSink};
 
 use crate::device::DeviceKind;
 use crate::time::Duration;
 
 /// Energy totals for one run, split the way the paper's Fig 10 reports
 /// them: the idle platform floor and the per-device active energy on top.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Platform idle power integrated over the makespan (joules).
     pub idle_j: f64,
@@ -23,7 +24,7 @@ impl EnergyBreakdown {
 /// Integrates platform power over a run, mirroring the paper's wall-plug
 /// power meter (§5.5): a constant platform idle floor (3.02 W measured)
 /// plus each device's active power over its busy time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyMeter {
     idle_power_w: f64,
     active_j: f64,
@@ -58,12 +59,31 @@ impl EnergyMeter {
     ///
     /// Panics if either argument is negative.
     pub fn record_busy(&mut self, device: DeviceKind, busy_s: Duration, active_power_w: f64) {
+        self.record_busy_traced(device, busy_s, active_power_w, &mut NullSink);
+    }
+
+    /// [`EnergyMeter::record_busy`], accumulating the joules into `sink`'s
+    /// `energy.active_j` counter as well.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative.
+    pub fn record_busy_traced(
+        &mut self,
+        device: DeviceKind,
+        busy_s: Duration,
+        active_power_w: f64,
+        sink: &mut dyn TraceSink,
+    ) {
         assert!(busy_s >= 0.0 && active_power_w >= 0.0, "negative energy record");
         let joules = busy_s * active_power_w;
         self.active_j += joules;
         match self.per_device_j.iter_mut().find(|(k, _)| *k == device) {
             Some((_, j)) => *j += joules,
             None => self.per_device_j.push((device, joules)),
+        }
+        if sink.enabled() {
+            sink.counter("energy.active_j", joules);
         }
     }
 

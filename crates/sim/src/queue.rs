@@ -1,5 +1,7 @@
 use std::collections::VecDeque;
 
+use shmt_trace::TraceSink;
+
 use crate::time::SimTime;
 
 /// The pair of queues SHMT's kernel driver maintains per device: "one
@@ -35,6 +37,22 @@ impl<T> QueuePair<T> {
         self.incoming.push_back((at, item));
         self.enqueued += 1;
         self.max_depth = self.max_depth.max(self.incoming.len());
+    }
+
+    /// [`QueuePair::enqueue`], sampling the resulting incoming-queue depth
+    /// into `sink` as the gauge series `gauge_name` — the paper's §3.4
+    /// imbalance signal over virtual time.
+    pub fn enqueue_traced(
+        &mut self,
+        at: SimTime,
+        item: T,
+        gauge_name: &str,
+        sink: &mut dyn TraceSink,
+    ) {
+        self.enqueue(at, item);
+        if sink.enabled() {
+            sink.gauge(gauge_name, at.as_secs(), self.incoming.len() as f64);
+        }
     }
 
     /// Takes the next item from the front of the incoming queue.

@@ -1,7 +1,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
 
 /// A duration of virtual time, in seconds.
 pub type Duration = f64;
@@ -11,7 +10,7 @@ pub type Duration = f64;
 /// `SimTime` is a thin newtype over `f64` that keeps instants and durations
 /// from being mixed up and provides a total order (times are never NaN by
 /// construction — all arithmetic goes through checked constructors).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SimTime(f64);
 
 impl SimTime {

@@ -9,9 +9,7 @@
 //! dispersion varies (heavy-tailed block scales), so criticality-aware
 //! scheduling has genuine signal to work with.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::Pcg32;
 use crate::Tensor;
 
 /// Configuration for [`heterogeneous`] fields.
@@ -41,7 +39,7 @@ impl Default for FieldConfig {
 /// Panics if `lo >= hi` or either dimension is zero.
 pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> Tensor {
     assert!(lo < hi, "uniform range must be non-empty");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     Tensor::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
 }
 
@@ -69,8 +67,8 @@ pub fn heterogeneous(rows: usize, cols: usize, seed: u64, cfg: FieldConfig) -> T
     assert!(cfg.block > 0, "block size must be positive");
     let brows = rows.div_ceil(cfg.block);
     let bcols = cols.div_ceil(cfg.block);
-    let mut scale_rng = SmallRng::seed_from_u64(seed ^ 0x5ca1_ab1e);
-    let mut offset_rng = SmallRng::seed_from_u64(seed ^ 0x0ff5_e7e5);
+    let mut scale_rng = Pcg32::seed_from_u64(seed ^ 0x5ca1_ab1e);
+    let mut offset_rng = Pcg32::seed_from_u64(seed ^ 0x0ff5_e7e5);
     let scales: Vec<f32> = (0..brows * bcols)
         .map(|_| {
             let u: f32 = scale_rng.gen_range(1e-3_f32..1.0);
@@ -79,7 +77,7 @@ pub fn heterogeneous(rows: usize, cols: usize, seed: u64, cfg: FieldConfig) -> T
         .collect();
     let offsets: Vec<f32> =
         (0..brows * bcols).map(|_| offset_rng.gen_range(-cfg.amplitude..cfg.amplitude)).collect();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     Tensor::from_fn(rows, cols, |r, c| {
         let b = (r / cfg.block) * bcols + c / cfg.block;
         cfg.base + offsets[b] + scales[b] * rng.gen_range(-1.0_f32..1.0)
@@ -102,12 +100,12 @@ pub fn image8(rows: usize, cols: usize, seed: u64) -> Tensor {
     let g = scaled_block(rows, cols);
     let grows = rows.div_ceil(g) + 1;
     let gcols = cols.div_ceil(g) + 1;
-    let mut grid_rng = SmallRng::seed_from_u64(seed ^ 0x1111_2222);
+    let mut grid_rng = Pcg32::seed_from_u64(seed ^ 0x1111_2222);
     let grid: Vec<f32> = (0..grows * gcols).map(|_| grid_rng.gen_range(70.0..180.0)).collect();
 
     let brows = rows.div_ceil(g);
     let bcols = cols.div_ceil(g);
-    let mut amp_rng = SmallRng::seed_from_u64(seed ^ 0x3333_4444);
+    let mut amp_rng = Pcg32::seed_from_u64(seed ^ 0x3333_4444);
     let amps: Vec<f32> = (0..brows * bcols)
         .map(|_| {
             // Heavy tail: ~4% of blocks carry strong texture.
@@ -121,7 +119,7 @@ pub fn image8(rows: usize, cols: usize, seed: u64) -> Tensor {
         })
         .collect();
 
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let mut img = Tensor::from_fn(rows, cols, |r, c| {
         let (gr, gc) = (r / g, c / g);
         let (fr, fc) = ((r % g) as f32 / g as f32, (c % g) as f32 / g as f32);
@@ -175,7 +173,7 @@ pub fn temperature(rows: usize, cols: usize, seed: u64) -> Tensor {
 /// multiplicative speckle noise.
 pub fn speckle(rows: usize, cols: usize, seed: u64) -> Tensor {
     let img = image8(rows, cols, seed);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xdead_beef);
+    let mut rng = Pcg32::seed_from_u64(seed ^ 0xdead_beef);
     img.map(|v| (v / 255.0).max(0.02) * rng.gen_range(0.5_f32..1.5))
 }
 

@@ -19,6 +19,8 @@
 //! * [`gen`] — seeded synthetic workload generators matching the paper's
 //!   randomly generated datasets (§5.1), with spatially varying dispersion
 //!   so that partitions genuinely differ in criticality.
+//! * [`rng`] — the dependency-free seeded PCG32 behind every random choice
+//!   in the workspace (dataset generation, sampling, SGD shuffling).
 //!
 //! # Examples
 //!
@@ -41,6 +43,7 @@ mod copy;
 mod error;
 pub mod gen;
 pub mod quant;
+pub mod rng;
 mod tensor;
 pub mod tile;
 

@@ -7,7 +7,6 @@
 //! dataset allows it. This module provides that geometry for both the
 //! element-wise vector model and the tile-wise matrix model (§3.2.1).
 
-use serde::{Deserialize, Serialize};
 
 /// Main-memory page size assumed by the partitioning rules (bytes).
 pub const PAGE_SIZE_BYTES: usize = 4096;
@@ -20,7 +19,7 @@ pub const MIN_VECTOR_ELEMS: usize = PAGE_SIZE_BYTES / std::mem::size_of::<f32>()
 pub const MIN_TILE_EDGE: usize = 1024;
 
 /// One rectangular partition of a 2-D dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Tile {
     /// Index of this tile within its grid (row-major).
     pub index: usize,
@@ -57,7 +56,7 @@ impl Tile {
 }
 
 /// Desired tile extent used to build a [`TileGrid`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TileSpec {
     rows: usize,
     cols: usize,
@@ -118,7 +117,7 @@ impl TileSpec {
 }
 
 /// The set of tiles covering one dataset.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TileGrid {
     tiles: Vec<Tile>,
     dataset: (usize, usize),
@@ -166,7 +165,7 @@ impl<'a> IntoIterator for &'a TileGrid {
 }
 
 /// One contiguous 1-D partition for the element-wise vector model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Segment {
     /// Index of this segment within its partitioning.
     pub index: usize,

@@ -1,105 +1,137 @@
-//! Property tests for the tensor substrate: views, strided copies, tiling
-//! geometry, and quantization.
+//! Randomized property tests for the tensor substrate: views, strided
+//! copies, tiling geometry, and quantization.
+//!
+//! Cases are drawn from a seeded [`Pcg32`] stream, so every run explores
+//! the same inputs and failures reproduce exactly.
 
-use proptest::prelude::*;
 use shmt_tensor::quant::{dequantize_tensor, quantize_tensor, QuantParams};
+use shmt_tensor::rng::Pcg32;
 use shmt_tensor::tile::{segment, TileSpec, MIN_VECTOR_ELEMS};
 use shmt_tensor::{copy2d, Rect, Tensor};
 
-proptest! {
-    /// copy2d round-trips any interior rectangle.
-    #[test]
-    fn copy2d_round_trips(
-        rows in 1usize..40,
-        cols in 1usize..40,
-        r0 in 0usize..20,
-        c0 in 0usize..20,
-    ) {
+/// copy2d round-trips any interior rectangle.
+#[test]
+fn copy2d_round_trips() {
+    let mut rng = Pcg32::seed_from_u64(0x7e50);
+    for _ in 0..64 {
+        let rows = rng.gen_range(1usize..40);
+        let cols = rng.gen_range(1usize..40);
+        let r0 = rng.gen_range(0usize..20);
+        let c0 = rng.gen_range(0usize..20);
         let src = Tensor::from_fn(rows + 20, cols + 20, |r, c| (r * 101 + c) as f32);
         let mut dst = Tensor::zeros(rows, cols);
         copy2d(&src, Rect::new(r0, c0, rows, cols), &mut dst, Rect::full(rows, cols)).unwrap();
         for r in 0..rows {
             for c in 0..cols {
-                prop_assert_eq!(dst[(r, c)], src[(r0 + r, c0 + c)]);
+                assert_eq!(dst[(r, c)], src[(r0 + r, c0 + c)]);
             }
         }
         // And back into a bigger tensor.
         let mut back = Tensor::zeros(rows + 20, cols + 20);
         copy2d(&dst, Rect::full(rows, cols), &mut back, Rect::new(r0, c0, rows, cols)).unwrap();
-        prop_assert_eq!(back[(r0, c0)], src[(r0, c0)]);
+        assert_eq!(back[(r0, c0)], src[(r0, c0)]);
     }
+}
 
-    /// Views agree with direct indexing for arbitrary windows.
-    #[test]
-    fn views_agree_with_indexing(
-        rows in 1usize..30,
-        cols in 1usize..30,
-        r0 in 0usize..10,
-        c0 in 0usize..10,
-    ) {
+/// Views agree with direct indexing for arbitrary windows.
+#[test]
+fn views_agree_with_indexing() {
+    let mut rng = Pcg32::seed_from_u64(0x7e51);
+    for _ in 0..64 {
+        let rows = rng.gen_range(1usize..30);
+        let cols = rng.gen_range(1usize..30);
+        let r0 = rng.gen_range(0usize..10);
+        let c0 = rng.gen_range(0usize..10);
         let t = Tensor::from_fn(rows + 10, cols + 10, |r, c| (r * 31 + c * 7) as f32);
         let v = t.view(r0, c0, rows, cols);
-        prop_assert_eq!(v.len(), rows * cols);
+        assert_eq!(v.len(), rows * cols);
         for r in 0..rows {
-            prop_assert_eq!(v.at(r, cols - 1), t[(r0 + r, c0 + cols - 1)]);
+            assert_eq!(v.at(r, cols - 1), t[(r0 + r, c0 + cols - 1)]);
         }
         let copied = v.to_tensor();
-        prop_assert_eq!(copied.shape(), (rows, cols));
-        prop_assert_eq!(copied[(rows - 1, cols - 1)], v.at(rows - 1, cols - 1));
+        assert_eq!(copied.shape(), (rows, cols));
+        assert_eq!(copied[(rows - 1, cols - 1)], v.at(rows - 1, cols - 1));
     }
+}
 
-    /// Tile grids cover without overlap for arbitrary specs.
-    #[test]
-    fn tile_grids_partition(rows in 1usize..80, cols in 1usize..80, tr in 1usize..20, tc in 1usize..20) {
+/// Tile grids cover without overlap for arbitrary specs.
+#[test]
+fn tile_grids_partition() {
+    let mut rng = Pcg32::seed_from_u64(0x7e52);
+    for _ in 0..64 {
+        let rows = rng.gen_range(1usize..80);
+        let cols = rng.gen_range(1usize..80);
+        let tr = rng.gen_range(1usize..20);
+        let tc = rng.gen_range(1usize..20);
         let grid = TileSpec::new(tr, tc).grid_for(rows, cols);
         let total: usize = grid.iter().map(|t| t.len()).sum();
-        prop_assert_eq!(total, rows * cols);
+        assert_eq!(total, rows * cols, "{rows}x{cols} @ {tr}x{tc}");
         let mut seen = vec![false; rows * cols];
         for t in &grid {
             for r in t.row0..t.row0 + t.rows {
                 for c in t.col0..t.col0 + t.cols {
-                    prop_assert!(!seen[r * cols + c]);
+                    assert!(!seen[r * cols + c], "overlap at ({r},{c})");
                     seen[r * cols + c] = true;
                 }
             }
         }
     }
+}
 
-    /// Vector segmentation is contiguous, complete, and page-aligned.
-    #[test]
-    fn segments_partition(len in 1usize..200_000, want in 1usize..32) {
+/// Vector segmentation is contiguous, complete, and page-aligned.
+#[test]
+fn segments_partition() {
+    let mut rng = Pcg32::seed_from_u64(0x7e53);
+    for _ in 0..200 {
+        let len = rng.gen_range(1usize..200_000);
+        let want = rng.gen_range(1usize..32);
         let segs = segment(len, want);
-        prop_assert!(segs.len() <= want);
-        prop_assert_eq!(segs[0].start, 0);
+        assert!(segs.len() <= want);
+        assert_eq!(segs[0].start, 0);
         let mut end = 0;
         for s in &segs {
-            prop_assert_eq!(s.start, end);
+            assert_eq!(s.start, end);
             end = s.end();
         }
-        prop_assert_eq!(end, len);
+        assert_eq!(end, len);
         if len >= MIN_VECTOR_ELEMS {
             for s in &segs[..segs.len() - 1] {
-                prop_assert_eq!(s.len % MIN_VECTOR_ELEMS, 0);
+                assert_eq!(s.len % MIN_VECTOR_ELEMS, 0, "len {len} want {want}");
             }
         }
     }
+}
 
-    /// Whole-tensor quantization round trips within one step everywhere.
-    #[test]
-    fn tensor_quantization_bounded(seed in 0u64..500, lo in -100.0f32..100.0, width in 0.1f32..500.0) {
+/// Whole-tensor quantization round trips within one step everywhere.
+#[test]
+fn tensor_quantization_bounded() {
+    let mut rng = Pcg32::seed_from_u64(0x7e54);
+    for _ in 0..200 {
+        let seed = rng.gen_range(0u64..500);
+        let lo = rng.gen_range(-100.0f32..100.0);
+        let width = rng.gen_range(0.1f32..500.0);
         let t = shmt_tensor::gen::uniform(8, 8, lo, lo + width, seed);
         let q = quantize_tensor(&t);
         let back = dequantize_tensor(&q);
         for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
-            prop_assert!((a - b).abs() <= q.params().scale() * 0.5 + width * 1e-4);
+            assert!(
+                (a - b).abs() <= q.params().scale() * 0.5 + width * 1e-4,
+                "lo {lo} width {width}: {a} vs {b}"
+            );
         }
     }
+}
 
-    /// snap is idempotent for any range.
-    #[test]
-    fn snap_idempotent(lo in -1e3f32..1e3, width in 1e-2f32..1e3, x in -2e3f32..2e3) {
+/// snap is idempotent for any range.
+#[test]
+fn snap_idempotent() {
+    let mut rng = Pcg32::seed_from_u64(0x7e55);
+    for _ in 0..2000 {
+        let lo = rng.gen_range(-1e3f32..1e3);
+        let width = rng.gen_range(1e-2f32..1e3);
+        let x = rng.gen_range(-2e3f32..2e3);
         let p = QuantParams::from_range(lo, lo + width);
         let once = p.snap(x);
-        prop_assert_eq!(p.snap(once), once);
+        assert_eq!(p.snap(once), once, "lo {lo} width {width} x {x}");
     }
 }

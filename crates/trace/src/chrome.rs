@@ -1,0 +1,370 @@
+//! Chrome trace-event JSON export, loadable in Perfetto or
+//! `chrome://tracing`, plus a reader for round-trip validation.
+//!
+//! The file is the standard "JSON object format": a top-level object with
+//! a `traceEvents` array. We emit:
+//!
+//! * `"M"` metadata events naming each device row (`thread_name`),
+//! * `"X"` complete events for paired spans (compute, cast, transfer,
+//!   partitioning, per-partition sampling overhead) with `ts`/`dur` in
+//!   microseconds,
+//! * `"i"` instant events for dispatches, steals, and aggregations,
+//! * `"C"` counter events for every gauge series.
+//!
+//! Device rows use `tid = DeviceId`; scheduler-side events (partitioning,
+//! sampling) sit on an extra row after the devices.
+
+use crate::event::{EventKind, Span};
+use crate::json::{JsonError, JsonValue, ObjectBuilder};
+use crate::sink::TraceData;
+
+/// Process id used for every event (one traced process).
+const PID: f64 = 1.0;
+
+fn secs_to_us(t: f64) -> f64 {
+    t * 1.0e6
+}
+
+fn event(ph: &str, name: &str, ts_us: f64, tid: usize) -> ObjectBuilder {
+    ObjectBuilder::new()
+        .field("ph", JsonValue::String(ph.into()))
+        .field("name", JsonValue::String(name.into()))
+        .field("ts", JsonValue::Number(ts_us))
+        .field("pid", JsonValue::Number(PID))
+        .field("tid", JsonValue::Number(tid as f64))
+}
+
+fn span_event(name: &str, cat: &str, span: &Span) -> JsonValue {
+    let mut b = event("X", name, secs_to_us(span.start_s), span.device)
+        .field("dur", JsonValue::Number(secs_to_us(span.duration_s())))
+        .field("cat", JsonValue::String(cat.into()));
+    if let Some(bytes) = span.bytes {
+        b = b.field(
+            "args",
+            ObjectBuilder::new().field("bytes", JsonValue::Number(bytes as f64)).build(),
+        );
+    }
+    b.build()
+}
+
+/// Renders a finalized trace as a Chrome trace-event JSON document.
+pub fn to_chrome_json(data: &TraceData) -> String {
+    let scheduler_tid = data.device_names.len().max(3);
+    let mut events: Vec<JsonValue> = Vec::new();
+
+    // Row names.
+    for (tid, name) in data.device_names.iter().enumerate() {
+        events.push(
+            event("M", "thread_name", 0.0, tid)
+                .field(
+                    "args",
+                    ObjectBuilder::new()
+                        .field("name", JsonValue::String(name.clone()))
+                        .build(),
+                )
+                .build(),
+        );
+    }
+    events.push(
+        event("M", "thread_name", 0.0, scheduler_tid)
+            .field(
+                "args",
+                ObjectBuilder::new()
+                    .field("name", JsonValue::String("scheduler".into()))
+                    .build(),
+            )
+            .build(),
+    );
+
+    // Paired spans.
+    for span in data.compute_spans() {
+        events.push(span_event(&format!("compute h{}", span.hlop), "compute", &span));
+    }
+    for span in data.cast_spans() {
+        events.push(span_event(&format!("cast h{}", span.hlop), "cast", &span));
+    }
+    for span in data.transfer_spans() {
+        events.push(span_event(&format!("transfer h{}", span.hlop), "transfer", &span));
+    }
+
+    // Scheduler-row spans and instants from the raw records.
+    let mut partition_start: Option<f64> = None;
+    for r in &data.records {
+        match r.kind {
+            EventKind::PartitionStart { .. } => partition_start = Some(r.time_s),
+            EventKind::PartitionEnd { hlops } => {
+                let start = partition_start.take().unwrap_or(r.time_s);
+                events.push(
+                    event("X", "partition", secs_to_us(start), scheduler_tid)
+                        .field("dur", JsonValue::Number(secs_to_us(r.time_s - start)))
+                        .field("cat", JsonValue::String("scheduler".into()))
+                        .field(
+                            "args",
+                            ObjectBuilder::new()
+                                .field("hlops", JsonValue::Number(hlops as f64))
+                                .build(),
+                        )
+                        .build(),
+                );
+            }
+            EventKind::SampleOverhead { hlop, cost_s } => {
+                // The record is stamped at the *end* of the partition's
+                // share of the serial overhead window.
+                events.push(
+                    event(
+                        "X",
+                        &format!("sample h{hlop}"),
+                        secs_to_us(r.time_s - cost_s),
+                        scheduler_tid,
+                    )
+                    .field("dur", JsonValue::Number(secs_to_us(cost_s)))
+                    .field("cat", JsonValue::String("scheduler".into()))
+                    .build(),
+                );
+            }
+            EventKind::Dispatch { hlop, device } => {
+                events.push(instant("dispatch", hlop, device, r.time_s));
+            }
+            EventKind::Steal { hlop, from, to } => {
+                events.push(
+                    event("i", &format!("steal h{hlop}"), secs_to_us(r.time_s), to)
+                        .field("s", JsonValue::String("t".into()))
+                        .field(
+                            "args",
+                            ObjectBuilder::new()
+                                .field("from", JsonValue::Number(from as f64))
+                                .field("to", JsonValue::Number(to as f64))
+                                .build(),
+                        )
+                        .build(),
+                );
+            }
+            EventKind::Aggregate { hlop, device } => {
+                events.push(instant("aggregate", hlop, device, r.time_s));
+            }
+            _ => {}
+        }
+    }
+
+    // Gauge series as counter tracks.
+    for (name, series) in data.metrics.gauges() {
+        for &(t, v) in series {
+            events.push(
+                ObjectBuilder::new()
+                    .field("ph", JsonValue::String("C".into()))
+                    .field("name", JsonValue::String(name.into()))
+                    .field("ts", JsonValue::Number(secs_to_us(t)))
+                    .field("pid", JsonValue::Number(PID))
+                    .field(
+                        "args",
+                        ObjectBuilder::new().field("value", JsonValue::Number(v)).build(),
+                    )
+                    .build(),
+            );
+        }
+    }
+
+    let mut counters = ObjectBuilder::new();
+    for (name, value) in data.metrics.counters() {
+        counters = counters.field(name, JsonValue::Number(value));
+    }
+
+    ObjectBuilder::new()
+        .field("displayTimeUnit", JsonValue::String("ms".into()))
+        .field("traceEvents", JsonValue::Array(events))
+        .field(
+            "otherData",
+            ObjectBuilder::new()
+                .field("generator", JsonValue::String("shmt-trace".into()))
+                .field("counters", counters.build())
+                .build(),
+        )
+        .build()
+        .to_string()
+}
+
+fn instant(verb: &str, hlop: usize, device: usize, time_s: f64) -> JsonValue {
+    event("i", &format!("{verb} h{hlop}"), secs_to_us(time_s), device)
+        .field("s", JsonValue::String("t".into()))
+        .build()
+}
+
+/// One event read back from a Chrome trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Phase: `"X"`, `"i"`, `"C"`, `"M"`, …
+    pub ph: String,
+    /// Event name.
+    pub name: String,
+    /// Timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds (complete events only).
+    pub dur: Option<f64>,
+    /// Thread (row) id.
+    pub tid: usize,
+    /// The raw `args` object, if present.
+    pub args: Option<JsonValue>,
+}
+
+/// A parsed Chrome trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeTrace {
+    /// All events in file order.
+    pub events: Vec<ChromeEvent>,
+    /// The document's `displayTimeUnit`, if present.
+    pub display_time_unit: Option<String>,
+}
+
+impl ChromeTrace {
+    /// Complete (`"X"`) events.
+    pub fn complete_events(&self) -> impl Iterator<Item = &ChromeEvent> {
+        self.events.iter().filter(|e| e.ph == "X")
+    }
+
+    /// Instant (`"i"`) events.
+    pub fn instant_events(&self) -> impl Iterator<Item = &ChromeEvent> {
+        self.events.iter().filter(|e| e.ph == "i")
+    }
+
+    /// Counter (`"C"`) events.
+    pub fn counter_events(&self) -> impl Iterator<Item = &ChromeEvent> {
+        self.events.iter().filter(|e| e.ph == "C")
+    }
+
+    /// The row name declared for `tid`, if any.
+    pub fn thread_name(&self, tid: usize) -> Option<&str> {
+        self.events
+            .iter()
+            .find(|e| e.ph == "M" && e.name == "thread_name" && e.tid == tid)
+            .and_then(|e| e.args.as_ref())
+            .and_then(|a| a.get("name"))
+            .and_then(JsonValue::as_str)
+    }
+
+    /// Sum of complete-event durations on `tid` whose name starts with
+    /// `prefix`, in *seconds*.
+    pub fn span_seconds(&self, tid: usize, prefix: &str) -> f64 {
+        self.complete_events()
+            .filter(|e| e.tid == tid && e.name.starts_with(prefix))
+            .filter_map(|e| e.dur)
+            .sum::<f64>()
+            / 1.0e6
+    }
+}
+
+/// Parses a Chrome trace-event JSON document produced by
+/// [`to_chrome_json`] (or any compatible object-format file).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed JSON or a missing `traceEvents`
+/// array.
+pub fn from_chrome_json(text: &str) -> Result<ChromeTrace, JsonError> {
+    let doc = JsonValue::parse(text)?;
+    let events_json = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or(JsonError { message: "missing traceEvents array".into(), offset: 0 })?;
+    let mut events = Vec::with_capacity(events_json.len());
+    for e in events_json {
+        let ph = e.get("ph").and_then(JsonValue::as_str).unwrap_or_default().to_owned();
+        let name = e.get("name").and_then(JsonValue::as_str).unwrap_or_default().to_owned();
+        let ts = e.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let dur = e.get("dur").and_then(JsonValue::as_f64);
+        let tid = e.get("tid").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize;
+        let args = e.get("args").cloned();
+        events.push(ChromeEvent { ph, name, ts, dur, tid, args });
+    }
+    Ok(ChromeTrace {
+        events,
+        display_time_unit: doc
+            .get("displayTimeUnit")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{TraceRecorder, TraceSink};
+
+    fn sample_trace() -> TraceData {
+        let mut rec = TraceRecorder::new();
+        rec.record(0.0, EventKind::PartitionStart { partitions: 4 });
+        rec.record(0.0, EventKind::PartitionEnd { hlops: 4 });
+        rec.record(0.001, EventKind::SampleOverhead { hlop: 0, cost_s: 0.001 });
+        rec.record(0.001, EventKind::Dispatch { hlop: 0, device: 0 });
+        rec.record(0.001, EventKind::Dispatch { hlop: 1, device: 2 });
+        rec.record(0.001, EventKind::CastStart { hlop: 1, device: 2 });
+        rec.record(0.002, EventKind::CastEnd { hlop: 1, device: 2 });
+        rec.record(0.002, EventKind::TransferStart { hlop: 1, device: 2, bytes: 4096 });
+        rec.record(0.003, EventKind::TransferEnd { hlop: 1, device: 2, bytes: 4096 });
+        rec.record(0.001, EventKind::ComputeStart { hlop: 0, device: 0 });
+        rec.record(0.004, EventKind::ComputeEnd { hlop: 0, device: 0 });
+        rec.record(0.003, EventKind::ComputeStart { hlop: 1, device: 2 });
+        rec.record(0.005, EventKind::ComputeEnd { hlop: 1, device: 2 });
+        rec.record(0.004, EventKind::Steal { hlop: 2, from: 2, to: 0 });
+        rec.record(0.005, EventKind::Aggregate { hlop: 1, device: 2 });
+        rec.gauge("queue.GPU", 0.001, 2.0);
+        rec.gauge("queue.GPU", 0.004, 1.0);
+        rec.counter("bus.bytes", 4096.0);
+        rec.finish()
+    }
+
+    #[test]
+    fn export_round_trips_through_own_reader() {
+        let data = sample_trace();
+        let json = to_chrome_json(&data);
+        let trace = from_chrome_json(&json).unwrap();
+        assert_eq!(trace.display_time_unit.as_deref(), Some("ms"));
+        assert_eq!(trace.thread_name(0), Some("GPU"));
+        assert_eq!(trace.thread_name(2), Some("EdgeTPU"));
+        assert_eq!(trace.thread_name(3), Some("scheduler"));
+        // 2 computes + 1 cast + 1 transfer + 1 partition + 1 sample.
+        assert_eq!(trace.complete_events().count(), 6);
+        // 2 dispatches + 1 steal + 1 aggregate.
+        assert_eq!(trace.instant_events().count(), 4);
+        assert_eq!(trace.counter_events().count(), 2);
+    }
+
+    #[test]
+    fn span_durations_survive_export() {
+        let data = sample_trace();
+        let trace = from_chrome_json(&to_chrome_json(&data)).unwrap();
+        let gpu_busy = trace.span_seconds(0, "compute");
+        assert!((gpu_busy - 0.003).abs() < 1e-12, "gpu busy {gpu_busy}");
+        let tpu_busy = trace.span_seconds(2, "compute");
+        assert!((tpu_busy - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_bytes_ride_in_args() {
+        let data = sample_trace();
+        let trace = from_chrome_json(&to_chrome_json(&data)).unwrap();
+        let xfer = trace
+            .complete_events()
+            .find(|e| e.name.starts_with("transfer"))
+            .expect("transfer event");
+        let bytes = xfer.args.as_ref().unwrap().get("bytes").unwrap().as_f64();
+        assert_eq!(bytes, Some(4096.0));
+    }
+
+    #[test]
+    fn steal_instant_carries_from_and_to() {
+        let data = sample_trace();
+        let trace = from_chrome_json(&to_chrome_json(&data)).unwrap();
+        let steal = trace.instant_events().find(|e| e.name.starts_with("steal")).unwrap();
+        let args = steal.args.as_ref().unwrap();
+        assert_eq!(args.get("from").unwrap().as_f64(), Some(2.0));
+        assert_eq!(args.get("to").unwrap().as_f64(), Some(0.0));
+        assert_eq!(steal.tid, 0, "steal instant sits on the thief's row");
+    }
+
+    #[test]
+    fn reader_rejects_non_trace_documents() {
+        assert!(from_chrome_json("[]").is_err());
+        assert!(from_chrome_json("{\"nope\":1}").is_err());
+        assert!(from_chrome_json("not json").is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! The typed event vocabulary of a traced SHMT run.
+
+/// Index of a device on the modeled platform (queue-index convention:
+/// 0 = GPU, 1 = CPU, 2 = Edge TPU).
+pub type DeviceId = usize;
+
+/// Display names for the canonical queue-index device order.
+pub const DEFAULT_DEVICE_NAMES: [&str; 3] = ["GPU", "CPU", "EdgeTPU"];
+
+/// One kind of trace event. Paired `*Start`/`*End` kinds form spans; the
+/// rest are instants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// The VOP partitioner started with this requested partition count.
+    PartitionStart {
+        /// Requested HLOP count.
+        partitions: usize,
+    },
+    /// Partitioning finished, producing this many HLOPs.
+    PartitionEnd {
+        /// HLOPs actually produced (may be fewer than requested).
+        hlops: usize,
+    },
+    /// Serial scheduler-side overhead attributed to one partition
+    /// (criticality sampling or an IRA canary), recorded at the instant
+    /// the partition's share of the overhead window ends.
+    SampleOverhead {
+        /// The partition sampled.
+        hlop: usize,
+        /// This partition's share of the serial overhead, in seconds.
+        cost_s: f64,
+    },
+    /// An HLOP was placed on a device's incoming queue by the initial
+    /// plan.
+    Dispatch {
+        /// The HLOP dispatched.
+        hlop: usize,
+        /// Queue index it landed on.
+        device: DeviceId,
+    },
+    /// An int8 cast began on the way to/from an approximate device.
+    CastStart {
+        /// The HLOP whose data is cast.
+        hlop: usize,
+        /// Device the cast serves.
+        device: DeviceId,
+    },
+    /// The cast finished.
+    CastEnd {
+        /// The HLOP whose data was cast.
+        hlop: usize,
+        /// Device the cast served.
+        device: DeviceId,
+    },
+    /// A bus transfer started occupying the interconnect.
+    TransferStart {
+        /// The HLOP whose data is moving.
+        hlop: usize,
+        /// Device the transfer serves.
+        device: DeviceId,
+        /// Bytes moved.
+        bytes: usize,
+    },
+    /// The bus transfer's last byte arrived.
+    TransferEnd {
+        /// The HLOP whose data moved.
+        hlop: usize,
+        /// Device the transfer served.
+        device: DeviceId,
+        /// Bytes moved.
+        bytes: usize,
+    },
+    /// A device began executing an HLOP (the start of its busy interval).
+    ComputeStart {
+        /// The HLOP executing.
+        hlop: usize,
+        /// Device executing it.
+        device: DeviceId,
+    },
+    /// The device finished the HLOP's compute (end of the busy interval;
+    /// excludes any post-compute stall on result restoration).
+    ComputeEnd {
+        /// The HLOP that finished.
+        hlop: usize,
+        /// Device that ran it.
+        device: DeviceId,
+    },
+    /// A work steal: `to` withdrew a pending HLOP from `from`'s queue.
+    Steal {
+        /// The HLOP that changed queues.
+        hlop: usize,
+        /// Victim queue index.
+        from: DeviceId,
+        /// Thief queue index.
+        to: DeviceId,
+    },
+    /// A finished HLOP moved to the completion queue for aggregation.
+    Aggregate {
+        /// The HLOP aggregated.
+        hlop: usize,
+        /// Device that produced it.
+        device: DeviceId,
+    },
+}
+
+impl EventKind {
+    /// Stable name of the kind (used by exporters and for counting).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PartitionStart { .. } => "PartitionStart",
+            EventKind::PartitionEnd { .. } => "PartitionEnd",
+            EventKind::SampleOverhead { .. } => "SampleOverhead",
+            EventKind::Dispatch { .. } => "Dispatch",
+            EventKind::CastStart { .. } => "CastStart",
+            EventKind::CastEnd { .. } => "CastEnd",
+            EventKind::TransferStart { .. } => "TransferStart",
+            EventKind::TransferEnd { .. } => "TransferEnd",
+            EventKind::ComputeStart { .. } => "ComputeStart",
+            EventKind::ComputeEnd { .. } => "ComputeEnd",
+            EventKind::Steal { .. } => "Steal",
+            EventKind::Aggregate { .. } => "Aggregate",
+        }
+    }
+
+    /// The device the event belongs to, when it has one. Steals report
+    /// the thief.
+    pub fn device(&self) -> Option<DeviceId> {
+        match *self {
+            EventKind::Dispatch { device, .. }
+            | EventKind::CastStart { device, .. }
+            | EventKind::CastEnd { device, .. }
+            | EventKind::TransferStart { device, .. }
+            | EventKind::TransferEnd { device, .. }
+            | EventKind::ComputeStart { device, .. }
+            | EventKind::ComputeEnd { device, .. }
+            | EventKind::Aggregate { device, .. } => Some(device),
+            EventKind::Steal { to, .. } => Some(to),
+            EventKind::PartitionStart { .. }
+            | EventKind::PartitionEnd { .. }
+            | EventKind::SampleOverhead { .. } => None,
+        }
+    }
+
+    /// The HLOP the event concerns, when it has one.
+    pub fn hlop(&self) -> Option<usize> {
+        match *self {
+            EventKind::SampleOverhead { hlop, .. }
+            | EventKind::Dispatch { hlop, .. }
+            | EventKind::CastStart { hlop, .. }
+            | EventKind::CastEnd { hlop, .. }
+            | EventKind::TransferStart { hlop, .. }
+            | EventKind::TransferEnd { hlop, .. }
+            | EventKind::ComputeStart { hlop, .. }
+            | EventKind::ComputeEnd { hlop, .. }
+            | EventKind::Steal { hlop, .. }
+            | EventKind::Aggregate { hlop, .. } => Some(hlop),
+            EventKind::PartitionStart { .. } | EventKind::PartitionEnd { .. } => None,
+        }
+    }
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of the event, in seconds since the run's epoch.
+    pub time_s: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A paired `*Start`/`*End` interval reconstructed from a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Device the span ran on.
+    pub device: DeviceId,
+    /// HLOP the span belongs to.
+    pub hlop: usize,
+    /// Span start, virtual seconds.
+    pub start_s: f64,
+    /// Span end, virtual seconds.
+    pub end_s: f64,
+    /// Bytes moved, for transfer spans.
+    pub bytes: Option<usize>,
+}
+
+impl Span {
+    /// Span duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let kinds = [
+            EventKind::PartitionStart { partitions: 1 },
+            EventKind::PartitionEnd { hlops: 1 },
+            EventKind::SampleOverhead { hlop: 0, cost_s: 0.0 },
+            EventKind::Dispatch { hlop: 0, device: 0 },
+            EventKind::CastStart { hlop: 0, device: 2 },
+            EventKind::CastEnd { hlop: 0, device: 2 },
+            EventKind::TransferStart { hlop: 0, device: 2, bytes: 1 },
+            EventKind::TransferEnd { hlop: 0, device: 2, bytes: 1 },
+            EventKind::ComputeStart { hlop: 0, device: 1 },
+            EventKind::ComputeEnd { hlop: 0, device: 1 },
+            EventKind::Steal { hlop: 0, from: 2, to: 0 },
+            EventKind::Aggregate { hlop: 0, device: 0 },
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn device_and_hlop_extraction() {
+        let k = EventKind::Steal { hlop: 7, from: 2, to: 0 };
+        assert_eq!(k.device(), Some(0), "steal reports the thief");
+        assert_eq!(k.hlop(), Some(7));
+        assert_eq!(EventKind::PartitionStart { partitions: 4 }.device(), None);
+        assert_eq!(EventKind::PartitionEnd { hlops: 4 }.hlop(), None);
+    }
+
+    #[test]
+    fn span_duration() {
+        let s = Span { device: 0, hlop: 1, start_s: 0.25, end_s: 1.0, bytes: None };
+        assert!((s.duration_s() - 0.75).abs() < 1e-12);
+    }
+}

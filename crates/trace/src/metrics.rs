@@ -1,0 +1,189 @@
+//! Counters, gauge time series, and a fixed-bound histogram.
+
+use std::collections::BTreeMap;
+
+/// A registry of run-level metrics.
+///
+/// *Counters* are monotonic sums ("bus.bytes", "steals"); *gauges* are
+/// timestamped series sampled at event boundaries ("queue.GPU" depth over
+/// virtual time, "bus.busy_s" occupancy). `BTreeMap` keeps iteration
+/// order deterministic, so exports are stable across runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn add_counter(&mut self, name: &str, delta: f64) {
+        *self.counters.entry(name.to_owned()).or_insert(0.0) += delta;
+    }
+
+    /// Appends a `(time_s, value)` sample to the named gauge series.
+    pub fn push_gauge(&mut self, name: &str, time_s: f64, value: f64) {
+        self.gauges.entry(name.to_owned()).or_default().push((time_s, value));
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// The samples of a gauge series, in recording order.
+    pub fn gauge_series(&self, name: &str) -> &[(f64, f64)] {
+        self.gauges.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// The peak value a gauge series reached, if it has any samples.
+    pub fn gauge_peak(&self, name: &str) -> Option<f64> {
+        self.gauge_series(name).iter().map(|&(_, v)| v).reduce(f64::max)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates gauge series in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &[(f64, f64)])> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// `true` when no counter or gauge was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Merges another registry into this one (counters add, gauge series
+    /// concatenate).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in other.counters() {
+            self.add_counter(name, value);
+        }
+        for (name, series) in other.gauges() {
+            self.gauges.entry(name.to_owned()).or_default().extend_from_slice(series);
+        }
+    }
+}
+
+/// A histogram over fixed upper bounds, plus an overflow bucket.
+///
+/// Used for utilization and span-duration distributions in the text
+/// summary; `bucket_counts()[i]` counts samples `<= bounds[i]` (first
+/// matching bound wins), and the final entry counts overflows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], total: 0 }
+    }
+
+    /// Ten equal-width buckets over `[0, 1]` — utilization fractions.
+    pub fn utilization() -> Self {
+        Histogram::new(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// The configured upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("bus.bytes"), 0.0);
+        m.add_counter("bus.bytes", 100.0);
+        m.add_counter("bus.bytes", 24.0);
+        assert_eq!(m.counter("bus.bytes"), 124.0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn gauges_keep_order_and_peak() {
+        let mut m = MetricsRegistry::new();
+        m.push_gauge("queue.GPU", 0.0, 3.0);
+        m.push_gauge("queue.GPU", 0.5, 5.0);
+        m.push_gauge("queue.GPU", 1.0, 1.0);
+        assert_eq!(m.gauge_series("queue.GPU").len(), 3);
+        assert_eq!(m.gauge_series("queue.GPU")[1], (0.5, 5.0));
+        assert_eq!(m.gauge_peak("queue.GPU"), Some(5.0));
+        assert_eq!(m.gauge_peak("missing"), None);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_extends_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.add_counter("steals", 2.0);
+        a.push_gauge("queue.CPU", 0.0, 1.0);
+        let mut b = MetricsRegistry::new();
+        b.add_counter("steals", 3.0);
+        b.push_gauge("queue.CPU", 1.0, 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("steals"), 5.0);
+        assert_eq!(a.gauge_series("queue.CPU").len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.record(0.5);
+        h.record(1.0); // inclusive upper bound
+        h.record(1.5);
+        h.record(9.0); // overflow
+        assert_eq!(h.bucket_counts(), &[2, 1, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unordered_bounds() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain-text per-device timeline summaries of a finalized trace.
+
+use crate::metrics::Histogram;
+use crate::sink::TraceData;
+
+/// Renders a human-readable per-device summary of a trace:
+/// one row per device (HLOPs, busy seconds, utilization bar), then the
+/// overall event/steal/transfer totals and a utilization histogram over
+/// the devices. `makespan_s` scales the utilization figures; pass the
+/// run's reported makespan.
+///
+/// # Panics
+///
+/// Panics if `makespan_s` is not positive.
+pub fn timeline_summary(data: &TraceData, makespan_s: f64) -> String {
+    assert!(makespan_s > 0.0, "makespan must be positive");
+    const BAR: usize = 30;
+    let busy = data.busy_per_device();
+    let spans = data.compute_spans();
+    let mut hist = Histogram::utilization();
+    let mut out = String::from("device    HLOPs     busy_s   util\n");
+    for (d, name) in data.device_names.iter().enumerate() {
+        let b = busy.get(d).copied().unwrap_or(0.0);
+        let util = (b / makespan_s).clamp(0.0, 1.0);
+        hist.record(util);
+        let hlops = spans.iter().filter(|s| s.device == d).count();
+        let filled = (util * BAR as f64).round() as usize;
+        let bar: String = std::iter::repeat('#')
+            .take(filled)
+            .chain(std::iter::repeat('.').take(BAR - filled))
+            .collect();
+        out.push_str(&format!(
+            "{name:<8} {hlops:>6} {b:>10.6} {:>5.1}% |{bar}|\n",
+            util * 100.0
+        ));
+    }
+    let transfers = data.transfer_spans();
+    let bytes: usize = transfers.iter().filter_map(|s| s.bytes).sum();
+    out.push_str(&format!(
+        "events {} ({} kinds), steals {}, transfers {} ({} bytes), casts {}\n",
+        data.len(),
+        data.distinct_kinds(),
+        data.steals(),
+        transfers.len(),
+        bytes,
+        data.cast_spans().len(),
+    ));
+    out.push_str("utilization histogram (devices per decile): ");
+    let counts = hist.bucket_counts();
+    for (i, c) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&c.to_string());
+    }
+    out.push('\n');
+    for (name, series) in data.metrics.gauges() {
+        if let Some(peak) = series.iter().map(|&(_, v)| v).reduce(f64::max) {
+            out.push_str(&format!("gauge {name}: {} samples, peak {peak}\n", series.len()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::sink::{TraceRecorder, TraceSink};
+
+    #[test]
+    fn summary_lists_devices_and_totals() {
+        let mut rec = TraceRecorder::new();
+        rec.record(0.0, EventKind::ComputeStart { hlop: 0, device: 0 });
+        rec.record(0.6, EventKind::ComputeEnd { hlop: 0, device: 0 });
+        rec.record(0.0, EventKind::ComputeStart { hlop: 1, device: 2 });
+        rec.record(0.3, EventKind::ComputeEnd { hlop: 1, device: 2 });
+        rec.record(0.3, EventKind::Steal { hlop: 2, from: 2, to: 0 });
+        rec.gauge("queue.GPU", 0.0, 2.0);
+        let text = timeline_summary(&rec.finish(), 1.0);
+        assert!(text.contains("GPU"), "{text}");
+        assert!(text.contains("EdgeTPU"));
+        assert!(text.contains("60.0%"));
+        assert!(text.contains("steals 1"));
+        assert!(text.contains("gauge queue.GPU: 1 samples, peak 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "makespan must be positive")]
+    fn summary_rejects_zero_makespan() {
+        timeline_summary(&TraceData::default(), 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Observability walkthrough: capture a traced run, print the per-device
+//! timeline summary, and export a Chrome trace for Perfetto.
+//!
+//! ```text
+//! cargo run --release --example trace_run
+//! ```
+//!
+//! Executes one QAWS run with full trace capture, validates the exported
+//! JSON by re-reading it with the crate's own parser, and writes the file
+//! to `results/trace_example.json` — open it at <https://ui.perfetto.dev>
+//! or in `chrome://tracing`.
+
+use shmt::sampling::SamplingMethod;
+use shmt::trace::{chrome, summary};
+use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
+use shmt_kernels::Benchmark;
+
+fn main() -> Result<(), shmt::ShmtError> {
+    let benchmark = Benchmark::Sobel;
+    let size = 1024;
+    println!("SHMT trace capture: {benchmark} on a {size}x{size} image\n");
+
+    let inputs = benchmark.generate_inputs(size, size, 42);
+    let vop = Vop::from_benchmark(benchmark, inputs)?;
+    let policy = Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    };
+    let runtime = ShmtRuntime::new(Platform::jetson(benchmark), RuntimeConfig::new(policy));
+
+    // `execute_traced` is `execute` plus capture: same code path, same
+    // bit-identical output, with a finalized trace on the report.
+    let report = runtime.execute_traced(&vop)?;
+    let trace = report.trace.as_ref().expect("traced run carries a trace");
+
+    println!(
+        "captured {} events across {} kinds (monotonic: {})\n",
+        trace.len(),
+        trace.distinct_kinds(),
+        trace.is_monotonic()
+    );
+    print!("{}", summary::timeline_summary(trace, report.makespan_s));
+
+    // Export, then prove the file is well-formed by re-reading it.
+    let json = chrome::to_chrome_json(trace);
+    let parsed = chrome::from_chrome_json(&json).expect("exporter emits valid Chrome JSON");
+    println!(
+        "\nChrome trace: {} complete spans, {} instants, {} counter samples",
+        parsed.complete_events().count(),
+        parsed.instant_events().count(),
+        parsed.counter_events().count()
+    );
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/trace_example.json";
+    std::fs::write(path, &json).expect("write trace file");
+    println!("wrote {path} ({} bytes) — load it at https://ui.perfetto.dev", json.len());
+    Ok(())
+}

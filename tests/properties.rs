@@ -1,29 +1,32 @@
-//! Property-based tests (proptest) over the core data structures and
+//! Randomized property tests over the core data structures and
 //! invariants: partition coverage, quantization bounds, sampling bounds,
 //! metric properties, and runtime conservation laws.
+//!
+//! Cases are drawn from a seeded [`Pcg32`] stream, so every run explores
+//! the same inputs and failures reproduce exactly.
 
-use proptest::prelude::*;
 use shmt::partition::partition_tiles;
 use shmt::quality::{mape, ssim};
 use shmt::sampling::{sample_partition, SamplingMethod};
-use shmt_kernels::{Benchmark, KernelShape};
+use shmt_kernels::{Benchmark, KernelShape, ALL_BENCHMARKS};
 use shmt_tensor::quant::QuantParams;
+use shmt_tensor::rng::Pcg32;
 use shmt_tensor::tile::Tile;
 use shmt_tensor::Tensor;
 
-proptest! {
-    /// Partitions cover the space exactly once for any shape/kernel.
-    #[test]
-    fn partitions_cover_exactly(
-        rows in 1usize..300,
-        cols in 1usize..300,
-        want in 1usize..40,
-        bench in prop::sample::select(shmt_kernels::ALL_BENCHMARKS.to_vec()),
-    ) {
+/// Partitions cover the space exactly once for any shape/kernel.
+#[test]
+fn partitions_cover_exactly() {
+    let mut rng = Pcg32::seed_from_u64(0x5151);
+    for _ in 0..64 {
+        let rows = rng.gen_range(1usize..300);
+        let cols = rng.gen_range(1usize..300);
+        let want = rng.gen_range(1usize..40);
+        let bench = ALL_BENCHMARKS[rng.gen_range(0usize..ALL_BENCHMARKS.len())];
         let shape = bench.kernel().shape();
         let tiles = partition_tiles(rows, cols, want, &shape);
         let total: usize = tiles.iter().map(Tile::len).sum();
-        prop_assert_eq!(total, rows * cols);
+        assert_eq!(total, rows * cols, "{bench} {rows}x{cols}/{want}");
         // Disjointness via coverage counting.
         let mut covered = vec![0u8; rows * cols];
         for t in &tiles {
@@ -33,132 +36,164 @@ proptest! {
                 }
             }
         }
-        prop_assert!(covered.iter().all(|&v| v == 1));
+        assert!(covered.iter().all(|&v| v == 1), "{bench} {rows}x{cols}/{want}");
         // Alignment rule.
         for t in &tiles {
-            prop_assert_eq!(t.row0 % shape.block_align, 0);
-            prop_assert_eq!(t.col0 % shape.block_align, 0);
+            assert_eq!(t.row0 % shape.block_align, 0);
+            assert_eq!(t.col0 % shape.block_align, 0);
             if shape.full_rows {
-                prop_assert_eq!(t.cols, cols);
+                assert_eq!(t.cols, cols);
             }
-        }
-    }
-
-    /// Quantization round-trip error is bounded by half a step (plus float
-    /// slack) for in-range values.
-    #[test]
-    fn quant_round_trip_bounded(lo in -1e4f32..1e4, width in 1e-3f32..1e4, x01 in 0.0f32..1.0) {
-        let hi = lo + width;
-        let params = QuantParams::from_range(lo, hi);
-        let x = lo + width * x01;
-        let err = (params.snap(x) - x).abs();
-        prop_assert!(err <= params.scale() * 0.5 + width * 1e-4, "err {} scale {}", err, params.scale());
-    }
-
-    /// Quantize always lands in the int8 code space and dequantize inverts
-    /// onto the grid.
-    #[test]
-    fn quant_codes_are_stable(lo in -1e3f32..1e3, width in 1e-3f32..1e3, x in -2e3f32..2e3) {
-        let params = QuantParams::from_range(lo, lo + width);
-        let code = params.quantize(x);
-        let snapped = params.dequantize(code);
-        prop_assert_eq!(params.quantize(snapped), code);
-    }
-
-    /// Sampling never exceeds the partition and honors the minimum.
-    #[test]
-    fn sampling_is_bounded(
-        rows in 2usize..128,
-        cols in 2usize..128,
-        rate in 1e-6f64..1.0,
-        method in prop::sample::select(vec![
-            SamplingMethod::Striding,
-            SamplingMethod::UniformRandom,
-            SamplingMethod::Reduction,
-        ]),
-    ) {
-        let t = Tensor::from_fn(rows, cols, |r, c| (r * cols + c) as f32);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows, cols };
-        let s = sample_partition(&t, tile, method, rate, 42);
-        prop_assert!(!s.values.is_empty());
-        prop_assert!(s.values.len() <= rows * cols);
-        prop_assert!(s.cost_s > 0.0);
-        // Every sample is a real element value.
-        for v in &s.values {
-            prop_assert!(*v >= 0.0 && *v < (rows * cols) as f32);
-        }
-    }
-
-    /// MAPE is zero iff outputs match; positive otherwise; scale-invariant
-    /// under joint positive scaling.
-    #[test]
-    fn mape_properties(scale in 0.1f32..10.0, noise in 0.001f32..0.5) {
-        let reference = Tensor::from_fn(16, 16, |r, c| 1.0 + ((r * 31 + c * 17) % 13) as f32);
-        prop_assert_eq!(mape(&reference, &reference.clone()), 0.0);
-        let noisy = reference.map(|v| v * (1.0 + noise));
-        let e1 = mape(&reference, &noisy);
-        prop_assert!(e1 > 0.0);
-        // Joint scaling leaves relative error unchanged.
-        let sref = reference.map(|v| v * scale);
-        let snoisy = noisy.map(|v| v * scale);
-        let e2 = mape(&sref, &snoisy);
-        prop_assert!((e1 - e2).abs() < 1e-4, "{} vs {}", e1, e2);
-    }
-
-    /// SSIM is symmetric-ish in its structural sense: identical tensors
-    /// score 1, and adding noise can only lower it.
-    #[test]
-    fn ssim_bounds(noise in 0.0f32..50.0) {
-        let reference = Tensor::from_fn(24, 24, |r, c| ((r * 7 + c * 5) % 97) as f32);
-        let perturbed = Tensor::from_fn(24, 24, |r, c| {
-            reference[(r, c)] + noise * (((r * 13 + c * 11) % 7) as f32 - 3.0)
-        });
-        let s = ssim(&reference, &perturbed);
-        prop_assert!(s <= 1.0 + 1e-9);
-        prop_assert!(s >= -1.0 - 1e-9);
-        if noise == 0.0 {
-            prop_assert!((s - 1.0).abs() < 1e-9);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Quantization round-trip error is bounded by half a step (plus float
+/// slack) for in-range values.
+#[test]
+fn quant_round_trip_bounded() {
+    let mut rng = Pcg32::seed_from_u64(0x5152);
+    for _ in 0..2000 {
+        let lo = rng.gen_range(-1e4f32..1e4);
+        let width = rng.gen_range(1e-3f32..1e4);
+        let x01 = rng.next_f32();
+        let hi = lo + width;
+        let params = QuantParams::from_range(lo, hi);
+        let x = lo + width * x01;
+        let err = (params.snap(x) - x).abs();
+        assert!(
+            err <= params.scale() * 0.5 + width * 1e-4,
+            "err {} scale {}",
+            err,
+            params.scale()
+        );
+    }
+}
 
-    /// Conservation: whatever the policy and seed, every HLOP executes
-    /// exactly once and histogram mass is preserved within the int8 count
-    /// regression tolerance.
-    #[test]
-    fn runtime_conserves_hlops_and_mass(seed in 0u64..1000, parts in 2usize..12) {
+/// Quantize always lands in the int8 code space and dequantize inverts
+/// onto the grid.
+#[test]
+fn quant_codes_are_stable() {
+    let mut rng = Pcg32::seed_from_u64(0x5153);
+    for _ in 0..2000 {
+        let lo = rng.gen_range(-1e3f32..1e3);
+        let width = rng.gen_range(1e-3f32..1e3);
+        let x = rng.gen_range(-2e3f32..2e3);
+        let params = QuantParams::from_range(lo, lo + width);
+        let code = params.quantize(x);
+        let snapped = params.dequantize(code);
+        assert_eq!(params.quantize(snapped), code, "lo {lo} width {width} x {x}");
+    }
+}
+
+/// Sampling never exceeds the partition and honors the minimum.
+#[test]
+fn sampling_is_bounded() {
+    const METHODS: [SamplingMethod; 3] =
+        [SamplingMethod::Striding, SamplingMethod::UniformRandom, SamplingMethod::Reduction];
+    let mut rng = Pcg32::seed_from_u64(0x5154);
+    for _ in 0..48 {
+        let rows = rng.gen_range(2usize..128);
+        let cols = rng.gen_range(2usize..128);
+        let rate = rng.gen_range(1e-6f64..1.0);
+        let method = METHODS[rng.gen_range(0usize..METHODS.len())];
+        let t = Tensor::from_fn(rows, cols, |r, c| (r * cols + c) as f32);
+        let tile = Tile { index: 0, row0: 0, col0: 0, rows, cols };
+        let s = sample_partition(&t, tile, method, rate, 42);
+        assert!(!s.values.is_empty());
+        assert!(s.values.len() <= rows * cols);
+        assert!(s.cost_s > 0.0);
+        // Every sample is a real element value.
+        for v in &s.values {
+            assert!(*v >= 0.0 && *v < (rows * cols) as f32, "{method:?} {rows}x{cols}");
+        }
+    }
+}
+
+/// MAPE is zero iff outputs match; positive otherwise; scale-invariant
+/// under joint positive scaling.
+#[test]
+fn mape_properties() {
+    let mut rng = Pcg32::seed_from_u64(0x5155);
+    for _ in 0..200 {
+        let scale = rng.gen_range(0.1f32..10.0);
+        let noise = rng.gen_range(0.001f32..0.5);
+        let reference = Tensor::from_fn(16, 16, |r, c| 1.0 + ((r * 31 + c * 17) % 13) as f32);
+        assert_eq!(mape(&reference, &reference.clone()), 0.0);
+        let noisy = reference.map(|v| v * (1.0 + noise));
+        let e1 = mape(&reference, &noisy);
+        assert!(e1 > 0.0);
+        // Joint scaling leaves relative error unchanged.
+        let sref = reference.map(|v| v * scale);
+        let snoisy = noisy.map(|v| v * scale);
+        let e2 = mape(&sref, &snoisy);
+        assert!((e1 - e2).abs() < 1e-4, "{} vs {}", e1, e2);
+    }
+}
+
+/// SSIM stays in [-1, 1], identical tensors score 1.
+#[test]
+fn ssim_bounds() {
+    let reference = Tensor::from_fn(24, 24, |r, c| ((r * 7 + c * 5) % 97) as f32);
+    assert!((ssim(&reference, &reference.clone()) - 1.0).abs() < 1e-9);
+    let mut rng = Pcg32::seed_from_u64(0x5156);
+    for _ in 0..100 {
+        let noise = rng.gen_range(0.0f32..50.0) + 1e-3;
+        let perturbed = Tensor::from_fn(24, 24, |r, c| {
+            reference[(r, c)] + noise * (((r * 13 + c * 11) % 7) as f32 - 3.0)
+        });
+        let s = ssim(&reference, &perturbed);
+        assert!(s <= 1.0 + 1e-9, "noise {noise}: {s}");
+        assert!(s >= -1.0 - 1e-9, "noise {noise}: {s}");
+    }
+}
+
+/// Conservation: whatever the policy and seed, every HLOP executes
+/// exactly once and histogram mass is preserved within the int8 count
+/// regression tolerance.
+#[test]
+fn runtime_conserves_hlops_and_mass() {
+    let mut rng = Pcg32::seed_from_u64(0x5157);
+    for _ in 0..8 {
+        let seed = rng.gen_range(0u64..1000);
+        let parts = rng.gen_range(2usize..12);
         let b = Benchmark::Histogram;
         let vop = shmt::Vop::from_benchmark(b, b.generate_inputs(96, 96, seed)).unwrap();
         let mut cfg = shmt::RuntimeConfig::new(shmt::Policy::WorkStealing);
         cfg.partitions = parts;
-        let report = shmt::ShmtRuntime::new(shmt::Platform::jetson(b), cfg)
-            .execute(&vop)
-            .unwrap();
+        let report =
+            shmt::ShmtRuntime::new(shmt::Platform::jetson(b), cfg).execute(&vop).unwrap();
         // Each record id unique.
         let mut ids: Vec<usize> = report.records.iter().map(|r| r.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), report.records.len());
+        assert_eq!(ids.len(), report.records.len());
         let total: f32 = report.output.as_slice().iter().sum();
         let expect = 96.0 * 96.0;
-        prop_assert!((total - expect).abs() < 0.08 * expect, "mass {}", total);
+        assert!((total - expect).abs() < 0.08 * expect, "seed {seed} parts {parts}: mass {total}");
     }
+}
 
-    /// The page rule: partitions of page-sized-or-larger datasets hold at
-    /// least one page of f32 elements.
-    #[test]
-    fn page_rule_holds(rows in 64usize..512, cols in 64usize..512, want in 1usize..64) {
+/// The page rule: partitions of page-sized-or-larger datasets hold at
+/// least one page of f32 elements.
+#[test]
+fn page_rule_holds() {
+    let mut rng = Pcg32::seed_from_u64(0x5158);
+    for _ in 0..64 {
+        let rows = rng.gen_range(64usize..512);
+        let cols = rng.gen_range(64usize..512);
+        let want = rng.gen_range(1usize..64);
         let shape = KernelShape::elementwise();
         let tiles = partition_tiles(rows, cols, want, &shape);
         if rows * cols >= shmt_tensor::tile::MIN_VECTOR_ELEMS {
             for t in &tiles {
-                prop_assert!(
+                assert!(
                     t.len() >= shmt_tensor::tile::MIN_VECTOR_ELEMS,
                     "tile {} elems of {}x{} / {}",
-                    t.len(), rows, cols, want
+                    t.len(),
+                    rows,
+                    cols,
+                    want
                 );
             }
         }
