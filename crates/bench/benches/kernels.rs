@@ -8,7 +8,13 @@ use shmt_tensor::Tensor;
 
 fn bench_kernels() {
     let n = 256;
-    let tile = Tile { index: 0, row0: 0, col0: 0, rows: n, cols: n };
+    let tile = Tile {
+        index: 0,
+        row0: 0,
+        col0: 0,
+        rows: n,
+        cols: n,
+    };
     let group = Group::new("kernel");
     for b in ALL_BENCHMARKS {
         let kernel = b.kernel();
@@ -34,7 +40,13 @@ fn bench_one(b: Benchmark) {
     for n in [64usize, 128, 256] {
         let inputs = b.generate_inputs(n, n, 1);
         let refs: Vec<&Tensor> = inputs.iter().collect();
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: n, cols: n };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: n,
+            cols: n,
+        };
         group.bench(&format!("{n}"), || {
             let mut out = kernel.shape().allocate_output(n, n);
             kernel.run_exact(std::hint::black_box(&refs), tile, &mut out);

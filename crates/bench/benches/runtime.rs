@@ -17,7 +17,10 @@ fn main() {
         ("ws", Policy::WorkStealing),
         (
             "qaws-ts",
-            Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding },
+            Policy::Qaws {
+                assignment: QawsAssignment::TopK,
+                sampling: SamplingMethod::Striding,
+            },
         ),
         (
             "qaws-lr",
@@ -31,7 +34,9 @@ fn main() {
             let mut cfg = RuntimeConfig::new(policy);
             cfg.partitions = 16;
             cfg.quality.sampling_rate = 0.01;
-            ShmtRuntime::new(platform.clone(), cfg).execute(std::hint::black_box(&vop)).unwrap()
+            ShmtRuntime::new(platform.clone(), cfg)
+                .execute(std::hint::black_box(&vop))
+                .unwrap()
         });
     }
 }

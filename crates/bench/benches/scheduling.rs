@@ -10,7 +10,13 @@ use shmt_tensor::tile::Tile;
 
 fn bench_sampling() {
     let t = gen::image8(1024, 1024, 1);
-    let tile = Tile { index: 0, row0: 0, col0: 0, rows: 1024, cols: 1024 };
+    let tile = Tile {
+        index: 0,
+        row0: 0,
+        col0: 0,
+        rows: 1024,
+        cols: 1024,
+    };
     let group = Group::new("sampling");
     for (name, method) in [
         ("striding", SamplingMethod::Striding),

@@ -19,7 +19,10 @@ use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
 use shmt_kernels::Benchmark;
 
 fn qaws_ts() -> Policy {
-    Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding }
+    Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    }
 }
 
 fn main() {
@@ -41,8 +44,13 @@ fn run_benchmark(b: Benchmark, config: shmt::experiments::ExperimentConfig) {
     let baseline = gpu_baseline(&platform, &vop, config.partitions).expect("baseline");
 
     let eval = |cfg: RuntimeConfig| {
-        let r = ShmtRuntime::new(platform.clone(), cfg).execute(&vop).expect("run");
-        (baseline.makespan_s / r.makespan_s, mape(&reference, &r.output) * 100.0)
+        let r = ShmtRuntime::new(platform.clone(), cfg)
+            .execute(&vop)
+            .expect("run");
+        (
+            baseline.makespan_s / r.makespan_s,
+            mape(&reference, &r.output) * 100.0,
+        )
     };
 
     println!("-- partition granularity (QAWS-TS) --");

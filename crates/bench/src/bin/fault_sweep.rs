@@ -1,0 +1,171 @@
+//! Sweeps the fault-injection scenarios across all six QAWS variants.
+//!
+//! ```text
+//! cargo run --release -p shmt-bench --bin fault_sweep -- --size 1024
+//! ```
+//!
+//! Runs Sobel under each QAWS variant against five fault scenarios — none,
+//! a GPU slowdown window, transient transfer failures, the Edge TPU absent
+//! from the start, and a mid-run GPU dropout — and writes
+//! `results/faults_<policy>.json` with makespan, output MAPE, and the
+//! fault counters per scenario. Every file is validated by re-reading it
+//! with the crate's own JSON parser before it is reported as written, and
+//! the degraded flag is asserted to fire exactly for the dropout
+//! scenarios.
+
+use shmt::quality::mape;
+use shmt::sched::{GPU, TPU};
+use shmt::{FaultPlan, Platform, Policy, RuntimeConfig, ShmtRuntime, Vop};
+use shmt_bench::parse_config;
+use shmt_kernels::Benchmark;
+use shmt_tensor::Tensor;
+use shmt_trace::json::{JsonValue, ObjectBuilder};
+
+fn policy_slug(policy: Policy) -> String {
+    policy
+        .name()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The sweep's fault schedules. The GPU dropout lands a quarter of the way
+/// into the healthy run so its queue still holds work to re-dispatch.
+fn scenarios(healthy_makespan_s: f64, seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("none", FaultPlan::none()),
+        (
+            "gpu_slowdown",
+            FaultPlan::none().with_slowdown(GPU, 0.0, 1.0e9, 4.0),
+        ),
+        (
+            "transfer_faults",
+            FaultPlan::none()
+                .with_seed(seed)
+                .with_transfer_failures(0.25),
+        ),
+        ("tpu_dropout", FaultPlan::none().with_unavailable(TPU)),
+        (
+            "gpu_dropout",
+            FaultPlan::none().with_dropout(GPU, healthy_makespan_s * 0.25),
+        ),
+    ]
+}
+
+fn scenario_row(name: &str, makespan_s: f64, err: f64, faults: &shmt::FaultReport) -> JsonValue {
+    ObjectBuilder::new()
+        .field("name", JsonValue::String(name.into()))
+        .field("makespan_s", JsonValue::Number(makespan_s))
+        .field("mape", JsonValue::Number(err))
+        .field("injected", JsonValue::Number(faults.injected as f64))
+        .field("retried", JsonValue::Number(faults.retried as f64))
+        .field(
+            "redispatched",
+            JsonValue::Number(faults.redispatched as f64),
+        )
+        .field(
+            "devices_lost",
+            JsonValue::Number(faults.devices_lost as f64),
+        )
+        .field("degraded", JsonValue::Bool(faults.degraded))
+        .build()
+}
+
+/// Re-reads a written document and checks the invariant the sweep exists
+/// to demonstrate: `degraded` fires exactly for the dropout scenarios.
+fn validate(json: &str, policy: &str) {
+    let doc = JsonValue::parse(json).expect("sweep output must parse");
+    let rows = doc
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .expect("scenarios array");
+    assert_eq!(rows.len(), 5, "{policy}: five scenarios");
+    for row in rows {
+        let name = row.get("name").and_then(JsonValue::as_str).expect("name");
+        let degraded = matches!(row.get("degraded"), Some(JsonValue::Bool(true)));
+        assert_eq!(
+            degraded,
+            name.ends_with("dropout"),
+            "{policy}/{name}: degraded must be set iff a dropout was injected"
+        );
+    }
+}
+
+fn main() {
+    let config = parse_config(std::env::args().skip(1));
+    let benchmark = Benchmark::Sobel;
+
+    println!(
+        "fault sweep: {benchmark} at {0}x{0} with {1} partitions, seed {2}\n",
+        config.size, config.partitions, config.seed
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+
+    let inputs = benchmark.generate_inputs(config.size, config.size, config.seed);
+    let vop = Vop::from_benchmark(benchmark, inputs).expect("valid VOP");
+    let reference: Tensor = shmt::baseline::exact_reference(&vop);
+
+    for policy in Policy::qaws_variants() {
+        let mut cfg = RuntimeConfig::new(policy);
+        cfg.partitions = config.partitions;
+        let runtime = ShmtRuntime::new(Platform::jetson(benchmark), cfg);
+        let healthy = runtime.execute(&vop).expect("healthy run succeeds");
+
+        let mut rows: Vec<JsonValue> = Vec::new();
+        for (name, plan) in scenarios(healthy.makespan_s, config.seed) {
+            let report = runtime
+                .execute_with_faults(&vop, &plan)
+                .expect("faulted run succeeds");
+            // Seeded plans must reproduce exactly; spot-check every
+            // scenario with a second run.
+            let again = runtime
+                .execute_with_faults(&vop, &plan)
+                .expect("rerun succeeds");
+            assert_eq!(
+                report.makespan_s, again.makespan_s,
+                "{name}: reruns are bit-identical"
+            );
+            assert_eq!(report.output.as_slice(), again.output.as_slice());
+            assert_eq!(report.faults, again.faults);
+
+            let err = mape(&reference, &report.output);
+            if name == "tpu_dropout" {
+                assert_eq!(err, 0.0, "a dead TPU degrades to an all-exact run");
+            }
+            println!(
+                "  {:<10} {:<16} makespan {:>8.3} ms  mape {:>9.5}  injected {:>3}  \
+                 redispatched {:>2}  degraded {}",
+                policy.name(),
+                name,
+                report.makespan_s * 1e3,
+                err,
+                report.faults.injected,
+                report.faults.redispatched,
+                report.faults.degraded
+            );
+            rows.push(scenario_row(name, report.makespan_s, err, &report.faults));
+        }
+
+        let doc = ObjectBuilder::new()
+            .field("policy", JsonValue::String(policy.name()))
+            .field("benchmark", JsonValue::String(benchmark.name().into()))
+            .field("size", JsonValue::Number(config.size as f64))
+            .field("partitions", JsonValue::Number(config.partitions as f64))
+            .field("seed", JsonValue::Number(config.seed as f64))
+            .field("healthy_makespan_s", JsonValue::Number(healthy.makespan_s))
+            .field("scenarios", JsonValue::Array(rows))
+            .build()
+            .to_string();
+        validate(&doc, &policy.name());
+
+        let path = format!("results/faults_{}.json", policy_slug(policy));
+        std::fs::write(&path, &doc).expect("write sweep file");
+        println!("  -> {path}\n");
+    }
+}

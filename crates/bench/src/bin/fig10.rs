@@ -6,12 +6,30 @@ fn main() {
     let rows = shmt::experiments::fig10(config).expect("fig10 experiment");
     let header: Vec<&str> = rows.iter().map(|r| r.benchmark.as_str()).collect();
     let table = vec![
-        ("base active".to_string(), rows.iter().map(|r| r.baseline_active).collect::<Vec<_>>()),
-        ("base idle".to_string(), rows.iter().map(|r| r.baseline_idle).collect()),
-        ("SHMT active".to_string(), rows.iter().map(|r| r.shmt_active).collect()),
-        ("SHMT idle".to_string(), rows.iter().map(|r| r.shmt_idle).collect()),
-        ("SHMT energy".to_string(), rows.iter().map(|r| r.shmt_active + r.shmt_idle).collect()),
-        ("SHMT EDP".to_string(), rows.iter().map(|r| r.shmt_edp).collect()),
+        (
+            "base active".to_string(),
+            rows.iter().map(|r| r.baseline_active).collect::<Vec<_>>(),
+        ),
+        (
+            "base idle".to_string(),
+            rows.iter().map(|r| r.baseline_idle).collect(),
+        ),
+        (
+            "SHMT active".to_string(),
+            rows.iter().map(|r| r.shmt_active).collect(),
+        ),
+        (
+            "SHMT idle".to_string(),
+            rows.iter().map(|r| r.shmt_idle).collect(),
+        ),
+        (
+            "SHMT energy".to_string(),
+            rows.iter().map(|r| r.shmt_active + r.shmt_idle).collect(),
+        ),
+        (
+            "SHMT EDP".to_string(),
+            rows.iter().map(|r| r.shmt_edp).collect(),
+        ),
     ];
     shmt_bench::print_table(
         &format!(

@@ -10,7 +10,10 @@ fn main() {
         rows.iter().map(|r| r.memory_ratio).collect::<Vec<_>>(),
     )];
     shmt_bench::print_table(
-        &format!("Fig 11: memory footprint ratio over GPU baseline ({0}x{0})", config.size),
+        &format!(
+            "Fig 11: memory footprint ratio over GPU baseline ({0}x{0})",
+            config.size
+        ),
         &header,
         &table,
         3,

@@ -6,12 +6,24 @@ fn main() {
     let rows = shmt::experiments::fig2(config).expect("fig2 experiment");
     let header: Vec<&str> = rows.iter().map(|r| r.benchmark.as_str()).collect();
     let table = vec![
-        ("edge TPU".to_string(), rows.iter().map(|r| r.edge_tpu).collect::<Vec<_>>()),
-        ("conventional".to_string(), rows.iter().map(|r| r.conventional).collect()),
-        ("SHMT (theor.)".to_string(), rows.iter().map(|r| r.shmt).collect()),
+        (
+            "edge TPU".to_string(),
+            rows.iter().map(|r| r.edge_tpu).collect::<Vec<_>>(),
+        ),
+        (
+            "conventional".to_string(),
+            rows.iter().map(|r| r.conventional).collect(),
+        ),
+        (
+            "SHMT (theor.)".to_string(),
+            rows.iter().map(|r| r.shmt).collect(),
+        ),
     ];
     shmt_bench::print_table(
-        &format!("Fig 2: potential speedup over GPU baseline ({}x{})", config.size, config.size),
+        &format!(
+            "Fig 2: potential speedup over GPU baseline ({}x{})",
+            config.size, config.size
+        ),
         &header,
         &table,
         2,

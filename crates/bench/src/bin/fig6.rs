@@ -14,7 +14,10 @@ fn main() {
         })
         .collect();
     shmt_bench::print_table(
-        &format!("Fig 6: speedup over GPU baseline ({}x{})", config.size, config.size),
+        &format!(
+            "Fig 6: speedup over GPU baseline ({}x{})",
+            config.size, config.size
+        ),
         &header,
         &table,
         2,

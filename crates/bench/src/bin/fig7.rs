@@ -13,7 +13,10 @@ fn main() {
         })
         .collect();
     shmt_bench::print_table(
-        &format!("Fig 7: MAPE %, lower is better ({}x{})", config.size, config.size),
+        &format!(
+            "Fig 7: MAPE %, lower is better ({}x{})",
+            config.size, config.size
+        ),
         &header,
         &table,
         2,

@@ -18,7 +18,10 @@ fn main() {
         })
         .collect();
     shmt_bench::print_table(
-        &format!("Fig 8: SSIM, higher is better ({}x{})", config.size, config.size),
+        &format!(
+            "Fig 8: SSIM, higher is better ({}x{})",
+            config.size, config.size
+        ),
         &header,
         &table,
         4,

@@ -15,7 +15,10 @@ fn main() {
         })
         .collect();
     shmt_bench::print_table(
-        &format!("Fig 9(a): MAPE % vs QAWS-TS sampling rate ({0}x{0})", config.size),
+        &format!(
+            "Fig 9(a): MAPE % vs QAWS-TS sampling rate ({0}x{0})",
+            config.size
+        ),
         &header,
         &mape_rows,
         2,
@@ -29,7 +32,10 @@ fn main() {
         })
         .collect();
     shmt_bench::print_table(
-        &format!("Fig 9(b): speedup vs QAWS-TS sampling rate ({0}x{0})", config.size),
+        &format!(
+            "Fig 9(b): speedup vs QAWS-TS sampling rate ({0}x{0})",
+            config.size
+        ),
         &header,
         &speed_rows,
         2,

@@ -6,10 +6,15 @@ fn main() {
     let header: Vec<&str> = rows.iter().map(|r| r.benchmark.as_str()).collect();
     let table = vec![(
         "comm overhead %".to_string(),
-        rows.iter().map(|r| r.comm_overhead * 100.0).collect::<Vec<_>>(),
+        rows.iter()
+            .map(|r| r.comm_overhead * 100.0)
+            .collect::<Vec<_>>(),
     )];
     shmt_bench::print_table(
-        &format!("Table 3: communication overhead percent ({0}x{0})", config.size),
+        &format!(
+            "Table 3: communication overhead percent ({0}x{0})",
+            config.size
+        ),
         &header,
         &table,
         2,

@@ -20,7 +20,13 @@ fn policy_slug(policy: Policy) -> String {
     policy
         .name()
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -30,7 +36,10 @@ fn main() {
     let policies = [
         Policy::EvenDistribution,
         Policy::WorkStealing,
-        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding },
+        Policy::Qaws {
+            assignment: QawsAssignment::TopK,
+            sampling: SamplingMethod::Striding,
+        },
         Policy::Qaws {
             assignment: QawsAssignment::DeviceLimits,
             sampling: SamplingMethod::UniformRandom,

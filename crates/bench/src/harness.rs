@@ -24,7 +24,9 @@ pub struct Group {
 impl Group {
     /// Starts a group with the given name.
     pub fn new(name: &str) -> Self {
-        Group { name: name.to_owned() }
+        Group {
+            name: name.to_owned(),
+        }
     }
 
     /// Measures `f`, printing one result row. The closure's return value

@@ -59,8 +59,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)], pr
 
 /// The benchmark-name header used by most tables (plus GMEAN).
 pub fn benchmark_header() -> Vec<&'static str> {
-    let mut h: Vec<&'static str> =
-        shmt_kernels::ALL_BENCHMARKS.iter().map(|b| b.name()).collect();
+    let mut h: Vec<&'static str> = shmt_kernels::ALL_BENCHMARKS
+        .iter()
+        .map(|b| b.name())
+        .collect();
     h.push("GMEAN");
     h
 }

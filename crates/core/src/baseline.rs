@@ -75,8 +75,13 @@ fn run_single_gpu(
         end = gpu.execute(staging_done, work);
     }
     // Real compute (exact), fanned out over host threads.
-    let tasks: Vec<crate::exec::ComputeTask> =
-        hlops.iter().map(|h| crate::exec::ComputeTask { tile: h.tile, npu: false }).collect();
+    let tasks: Vec<crate::exec::ComputeTask> = hlops
+        .iter()
+        .map(|h| crate::exec::ComputeTask {
+            tile: h.tile,
+            npu: false,
+        })
+        .collect();
     crate::exec::compute_tasks(
         kernel,
         &inputs,
@@ -88,7 +93,11 @@ fn run_single_gpu(
 
     let makespan = end.as_secs();
     let mut meter = EnergyMeter::new(platform.idle_power_w());
-    meter.record_busy(profiles[GPU].kind, gpu.busy_time(), profiles[GPU].active_power_w);
+    meter.record_busy(
+        profiles[GPU].kind,
+        gpu.busy_time(),
+        profiles[GPU].active_power_w,
+    );
     meter.record_busy(profiles[CPU].kind, cpu_busy, profiles[CPU].active_power_w);
     let energy = meter.finish(makespan);
 
@@ -98,7 +107,10 @@ fn run_single_gpu(
     let mut mem = MemoryTracker::new();
     mem.alloc("inputs", 4 * n * vop.inputs().len() as u64);
     mem.alloc("output", 4 * output.len() as u64);
-    mem.alloc("gpu-intermediates", (bench.gpu_intermediate * (4 * n) as f64) as u64);
+    mem.alloc(
+        "gpu-intermediates",
+        (bench.gpu_intermediate * (4 * n) as f64) as u64,
+    );
 
     Ok(BaselineReport {
         output,
@@ -114,13 +126,7 @@ pub fn exact_reference(vop: &Vop) -> Tensor {
     let kernel = vop.kernel();
     let inputs: Vec<&Tensor> = vop.inputs().iter().collect();
     let (rows, cols) = vop.partition_space();
-    crate::exec::compute_exact_parallel(
-        kernel,
-        &inputs,
-        rows,
-        cols,
-        crate::exec::default_threads(),
-    )
+    crate::exec::compute_exact_parallel(kernel, &inputs, rows, cols, crate::exec::default_threads())
 }
 
 /// Total kernel work of a VOP in work units (for cost sanity checks).

@@ -7,7 +7,6 @@
 //! distributions lose the most absolute precision through the Edge TPU's
 //! int8 grid, so they are the ones QAWS keeps on exact hardware.
 
-
 /// Which sampled statistic defines criticality. The paper uses range and
 /// standard deviation together; the separated variants exist for the
 /// ablation benches.
@@ -41,7 +40,11 @@ impl CriticalityStats {
     pub fn from_samples(samples: &[f32]) -> Self {
         let clean: Vec<f32> = samples.iter().copied().filter(|v| v.is_finite()).collect();
         if clean.is_empty() {
-            return CriticalityStats { min: 0.0, max: 0.0, stddev: 0.0 };
+            return CriticalityStats {
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+            };
         }
         let (mut min, mut max) = (clean[0], clean[0]);
         let mut sum = 0.0f64;
@@ -51,9 +54,16 @@ impl CriticalityStats {
             sum += v as f64;
         }
         let mean = sum / clean.len() as f64;
-        let var =
-            clean.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / clean.len() as f64;
-        CriticalityStats { min, max, stddev: var.sqrt() as f32 }
+        let var = clean
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / clean.len() as f64;
+        CriticalityStats {
+            min,
+            max,
+            stddev: var.sqrt() as f32,
+        }
     }
 
     /// Sampled value range.
@@ -89,8 +99,11 @@ mod tests {
     fn wide_distribution_scores_higher() {
         let narrow = CriticalityStats::from_samples(&[10.0, 10.1, 10.2, 9.9]);
         let wide = CriticalityStats::from_samples(&[0.0, 50.0, -50.0, 10.0]);
-        for m in [CriticalityMetric::Range, CriticalityMetric::StdDev, CriticalityMetric::Combined]
-        {
+        for m in [
+            CriticalityMetric::Range,
+            CriticalityMetric::StdDev,
+            CriticalityMetric::Combined,
+        ] {
             assert!(wide.score(m) > narrow.score(m), "{m:?}");
         }
     }

@@ -31,7 +31,9 @@ pub struct ComputeTask {
 
 /// Number of worker threads to use by default.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(16)
 }
 
 /// Computes every task and assembles the results into `output`.
@@ -86,15 +88,17 @@ pub fn compute_tasks(
                         (ran, local)
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
             });
             for (ran, local) in &results {
                 for &i in ran {
                     let tile = tasks[i].tile;
                     for r in tile.row0..tile.row0 + tile.rows {
                         let src = &local.row(r)[tile.col0..tile.col0 + tile.cols];
-                        output.row_mut(r)[tile.col0..tile.col0 + tile.cols]
-                            .copy_from_slice(src);
+                        output.row_mut(r)[tile.col0..tile.col0 + tile.cols].copy_from_slice(src);
                     }
                 }
             }
@@ -159,8 +163,13 @@ pub fn compute_exact_parallel(
     let shape = kernel.shape();
     let mut output = shape.allocate_output(rows, cols);
     let bands = crate::partition::partition_tiles(rows, cols, threads.max(1) * 2, &shape);
-    let tasks: Vec<ComputeTask> =
-        bands.iter().map(|t| ComputeTask { tile: *t, npu: false }).collect();
+    let tasks: Vec<ComputeTask> = bands
+        .iter()
+        .map(|t| ComputeTask {
+            tile: *t,
+            npu: false,
+        })
+        .collect();
     compute_tasks(kernel, inputs, &tasks, &mut output, threads);
     kernel.finalize(&mut output);
     output
@@ -176,7 +185,10 @@ mod tests {
         let tiles = crate::partition::partition_tiles(n, n, 8, &shape);
         let tasks = tiles
             .iter()
-            .map(|t| ComputeTask { tile: *t, npu: npu_every != 0 && t.index % npu_every == 0 })
+            .map(|t| ComputeTask {
+                tile: *t,
+                npu: npu_every != 0 && t.index % npu_every == 0,
+            })
             .collect();
         (tasks, b.generate_inputs(n, n, 3))
     }
@@ -217,7 +229,13 @@ mod tests {
         let refs: Vec<&Tensor> = inputs.iter().collect();
         let fast = compute_exact_parallel(kernel.as_ref(), &refs, 96, 96, 4);
         let mut slow = kernel.shape().allocate_output(96, 96);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 96, cols: 96 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 96,
+            cols: 96,
+        };
         kernel.run_exact(&refs, tile, &mut slow);
         assert_eq!(fast.as_slice(), slow.as_slice());
     }

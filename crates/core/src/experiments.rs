@@ -15,8 +15,8 @@ use crate::platform::Platform;
 use crate::quality::{mape, ssim};
 use crate::report::{BaselineReport, RunReport};
 use crate::runtime::{RuntimeConfig, ShmtRuntime};
-use crate::sched::{Policy, QawsAssignment};
 use crate::sampling::SamplingMethod;
+use crate::sched::{Policy, QawsAssignment};
 use crate::vop::Vop;
 
 /// Shared experiment parameters.
@@ -46,7 +46,12 @@ impl Default for ExperimentConfig {
 impl ExperimentConfig {
     /// A small configuration for fast tests.
     pub fn tiny() -> Self {
-        ExperimentConfig { size: 128, partitions: 8, sampling_rate: 0.02, seed: 0xC0FFEE }
+        ExperimentConfig {
+            size: 128,
+            partitions: 8,
+            sampling_rate: 0.02,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -61,10 +66,19 @@ pub fn gmean(values: &[f64]) -> f64 {
 /// The ten Fig 6 policies in the paper's legend order.
 pub fn fig6_policies() -> Vec<(String, Fig6Policy)> {
     let mut out = vec![
-        ("IRA-sampling".to_string(), Fig6Policy::Runtime(Policy::IraSampling)),
+        (
+            "IRA-sampling".to_string(),
+            Fig6Policy::Runtime(Policy::IraSampling),
+        ),
         ("SW pipelining".to_string(), Fig6Policy::SoftwarePipelining),
-        ("even distribution".to_string(), Fig6Policy::Runtime(Policy::EvenDistribution)),
-        ("work-stealing".to_string(), Fig6Policy::Runtime(Policy::WorkStealing)),
+        (
+            "even distribution".to_string(),
+            Fig6Policy::Runtime(Policy::EvenDistribution),
+        ),
+        (
+            "work-stealing".to_string(),
+            Fig6Policy::Runtime(Policy::WorkStealing),
+        ),
     ];
     for p in Policy::qaws_variants() {
         out.push((p.name(), Fig6Policy::Runtime(p)));
@@ -99,7 +113,9 @@ pub struct BenchContext {
 
 impl std::fmt::Debug for BenchContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BenchContext").field("benchmark", &self.benchmark).finish()
+        f.debug_struct("BenchContext")
+            .field("benchmark", &self.benchmark)
+            .finish()
     }
 }
 
@@ -113,9 +129,14 @@ impl BenchContext {
         let inputs = benchmark.generate_inputs(config.size, config.size, config.seed);
         let vop = Vop::from_benchmark(benchmark, inputs)?;
         let reference = exact_reference(&vop);
-        let baseline =
-            gpu_baseline(&Platform::jetson(benchmark), &vop, config.partitions)?;
-        Ok(BenchContext { benchmark, vop, reference, baseline, config })
+        let baseline = gpu_baseline(&Platform::jetson(benchmark), &vop, config.partitions)?;
+        Ok(BenchContext {
+            benchmark,
+            vop,
+            reference,
+            baseline,
+            config,
+        })
     }
 
     /// Runs one SHMT policy on this context.
@@ -250,7 +271,11 @@ pub fn fig6(config: ExperimentConfig) -> Result<Vec<SpeedupRow>> {
             speedups.push(s);
         }
         let g = gmean(&speedups);
-        rows.push(SpeedupRow { policy: name, speedups, gmean: g });
+        rows.push(SpeedupRow {
+            policy: name,
+            speedups,
+            gmean: g,
+        });
     }
     Ok(rows)
 }
@@ -263,8 +288,14 @@ pub fn fig6(config: ExperimentConfig) -> Result<Vec<SpeedupRow>> {
 pub fn quality_policies() -> Vec<(String, QualityPolicy)> {
     let mut out = vec![
         ("edgeTPU".to_string(), QualityPolicy::TpuOnly),
-        ("IRA-sampling".to_string(), QualityPolicy::Runtime(Policy::IraSampling)),
-        ("work-stealing".to_string(), QualityPolicy::Runtime(Policy::WorkStealing)),
+        (
+            "IRA-sampling".to_string(),
+            QualityPolicy::Runtime(Policy::IraSampling),
+        ),
+        (
+            "work-stealing".to_string(),
+            QualityPolicy::Runtime(Policy::WorkStealing),
+        ),
     ];
     for p in Policy::qaws_variants() {
         out.push((p.name(), QualityPolicy::Runtime(p)));
@@ -343,7 +374,11 @@ fn quality_table(
             values.push(metric(ctx, &report));
         }
         let g = gmean(&values);
-        rows.push(QualityRow { policy: name, values, gmean: g });
+        rows.push(QualityRow {
+            policy: name,
+            values,
+            gmean: g,
+        });
     }
     Ok(rows)
 }
@@ -378,8 +413,10 @@ pub fn fig9(config: ExperimentConfig, log2_rates: &[i32]) -> Result<Vec<Fig9Row>
         .iter()
         .map(|&b| BenchContext::new(b, config))
         .collect::<Result<_>>()?;
-    let qaws_ts =
-        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding };
+    let qaws_ts = Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    };
     let mut rows = Vec::new();
     for &lr in log2_rates {
         let rate = 2.0f64.powi(lr);
@@ -437,8 +474,10 @@ pub struct Fig10Row {
 ///
 /// Propagates runtime errors.
 pub fn fig10(config: ExperimentConfig) -> Result<Vec<Fig10Row>> {
-    let qaws_ts =
-        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding };
+    let qaws_ts = Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    };
     let mut rows = Vec::new();
     for b in ALL_BENCHMARKS {
         let ctx = BenchContext::new(b, config)?;
@@ -453,9 +492,8 @@ pub fn fig10(config: ExperimentConfig) -> Result<Vec<Fig10Row>> {
             shmt_edp: shmt.edp() / ctx.baseline.edp(),
         });
     }
-    let g = |f: fn(&Fig10Row) -> f64, rows: &[Fig10Row]| {
-        gmean(&rows.iter().map(f).collect::<Vec<_>>())
-    };
+    let g =
+        |f: fn(&Fig10Row) -> f64, rows: &[Fig10Row]| gmean(&rows.iter().map(f).collect::<Vec<_>>());
     rows.push(Fig10Row {
         benchmark: "GMEAN".into(),
         baseline_active: g(|r| r.baseline_active, &rows),
@@ -489,8 +527,10 @@ pub struct OverheadRow {
 ///
 /// Propagates runtime errors.
 pub fn fig11_table3(config: ExperimentConfig) -> Result<Vec<OverheadRow>> {
-    let qaws_ts =
-        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding };
+    let qaws_ts = Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    };
     let mut rows = Vec::new();
     for b in ALL_BENCHMARKS {
         let ctx = BenchContext::new(b, config)?;
@@ -505,7 +545,10 @@ pub fn fig11_table3(config: ExperimentConfig) -> Result<Vec<OverheadRow>> {
         benchmark: "GMEAN".into(),
         memory_ratio: gmean(&rows.iter().map(|r| r.memory_ratio).collect::<Vec<_>>()),
         comm_overhead: gmean(
-            &rows.iter().map(|r| r.comm_overhead.max(1e-9)).collect::<Vec<_>>(),
+            &rows
+                .iter()
+                .map(|r| r.comm_overhead.max(1e-9))
+                .collect::<Vec<_>>(),
         ),
     });
     Ok(rows)
@@ -533,8 +576,10 @@ pub struct Fig12Row {
 ///
 /// Propagates runtime errors.
 pub fn fig12(base: ExperimentConfig, edges: &[usize]) -> Result<Vec<Fig12Row>> {
-    let qaws_ts =
-        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding };
+    let qaws_ts = Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    };
     let mut rows = Vec::new();
     for &edge in edges {
         let config = ExperimentConfig { size: edge, ..base };
@@ -545,7 +590,11 @@ pub fn fig12(base: ExperimentConfig, edges: &[usize]) -> Result<Vec<Fig12Row>> {
             speedups.push(ctx.speedup(&report));
         }
         let g = gmean(&speedups);
-        rows.push(Fig12Row { elements: edge * edge, speedups, gmean: g });
+        rows.push(Fig12Row {
+            elements: edge * edge,
+            speedups,
+            gmean: g,
+        });
     }
     Ok(rows)
 }
@@ -597,7 +646,11 @@ mod tests {
         assert_eq!(rows.len(), 11);
         for r in &rows[..10] {
             let base_total = r.baseline_active + r.baseline_idle;
-            assert!((base_total - 1.0).abs() < 1e-9, "{}: {base_total}", r.benchmark);
+            assert!(
+                (base_total - 1.0).abs() < 1e-9,
+                "{}: {base_total}",
+                r.benchmark
+            );
             assert!(r.shmt_edp > 0.0);
         }
     }
@@ -608,7 +661,11 @@ mod tests {
         assert_eq!(rows.len(), 11);
         for r in &rows[..10] {
             assert!(r.memory_ratio > 0.0, "{}", r.benchmark);
-            assert!(r.comm_overhead >= 0.0 && r.comm_overhead < 1.0, "{}", r.benchmark);
+            assert!(
+                r.comm_overhead >= 0.0 && r.comm_overhead < 1.0,
+                "{}",
+                r.benchmark
+            );
         }
     }
 
@@ -627,7 +684,11 @@ mod tests {
         assert_eq!(rows.len(), 11);
         assert_eq!(rows.last().unwrap().benchmark, "GMEAN");
         for r in &rows[..10] {
-            assert!(r.shmt > r.conventional, "{}: SHMT bound above conventional", r.benchmark);
+            assert!(
+                r.shmt > r.conventional,
+                "{}: SHMT bound above conventional",
+                r.benchmark
+            );
         }
     }
 }

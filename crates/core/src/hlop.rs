@@ -30,7 +30,12 @@ pub struct Hlop {
 impl Hlop {
     /// Creates an HLOP over a partition.
     pub fn new(id: HlopId, opcode: Opcode, tile: Tile) -> Self {
-        Hlop { id, opcode, tile, criticality: None }
+        Hlop {
+            id,
+            opcode,
+            tile,
+            criticality: None,
+        }
     }
 
     /// Number of elements in the partition.
@@ -61,7 +66,13 @@ mod tests {
 
     #[test]
     fn hlop_reports_partition_size() {
-        let t = Tile { index: 3, row0: 0, col0: 0, rows: 4, cols: 8 };
+        let t = Tile {
+            index: 3,
+            row0: 0,
+            col0: 0,
+            rows: 4,
+            cols: 8,
+        };
         let h = Hlop::new(3, Opcode::Sobel, t);
         assert_eq!(h.elements(), 32);
         assert_eq!(h.id, 3);

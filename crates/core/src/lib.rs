@@ -28,6 +28,11 @@
 //! * [`quality`] — MAPE and SSIM.
 //! * [`experiments`] — drivers that regenerate every figure and table of
 //!   the paper's evaluation.
+//! * fault tolerance — [`runtime::ShmtRuntime::execute_with_faults`]
+//!   runs a VOP under a seeded, deterministic [`FaultPlan`] (slowdown
+//!   windows, transient transfer failures retried with capped backoff,
+//!   device dropout with accuracy-ordered re-dispatch); the report's
+//!   [`FaultReport`] says what fired.
 //! * [`trace`] (re-exported `shmt-trace`) — structured event tracing:
 //!   [`runtime::ShmtRuntime::execute_traced`] captures every dispatch,
 //!   cast, transfer, compute span, steal, and aggregation in virtual time,
@@ -74,6 +79,7 @@ pub mod sched;
 pub mod vop;
 
 pub use error::{Result, ShmtError};
+pub use hetsim::{FaultInjector, FaultPlan, FaultReport};
 pub use platform::Platform;
 pub use report::{BaselineReport, RunReport};
 pub use runtime::{RuntimeConfig, ShmtRuntime};

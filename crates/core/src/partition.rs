@@ -24,18 +24,26 @@ use crate::vop::Vop;
 /// Returns [`ShmtError::InvalidConfig`] if `want` is zero.
 pub fn partition_vop(vop: &Vop, want: usize) -> Result<Vec<Hlop>> {
     if want == 0 {
-        return Err(ShmtError::InvalidConfig("partition count must be positive".into()));
+        return Err(ShmtError::InvalidConfig(
+            "partition count must be positive".into(),
+        ));
     }
     let (rows, cols) = vop.partition_space();
     let shape = vop.kernel().shape();
     let tiles = partition_tiles(rows, cols, want, &shape);
-    Ok(tiles.into_iter().map(|t| Hlop::new(t.index, vop.opcode(), t)).collect())
+    Ok(tiles
+        .into_iter()
+        .map(|t| Hlop::new(t.index, vop.opcode(), t))
+        .collect())
 }
 
 /// Computes the tile partitioning of a `rows x cols` space under a
 /// kernel's constraints.
 pub fn partition_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShape) -> Vec<Tile> {
-    assert!(rows > 0 && cols > 0 && want > 0, "degenerate partition request");
+    assert!(
+        rows > 0 && cols > 0 && want > 0,
+        "degenerate partition request"
+    );
     if shape.full_rows {
         band_tiles(rows, cols, want, shape)
     } else {
@@ -49,11 +57,17 @@ pub fn partition_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShap
 fn axis_cuts(total: usize, parts: usize, align: usize) -> Vec<(usize, usize)> {
     let align = align.max(1);
     let parts = parts.clamp(1, total.div_ceil(align));
-    let mut starts: Vec<usize> = (0..parts).map(|i| (i * total / parts) / align * align).collect();
+    let mut starts: Vec<usize> = (0..parts)
+        .map(|i| (i * total / parts) / align * align)
+        .collect();
     starts.dedup();
     let mut segs = Vec::with_capacity(starts.len());
     for (i, &start) in starts.iter().enumerate() {
-        let end = if i + 1 < starts.len() { starts[i + 1] } else { total };
+        let end = if i + 1 < starts.len() {
+            starts[i + 1]
+        } else {
+            total
+        };
         if end > start {
             segs.push((start, end - start));
         }
@@ -89,7 +103,13 @@ fn grid_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShape) -> Vec
     let mut index = 0;
     for &(row0, h) in &row_cuts {
         for &(col0, w) in &col_cuts {
-            tiles.push(Tile { index, row0, col0, rows: h, cols: w });
+            tiles.push(Tile {
+                index,
+                row0,
+                col0,
+                rows: h,
+                cols: w,
+            });
             index += 1;
         }
     }
@@ -105,7 +125,13 @@ fn band_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShape) -> Vec
     let cuts = axis_cuts(rows, n, align);
     cuts.iter()
         .enumerate()
-        .map(|(index, &(row0, h))| Tile { index, row0, col0: 0, rows: h, cols })
+        .map(|(index, &(row0, h))| Tile {
+            index,
+            row0,
+            col0: 0,
+            rows: h,
+            cols,
+        })
         .collect()
 }
 
@@ -189,8 +215,7 @@ mod tests {
     #[test]
     fn partition_vop_validates_and_uses_kernel_shape() {
         let vop =
-            Vop::from_benchmark(Benchmark::Fft, Benchmark::Fft.generate_inputs(64, 64, 1))
-                .unwrap();
+            Vop::from_benchmark(Benchmark::Fft, Benchmark::Fft.generate_inputs(64, 64, 1)).unwrap();
         let hlops = partition_vop(&vop, 4).unwrap();
         for h in &hlops {
             assert_eq!(h.tile.cols, 64, "FFT partitions must span full rows");
@@ -209,6 +234,10 @@ mod tests {
     #[test]
     fn partition_count_is_near_request() {
         let tiles = partition_tiles(2048, 2048, 64, &shape_for(Benchmark::Laplacian));
-        assert!(tiles.len() >= 32 && tiles.len() <= 128, "{} tiles", tiles.len());
+        assert!(
+            tiles.len() >= 32 && tiles.len() <= 128,
+            "{} tiles",
+            tiles.len()
+        );
     }
 }

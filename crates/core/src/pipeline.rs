@@ -59,7 +59,9 @@ impl Program {
     /// Returns [`ShmtError::InvalidConfig`] for an empty stage list.
     pub fn new(stages: Vec<Stage>) -> Result<Self> {
         if stages.is_empty() {
-            return Err(ShmtError::InvalidConfig("program needs at least one stage".into()));
+            return Err(ShmtError::InvalidConfig(
+                "program needs at least one stage".into(),
+            ));
         }
         Ok(Program { stages })
     }
@@ -114,14 +116,22 @@ impl Program {
         for stage in &self.stages {
             let vop = Self::stage_vop(stage, flowing)?;
             let runtime = ShmtRuntime::new(Platform::jetson(stage.benchmark), config);
-            let report =
-                if traced { runtime.execute_traced(&vop)? } else { runtime.execute(&vop)? };
+            let report = if traced {
+                runtime.execute_traced(&vop)?
+            } else {
+                runtime.execute(&vop)?
+            };
             flowing = sanitize(report.output.clone());
             reports.push(report);
         }
         let total_latency_s = reports.iter().map(|r| r.makespan_s).sum();
         let total_energy_j = reports.iter().map(|r| r.energy.total_j()).sum();
-        Ok(ProgramReport { total_latency_s, total_energy_j, output: flowing, stages: reports })
+        Ok(ProgramReport {
+            total_latency_s,
+            total_energy_j,
+            output: flowing,
+            stages: reports,
+        })
     }
 
     /// Runs every stage on its single best device (Fig 1a, the
@@ -146,7 +156,13 @@ impl Program {
 /// Keeps flowing data inside kernel-friendly numeric ranges (image kernels
 /// expect non-negative 8-bit-scale values; transforms can emit negatives).
 fn sanitize(mut t: Tensor) -> Tensor {
-    t.map_inplace(|v| if v.is_finite() { v.clamp(-1.0e6, 1.0e6) } else { 0.0 });
+    t.map_inplace(|v| {
+        if v.is_finite() {
+            v.clamp(-1.0e6, 1.0e6)
+        } else {
+            0.0
+        }
+    });
     t
 }
 
@@ -158,15 +174,24 @@ mod tests {
 
     fn vision_program() -> Program {
         Program::new(vec![
-            Stage { benchmark: Benchmark::MeanFilter, aux_seed: 1 },
-            Stage { benchmark: Benchmark::Sobel, aux_seed: 2 },
+            Stage {
+                benchmark: Benchmark::MeanFilter,
+                aux_seed: 1,
+            },
+            Stage {
+                benchmark: Benchmark::Sobel,
+                aux_seed: 2,
+            },
         ])
         .unwrap()
     }
 
     #[test]
     fn empty_program_is_rejected() {
-        assert!(matches!(Program::new(vec![]), Err(ShmtError::InvalidConfig(_))));
+        assert!(matches!(
+            Program::new(vec![]),
+            Err(ShmtError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -202,8 +227,11 @@ mod tests {
 
     #[test]
     fn multi_input_stages_get_aux_inputs() {
-        let program = Program::new(vec![Stage { benchmark: Benchmark::Hotspot, aux_seed: 7 }])
-            .unwrap();
+        let program = Program::new(vec![Stage {
+            benchmark: Benchmark::Hotspot,
+            aux_seed: 7,
+        }])
+        .unwrap();
         let input = gen::temperature(96, 96, 1);
         let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
         cfg.partitions = 4;

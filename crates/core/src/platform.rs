@@ -47,7 +47,12 @@ impl Platform {
         let gpu = DeviceProfile::jetson_gpu(cal.gpu_throughput);
         let cpu = DeviceProfile::arm_cpu(cal.gpu_throughput * bench.cpu_ratio);
         let tpu = DeviceProfile::edge_tpu(cal.gpu_throughput * bench.tpu_ratio);
-        Platform { cal, bench, profiles: [gpu, cpu, tpu], idle_power_w: 3.02 }
+        Platform {
+            cal,
+            bench,
+            profiles: [gpu, cpu, tpu],
+            idle_power_w: 3.02,
+        }
     }
 
     /// Global calibration constants.

@@ -10,7 +10,11 @@ use shmt_tensor::Tensor;
 /// for the edge-detection outputs, citing Kim & Kim) is handled by flooring
 /// each denominator at a small fraction of the reference's mean magnitude;
 /// near-zero reference values still contribute large relative errors — as
-/// they do in the paper — without dividing by zero.
+/// they do in the paper — without dividing by zero. An *all-zero*
+/// reference (a blank edge map) has no magnitude of its own to scale by,
+/// so the floor falls back to the approximation's mean magnitude, and to
+/// an absolute epsilon when both sides are blank — tiny absolute noise
+/// then reads as an error on the order of 1, not 10¹².
 ///
 /// # Panics
 ///
@@ -27,10 +31,20 @@ use shmt_tensor::Tensor;
 /// assert!((mape(&reference, &approx) - 0.05).abs() < 1e-6);
 /// ```
 pub fn mape(reference: &Tensor, approx: &Tensor) -> f64 {
-    assert_eq!(reference.shape(), approx.shape(), "MAPE requires equal shapes");
-    let mean_abs: f64 = reference.as_slice().iter().map(|v| v.abs() as f64).sum::<f64>()
-        / reference.len() as f64;
-    let floor = (mean_abs * 1e-2).max(1e-12);
+    assert_eq!(
+        reference.shape(),
+        approx.shape(),
+        "MAPE requires equal shapes"
+    );
+    let mean_abs = |t: &Tensor| -> f64 {
+        t.as_slice().iter().map(|v| v.abs() as f64).sum::<f64>() / t.len() as f64
+    };
+    let ref_mean = mean_abs(reference);
+    let floor = if ref_mean > 0.0 {
+        (ref_mean * 1e-2).max(1e-12)
+    } else {
+        mean_abs(approx).max(1e-6)
+    };
     let mut acc = 0.0f64;
     for (&r, &a) in reference.as_slice().iter().zip(approx.as_slice()) {
         let denom = (r.abs() as f64).max(floor);
@@ -47,7 +61,11 @@ pub fn mape(reference: &Tensor, approx: &Tensor) -> f64 {
 ///
 /// Panics if the shapes differ.
 pub fn ssim(reference: &Tensor, approx: &Tensor) -> f64 {
-    assert_eq!(reference.shape(), approx.shape(), "SSIM requires equal shapes");
+    assert_eq!(
+        reference.shape(),
+        approx.shape(),
+        "SSIM requires equal shapes"
+    );
     let (rows, cols) = reference.shape();
     let (lo, hi) = reference.min_max();
     let l = (hi - lo).max(1e-6) as f64;
@@ -107,6 +125,20 @@ mod tests {
         let r = Tensor::filled(4, 4, 100.0);
         let a = Tensor::filled(4, 4, 90.0);
         assert!((mape(&r, &a) - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_all_zero_reference_stays_finite() {
+        // Regression: an all-zero edge map with tiny uniform noise used to
+        // hit the 1e-12 absolute floor and report a MAPE around 5e11. The
+        // approximation's own magnitude now sets the scale, so uniform
+        // noise of 0.5 over a blank reference reads as an error of 1.
+        let reference = Tensor::zeros(8, 8);
+        let noisy = Tensor::filled(8, 8, 0.5);
+        let e = mape(&reference, &noisy);
+        assert!((e - 1.0).abs() < 1e-9, "blank-reference mape = {e}");
+        // Two blank maps agree exactly.
+        assert_eq!(mape(&reference, &Tensor::zeros(8, 8)), 0.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Execution reports: what one VOP run (or baseline run) produced and cost.
 
-use hetsim::{DeviceKind, EnergyBreakdown};
+use hetsim::{DeviceKind, EnergyBreakdown, FaultReport};
 use shmt_tensor::Tensor;
 use shmt_trace::TraceData;
 
@@ -49,6 +49,9 @@ pub struct RunReport {
     pub steals: usize,
     /// Modeled peak memory footprint (bytes).
     pub peak_memory_bytes: u64,
+    /// What the fault injector did during the run; all-zero (and
+    /// `degraded: false`) for a run without a fault plan.
+    pub faults: FaultReport,
     /// The structured event trace, when the run was captured through
     /// [`crate::runtime::ShmtRuntime::execute_traced`]; `None` otherwise.
     pub trace: Option<TraceData>,
@@ -84,7 +87,10 @@ impl RunReport {
     /// Fraction of HLOPs executed per device, in report order.
     pub fn device_shares(&self) -> Vec<(DeviceKind, f64)> {
         let total = self.records.len().max(1) as f64;
-        self.devices.iter().map(|d| (d.kind, d.hlops as f64 / total)).collect()
+        self.devices
+            .iter()
+            .map(|d| (d.kind, d.hlops as f64 / total))
+            .collect()
     }
 
     /// Renders a textual Gantt chart of the schedule, one row per device,
@@ -162,16 +168,38 @@ mod tests {
                     stolen_away: 1,
                 },
             ],
-            energy: EnergyBreakdown { idle_j: 3.0, active_j: 1.0 },
+            energy: EnergyBreakdown {
+                idle_j: 3.0,
+                active_j: 1.0,
+            },
             bus_bytes: 100,
             records: vec![
-                HlopRecord { id: 0, device: DeviceKind::Gpu, start_s: 0.0, end_s: 0.4, stolen: false },
-                HlopRecord { id: 1, device: DeviceKind::Gpu, start_s: 0.4, end_s: 0.6, stolen: false },
-                HlopRecord { id: 2, device: DeviceKind::EdgeTpu, start_s: 0.0, end_s: 0.3, stolen: true },
+                HlopRecord {
+                    id: 0,
+                    device: DeviceKind::Gpu,
+                    start_s: 0.0,
+                    end_s: 0.4,
+                    stolen: false,
+                },
+                HlopRecord {
+                    id: 1,
+                    device: DeviceKind::Gpu,
+                    start_s: 0.4,
+                    end_s: 0.6,
+                    stolen: false,
+                },
+                HlopRecord {
+                    id: 2,
+                    device: DeviceKind::EdgeTpu,
+                    start_s: 0.0,
+                    end_s: 0.3,
+                    stolen: true,
+                },
             ],
             tpu_fraction: 0.33,
             steals: 1,
             peak_memory_bytes: 1024,
+            faults: FaultReport::default(),
             trace: None,
         }
     }

@@ -12,7 +12,10 @@
 //! HLOPs run the int8 NPU path, and the assembled output is returned for
 //! quality measurement.
 
-use hetsim::{DeviceTimeline, EnergyMeter, MemoryTracker, QueuePair, SimTime};
+use hetsim::{
+    DeviceTimeline, EnergyMeter, FaultInjector, FaultPlan, FaultReport, Interconnect,
+    MemoryTracker, QueuePair, SimTime, Transfer,
+};
 use shmt_tensor::Tensor;
 use shmt_trace::{EventKind, NullSink, TraceRecorder, TraceSink};
 
@@ -21,7 +24,9 @@ use crate::hlop::{Hlop, HlopRecord};
 use crate::partition::partition_vop;
 use crate::platform::Platform;
 use crate::report::{DeviceStats, RunReport};
-use crate::sched::{plan_traced, Plan, PlanContext, Policy, QualityConfig, CPU, GPU, TPU};
+use crate::sched::{
+    plan_traced, Plan, PlanContext, Policy, QualityConfig, ACCURACY_CLASS, CPU, GPU, TPU,
+};
 use crate::vop::Vop;
 
 /// Gauge-series names for the per-device incoming-queue depths, indexed
@@ -128,15 +133,74 @@ impl ShmtRuntime {
     ///
     /// Same as [`ShmtRuntime::execute`].
     pub fn execute_with_sink(&self, vop: &Vop, sink: &mut dyn TraceSink) -> Result<RunReport> {
+        self.execute_with_faults_sink(vop, &FaultPlan::none(), sink)
+    }
+
+    /// [`ShmtRuntime::execute`] under a deterministic fault schedule:
+    /// slowed devices take proportionally longer, failed bus transfers
+    /// retry with capped exponential backoff in virtual time, and a
+    /// device dropout re-dispatches its pending HLOPs to surviving queues
+    /// under the plan's steal matrix extended by the accuracy-class
+    /// ordering — an exact device may absorb work planned for a
+    /// same-or-less exact one, so a dead GPU's critical partitions fall
+    /// back to the CPU, never the int8 Edge TPU, and a dead TPU degrades
+    /// the run to all-exact output.
+    ///
+    /// [`FaultPlan::none`] is inert: the run is bit-identical to
+    /// [`ShmtRuntime::execute`]. Any other plan is exactly reproducible
+    /// for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShmtRuntime::execute`], plus
+    /// [`ShmtError::NoCapableDevice`] when a device dies holding pending
+    /// work and no eligible survivor remains.
+    pub fn execute_with_faults(&self, vop: &Vop, faults: &FaultPlan) -> Result<RunReport> {
+        self.execute_with_faults_sink(vop, faults, &mut NullSink)
+    }
+
+    /// [`ShmtRuntime::execute_with_faults`] with full trace capture, like
+    /// [`ShmtRuntime::execute_traced`]: the report's `trace` additionally
+    /// carries `FaultInjected`/`Retry`/`Redispatch`/`DeviceDown` events.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShmtRuntime::execute_with_faults`].
+    pub fn execute_with_faults_traced(&self, vop: &Vop, faults: &FaultPlan) -> Result<RunReport> {
+        let mut recorder = TraceRecorder::new();
+        let mut report = self.execute_with_faults_sink(vop, faults, &mut recorder)?;
+        report.trace = Some(recorder.finish());
+        Ok(report)
+    }
+
+    /// The single code path beneath every `execute*` variant: fault
+    /// schedule and trace sink both explicit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShmtRuntime::execute_with_faults`].
+    pub fn execute_with_faults_sink(
+        &self,
+        vop: &Vop,
+        faults: &FaultPlan,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunReport> {
         if self.config.partitions == 0 {
-            return Err(ShmtError::InvalidConfig("partition count must be positive".into()));
+            return Err(ShmtError::InvalidConfig(
+                "partition count must be positive".into(),
+            ));
         }
         if !self.config.device_mask.iter().any(|&m| m) {
             return Err(ShmtError::NoCapableDevice("all devices disabled".into()));
         }
 
         if sink.enabled() {
-            sink.record(0.0, EventKind::PartitionStart { partitions: self.config.partitions });
+            sink.record(
+                0.0,
+                EventKind::PartitionStart {
+                    partitions: self.config.partitions,
+                },
+            );
         }
         let hlops = partition_vop(vop, self.config.partitions)?;
         if sink.enabled() {
@@ -150,7 +214,9 @@ impl ShmtRuntime {
             vop,
             &hlops,
             &self.config.quality,
-            PlanContext { gpu_throughput: profiles[GPU].throughput },
+            PlanContext {
+                gpu_throughput: profiles[GPU].throughput,
+            },
             sink,
         );
         self.apply_device_mask(&mut the_plan);
@@ -158,7 +224,7 @@ impl ShmtRuntime {
             the_plan.pipelined = false;
         }
 
-        self.play(vop, &hlops, the_plan, sink)
+        self.play(vop, &hlops, the_plan, &mut FaultInjector::new(faults), sink)
     }
 
     /// Moves HLOPs off disabled devices' queues, round-robin over enabled
@@ -189,6 +255,7 @@ impl ShmtRuntime {
         vop: &Vop,
         hlops: &[Hlop],
         the_plan: Plan,
+        injector: &mut FaultInjector,
         sink: &mut dyn TraceSink,
     ) -> Result<RunReport> {
         let kernel = vop.kernel();
@@ -202,8 +269,10 @@ impl ShmtRuntime {
         let profiles = self.platform.device_profiles();
         let t0 = SimTime::from_secs(the_plan.overhead_s);
 
-        let mut timelines: Vec<DeviceTimeline> =
-            profiles.iter().map(|p| DeviceTimeline::starting_at(*p, t0)).collect();
+        let mut timelines: Vec<DeviceTimeline> = profiles
+            .iter()
+            .map(|p| DeviceTimeline::starting_at(*p, t0))
+            .collect();
         let mut bus = self.platform.bus();
         let mut queues: Vec<QueuePair<Hlop>> = the_plan
             .queues
@@ -214,15 +283,25 @@ impl ShmtRuntime {
                 for h in q {
                     pair.enqueue_traced(t0, *h, QUEUE_GAUGE[d], sink);
                     if sink.enabled() {
-                        sink.record(t0.as_secs(), EventKind::Dispatch { hlop: h.id, device: d });
+                        sink.record(
+                            t0.as_secs(),
+                            EventKind::Dispatch {
+                                hlop: h.id,
+                                device: d,
+                            },
+                        );
                     }
                 }
                 pair
             })
             .collect();
 
-        // A disabled device is born "done": it never acts.
+        // A disabled device is born "done": it never acts. A device that
+        // drops out is additionally "dead": it can never be woken by a
+        // re-dispatch, unlike a device that merely retired.
         let mut done = self.config.device_mask.map(|enabled| !enabled);
+        let mut dead = [false; 3];
+        let mut faults = FaultReport::default();
         let mut prev_start = [t0; 3];
         let mut latest_completion = t0;
         let mut records: Vec<HlopRecord> = Vec::with_capacity(hlops.len());
@@ -235,7 +314,11 @@ impl ShmtRuntime {
         // Kernels with native uint8 NPU models take 8-bit image data
         // without a host-side cast; everything else pays the fp32->int8
         // conversion on the way in and out (§3.3.2).
-        let cast_s = if kernel.npu_native_u8() { 0.0 } else { cal.cast_s_per_elem };
+        let cast_s = if kernel.npu_native_u8() {
+            0.0
+        } else {
+            cal.cast_s_per_elem
+        };
 
         // The next device to act is always the earliest-free one with work
         // available (its own queue, or a queue it may steal from).
@@ -243,6 +326,36 @@ impl ShmtRuntime {
             .filter(|&i| !done[i])
             .min_by(|&a, &b| timelines[a].free_at().cmp(&timelines[b].free_at()))
         {
+            // Dropouts fire once the virtual-time frontier (the acting
+            // device's free instant) passes their scheduled moment; a
+            // dead device's pending HLOPs re-dispatch immediately, while
+            // HLOPs it already completed stay aggregated.
+            if injector.active() {
+                let now = timelines[d].free_at();
+                for v in 0..3 {
+                    if dead[v] || !self.config.device_mask[v] {
+                        continue;
+                    }
+                    if let Some(at) = injector.down_at(v) {
+                        if at <= now {
+                            kill_device(
+                                v,
+                                at.max(t0),
+                                &mut queues,
+                                &mut done,
+                                &mut dead,
+                                self.config.device_mask,
+                                &the_plan.steal,
+                                &mut faults,
+                                sink,
+                            )?;
+                        }
+                    }
+                }
+                if dead[d] {
+                    continue;
+                }
+            }
 
             let pending_total: usize = queues.iter().map(QueuePair::pending).sum();
             if !queues[d].is_idle() && pending_total <= 6 {
@@ -255,8 +368,7 @@ impl ShmtRuntime {
                 // slow device's final pull defines the makespan.
                 let item_work =
                     queues[d].peek_front().expect("non-empty").elements() as f64 * work_per_elem;
-                let my_completion =
-                    timelines[d].free_at() + profiles[d].exec_time(item_work);
+                let my_completion = timelines[d].free_at() + profiles[d].exec_time(item_work);
                 let beaten = (0..3).any(|e| {
                     if e == d || done[e] || !the_plan.steal[e][d] {
                         return false;
@@ -283,14 +395,11 @@ impl ShmtRuntime {
                 let victim = (0..3)
                     .filter(|&v| the_plan.steal[d][v] && !queues[v].is_idle())
                     .filter(|&v| {
-                        let item_work =
-                            queues[v].peek_back().expect("non-empty").elements() as f64
-                                * work_per_elem;
+                        let item_work = queues[v].peek_back().expect("non-empty").elements() as f64
+                            * work_per_elem;
                         let victim_backlog: f64 = queues[v]
                             .iter_pending()
-                            .map(|h| {
-                                profiles[v].exec_time(h.elements() as f64 * work_per_elem)
-                            })
+                            .map(|h| profiles[v].exec_time(h.elements() as f64 * work_per_elem))
                             .sum();
                         profiles[d].exec_time(item_work) <= victim_backlog
                     })
@@ -307,7 +416,11 @@ impl ShmtRuntime {
                         if sink.enabled() {
                             sink.record(
                                 now.as_secs(),
-                                EventKind::Steal { hlop: h.id, from: v, to: d },
+                                EventKind::Steal {
+                                    hlop: h.id,
+                                    from: v,
+                                    to: d,
+                                },
                             );
                             sink.counter("steals", 1.0);
                             sink.gauge(QUEUE_GAUGE[v], now.as_secs(), queues[v].pending() as f64);
@@ -345,14 +458,32 @@ impl ShmtRuntime {
                 };
                 let cast_done = issue + elems as f64 * cast_s;
                 if sink.enabled() && cast_s > 0.0 {
-                    sink.record(issue.as_secs(), EventKind::CastStart { hlop: hlop.id, device: d });
+                    sink.record(
+                        issue.as_secs(),
+                        EventKind::CastStart {
+                            hlop: hlop.id,
+                            device: d,
+                        },
+                    );
                     sink.record(
                         cast_done.as_secs(),
-                        EventKind::CastEnd { hlop: hlop.id, device: d },
+                        EventKind::CastEnd {
+                            hlop: hlop.id,
+                            device: d,
+                        },
                     );
                 }
                 let bytes_in = (elems as f64 * cal.tpu_bytes_per_elem_in) as usize;
-                let xfer = bus.transfer_traced(cast_done, bytes_in, hlop.id, d, sink);
+                let xfer = transfer_with_retries(
+                    &mut bus,
+                    cast_done,
+                    bytes_in,
+                    hlop.id,
+                    d,
+                    injector,
+                    &mut faults,
+                    sink,
+                );
                 (xfer.end, true)
             } else {
                 (t0, false)
@@ -362,16 +493,32 @@ impl ShmtRuntime {
             // run as several sub-invocations (§3.4: "the runtime system may
             // need to further fuse or partition HLOPs").
             let extra_launches = if is_tpu {
-                let dev_mem = profiles[TPU].device_memory_bytes.unwrap_or(usize::MAX);
-                let need = elems * 2; // int8 in + out
-                (need / dev_mem.max(1)) as f64 * profiles[TPU].launch_overhead
+                tpu_extra_launches(elems, profiles[TPU].device_memory_bytes) as f64
+                    * profiles[TPU].launch_overhead
             } else {
                 0.0
             };
 
             let start = timelines[d].free_at().max(data_ready);
             prev_start[d] = start;
-            let mut end = timelines[d].execute_traced(data_ready, work, hlop.id, d, sink);
+            // A slowdown window scales the work charged, not the real
+            // computation; multiplying by an exact 1.0 outside every
+            // window keeps fault-free runs bit-identical.
+            let slow = injector.slowdown_factor(d, start);
+            if slow != 1.0 {
+                faults.injected += 1;
+                if sink.enabled() {
+                    sink.record(
+                        start.as_secs(),
+                        EventKind::FaultInjected {
+                            hlop: hlop.id,
+                            device: d,
+                        },
+                    );
+                    sink.counter("faults.injected", 1.0);
+                }
+            }
+            let mut end = timelines[d].execute_traced(data_ready, work * slow, hlop.id, d, sink);
             if extra_launches > 0.0 {
                 timelines[d].stall_until(end + extra_launches);
                 end += extra_launches;
@@ -380,16 +527,31 @@ impl ShmtRuntime {
             // Result restoration (§3.3.2).
             let completion = if is_tpu {
                 let bytes_out = (elems as f64 * cal.tpu_bytes_per_elem_out) as usize;
-                let xfer = bus.transfer_traced(end, bytes_out, hlop.id, d, sink);
+                let xfer = transfer_with_retries(
+                    &mut bus,
+                    end,
+                    bytes_out,
+                    hlop.id,
+                    d,
+                    injector,
+                    &mut faults,
+                    sink,
+                );
                 let restored = xfer.end + elems as f64 * cast_s;
                 if sink.enabled() && cast_s > 0.0 {
                     sink.record(
                         xfer.end.as_secs(),
-                        EventKind::CastStart { hlop: hlop.id, device: d },
+                        EventKind::CastStart {
+                            hlop: hlop.id,
+                            device: d,
+                        },
                     );
                     sink.record(
                         restored.as_secs(),
-                        EventKind::CastEnd { hlop: hlop.id, device: d },
+                        EventKind::CastEnd {
+                            hlop: hlop.id,
+                            device: d,
+                        },
                     );
                 }
                 if !the_plan.pipelined {
@@ -404,7 +566,10 @@ impl ShmtRuntime {
 
             // Real computation is deferred to the parallel compute phase
             // below; record which path this partition takes.
-            compute.push(crate::exec::ComputeTask { tile: hlop.tile, npu: is_tpu });
+            compute.push(crate::exec::ComputeTask {
+                tile: hlop.tile,
+                npu: is_tpu,
+            });
             if is_tpu {
                 tpu_elements += elems;
             }
@@ -415,7 +580,10 @@ impl ShmtRuntime {
             if sink.enabled() {
                 sink.record(
                     completion.as_secs(),
-                    EventKind::Aggregate { hlop: hlop.id, device: d },
+                    EventKind::Aggregate {
+                        hlop: hlop.id,
+                        device: d,
+                    },
                 );
                 sink.counter("hlops.completed", 1.0);
             }
@@ -429,6 +597,29 @@ impl ShmtRuntime {
         }
 
         debug_assert_eq!(records.len(), hlops.len(), "every HLOP must execute");
+
+        // Dropouts the scheduling loop never reached (the device had
+        // already retired with an empty queue) still degrade the platform
+        // when they fall inside the run window.
+        if injector.active() {
+            for (v, was_dead) in dead.iter_mut().enumerate() {
+                if *was_dead || !self.config.device_mask[v] {
+                    continue;
+                }
+                if let Some(at) = injector.down_at(v) {
+                    if at <= latest_completion {
+                        *was_dead = true;
+                        faults.devices_lost += 1;
+                        faults.injected += 1;
+                        faults.degraded = true;
+                        if sink.enabled() {
+                            sink.record(at.max(t0).as_secs(), EventKind::DeviceDown { device: v });
+                            sink.counter("faults.devices_lost", 1.0);
+                        }
+                    }
+                }
+            }
+        }
 
         // Real computation: exact fp32 for CPU/GPU partitions, the int8
         // NPU path for Edge TPU partitions, fanned out over host threads.
@@ -486,8 +677,7 @@ impl ShmtRuntime {
             .collect();
 
         let tpu_fraction = tpu_elements as f64 / total_elems as f64;
-        let peak_memory_bytes =
-            self.memory_model(vop, hlops.len(), tpu_fraction, output.len());
+        let peak_memory_bytes = self.memory_model(vop, hlops.len(), tpu_fraction, output.len());
 
         Ok(RunReport {
             output,
@@ -500,6 +690,7 @@ impl ShmtRuntime {
             tpu_fraction,
             steals,
             peak_memory_bytes,
+            faults,
             trace: None,
         })
     }
@@ -523,7 +714,10 @@ impl ShmtRuntime {
         mem.alloc("output", 4 * out_elems as u64);
         if self.config.device_mask[GPU] || self.config.device_mask[CPU] {
             // Per-HLOP intermediates, double buffered.
-            mem.alloc("gpu-intermediates", (bench.gpu_intermediate * (band_elems * 4) as f64 * 2.0) as u64);
+            mem.alloc(
+                "gpu-intermediates",
+                (bench.gpu_intermediate * (band_elems * 4) as f64 * 2.0) as u64,
+            );
         }
         if self.config.device_mask[TPU] && tpu_fraction > 0.0 {
             // int8 in/out plus f32 snap staging, double buffered, plus the
@@ -536,12 +730,131 @@ impl ShmtRuntime {
     }
 }
 
+/// Extra kernel launches forced by the Edge TPU's finite device memory:
+/// the int8 input+output footprint splits into device-memory-sized
+/// sub-invocations, and the first launch is already charged by the
+/// device's ordinary launch overhead — an HLOP that exactly fits pays
+/// nothing extra.
+fn tpu_extra_launches(elems: usize, device_memory_bytes: Option<usize>) -> u64 {
+    let dev_mem = device_memory_bytes.unwrap_or(usize::MAX).max(1);
+    let need = elems * 2; // int8 in + out
+    need.div_ceil(dev_mem).saturating_sub(1) as u64
+}
+
+/// One bus transfer under fault injection. A failed attempt still
+/// occupies the interconnect (the bytes moved but arrived corrupt), then
+/// the device backs off in virtual time and re-issues; the last permitted
+/// attempt is deemed delivered so runs always terminate. With an inactive
+/// injector this is exactly one `transfer_traced` and no random draws.
+#[allow(clippy::too_many_arguments)]
+fn transfer_with_retries(
+    bus: &mut Interconnect,
+    ready: SimTime,
+    bytes: usize,
+    hlop: usize,
+    device: usize,
+    injector: &mut FaultInjector,
+    faults: &mut FaultReport,
+    sink: &mut dyn TraceSink,
+) -> Transfer {
+    let mut xfer = bus.transfer_traced(ready, bytes, hlop, device, sink);
+    let mut attempt = 0usize;
+    while injector.active()
+        && attempt < injector.plan().max_transfer_retries
+        && injector.transfer_fails()
+    {
+        attempt += 1;
+        faults.injected += 1;
+        faults.retried += 1;
+        let resume = xfer.end + injector.backoff(attempt);
+        if sink.enabled() {
+            sink.record(
+                xfer.end.as_secs(),
+                EventKind::FaultInjected { hlop, device },
+            );
+            sink.counter("faults.injected", 1.0);
+            sink.record(
+                resume.as_secs(),
+                EventKind::Retry {
+                    hlop,
+                    device,
+                    attempt,
+                },
+            );
+            sink.counter("faults.retries", 1.0);
+        }
+        xfer = bus.transfer_traced(resume, bytes, hlop, device, sink);
+    }
+    xfer
+}
+
+/// Kills device `d` at `now`: marks it dead and re-dispatches every HLOP
+/// still pending on its incoming queue to the least-loaded eligible
+/// survivor. A survivor is eligible when the plan already lets it steal
+/// from `d`, or when the accuracy-class ordering allows it — an exact
+/// device may absorb work planned for a same-or-less exact one, so a dead
+/// GPU's critical partitions go to the CPU and never to the int8 TPU.
+/// Retired (but alive) survivors are woken to drain the new work.
+#[allow(clippy::too_many_arguments)]
+fn kill_device(
+    d: usize,
+    now: SimTime,
+    queues: &mut [QueuePair<Hlop>],
+    done: &mut [bool; 3],
+    dead: &mut [bool; 3],
+    mask: [bool; 3],
+    steal: &[[bool; 3]; 3],
+    faults: &mut FaultReport,
+    sink: &mut dyn TraceSink,
+) -> Result<()> {
+    dead[d] = true;
+    done[d] = true;
+    faults.devices_lost += 1;
+    faults.injected += 1;
+    faults.degraded = true;
+    if sink.enabled() {
+        sink.record(now.as_secs(), EventKind::DeviceDown { device: d });
+        sink.counter("faults.devices_lost", 1.0);
+    }
+    while let Some(h) = queues[d].pop_front() {
+        let target = (0..3)
+            .filter(|&e| {
+                e != d
+                    && mask[e]
+                    && !dead[e]
+                    && (steal[e][d] || ACCURACY_CLASS[e] <= ACCURACY_CLASS[d])
+            })
+            .min_by_key(|&e| (queues[e].pending(), e))
+            .ok_or_else(|| {
+                ShmtError::NoCapableDevice(format!(
+                    "device {d} died holding pending HLOPs and no eligible survivor remains"
+                ))
+            })?;
+        queues[target].enqueue_traced(now, h, QUEUE_GAUGE[target], sink);
+        done[target] = false;
+        faults.redispatched += 1;
+        if sink.enabled() {
+            sink.gauge(QUEUE_GAUGE[d], now.as_secs(), queues[d].pending() as f64);
+            sink.record(
+                now.as_secs(),
+                EventKind::Redispatch {
+                    hlop: h.id,
+                    from: d,
+                    to: target,
+                },
+            );
+            sink.counter("faults.redispatched", 1.0);
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::quality::mape;
-    use crate::sched::QawsAssignment;
     use crate::sampling::SamplingMethod;
+    use crate::sched::QawsAssignment;
     use shmt_kernels::Benchmark;
 
     /// A slowed-down virtual platform: at test-sized datasets the real
@@ -550,7 +863,10 @@ mod tests {
     /// policies' steady-state behaviour is observable.
     fn slow_platform(b: Benchmark) -> Platform {
         Platform::with_profiles(
-            crate::calibration::Calibration { gpu_throughput: 1.0e6, ..Default::default() },
+            crate::calibration::Calibration {
+                gpu_throughput: 1.0e6,
+                ..Default::default()
+            },
             crate::calibration::bench_profile(b),
         )
     }
@@ -560,7 +876,9 @@ mod tests {
         let mut cfg = RuntimeConfig::new(policy);
         cfg.partitions = 16;
         cfg.quality.sampling_rate = 0.01;
-        ShmtRuntime::new(slow_platform(b), cfg).execute(&vop).unwrap()
+        ShmtRuntime::new(slow_platform(b), cfg)
+            .execute(&vop)
+            .unwrap()
     }
 
     fn exact_reference(b: Benchmark, n: usize) -> Tensor {
@@ -568,10 +886,46 @@ mod tests {
         let kernel = vop.kernel();
         let inputs: Vec<&Tensor> = vop.inputs().iter().collect();
         let mut out = kernel.shape().allocate_output(n, n);
-        let tile =
-            shmt_tensor::tile::Tile { index: 0, row0: 0, col0: 0, rows: n, cols: n };
+        let tile = shmt_tensor::tile::Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: n,
+            cols: n,
+        };
         kernel.run_exact(&inputs, tile, &mut out);
         out
+    }
+
+    #[test]
+    fn tpu_extra_launch_boundary() {
+        let m = 8 * 1024 * 1024usize; // the Edge TPU's device memory
+        let mem = Some(m);
+        // An int8 footprint exactly filling device memory is one launch —
+        // the truncating-division model used to charge a phantom extra.
+        assert_eq!(
+            tpu_extra_launches(m / 2, mem),
+            0,
+            "exact fit needs no extra launch"
+        );
+        assert_eq!(tpu_extra_launches(m / 2 - 1, mem), 0);
+        assert_eq!(
+            tpu_extra_launches(m / 2 + 1, mem),
+            1,
+            "one element over splits once"
+        );
+        assert_eq!(
+            tpu_extra_launches(m, mem),
+            1,
+            "a 2x footprint splits exactly once"
+        );
+        assert_eq!(tpu_extra_launches(m + 1, mem), 2);
+        assert_eq!(
+            tpu_extra_launches(m, None),
+            0,
+            "unbounded memory never splits"
+        );
+        assert_eq!(tpu_extra_launches(0, mem), 0);
     }
 
     #[test]
@@ -589,7 +943,10 @@ mod tests {
         let r = run(Policy::WorkStealing, Benchmark::MeanFilter, 128);
         let reference = exact_reference(Benchmark::MeanFilter, 128);
         let e = mape(&reference, &r.output);
-        assert!(e < 0.25, "WS output should be approximately right, mape={e}");
+        assert!(
+            e < 0.25,
+            "WS output should be approximately right, mape={e}"
+        );
         assert!(e > 0.0, "some partitions ran on the int8 TPU");
     }
 
@@ -602,14 +959,20 @@ mod tests {
             let mut cfg = RuntimeConfig::new(policy);
             cfg.partitions = 32;
             cfg.quality.sampling_rate = 0.02;
-            ShmtRuntime::new(slow_platform(b), cfg).execute(&vop).unwrap()
+            ShmtRuntime::new(slow_platform(b), cfg)
+                .execute(&vop)
+                .unwrap()
         };
         let ws = mk(Policy::WorkStealing);
         let qaws = mk(Policy::Qaws {
             assignment: QawsAssignment::TopK,
             sampling: SamplingMethod::Striding,
         });
-        assert!(ws.tpu_fraction > 0.1, "TPU must participate: {}", ws.tpu_fraction);
+        assert!(
+            ws.tpu_fraction > 0.1,
+            "TPU must participate: {}",
+            ws.tpu_fraction
+        );
         let e_ws = mape(&reference, &ws.output);
         let e_qaws = mape(&reference, &qaws.output);
         assert!(
@@ -623,7 +986,9 @@ mod tests {
         let b = Benchmark::Histogram;
         let vop = Vop::from_benchmark(b, b.generate_inputs(128, 128, 7)).unwrap();
         let cfg = RuntimeConfig::new(Policy::WorkStealing).tpu_only();
-        let r = ShmtRuntime::new(Platform::jetson(b), cfg).execute(&vop).unwrap();
+        let r = ShmtRuntime::new(Platform::jetson(b), cfg)
+            .execute(&vop)
+            .unwrap();
         assert!((r.tpu_fraction - 1.0).abs() < 1e-9);
         assert_eq!(r.device(hetsim::DeviceKind::Gpu).unwrap().hlops, 0);
         // Histogram counts survive the int8 count regression approximately.
@@ -651,7 +1016,9 @@ mod tests {
         let vop = Vop::from_benchmark(b, b.generate_inputs(64, 64, 1)).unwrap();
         let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
         cfg.device_mask = [false; 3];
-        let err = ShmtRuntime::new(Platform::jetson(b), cfg).execute(&vop).unwrap_err();
+        let err = ShmtRuntime::new(Platform::jetson(b), cfg)
+            .execute(&vop)
+            .unwrap_err();
         assert!(matches!(err, ShmtError::NoCapableDevice(_)));
     }
 
@@ -666,6 +1033,10 @@ mod tests {
     #[test]
     fn comm_overhead_is_small_under_pipelining() {
         let r = run(Policy::WorkStealing, Benchmark::Dct8x8, 256);
-        assert!(r.comm_overhead() < 0.10, "comm overhead = {}", r.comm_overhead());
+        assert!(
+            r.comm_overhead() < 0.10,
+            "comm overhead = {}",
+            r.comm_overhead()
+        );
     }
 }

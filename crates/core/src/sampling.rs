@@ -79,7 +79,10 @@ pub fn sample_partition(
     rate: f64,
     seed: u64,
 ) -> SampleSet {
-    assert!(rate > 0.0 && rate <= 1.0, "sampling rate must be in (0, 1], got {rate}");
+    assert!(
+        rate > 0.0 && rate <= 1.0,
+        "sampling rate must be in (0, 1], got {rate}"
+    );
     let len = tile.len();
     let n = ((len as f64 * rate).round() as usize).clamp(1, len);
     let view = input.view(tile.row0, tile.col0, tile.rows, tile.cols);
@@ -97,11 +100,17 @@ pub fn sample_partition(
             if s > 1 && s % tile.cols == 0 {
                 s += 1;
             }
-            (0..n).map(|i| at_flat((i * s).min(len - 1))).collect()
+            // The bump can push tail indices past the end of the
+            // partition; wrapping keeps every draw a distinct element
+            // instead of collecting the final one repeatedly (which
+            // silently biased the criticality std-dev toward it).
+            (0..n).map(|i| at_flat((i * s) % len)).collect()
         }
         SamplingMethod::UniformRandom => {
             // Algorithm 4: S[i] = D[random()].
-            let mut rng = Pcg32::seed_from_u64(seed ^ (tile.index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = Pcg32::seed_from_u64(
+                seed ^ (tile.index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
             (0..n).map(|_| at_flat(rng.gen_range(0..len))).collect()
         }
         SamplingMethod::Reduction => {
@@ -115,8 +124,7 @@ pub fn sample_partition(
             const STEP: usize = 8;
             let step_r = STEP.min(tile.rows.div_ceil(2)).max(1);
             let step_c = STEP.min(tile.cols.div_ceil(2)).max(1);
-            let mut out =
-                Vec::with_capacity((tile.rows / step_r + 1) * (tile.cols / step_c + 1));
+            let mut out = Vec::with_capacity((tile.rows / step_r + 1) * (tile.cols / step_c + 1));
             let mut r = 0;
             while r < tile.rows {
                 let mut c = 0;
@@ -138,7 +146,13 @@ mod tests {
     use super::*;
 
     fn tile(rows: usize, cols: usize) -> Tile {
-        Tile { index: 0, row0: 0, col0: 0, rows, cols }
+        Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows,
+            cols,
+        }
     }
 
     #[test]
@@ -150,6 +164,27 @@ mod tests {
         // tile; the column-drift correction bumps it to 65.
         assert_eq!(s.values[0], 0.0);
         assert_eq!(s.values[1], 65.0);
+
+        // Overflow regime: an 8-wide tile bumps the stride from 8 to 9,
+        // so the tail indices (57*9 = 513, …) pass the 512-element end of
+        // the partition. They must wrap to fresh elements, not pile up on
+        // the last one.
+        let t = Tensor::from_fn(64, 8, |r, c| (r * 8 + c) as f32);
+        let s = sample_partition(&t, tile(64, 8), SamplingMethod::Striding, 1.0 / 8.0, 1);
+        assert_eq!(s.values.len(), 64);
+        let distinct: std::collections::BTreeSet<i64> =
+            s.values.iter().map(|&v| v as i64).collect();
+        assert_eq!(
+            distinct.len(),
+            64,
+            "every overflow draw is a distinct element"
+        );
+        let last = (64 * 8 - 1) as f32;
+        assert_eq!(
+            s.values.iter().filter(|&&v| v == last).count(),
+            0,
+            "tail draws no longer clamp to the final element"
+        );
     }
 
     #[test]
@@ -188,14 +223,22 @@ mod tests {
         let t = Tensor::from_fn(64, 64, |r, c| (r + c) as f32);
         let red = sample_partition(&t, tile(64, 64), SamplingMethod::Reduction, 0.001, 1);
         let stri = sample_partition(&t, tile(64, 64), SamplingMethod::Striding, 0.001, 1);
-        assert!(red.cost_s > 3.0 * stri.cost_s, "{} vs {}", red.cost_s, stri.cost_s);
+        assert!(
+            red.cost_s > 3.0 * stri.cost_s,
+            "{} vs {}",
+            red.cost_s,
+            stri.cost_s
+        );
     }
 
     #[test]
     fn minimum_one_sample() {
         let t = Tensor::from_fn(64, 64, |_, _| 1.0);
-        for m in [SamplingMethod::Striding, SamplingMethod::UniformRandom, SamplingMethod::Reduction]
-        {
+        for m in [
+            SamplingMethod::Striding,
+            SamplingMethod::UniformRandom,
+            SamplingMethod::Reduction,
+        ] {
             let s = sample_partition(&t, tile(64, 64), m, 1e-9, 1);
             assert!(!s.values.is_empty(), "{m:?}");
         }
@@ -212,11 +255,24 @@ mod tests {
     #[test]
     fn samples_come_from_the_tile() {
         let t = Tensor::from_fn(8, 8, |r, c| if r >= 4 { 100.0 + (c as f32) } else { 0.0 });
-        let bottom = Tile { index: 1, row0: 4, col0: 0, rows: 4, cols: 8 };
-        for m in [SamplingMethod::Striding, SamplingMethod::UniformRandom, SamplingMethod::Reduction]
-        {
+        let bottom = Tile {
+            index: 1,
+            row0: 4,
+            col0: 0,
+            rows: 4,
+            cols: 8,
+        };
+        for m in [
+            SamplingMethod::Striding,
+            SamplingMethod::UniformRandom,
+            SamplingMethod::Reduction,
+        ] {
             let s = sample_partition(&t, bottom, m, 0.5, 3);
-            assert!(s.values.iter().all(|&v| v >= 100.0), "{m:?}: {:?}", s.values);
+            assert!(
+                s.values.iter().all(|&v| v >= 100.0),
+                "{m:?}: {:?}",
+                s.values
+            );
         }
     }
 

@@ -82,12 +82,30 @@ impl Policy {
         use QawsAssignment::*;
         use SamplingMethod::*;
         [
-            Policy::Qaws { assignment: TopK, sampling: Striding },
-            Policy::Qaws { assignment: TopK, sampling: UniformRandom },
-            Policy::Qaws { assignment: TopK, sampling: Reduction },
-            Policy::Qaws { assignment: DeviceLimits, sampling: Striding },
-            Policy::Qaws { assignment: DeviceLimits, sampling: UniformRandom },
-            Policy::Qaws { assignment: DeviceLimits, sampling: Reduction },
+            Policy::Qaws {
+                assignment: TopK,
+                sampling: Striding,
+            },
+            Policy::Qaws {
+                assignment: TopK,
+                sampling: UniformRandom,
+            },
+            Policy::Qaws {
+                assignment: TopK,
+                sampling: Reduction,
+            },
+            Policy::Qaws {
+                assignment: DeviceLimits,
+                sampling: Striding,
+            },
+            Policy::Qaws {
+                assignment: DeviceLimits,
+                sampling: UniformRandom,
+            },
+            Policy::Qaws {
+                assignment: DeviceLimits,
+                sampling: Reduction,
+            },
         ]
     }
 
@@ -96,7 +114,10 @@ impl Policy {
         match self {
             Policy::EvenDistribution => "even distribution".into(),
             Policy::WorkStealing => "work-stealing".into(),
-            Policy::Qaws { assignment, sampling } => {
+            Policy::Qaws {
+                assignment,
+                sampling,
+            } => {
                 let a = match assignment {
                     QawsAssignment::TopK => "T",
                     QawsAssignment::DeviceLimits => "L",
@@ -250,7 +271,12 @@ pub fn plan_traced(
             // Even distribution is naive about *where* work goes, not about
             // how transfers run: double buffering is part of the runtime
             // infrastructure (§5.6), so it stays pipelined.
-            Plan { queues, overhead_s: 0.0, pipelined: true, steal: steal_none() }
+            Plan {
+                queues,
+                overhead_s: 0.0,
+                pipelined: true,
+                steal: steal_none(),
+            }
         }
         Policy::WorkStealing => {
             // Even initial split across all devices (§3.4), free stealing.
@@ -258,9 +284,17 @@ pub fn plan_traced(
             for (i, h) in hlops.iter().enumerate() {
                 queues[i % 3].push(*h);
             }
-            Plan { queues, overhead_s: 0.0, pipelined: true, steal: steal_any() }
+            Plan {
+                queues,
+                overhead_s: 0.0,
+                pipelined: true,
+                steal: steal_any(),
+            }
         }
-        Policy::Qaws { assignment, sampling } => {
+        Policy::Qaws {
+            assignment,
+            sampling,
+        } => {
             let (scores, cost) = sample_scores(vop, hlops, sampling, quality, sink);
             let indices = match assignment {
                 QawsAssignment::DeviceLimits => {
@@ -288,9 +322,8 @@ pub fn plan_traced(
             // per-partition quality estimate, at a cost comparable to
             // re-running the kernel (paper: 45% end-to-end slowdown).
             let (errors, _) = canary_errors(vop, hlops, quality.ira_canary_frac);
-            let total_work: f64 =
-                hlops.iter().map(|h| h.elements() as f64).sum::<f64>()
-                    * vop.kernel().work_per_element();
+            let total_work: f64 = hlops.iter().map(|h| h.elements() as f64).sum::<f64>()
+                * vop.kernel().work_per_element();
             let overhead_s = quality.ira_time_factor * total_work / ctx.gpu_throughput.max(1.0);
             if sink.enabled() && !hlops.is_empty() {
                 // The canary cost is charged as one serial window; attribute
@@ -300,7 +333,10 @@ pub fn plan_traced(
                 for (i, h) in hlops.iter().enumerate() {
                     sink.record(
                         (i + 1) as f64 * share,
-                        EventKind::SampleOverhead { hlop: h.id, cost_s: share },
+                        EventKind::SampleOverhead {
+                            hlop: h.id,
+                            cost_s: share,
+                        },
                     );
                 }
             }
@@ -384,7 +420,11 @@ pub fn algorithm1_device_limits(scores: &[f32], limits: &[(f32, QueueIndex)]) ->
 pub fn device_limits_from(scores: &[f32], limit_factor: f32) -> Vec<(f32, QueueIndex)> {
     let mut sorted: Vec<f32> = scores.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let median = if sorted.is_empty() { 0.0 } else { sorted[sorted.len() / 2] };
+    let median = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[sorted.len() / 2]
+    };
     vec![(median * limit_factor, TPU), (f32::INFINITY, GPU)]
 }
 
@@ -403,7 +443,9 @@ pub fn algorithm2_top_k(scores: &[f32], k: usize, w: usize) -> Vec<QueueIndex> {
         let base = w_idx * w;
         let mut order: Vec<usize> = (0..chunk.len()).collect();
         order.sort_by(|&a, &b| {
-            chunk[b].partial_cmp(&chunk[a]).unwrap_or(std::cmp::Ordering::Equal)
+            chunk[b]
+                .partial_cmp(&chunk[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         for (rank, &local) in order.iter().enumerate() {
             out[base + local] = if rank < k { GPU } else { TPU };
@@ -418,7 +460,11 @@ fn rank_assignment(errors: &[f32], critical_fraction: f64) -> Vec<QueueIndex> {
     let n = errors.len();
     let k = ((n as f64 * critical_fraction).round() as usize).min(n);
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| errors[b].partial_cmp(&errors[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        errors[b]
+            .partial_cmp(&errors[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![TPU; n];
     for &i in order.iter().take(k) {
         out[i] = GPU;
@@ -529,12 +575,7 @@ fn canary_errors(vop: &Vop, hlops: &[Hlop], frac: f64) -> (Vec<f32>, f64) {
     (errors, work)
 }
 
-fn mean_abs_diff(
-    a: &Tensor,
-    b: &Tensor,
-    tile: Tile,
-    shape: &shmt_kernels::KernelShape,
-) -> f32 {
+fn mean_abs_diff(a: &Tensor, b: &Tensor, tile: Tile, shape: &shmt_kernels::KernelShape) -> f32 {
     match shape.aggregation {
         shmt_kernels::Aggregation::Tile => {
             let mut acc = 0.0f64;
@@ -573,8 +614,11 @@ mod tests {
     fn policy_names_match_paper_legends() {
         assert_eq!(Policy::WorkStealing.name(), "work-stealing");
         assert_eq!(
-            Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding }
-                .name(),
+            Policy::Qaws {
+                assignment: QawsAssignment::TopK,
+                sampling: SamplingMethod::Striding
+            }
+            .name(),
             "QAWS-TS"
         );
         assert_eq!(
@@ -586,7 +630,10 @@ mod tests {
             "QAWS-LR"
         );
         let names: Vec<String> = Policy::qaws_variants().iter().map(Policy::name).collect();
-        assert_eq!(names, ["QAWS-TS", "QAWS-TU", "QAWS-TR", "QAWS-LS", "QAWS-LU", "QAWS-LR"]);
+        assert_eq!(
+            names,
+            ["QAWS-TS", "QAWS-TU", "QAWS-TR", "QAWS-LS", "QAWS-LU", "QAWS-LR"]
+        );
     }
 
     #[test]
@@ -652,12 +699,22 @@ mod tests {
     fn even_distribution_uses_gpu_and_tpu_only() {
         let vop = sobel_vop(128);
         let hlops = partition_vop(&vop, 8).unwrap();
-        let plan =
-            plan(Policy::EvenDistribution, &vop, &hlops, &QualityConfig::default(), PlanContext { gpu_throughput: 1.0e9 });
+        let plan = plan(
+            Policy::EvenDistribution,
+            &vop,
+            &hlops,
+            &QualityConfig::default(),
+            PlanContext {
+                gpu_throughput: 1.0e9,
+            },
+        );
         assert!(plan.queues[CPU].is_empty());
         assert!(!plan.queues[GPU].is_empty());
         assert!(!plan.queues[TPU].is_empty());
-        assert!(plan.pipelined, "double buffering is infrastructure, not policy");
+        assert!(
+            plan.pipelined,
+            "double buffering is infrastructure, not policy"
+        );
         assert_eq!(plan.steal, steal_none());
         assert_eq!(plan.total_hlops(), hlops.len());
     }
@@ -666,7 +723,15 @@ mod tests {
     fn work_stealing_splits_across_all_devices() {
         let vop = sobel_vop(128);
         let hlops = partition_vop(&vop, 9).unwrap();
-        let plan = plan(Policy::WorkStealing, &vop, &hlops, &QualityConfig::default(), PlanContext { gpu_throughput: 1.0e9 });
+        let plan = plan(
+            Policy::WorkStealing,
+            &vop,
+            &hlops,
+            &QualityConfig::default(),
+            PlanContext {
+                gpu_throughput: 1.0e9,
+            },
+        );
         assert!(plan.queues.iter().all(|q| !q.is_empty()));
         assert!(plan.steal[TPU][GPU], "unrestricted stealing");
         assert_eq!(plan.overhead_s, 0.0);
@@ -684,11 +749,16 @@ mod tests {
             &vop,
             &hlops,
             &QualityConfig::default(),
-            PlanContext { gpu_throughput: 1.0e9 },
+            PlanContext {
+                gpu_throughput: 1.0e9,
+            },
         );
         assert!(p.steal[GPU][TPU], "GPU may steal approximate work");
         assert!(!p.steal[TPU][GPU], "TPU must not steal exact work");
-        assert!(p.steal[GPU][CPU] && p.steal[CPU][GPU], "exact peers steal freely");
+        assert!(
+            p.steal[GPU][CPU] && p.steal[CPU][GPU],
+            "exact peers steal freely"
+        );
         assert!(p.overhead_s > 0.0, "sampling costs time");
         // Every HLOP got a criticality annotation.
         for q in &p.queues {
@@ -709,8 +779,13 @@ mod tests {
             },
             &vop,
             &hlops,
-            &QualityConfig { sampling_rate: 0.05, ..QualityConfig::default() },
-            PlanContext { gpu_throughput: 1.0e9 },
+            &QualityConfig {
+                sampling_rate: 0.05,
+                ..QualityConfig::default()
+            },
+            PlanContext {
+                gpu_throughput: 1.0e9,
+            },
         );
         let max_exact: f32 = p.queues[GPU]
             .iter()
@@ -722,8 +797,10 @@ mod tests {
             .chain(&p.queues[CPU])
             .filter_map(|h| h.criticality)
             .fold(f32::INFINITY, f32::min);
-        let max_tpu: f32 =
-            p.queues[TPU].iter().filter_map(|h| h.criticality).fold(0.0, f32::max);
+        let max_tpu: f32 = p.queues[TPU]
+            .iter()
+            .filter_map(|h| h.criticality)
+            .fold(0.0, f32::max);
         // Ranking is windowed, so strict global separation is not
         // guaranteed — but the exact queues must hold high-criticality work.
         assert!(max_exact >= max_tpu, "exact {max_exact} vs tpu {max_tpu}");
@@ -734,8 +811,24 @@ mod tests {
     fn ira_charges_canary_overhead_and_oracle_does_not() {
         let vop = sobel_vop(128);
         let hlops = partition_vop(&vop, 8).unwrap();
-        let ira = plan(Policy::IraSampling, &vop, &hlops, &QualityConfig::default(), PlanContext { gpu_throughput: 1.0e9 });
-        let oracle = plan(Policy::Oracle, &vop, &hlops, &QualityConfig::default(), PlanContext { gpu_throughput: 1.0e9 });
+        let ira = plan(
+            Policy::IraSampling,
+            &vop,
+            &hlops,
+            &QualityConfig::default(),
+            PlanContext {
+                gpu_throughput: 1.0e9,
+            },
+        );
+        let oracle = plan(
+            Policy::Oracle,
+            &vop,
+            &hlops,
+            &QualityConfig::default(),
+            PlanContext {
+                gpu_throughput: 1.0e9,
+            },
+        );
         assert!(ira.overhead_s > 0.0);
         assert_eq!(oracle.overhead_s, 0.0);
         assert_eq!(ira.total_hlops(), hlops.len());

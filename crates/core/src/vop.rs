@@ -158,7 +158,12 @@ impl Vop {
         if inputs.iter().any(|t| t.shape() != first) {
             return Err(ShmtError::InvalidVop("input shapes must agree".into()));
         }
-        Ok(Vop { opcode, kernel, inputs, criticality_hint: 0.2 })
+        Ok(Vop {
+            opcode,
+            kernel,
+            inputs,
+            criticality_hint: 0.2,
+        })
     }
 
     /// Creates the VOP for a benchmark application on generated inputs,
@@ -170,8 +175,12 @@ impl Vop {
     /// Propagates [`Vop::new`]'s validation errors.
     pub fn from_benchmark(benchmark: Benchmark, inputs: Vec<Tensor>) -> Result<Self> {
         let hint = crate::calibration::bench_profile(benchmark).criticality_hint;
-        Ok(Vop::new(Opcode::from_benchmark(benchmark), benchmark.kernel(), inputs)?
-            .with_criticality_hint(hint))
+        Ok(Vop::new(
+            Opcode::from_benchmark(benchmark),
+            benchmark.kernel(),
+            inputs,
+        )?
+        .with_criticality_hint(hint))
     }
 
     /// Convenience: a unary element-wise VOP (Table 1's vector ops).
@@ -349,7 +358,10 @@ impl Kernel for BinaryKernel {
     }
 
     fn shape(&self) -> KernelShape {
-        KernelShape { num_inputs: 2, ..KernelShape::elementwise() }
+        KernelShape {
+            num_inputs: 2,
+            ..KernelShape::elementwise()
+        }
     }
 
     fn run_exact(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
@@ -377,7 +389,10 @@ mod tests {
     fn every_opcode_has_a_model() {
         // Spot-check both columns of Table 1.
         assert_eq!(Opcode::Add.parallel_model(), ParallelModel::Vector);
-        assert_eq!(Opcode::ReduceHist256.parallel_model(), ParallelModel::Vector);
+        assert_eq!(
+            Opcode::ReduceHist256.parallel_model(),
+            ParallelModel::Vector
+        );
         assert_eq!(Opcode::Gemm.parallel_model(), ParallelModel::Tiling);
         assert_eq!(Opcode::Srad.parallel_model(), ParallelModel::Tiling);
     }
@@ -407,7 +422,17 @@ mod tests {
         let vop = Vop::unary(UnaryOp::Relu, input).unwrap();
         let mut out = Tensor::zeros(1, 4);
         let refs: Vec<_> = vop.inputs().iter().collect();
-        vop.kernel().run_exact(&refs, Tile { index: 0, row0: 0, col0: 0, rows: 1, cols: 4 }, &mut out);
+        vop.kernel().run_exact(
+            &refs,
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 1,
+                cols: 4,
+            },
+            &mut out,
+        );
         assert_eq!(out.as_slice(), &[0.0, 0.0, 4.0, 9.0]);
     }
 
@@ -418,7 +443,17 @@ mod tests {
         let vop = Vop::binary(BinaryOp::Max, a, b).unwrap();
         let mut out = Tensor::zeros(1, 3);
         let refs: Vec<_> = vop.inputs().iter().collect();
-        vop.kernel().run_exact(&refs, Tile { index: 0, row0: 0, col0: 0, rows: 1, cols: 3 }, &mut out);
+        vop.kernel().run_exact(
+            &refs,
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 1,
+                cols: 3,
+            },
+            &mut out,
+        );
         assert_eq!(out.as_slice(), &[4.0, 2.0, 3.0]);
     }
 
@@ -431,7 +466,13 @@ mod tests {
         let refs: Vec<_> = vop.inputs().iter().collect();
         vop.kernel().run_exact(
             &refs,
-            Tile { index: 0, row0: 0, col0: 0, rows: 4, cols: 4 },
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 4,
+                cols: 4,
+            },
             &mut out,
         );
         for (o, e) in out.as_slice().iter().zip(b.as_slice()) {
@@ -443,18 +484,18 @@ mod tests {
     #[test]
     fn conv_vop_runs_end_to_end() {
         let input = Tensor::filled(32, 32, 5.0);
-        let vop = Vop::conv2d(
-            input,
-            Tensor::from_vec(1, 1, vec![3.0]).unwrap(),
-        )
-        .unwrap();
+        let vop = Vop::conv2d(input, Tensor::from_vec(1, 1, vec![3.0]).unwrap()).unwrap();
         let report = crate::ShmtRuntime::new(
             crate::Platform::generic(),
             crate::RuntimeConfig::new(crate::Policy::WorkStealing),
         )
         .execute(&vop)
         .unwrap();
-        assert!(report.output.as_slice().iter().all(|&v| (v - 15.0).abs() < 0.2));
+        assert!(report
+            .output
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 15.0).abs() < 0.2));
     }
 
     #[test]

@@ -24,7 +24,12 @@ pub struct Blackscholes {
 
 impl Default for Blackscholes {
     fn default() -> Self {
-        Blackscholes { strike_ratio: 1.05, rate: 0.02, volatility: 0.30, expiry: 1.0 }
+        Blackscholes {
+            strike_ratio: 1.05,
+            rate: 0.02,
+            volatility: 0.30,
+            expiry: 1.0,
+        }
     }
 }
 
@@ -34,7 +39,8 @@ impl Blackscholes {
         let s = s.max(1e-6);
         let k = s * self.strike_ratio;
         let sqrt_t = self.expiry.sqrt();
-        let d1 = ((s / k).ln() + (self.rate + 0.5 * self.volatility * self.volatility) * self.expiry)
+        let d1 = ((s / k).ln()
+            + (self.rate + 0.5 * self.volatility * self.volatility) * self.expiry)
             / (self.volatility * sqrt_t);
         let d2 = d1 - self.volatility * sqrt_t;
         s * cnd(d1) - k * (-self.rate * self.expiry).exp() * cnd(d2)
@@ -125,7 +131,13 @@ mod tests {
         let k = Blackscholes::default();
         let input = Tensor::from_fn(4, 8, |r, c| 20.0 + (r * 8 + c) as f32);
         let mut out = Tensor::zeros(4, 8);
-        let tile = Tile { index: 0, row0: 1, col0: 2, rows: 2, cols: 4 };
+        let tile = Tile {
+            index: 0,
+            row0: 1,
+            col0: 2,
+            rows: 2,
+            cols: 4,
+        };
         k.run_exact(&[&input], tile, &mut out);
         assert_eq!(out[(1, 2)], k.price(input[(1, 2)]));
         assert_eq!(out[(2, 5)], k.price(input[(2, 5)]));

@@ -30,9 +30,7 @@ impl Conv2d {
     /// A 3x3 Gaussian-ish blur.
     pub fn gaussian3x3() -> Self {
         let w = [1.0f32, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0];
-        Conv2d::new(
-            Tensor::from_vec(3, 3, w.iter().map(|v| v / 16.0).collect()).expect("3x3"),
-        )
+        Conv2d::new(Tensor::from_vec(3, 3, w.iter().map(|v| v / 16.0).collect()).expect("3x3"))
     }
 
     /// The filter in effect.
@@ -60,10 +58,10 @@ impl Kernel for Conv2d {
                 let mut acc = 0.0f32;
                 for i in 0..fr {
                     for j in 0..fc {
-                        let rr = (r as isize + i as isize - hr).clamp(0, rows as isize - 1)
-                            as usize;
-                        let cc = (c as isize + j as isize - hc).clamp(0, cols as isize - 1)
-                            as usize;
+                        let rr =
+                            (r as isize + i as isize - hr).clamp(0, rows as isize - 1) as usize;
+                        let cc =
+                            (c as isize + j as isize - hc).clamp(0, cols as isize - 1) as usize;
                         acc += input[(rr, cc)] * self.filter[(i, j)];
                     }
                 }
@@ -86,7 +84,17 @@ mod tests {
         let input = Tensor::from_fn(12, 12, |r, c| ((r * 7 + c * 3) % 19) as f32);
         let k = Conv2d::gaussian3x3();
         let mut out = Tensor::zeros(12, 12);
-        k.run_exact(&[&input], Tile { index: 0, row0: 0, col0: 0, rows: 12, cols: 12 }, &mut out);
+        k.run_exact(
+            &[&input],
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 12,
+                cols: 12,
+            },
+            &mut out,
+        );
         let expect = crate::primitives::conv2d(&input, k.filter());
         for (a, b) in out.as_slice().iter().zip(expect.as_slice()) {
             assert!((a - b).abs() < 1e-5);
@@ -98,7 +106,17 @@ mod tests {
         let input = Tensor::filled(8, 8, 9.0);
         let k = Conv2d::gaussian3x3();
         let mut out = Tensor::zeros(8, 8);
-        k.run_exact(&[&input], Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 }, &mut out);
+        k.run_exact(
+            &[&input],
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 8,
+                cols: 8,
+            },
+            &mut out,
+        );
         for &v in out.as_slice() {
             assert!((v - 9.0).abs() < 1e-5);
         }

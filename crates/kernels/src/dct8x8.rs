@@ -18,7 +18,11 @@ pub struct Dct8x8;
 
 /// DCT basis value `c(u) * cos((2x+1) u pi / 16)`.
 fn basis(u: usize, x: usize) -> f32 {
-    let cu = if u == 0 { (1.0f32 / N as f32).sqrt() } else { (2.0f32 / N as f32).sqrt() };
+    let cu = if u == 0 {
+        (1.0f32 / N as f32).sqrt()
+    } else {
+        (2.0f32 / N as f32).sqrt()
+    };
     cu * ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / (2.0 * N as f32)).cos()
 }
 
@@ -26,9 +30,7 @@ fn basis(u: usize, x: usize) -> f32 {
 /// reading clamped input and writing only coordinates inside `tile`.
 fn transform_block(input: &Tensor, br: usize, bc: usize, tile: Tile, out: &mut Tensor) {
     let (rows, cols) = input.shape();
-    let read = |r: usize, c: usize| -> f32 {
-        input[(r.min(rows - 1), c.min(cols - 1))]
-    };
+    let read = |r: usize, c: usize| -> f32 { input[(r.min(rows - 1), c.min(cols - 1))] };
     for u in 0..N {
         let or = br + u;
         if or < tile.row0 || or >= tile.row0 + tile.rows || or >= rows {
@@ -135,7 +137,13 @@ mod tests {
     fn constant_block_concentrates_in_dc() {
         let input = Tensor::filled(8, 8, 10.0);
         let mut out = Tensor::zeros(8, 8);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 8,
+            cols: 8,
+        };
         Dct8x8.run_exact(&[&input], tile, &mut out);
         // DC coefficient = 8 * mean = 80 with orthonormal scaling.
         assert!((out[(0, 0)] - 80.0).abs() < 1e-3, "dc = {}", out[(0, 0)]);
@@ -152,7 +160,13 @@ mod tests {
     fn dct_preserves_energy() {
         let input = Tensor::from_fn(8, 8, |r, c| ((r * 13 + c * 7) % 11) as f32 - 5.0);
         let mut out = Tensor::zeros(8, 8);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 8,
+            cols: 8,
+        };
         Dct8x8.run_exact(&[&input], tile, &mut out);
         let e_in: f32 = input.as_slice().iter().map(|v| v * v).sum();
         let e_out: f32 = out.as_slice().iter().map(|v| v * v).sum();
@@ -163,7 +177,13 @@ mod tests {
     fn idct_round_trips() {
         let input = Tensor::from_fn(16, 16, |r, c| ((r * 5 + c * 3) % 17) as f32);
         let mut coeffs = Tensor::zeros(16, 16);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 16, cols: 16 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 16,
+            cols: 16,
+        };
         Dct8x8.run_exact(&[&input], tile, &mut coeffs);
         let back = idct8x8(&coeffs);
         for (a, b) in input.as_slice().iter().zip(back.as_slice()) {
@@ -177,13 +197,25 @@ mod tests {
         let mut full = Tensor::zeros(16, 16);
         Dct8x8.run_exact(
             &[&input],
-            Tile { index: 0, row0: 0, col0: 0, rows: 16, cols: 16 },
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 16,
+                cols: 16,
+            },
             &mut full,
         );
         let mut partial = Tensor::zeros(16, 16);
         Dct8x8.run_exact(
             &[&input],
-            Tile { index: 0, row0: 8, col0: 0, rows: 8, cols: 16 },
+            Tile {
+                index: 0,
+                row0: 8,
+                col0: 0,
+                rows: 8,
+                cols: 16,
+            },
             &mut partial,
         );
         for r in 8..16 {

@@ -117,8 +117,9 @@ fn transform_block(input: &Tensor, br: usize, bc: usize, tile: Tile, out: &mut T
     let brows = BLOCK.min(rows - br);
     let bcols = BLOCK.min(cols - bc);
     // Copy block, transform rows then columns.
-    let mut block: Vec<Vec<f32>> =
-        (0..brows).map(|r| input.row(br + r)[bc..bc + bcols].to_vec()).collect();
+    let mut block: Vec<Vec<f32>> = (0..brows)
+        .map(|r| input.row(br + r)[bc..bc + bcols].to_vec())
+        .collect();
     for row in &mut block {
         forward_lift97(row);
     }
@@ -232,20 +233,35 @@ mod tests {
         }
         // The 9/7 low-pass DC gain is sqrt(2).
         for &a in &x[..16] {
-            assert!((a - 5.0 * std::f32::consts::SQRT_2).abs() < 1e-3, "approx = {a}");
+            assert!(
+                (a - 5.0 * std::f32::consts::SQRT_2).abs() < 1e-3,
+                "approx = {a}"
+            );
         }
     }
 
     #[test]
     fn tile_split_matches_full_run() {
         let input = Tensor::from_fn(64, 64, |r, c| ((r * 3 + c * 5) % 29) as f32);
-        let full_tile = Tile { index: 0, row0: 0, col0: 0, rows: 64, cols: 64 };
+        let full_tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 64,
+            cols: 64,
+        };
         let mut full = Tensor::zeros(64, 64);
         Dwt97::default().run_exact(&[&input], full_tile, &mut full);
 
         let mut split = Tensor::zeros(64, 64);
         for (i, r0) in [0usize, 32].iter().enumerate() {
-            let t = Tile { index: i, row0: *r0, col0: 0, rows: 32, cols: 64 };
+            let t = Tile {
+                index: i,
+                row0: *r0,
+                col0: 0,
+                rows: 32,
+                cols: 64,
+            };
             Dwt97::default().run_exact(&[&input], t, &mut split);
         }
         assert_eq!(full.as_slice(), split.as_slice());

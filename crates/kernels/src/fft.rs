@@ -25,7 +25,10 @@ pub fn fft_magnitude(signal: &[f32]) -> Vec<f32> {
         let mut re: Vec<f32> = signal.to_vec();
         let mut im = vec![0.0f32; n];
         fft_radix2(&mut re, &mut im);
-        re.iter().zip(&im).map(|(r, i)| (r * r + i * i).sqrt()).collect()
+        re.iter()
+            .zip(&im)
+            .map(|(r, i)| (r * r + i * i).sqrt())
+            .collect()
     } else {
         naive_dft_magnitude(signal)
     }
@@ -38,7 +41,10 @@ pub fn fft_magnitude(signal: &[f32]) -> Vec<f32> {
 /// Panics if the length is not a power of two.
 pub fn fft_radix2(re: &mut [f32], im: &mut [f32]) {
     let n = re.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT requires power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT requires power-of-two length"
+    );
     assert_eq!(n, im.len(), "real and imaginary parts must match");
     // Bit-reversal permutation.
     let mut j = 0usize;
@@ -103,13 +109,20 @@ impl Kernel for RowFft {
     }
 
     fn shape(&self) -> KernelShape {
-        KernelShape { full_rows: true, ..KernelShape::elementwise() }
+        KernelShape {
+            full_rows: true,
+            ..KernelShape::elementwise()
+        }
     }
 
     fn run_exact(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
         let input = inputs[0];
         assert_eq!(tile.col0, 0, "FFT partitions must span full rows");
-        assert_eq!(tile.cols, input.cols(), "FFT partitions must span full rows");
+        assert_eq!(
+            tile.cols,
+            input.cols(),
+            "FFT partitions must span full rows"
+        );
         for r in tile.row0..tile.row0 + tile.rows {
             let mag = fft_magnitude(input.row(r));
             out.row_mut(r).copy_from_slice(&mag);
@@ -175,7 +188,13 @@ mod tests {
     fn kernel_writes_only_tile_rows() {
         let input = Tensor::from_fn(4, 8, |r, c| (r * 8 + c) as f32);
         let mut out = Tensor::zeros(4, 8);
-        let tile = Tile { index: 0, row0: 1, col0: 0, rows: 2, cols: 8 };
+        let tile = Tile {
+            index: 0,
+            row0: 1,
+            col0: 0,
+            rows: 2,
+            cols: 8,
+        };
         RowFft.run_exact(&[&input], tile, &mut out);
         assert!(out.row(0).iter().all(|&v| v == 0.0));
         assert!(out.row(1).iter().any(|&v| v != 0.0));
@@ -187,7 +206,13 @@ mod tests {
     fn kernel_rejects_partial_rows() {
         let input = Tensor::zeros(4, 8);
         let mut out = Tensor::zeros(4, 8);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 2, cols: 4 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 2,
+            cols: 4,
+        };
         RowFft.run_exact(&[&input], tile, &mut out);
     }
 }

@@ -22,12 +22,19 @@ impl Kernel for Gemm {
     }
 
     fn shape(&self) -> KernelShape {
-        KernelShape { num_inputs: 2, ..KernelShape::elementwise() }
+        KernelShape {
+            num_inputs: 2,
+            ..KernelShape::elementwise()
+        }
     }
 
     fn run_exact(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
         let (a, b) = (inputs[0], inputs[1]);
-        assert_eq!(a.shape(), b.shape(), "GEMM VOP multiplies equal-shaped squares");
+        assert_eq!(
+            a.shape(),
+            b.shape(),
+            "GEMM VOP multiplies equal-shaped squares"
+        );
         let (n, m) = a.shape();
         assert_eq!(n, m, "GEMM VOP requires square inputs");
         for r in tile.row0..tile.row0 + tile.rows {
@@ -81,7 +88,13 @@ mod tests {
     use super::*;
 
     fn full(n: usize) -> Tile {
-        Tile { index: 0, row0: 0, col0: 0, rows: n, cols: n }
+        Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: n,
+            cols: n,
+        }
     }
 
     #[test]
@@ -104,7 +117,13 @@ mod tests {
         Gemm.run_exact(&[&a, &b], full(16), &mut whole);
         let mut split = Tensor::zeros(16, 16);
         for (i, (r0, c0)) in [(0, 0), (0, 8), (8, 0), (8, 8)].iter().enumerate() {
-            let t = Tile { index: i, row0: *r0, col0: *c0, rows: 8, cols: 8 };
+            let t = Tile {
+                index: i,
+                row0: *r0,
+                col0: *c0,
+                rows: 8,
+                cols: 8,
+            };
             Gemm.run_exact(&[&a, &b], t, &mut split);
         }
         assert_eq!(whole.as_slice(), split.as_slice());
@@ -125,7 +144,10 @@ mod tests {
             max_err = max_err.max((x - y).abs());
         }
         assert!(max_err > 0.0, "int8 GEMM must differ");
-        assert!(max_err < 0.1 * range, "but stay close: {max_err} of {range}");
+        assert!(
+            max_err < 0.1 * range,
+            "but stay close: {max_err} of {range}"
+        );
     }
 
     #[test]
@@ -134,6 +156,16 @@ mod tests {
         let a = Tensor::zeros(4, 8);
         let b = Tensor::zeros(4, 8);
         let mut out = Tensor::zeros(4, 8);
-        Gemm.run_exact(&[&a, &b], Tile { index: 0, row0: 0, col0: 0, rows: 4, cols: 8 }, &mut out);
+        Gemm.run_exact(
+            &[&a, &b],
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 4,
+                cols: 8,
+            },
+            &mut out,
+        );
     }
 }

@@ -23,7 +23,11 @@ impl Kernel for Histogram256 {
 
     fn shape(&self) -> KernelShape {
         KernelShape {
-            aggregation: Aggregation::Reduce { rows: 1, cols: BINS, op: ReduceOp::Sum },
+            aggregation: Aggregation::Reduce {
+                rows: 1,
+                cols: BINS,
+                op: ReduceOp::Sum,
+            },
             ..KernelShape::elementwise()
         }
     }
@@ -72,7 +76,13 @@ mod tests {
     fn counts_sum_to_elements() {
         let input = Tensor::from_fn(8, 8, |r, c| ((r * 8 + c) % 256) as f32);
         let mut out = Tensor::zeros(1, BINS);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 8,
+            cols: 8,
+        };
         Histogram256.run_exact(&[&input], tile, &mut out);
         let total: f32 = out.as_slice().iter().sum();
         assert_eq!(total, 64.0);
@@ -82,7 +92,13 @@ mod tests {
     fn out_of_range_values_clamp_to_edge_bins() {
         let input = Tensor::from_vec(1, 4, vec![-5.0, 0.0, 255.0, 999.0]).unwrap();
         let mut out = Tensor::zeros(1, BINS);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 1, cols: 4 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 1,
+            cols: 4,
+        };
         Histogram256.run_exact(&[&input], tile, &mut out);
         assert_eq!(out[(0, 0)], 2.0);
         assert_eq!(out[(0, 255)], 2.0);
@@ -94,14 +110,26 @@ mod tests {
         let mut whole = Tensor::zeros(1, BINS);
         Histogram256.run_exact(
             &[&input],
-            Tile { index: 0, row0: 0, col0: 0, rows: 16, cols: 16 },
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 16,
+                cols: 16,
+            },
             &mut whole,
         );
         let mut parts = Tensor::zeros(1, BINS);
         for (i, r0) in [0usize, 8].iter().enumerate() {
             Histogram256.run_exact(
                 &[&input],
-                Tile { index: i, row0: *r0, col0: 0, rows: 8, cols: 16 },
+                Tile {
+                    index: i,
+                    row0: *r0,
+                    col0: 0,
+                    rows: 8,
+                    cols: 16,
+                },
                 &mut parts,
             );
         }

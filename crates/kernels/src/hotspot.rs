@@ -28,7 +28,13 @@ pub struct Hotspot {
 
 impl Default for Hotspot {
     fn default() -> Self {
-        Hotspot { step: 0.1, rx: 1.0, ry: 1.0, rz: 4.0, ambient: 300.0 }
+        Hotspot {
+            step: 0.1,
+            rx: 1.0,
+            ry: 1.0,
+            rz: 4.0,
+            ambient: 300.0,
+        }
     }
 }
 
@@ -38,13 +44,20 @@ impl Kernel for Hotspot {
     }
 
     fn shape(&self) -> KernelShape {
-        KernelShape { num_inputs: 2, ..KernelShape::stencil(1) }
+        KernelShape {
+            num_inputs: 2,
+            ..KernelShape::stencil(1)
+        }
     }
 
     fn run_exact(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
         let temp = inputs[0];
         let power = inputs[1];
-        assert_eq!(temp.shape(), power.shape(), "temperature and power grids must match");
+        assert_eq!(
+            temp.shape(),
+            power.shape(),
+            "temperature and power grids must match"
+        );
         let (rows, cols) = temp.shape();
         let at = |r: isize, c: isize| -> f32 {
             let r = r.clamp(0, rows as isize - 1) as usize;
@@ -80,7 +93,13 @@ mod tests {
     use super::*;
 
     fn full_tile(n: usize) -> Tile {
-        Tile { index: 0, row0: 0, col0: 0, rows: n, cols: n }
+        Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: n,
+            cols: n,
+        }
     }
 
     #[test]
@@ -129,7 +148,13 @@ mod tests {
         k.run_exact(&[&temp, &power], full_tile(16), &mut full);
         let mut split = Tensor::zeros(16, 16);
         for (i, c0) in [0usize, 8].iter().enumerate() {
-            let t = Tile { index: i, row0: 0, col0: *c0, rows: 16, cols: 8 };
+            let t = Tile {
+                index: i,
+                row0: 0,
+                col0: *c0,
+                rows: 16,
+                cols: 8,
+            };
             k.run_exact(&[&temp, &power], t, &mut split);
         }
         assert_eq!(full.as_slice(), split.as_slice());

@@ -85,12 +85,18 @@ impl KernelShape {
 
     /// A stencil kernel with the given halo over one input.
     pub fn stencil(halo: usize) -> Self {
-        KernelShape { halo, ..Self::elementwise() }
+        KernelShape {
+            halo,
+            ..Self::elementwise()
+        }
     }
 
     /// A block-transform kernel whose tiles must align to `edge`.
     pub fn blocked(edge: usize) -> Self {
-        KernelShape { block_align: edge, ..Self::elementwise() }
+        KernelShape {
+            block_align: edge,
+            ..Self::elementwise()
+        }
     }
 
     /// Allocates the output tensor for a dataset of `rows x cols`,
@@ -286,11 +292,11 @@ impl Benchmark {
                     cols,
                     seed ^ 0x9e37_79b9,
                     gen::FieldConfig {
-                    base: 0.5,
-                    amplitude: 0.45,
-                    block: gen::scaled_block(rows, cols),
-                    tail: 0.8,
-                },
+                        base: 0.5,
+                        amplitude: 0.45,
+                        block: gen::scaled_block(rows, cols),
+                        tail: 0.8,
+                    },
                 ),
             ],
             Benchmark::Srad => vec![gen::speckle(rows, cols, seed)],
@@ -354,7 +360,11 @@ mod tests {
         let t = KernelShape::elementwise().allocate_output(4, 6);
         assert_eq!(t.shape(), (4, 6));
         let s = KernelShape {
-            aggregation: Aggregation::Reduce { rows: 1, cols: 256, op: ReduceOp::Sum },
+            aggregation: Aggregation::Reduce {
+                rows: 1,
+                cols: 256,
+                op: ReduceOp::Sum,
+            },
             ..KernelShape::elementwise()
         }
         .allocate_output(100, 100);

@@ -64,7 +64,13 @@ mod tests {
         let mut out = Tensor::filled(8, 8, 99.0);
         Laplacian.run_exact(
             &[&input],
-            Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 },
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 8,
+                cols: 8,
+            },
             &mut out,
         );
         assert!(out.as_slice().iter().all(|&v| v.abs() < 1e-5));
@@ -77,7 +83,13 @@ mod tests {
         let mut out = Tensor::zeros(5, 5);
         Laplacian.run_exact(
             &[&input],
-            Tile { index: 0, row0: 0, col0: 0, rows: 5, cols: 5 },
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 5,
+                cols: 5,
+            },
             &mut out,
         );
         assert_eq!(out[(2, 2)], -4.0);
@@ -92,7 +104,13 @@ mod tests {
         let mut out = Tensor::zeros(8, 8);
         Laplacian.run_exact(
             &[&input],
-            Tile { index: 0, row0: 1, col0: 1, rows: 6, cols: 6 },
+            Tile {
+                index: 0,
+                row0: 1,
+                col0: 1,
+                rows: 6,
+                cols: 6,
+            },
             &mut out,
         );
         for r in 1..7 {

@@ -63,7 +63,13 @@ mod tests {
         let mut out = Tensor::zeros(8, 8);
         MeanFilter.run_exact(
             &[&input],
-            Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 },
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 8,
+                cols: 8,
+            },
             &mut out,
         );
         for &v in out.as_slice() {
@@ -78,7 +84,13 @@ mod tests {
         let mut out = Tensor::zeros(5, 5);
         MeanFilter.run_exact(
             &[&input],
-            Tile { index: 0, row0: 0, col0: 0, rows: 5, cols: 5 },
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 5,
+                cols: 5,
+            },
             &mut out,
         );
         for r in 1..=3 {
@@ -95,7 +107,13 @@ mod tests {
         let mut out = Tensor::zeros(8, 8);
         MeanFilter.run_exact(
             &[&input],
-            Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 },
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 8,
+                cols: 8,
+            },
             &mut out,
         );
         let (ilo, ihi) = input.min_max();

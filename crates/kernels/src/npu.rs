@@ -82,12 +82,24 @@ pub fn run_via_npu_quant<K: Kernel + ?Sized>(
 ) {
     assert!(fidelity >= 1.0, "fidelity must be >= 1.0, got {fidelity}");
     let shape = kernel.shape();
-    assert_eq!(inputs.len(), shape.num_inputs, "kernel {} arity", kernel.name());
+    assert_eq!(
+        inputs.len(),
+        shape.num_inputs,
+        "kernel {} arity",
+        kernel.name()
+    );
     let (rows, cols) = inputs[0].shape();
 
     // Extract the partition plus halo, aligned down to the block edge so
     // block transforms keep their phase, spanning full rows if required.
-    let ext = extended_region(tile, shape.halo, shape.block_align, shape.full_rows, rows, cols);
+    let ext = extended_region(
+        tile,
+        shape.halo,
+        shape.block_align,
+        shape.full_rows,
+        rows,
+        cols,
+    );
 
     // Quantize-snap each input region: this is the int8 device buffer.
     // Kernels with native uint8 models take integer 8-bit image data
@@ -126,17 +138,23 @@ pub fn run_via_npu_quant<K: Kernel + ?Sized>(
             // int8 output grid, then publish it to the global output.
             match quant {
                 OutputQuant::PerTile => snap_tile(&mut local_out, local_tile, fidelity),
-                OutputQuant::BlockChannels { edge } => {
-                    snap_channels(&mut local_out, local_tile, fidelity, |r, c| {
-                        (r % edge) * edge + c % edge
-                    }, edge * edge)
-                }
-                OutputQuant::Subbands { edge } => {
-                    snap_channels(&mut local_out, local_tile, fidelity, |r, c| {
+                OutputQuant::BlockChannels { edge } => snap_channels(
+                    &mut local_out,
+                    local_tile,
+                    fidelity,
+                    |r, c| (r % edge) * edge + c % edge,
+                    edge * edge,
+                ),
+                OutputQuant::Subbands { edge } => snap_channels(
+                    &mut local_out,
+                    local_tile,
+                    fidelity,
+                    |r, c| {
                         let half = edge / 2;
                         usize::from(r % edge >= half) * 2 + usize::from(c % edge >= half)
-                    }, 4)
-                }
+                    },
+                    4,
+                ),
             }
             for r in 0..tile.rows {
                 let src = local_out.view(local_tile.row0 + r, local_tile.col0, 1, tile.cols);
@@ -146,7 +164,11 @@ pub fn run_via_npu_quant<K: Kernel + ?Sized>(
                     .expect("same shape");
             }
         }
-        Aggregation::Reduce { rows: srows, cols: scols, op } => {
+        Aggregation::Reduce {
+            rows: srows,
+            cols: scols,
+            op,
+        } => {
             // Reduction kernels accumulate into the shared buffer; partial
             // buffers fold with the reduction's own operation.
             let shape2 = kernel.shape();
@@ -190,9 +212,17 @@ fn extended_region(
     let (col0, col_end) = if full_rows {
         (0, cols)
     } else {
-        (align_down(tile.col0.saturating_sub(halo)), (tile.col0 + tile.cols + halo).min(cols))
+        (
+            align_down(tile.col0.saturating_sub(halo)),
+            (tile.col0 + tile.cols + halo).min(cols),
+        )
     };
-    Region { row0, col0, rows: row_end - row0, cols: col_end - col0 }
+    Region {
+        row0,
+        col0,
+        rows: row_end - row0,
+        cols: col_end - col0,
+    }
 }
 
 /// Snaps the `tile` region of `t` per channel: each channel id gets its own
@@ -259,17 +289,35 @@ mod tests {
 
     #[test]
     fn extended_region_clamps_at_edges() {
-        let t = Tile { index: 0, row0: 0, col0: 0, rows: 4, cols: 4 };
+        let t = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 4,
+            cols: 4,
+        };
         let r = extended_region(t, 2, 1, false, 16, 16);
         assert_eq!((r.row0, r.col0, r.rows, r.cols), (0, 0, 6, 6));
     }
 
     #[test]
     fn extended_region_aligns_to_blocks() {
-        let t = Tile { index: 0, row0: 8, col0: 16, rows: 8, cols: 8 };
+        let t = Tile {
+            index: 0,
+            row0: 8,
+            col0: 16,
+            rows: 8,
+            cols: 8,
+        };
         let r = extended_region(t, 0, 8, false, 64, 64);
         assert_eq!((r.row0, r.col0), (8, 16));
-        let t2 = Tile { index: 0, row0: 9, col0: 17, rows: 7, cols: 7 };
+        let t2 = Tile {
+            index: 0,
+            row0: 9,
+            col0: 17,
+            rows: 7,
+            cols: 7,
+        };
         let r2 = extended_region(t2, 1, 8, false, 64, 64);
         assert_eq!(r2.row0 % 8, 0);
         assert_eq!(r2.col0 % 8, 0);
@@ -277,7 +325,13 @@ mod tests {
 
     #[test]
     fn extended_region_full_rows_spans_width() {
-        let t = Tile { index: 0, row0: 4, col0: 8, rows: 2, cols: 8 };
+        let t = Tile {
+            index: 0,
+            row0: 4,
+            col0: 8,
+            rows: 2,
+            cols: 8,
+        };
         let r = extended_region(t, 0, 1, true, 16, 32);
         assert_eq!((r.col0, r.cols), (0, 32));
     }
@@ -288,7 +342,13 @@ mod tests {
         let kernel = bench.kernel();
         let inputs = bench.generate_inputs(64, 64, 3);
         let refs: Vec<_> = inputs.iter().collect();
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 64, cols: 64 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 64,
+            cols: 64,
+        };
 
         let mut exact = Tensor::zeros(64, 64);
         kernel.run_exact(&refs, tile, &mut exact);
@@ -305,7 +365,10 @@ mod tests {
             any_diff |= e > 0.0;
         }
         assert!(any_diff, "NPU path should differ from exact");
-        assert!(max_err < 0.2 * range, "NPU error should be bounded: {max_err} vs range {range}");
+        assert!(
+            max_err < 0.2 * range,
+            "NPU error should be bounded: {max_err} vs range {range}"
+        );
     }
 
     #[test]
@@ -317,7 +380,13 @@ mod tests {
         let kernel = bench.kernel();
         let narrow = Tensor::from_fn(32, 32, |r, c| 100.0 + ((r * 31 + c * 17) % 10) as f32 * 0.1);
         let wide = Tensor::from_fn(32, 32, |r, c| ((r * 31 + c * 17) % 100) as f32 * 25.0);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 32, cols: 32 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 32,
+            cols: 32,
+        };
 
         let mean_abs_err = |input: &Tensor| {
             let refs = vec![input];
@@ -344,7 +413,13 @@ mod tests {
         let inputs = bench.generate_inputs(16, 16, 1);
         let refs: Vec<_> = inputs.iter().collect();
         let mut out = Tensor::zeros(16, 16);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 16, cols: 16 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 16,
+            cols: 16,
+        };
         run_via_npu(kernel.as_ref(), &refs, tile, &mut out, 0.5);
     }
 }

@@ -75,8 +75,12 @@ impl BinaryOp {
     /// Panics if the shapes differ.
     pub fn zip(&self, a: &Tensor, b: &Tensor) -> Tensor {
         assert_eq!(a.shape(), b.shape(), "binary op requires equal shapes");
-        let data: Vec<f32> =
-            a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| self.apply(x, y)).collect();
+        let data: Vec<f32> = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| self.apply(x, y))
+            .collect();
         Tensor::from_vec(a.rows(), a.cols(), data).expect("same shape")
     }
 }

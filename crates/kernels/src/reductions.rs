@@ -139,7 +139,13 @@ mod tests {
         let shape = kernel.shape();
         let mut out = shape.allocate_output(8, 8);
         for (i, r0) in [0usize, 4].iter().enumerate() {
-            let tile = Tile { index: i, row0: *r0, col0: 0, rows: 4, cols: 8 };
+            let tile = Tile {
+                index: i,
+                row0: *r0,
+                col0: 0,
+                rows: 4,
+                cols: 8,
+            };
             kernel.run_exact(&[&t], tile, &mut out);
         }
         kernel.finalize(&mut out);
@@ -179,9 +185,19 @@ mod tests {
         let t = input();
         let kernel = ReduceSum;
         let mut out = kernel.shape().allocate_output(8, 8);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: 8,
+            cols: 8,
+        };
         kernel.run_npu(&[&t], tile, &mut out);
         let exact = (63 * 64 / 2) as f32;
-        assert!((out[(0, 0)] - exact).abs() < 0.02 * exact, "{}", out[(0, 0)]);
+        assert!(
+            (out[(0, 0)] - exact).abs() < 0.02 * exact,
+            "{}",
+            out[(0, 0)]
+        );
     }
 }

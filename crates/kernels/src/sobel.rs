@@ -69,7 +69,17 @@ mod tests {
     fn flat_image_gives_zero() {
         let input = Tensor::filled(8, 8, 50.0);
         let mut out = Tensor::filled(8, 8, -1.0);
-        Sobel.run_exact(&[&input], Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 }, &mut out);
+        Sobel.run_exact(
+            &[&input],
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 8,
+                cols: 8,
+            },
+            &mut out,
+        );
         assert!(out.as_slice().iter().all(|&v| v.abs() < 1e-5));
     }
 
@@ -77,7 +87,17 @@ mod tests {
     fn vertical_edge_detected() {
         let input = Tensor::from_fn(8, 8, |_, c| if c < 4 { 0.0 } else { 100.0 });
         let mut out = Tensor::zeros(8, 8);
-        Sobel.run_exact(&[&input], Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 }, &mut out);
+        Sobel.run_exact(
+            &[&input],
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 8,
+                cols: 8,
+            },
+            &mut out,
+        );
         // Strong response at the edge columns, zero far from the edge.
         assert!(out[(4, 3)] > 100.0);
         assert!(out[(4, 4)] > 100.0);
@@ -89,7 +109,17 @@ mod tests {
     fn output_is_nonnegative() {
         let input = Tensor::from_fn(8, 8, |r, c| ((r * 31 + c * 7) % 19) as f32 - 9.0);
         let mut out = Tensor::zeros(8, 8);
-        Sobel.run_exact(&[&input], Tile { index: 0, row0: 0, col0: 0, rows: 8, cols: 8 }, &mut out);
+        Sobel.run_exact(
+            &[&input],
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: 8,
+                cols: 8,
+            },
+            &mut out,
+        );
         assert!(out.as_slice().iter().all(|&v| v >= 0.0));
     }
 }

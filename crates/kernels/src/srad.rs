@@ -27,7 +27,10 @@ pub struct Srad {
 
 impl Default for Srad {
     fn default() -> Self {
-        Srad { lambda: 0.25, q0: 0.5 }
+        Srad {
+            lambda: 0.25,
+            q0: 0.5,
+        }
     }
 }
 
@@ -106,7 +109,13 @@ mod tests {
     use super::*;
 
     fn full_tile(n: usize) -> Tile {
-        Tile { index: 0, row0: 0, col0: 0, rows: n, cols: n }
+        Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows: n,
+            cols: n,
+        }
     }
 
     #[test]
@@ -154,7 +163,13 @@ mod tests {
         for (i, r0) in [0usize, 8].iter().enumerate() {
             k.run_exact(
                 &[&input],
-                Tile { index: i, row0: *r0, col0: 0, rows: 8, cols: 16 },
+                Tile {
+                    index: i,
+                    row0: *r0,
+                    col0: 0,
+                    rows: 8,
+                    cols: 16,
+                },
                 &mut split,
             );
         }

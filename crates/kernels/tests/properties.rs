@@ -15,7 +15,13 @@ use shmt_tensor::tile::Tile;
 use shmt_tensor::Tensor;
 
 fn full_tile(rows: usize, cols: usize) -> Tile {
-    Tile { index: 0, row0: 0, col0: 0, rows, cols }
+    Tile {
+        index: 0,
+        row0: 0,
+        col0: 0,
+        rows,
+        cols,
+    }
 }
 
 /// Splits an `n x n` space into four quadrant tiles at an aligned cut.
@@ -25,7 +31,13 @@ fn quad_split(n: usize, cut_r: usize, cut_c: usize) -> Vec<Tile> {
     for (r0, h) in [(0, cut_r), (cut_r, n - cut_r)] {
         for (c0, w) in [(0, cut_c), (cut_c, n - cut_c)] {
             if h > 0 && w > 0 {
-                tiles.push(Tile { index, row0: r0, col0: c0, rows: h, cols: w });
+                tiles.push(Tile {
+                    index,
+                    row0: r0,
+                    col0: c0,
+                    rows: h,
+                    cols: w,
+                });
                 index += 1;
             }
         }
@@ -58,8 +70,20 @@ fn tile_splits_match_full_run() {
 
         let tiles = if shape.full_rows {
             vec![
-                Tile { index: 0, row0: 0, col0: 0, rows: cut, cols: n },
-                Tile { index: 1, row0: cut, col0: 0, rows: n - cut, cols: n },
+                Tile {
+                    index: 0,
+                    row0: 0,
+                    col0: 0,
+                    rows: cut,
+                    cols: n,
+                },
+                Tile {
+                    index: 1,
+                    row0: cut,
+                    col0: 0,
+                    rows: n - cut,
+                    cols: n,
+                },
             ]
         } else {
             quad_split(n, cut, cut)
@@ -68,7 +92,11 @@ fn tile_splits_match_full_run() {
         for t in &tiles {
             kernel.run_exact(&refs, *t, &mut split);
         }
-        assert_eq!(whole.as_slice(), split.as_slice(), "{bench} cut {cut} seed {seed}");
+        assert_eq!(
+            whole.as_slice(),
+            split.as_slice(),
+            "{bench} cut {cut} seed {seed}"
+        );
     }
 }
 
@@ -90,9 +118,21 @@ fn npu_stays_inside_its_tile() {
         let align = shape.block_align.max(1);
         let half = (n / 2) / align * align;
         let tile = if shape.full_rows {
-            Tile { index: 0, row0: 0, col0: 0, rows: half, cols: n }
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: half,
+                cols: n,
+            }
         } else {
-            Tile { index: 0, row0: 0, col0: 0, rows: half, cols: half }
+            Tile {
+                index: 0,
+                row0: 0,
+                col0: 0,
+                rows: half,
+                cols: half,
+            }
         };
 
         let inputs = bench.generate_inputs(n, n, seed);
@@ -142,7 +182,10 @@ fn npu_error_scales_with_range() {
     for _ in 0..8 {
         let scale = rng.gen_range(4.0f32..64.0);
         let wide = base.map(|v| 40.0 + (v - 40.0) * scale);
-        assert!(err(&wide) > base_err, "wider inputs must hurt more (scale {scale})");
+        assert!(
+            err(&wide) > base_err,
+            "wider inputs must hurt more (scale {scale})"
+        );
     }
 }
 

@@ -84,7 +84,10 @@ impl Dataset {
 
     /// Iterates over `(input, target)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f32], &[f32])> {
-        self.inputs.iter().map(Vec::as_slice).zip(self.targets.iter().map(Vec::as_slice))
+        self.inputs
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.targets.iter().map(Vec::as_slice))
     }
 
     /// Splits into (train, validation) with `train_frac` of examples in
@@ -95,7 +98,10 @@ impl Dataset {
     /// Panics unless `0 < train_frac < 1` leaves both halves non-empty.
     pub fn split(&self, train_frac: f64) -> (Dataset, Dataset) {
         let k = ((self.len() as f64) * train_frac).round() as usize;
-        assert!(k > 0 && k < self.len(), "split must leave both halves non-empty");
+        assert!(
+            k > 0 && k < self.len(),
+            "split must leave both halves non-empty"
+        );
         (
             Dataset {
                 inputs: self.inputs[..k].to_vec(),

@@ -57,7 +57,9 @@ impl Dense {
         assert!(in_dim > 0 && out_dim > 0, "degenerate layer");
         let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
         Dense {
-            weights: (0..in_dim * out_dim).map(|_| rng.gen_range(-limit..limit)).collect(),
+            weights: (0..in_dim * out_dim)
+                .map(|_| rng.gen_range(-limit..limit))
+                .collect(),
             bias: vec![0.0; out_dim],
             in_dim,
             out_dim,
@@ -96,8 +98,7 @@ impl Dense {
         (0..self.out_dim)
             .map(|o| {
                 let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-                let z: f32 =
-                    row.iter().zip(x).map(|(w, v)| w * v).sum::<f32>() + self.bias[o];
+                let z: f32 = row.iter().zip(x).map(|(w, v)| w * v).sum::<f32>() + self.bias[o];
                 self.activation.apply(z)
             })
             .collect()
@@ -120,7 +121,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 200, learning_rate: 0.05, seed: 7, quant_aware: false }
+        TrainConfig {
+            epochs: 200,
+            learning_rate: 0.05,
+            seed: 7,
+            quant_aware: false,
+        }
     }
 }
 
@@ -144,8 +150,11 @@ impl Mlp {
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act =
-                    if i + 2 == widths.len() { Activation::Identity } else { hidden };
+                let act = if i + 2 == widths.len() {
+                    Activation::Identity
+                } else {
+                    hidden
+                };
                 Dense::new(w[0], w[1], act, &mut rng)
             })
             .collect();
@@ -159,7 +168,10 @@ impl Mlp {
 
     /// Total trainable parameters.
     pub fn parameter_count(&self) -> usize {
-        self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.bias.len())
+            .sum()
     }
 
     /// Forward pass.
@@ -190,7 +202,11 @@ impl Mlp {
     /// int8-snapped weights while gradients update the latent fp32 weights
     /// (the standard straight-through fake-quantization scheme).
     pub fn train(&mut self, data: &Dataset, config: TrainConfig) -> f64 {
-        assert_eq!(data.in_dim(), self.layers[0].in_dim, "dataset/input mismatch");
+        assert_eq!(
+            data.in_dim(),
+            self.layers[0].in_dim,
+            "dataset/input mismatch"
+        );
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut rng = Pcg32::seed_from_u64(config.seed);
         for _ in 0..config.epochs {
@@ -225,8 +241,8 @@ impl Mlp {
             let out: Vec<f32> = (0..layer.out_dim)
                 .map(|o| {
                     let row = &w[o * layer.in_dim..(o + 1) * layer.in_dim];
-                    let z: f32 = row.iter().zip(input).map(|(wv, v)| wv * v).sum::<f32>()
-                        + layer.bias[o];
+                    let z: f32 =
+                        row.iter().zip(input).map(|(wv, v)| wv * v).sum::<f32>() + layer.bias[o];
                     layer.activation.apply(z)
                 })
                 .collect();
@@ -272,7 +288,13 @@ impl Mlp {
     /// Quantization-aware retraining (paper §4.2 step 4): same SGD but the
     /// forward pass sees int8-snapped weights.
     pub fn train_quant_aware(&mut self, data: &Dataset, config: TrainConfig) -> f64 {
-        self.train(data, TrainConfig { quant_aware: true, ..config })
+        self.train(
+            data,
+            TrainConfig {
+                quant_aware: true,
+                ..config
+            },
+        )
     }
 }
 
@@ -289,7 +311,13 @@ mod tests {
         let data = linear_dataset();
         let mut mlp = Mlp::new(&[1, 1], Activation::Relu, 42);
         let before = mlp.mse(&data);
-        let after = mlp.train(&data, TrainConfig { epochs: 100, ..Default::default() });
+        let after = mlp.train(
+            &data,
+            TrainConfig {
+                epochs: 100,
+                ..Default::default()
+            },
+        );
         assert!(after < before * 0.05, "before {before}, after {after}");
         assert!(after < 1e-3, "after {after}");
     }
@@ -300,7 +328,11 @@ mod tests {
         let mut mlp = Mlp::new(&[1, 16, 1], Activation::Relu, 3);
         let after = mlp.train(
             &data,
-            TrainConfig { epochs: 400, learning_rate: 0.02, ..Default::default() },
+            TrainConfig {
+                epochs: 400,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
         );
         assert!(after < 5e-3, "mse {after}");
     }
@@ -335,7 +367,11 @@ mod tests {
         let mut mlp = Mlp::new(&[1, 8, 1], Activation::Relu, 5);
         let mse = mlp.train_quant_aware(
             &data,
-            TrainConfig { epochs: 150, learning_rate: 0.02, ..Default::default() },
+            TrainConfig {
+                epochs: 150,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
         );
         assert!(mse < 0.05, "QAT mse {mse}");
     }

@@ -54,7 +54,11 @@ impl QuantizedMlp {
             .map(|(li, layer)| {
                 let weight_params = QuantParams::from_slice(layer.weights());
                 QuantLayer {
-                    codes: layer.weights().iter().map(|&w| weight_params.quantize(w)).collect(),
+                    codes: layer
+                        .weights()
+                        .iter()
+                        .map(|&w| weight_params.quantize(w))
+                        .collect(),
                     weight_params,
                     bias: layer.bias().to_vec(),
                     in_dim: layer.in_dim(),
@@ -119,7 +123,14 @@ mod tests {
         let data = Dataset::from_function(|x| vec![x[0] * 0.5 + 0.2], 96, 1, -1.0, 1.0, 4);
         let (train, val) = data.split(0.75);
         let mut mlp = Mlp::new(&[1, 8, 1], Activation::Relu, 9);
-        mlp.train(&train, TrainConfig { epochs: 200, learning_rate: 0.03, ..Default::default() });
+        mlp.train(
+            &train,
+            TrainConfig {
+                epochs: 200,
+                learning_rate: 0.03,
+                ..Default::default()
+            },
+        );
         (mlp, train, val)
     }
 

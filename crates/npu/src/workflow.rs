@@ -62,7 +62,10 @@ impl Default for WorkflowConfig {
 ///
 /// Panics if `config.topologies` is empty or the dataset is degenerate.
 pub fn build_npu_model(data: &Dataset, config: &WorkflowConfig) -> NpuModel {
-    assert!(!config.topologies.is_empty(), "need at least one candidate topology");
+    assert!(
+        !config.topologies.is_empty(),
+        "need at least one candidate topology"
+    );
     let (train, val) = data.split(0.8);
 
     let mut best: Option<(Mlp, Vec<usize>, f64)> = None;
@@ -96,7 +99,14 @@ pub fn build_npu_model(data: &Dataset, config: &WorkflowConfig) -> NpuModel {
         used_qat = true;
     }
 
-    NpuModel { float_model, quantized, topology, float_mse, quantized_mse, used_qat }
+    NpuModel {
+        float_model,
+        quantized,
+        topology,
+        float_mse,
+        quantized_mse,
+        used_qat,
+    }
 }
 
 #[cfg(test)]
@@ -115,11 +125,14 @@ mod tests {
 
     #[test]
     fn workflow_escalates_for_nonlinear_targets() {
-        let data =
-            Dataset::from_function(|x| vec![(3.0 * x[0]).sin()], 160, 1, -1.0, 1.0, 12);
+        let data = Dataset::from_function(|x| vec![(3.0 * x[0]).sin()], 160, 1, -1.0, 1.0, 12);
         let config = WorkflowConfig {
             target_mse: 5e-3,
-            train: TrainConfig { epochs: 300, learning_rate: 0.02, ..Default::default() },
+            train: TrainConfig {
+                epochs: 300,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let model = build_npu_model(&data, &config);

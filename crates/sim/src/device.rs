@@ -1,4 +1,3 @@
-
 use shmt_trace::{DeviceId, EventKind, NullSink, TraceSink};
 
 use crate::time::{Duration, SimTime};
@@ -136,7 +135,13 @@ impl DeviceTimeline {
     /// Creates an idle timeline that becomes available at `start` (e.g.
     /// after a serial scheduling phase).
     pub fn starting_at(profile: DeviceProfile, start: SimTime) -> Self {
-        DeviceTimeline { profile, free_at: start, busy: 0.0, transfer_wait: 0.0, completed: 0 }
+        DeviceTimeline {
+            profile,
+            free_at: start,
+            busy: 0.0,
+            transfer_wait: 0.0,
+            completed: 0,
+        }
     }
 
     /// Blocks the device until `t` (waiting on an output transfer in
@@ -200,7 +205,10 @@ impl DeviceTimeline {
         self.completed += 1;
         if sink.enabled() {
             sink.record(start.as_secs(), EventKind::ComputeStart { hlop, device });
-            sink.record(self.free_at.as_secs(), EventKind::ComputeEnd { hlop, device });
+            sink.record(
+                self.free_at.as_secs(),
+                EventKind::ComputeEnd { hlop, device },
+            );
         }
         self.free_at
     }

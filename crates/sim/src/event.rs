@@ -54,12 +54,19 @@ impl<T> Ord for Entry<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `payload` at instant `at`.
     pub fn push(&mut self, at: SimTime, payload: T) {
-        self.heap.push(Entry { at, seq: self.seq, payload });
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 

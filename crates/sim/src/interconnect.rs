@@ -1,4 +1,3 @@
-
 use shmt_trace::{DeviceId, EventKind, NullSink, TraceSink};
 
 use crate::time::{Duration, SimTime};
@@ -95,7 +94,11 @@ impl Interconnect {
         sink: &mut dyn TraceSink,
     ) -> Transfer {
         if bytes == 0 {
-            return Transfer { start: ready, end: ready, bytes: 0 };
+            return Transfer {
+                start: ready,
+                end: ready,
+                bytes: 0,
+            };
         }
         let start = self.free_at.max(ready);
         let dur = self.latency + bytes as f64 / self.bandwidth;
@@ -104,8 +107,22 @@ impl Interconnect {
         self.total_bytes += bytes as u64;
         self.total_busy += dur;
         if sink.enabled() {
-            sink.record(start.as_secs(), EventKind::TransferStart { hlop, device, bytes });
-            sink.record(end.as_secs(), EventKind::TransferEnd { hlop, device, bytes });
+            sink.record(
+                start.as_secs(),
+                EventKind::TransferStart {
+                    hlop,
+                    device,
+                    bytes,
+                },
+            );
+            sink.record(
+                end.as_secs(),
+                EventKind::TransferEnd {
+                    hlop,
+                    device,
+                    bytes,
+                },
+            );
             sink.counter("bus.bytes", bytes as f64);
             sink.gauge("bus.busy_s", end.as_secs(), self.total_busy);
         }

@@ -19,6 +19,10 @@
 //! * [`QueuePair`] — the per-device incoming/completion queue pair of the
 //!   SHMT kernel driver (§3.3).
 //! * [`EventQueue`] — a deterministic virtual-time event heap.
+//! * [`FaultPlan`]/[`FaultInjector`] — a seeded, deterministic schedule of
+//!   hardware misbehaviour (slowdown windows, transient transfer failures,
+//!   device dropout) that the runtime consults; the empty plan is inert
+//!   and leaves runs bit-identical.
 //!
 //! The SHMT runtime (the `shmt` crate) drives these pieces: it decides what
 //! executes where, charges each HLOP's compute and transfer costs here, and
@@ -47,6 +51,7 @@
 
 mod device;
 mod event;
+mod fault;
 mod interconnect;
 mod memory;
 mod power;
@@ -55,6 +60,7 @@ mod time;
 
 pub use device::{DeviceKind, DeviceProfile, DeviceTimeline, Precision};
 pub use event::EventQueue;
+pub use fault::{Dropout, FaultInjector, FaultPlan, FaultReport, SlowdownWindow};
 pub use interconnect::{Interconnect, Transfer};
 pub use memory::MemoryTracker;
 pub use power::{edp, EnergyBreakdown, EnergyMeter};

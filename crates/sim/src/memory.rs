@@ -1,4 +1,3 @@
-
 /// Peak-footprint accounting at the process virtual-memory level.
 ///
 /// The paper's Fig 11 compares the total memory footprint of SHMT runs
@@ -48,7 +47,11 @@ impl MemoryTracker {
     ///
     /// Panics if more bytes are freed than are currently allocated.
     pub fn free(&mut self, bytes: u64) {
-        assert!(bytes <= self.current, "freeing {bytes} of {} allocated", self.current);
+        assert!(
+            bytes <= self.current,
+            "freeing {bytes} of {} allocated",
+            self.current
+        );
         self.current -= bytes;
     }
 
@@ -64,7 +67,10 @@ impl MemoryTracker {
 
     /// Cumulative bytes ever allocated under a class label.
     pub fn class_bytes(&self, class: &str) -> u64 {
-        self.by_class.iter().find(|(c, _)| c == class).map_or(0, |(_, b)| *b)
+        self.by_class
+            .iter()
+            .find(|(c, _)| c == class)
+            .map_or(0, |(_, b)| *b)
     }
 
     /// All class labels and their cumulative allocations.

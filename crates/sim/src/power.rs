@@ -1,4 +1,3 @@
-
 use shmt_trace::{NullSink, TraceSink};
 
 use crate::device::DeviceKind;
@@ -39,7 +38,11 @@ impl EnergyMeter {
     /// Panics if `idle_power_w` is negative.
     pub fn new(idle_power_w: f64) -> Self {
         assert!(idle_power_w >= 0.0, "idle power must be non-negative");
-        EnergyMeter { idle_power_w, active_j: 0.0, per_device_j: Vec::new() }
+        EnergyMeter {
+            idle_power_w,
+            active_j: 0.0,
+            per_device_j: Vec::new(),
+        }
     }
 
     /// The prototype's measured 3.02 W idle floor.
@@ -75,7 +78,10 @@ impl EnergyMeter {
         active_power_w: f64,
         sink: &mut dyn TraceSink,
     ) {
-        assert!(busy_s >= 0.0 && active_power_w >= 0.0, "negative energy record");
+        assert!(
+            busy_s >= 0.0 && active_power_w >= 0.0,
+            "negative energy record"
+        );
         let joules = busy_s * active_power_w;
         self.active_j += joules;
         match self.per_device_j.iter_mut().find(|(k, _)| *k == device) {
@@ -89,14 +95,20 @@ impl EnergyMeter {
 
     /// Active energy attributed to one device so far.
     pub fn device_energy_j(&self, device: DeviceKind) -> f64 {
-        self.per_device_j.iter().find(|(k, _)| *k == device).map_or(0.0, |(_, j)| *j)
+        self.per_device_j
+            .iter()
+            .find(|(k, _)| *k == device)
+            .map_or(0.0, |(_, j)| *j)
     }
 
     /// Finalizes the run: idle energy is the idle floor integrated over the
     /// whole makespan (devices' active power already excludes it).
     pub fn finish(&self, makespan_s: Duration) -> EnergyBreakdown {
         assert!(makespan_s >= 0.0, "negative makespan");
-        EnergyBreakdown { idle_j: self.idle_power_w * makespan_s, active_j: self.active_j }
+        EnergyBreakdown {
+            idle_j: self.idle_power_w * makespan_s,
+            active_j: self.active_j,
+        }
     }
 }
 

@@ -1,7 +1,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-
 /// A duration of virtual time, in seconds.
 pub type Duration = f64;
 
@@ -23,7 +22,10 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid simulation time {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid simulation time {secs}"
+        );
         SimTime(secs)
     }
 
@@ -76,7 +78,9 @@ impl Eq for SimTime {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("sim times are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("sim times are never NaN")
     }
 }
 

@@ -44,7 +44,9 @@ fn energy_meter_integrates_schedule() {
 
     // Idle floor: 3.02 W x ~2 s; active: 1.65x2 + 0.56x1.
     assert!((breakdown.idle_j - 3.02 * makespan).abs() < 1e-6);
-    assert!((breakdown.active_j - (1.65 * m_gpu.busy_time() + 0.56 * m_tpu.busy_time())).abs() < 1e-3);
+    assert!(
+        (breakdown.active_j - (1.65 * m_gpu.busy_time() + 0.56 * m_tpu.busy_time())).abs() < 1e-3
+    );
     assert!(breakdown.total_j() > breakdown.idle_j);
 }
 
@@ -53,8 +55,10 @@ fn energy_meter_integrates_schedule() {
 #[test]
 fn event_queue_drives_a_simulation() {
     let mut q = EventQueue::new();
-    let mut devices = [DeviceTimeline::new(DeviceProfile::jetson_gpu(1.0e9)),
-        DeviceTimeline::new(DeviceProfile::arm_cpu(0.3e9))];
+    let mut devices = [
+        DeviceTimeline::new(DeviceProfile::jetson_gpu(1.0e9)),
+        DeviceTimeline::new(DeviceProfile::arm_cpu(0.3e9)),
+    ];
     for (i, d) in devices.iter_mut().enumerate() {
         for _ in 0..3 {
             let done = d.execute(SimTime::ZERO, 0.3e9);
@@ -95,7 +99,9 @@ fn memory_peaks_under_double_buffering() {
 fn edge_tpu_capacity_is_exposed() {
     let tpu = DeviceProfile::edge_tpu(1.0e9);
     assert_eq!(tpu.device_memory_bytes, Some(8 * 1024 * 1024));
-    assert!(DeviceProfile::jetson_gpu(1.0e9).device_memory_bytes.is_none());
+    assert!(DeviceProfile::jetson_gpu(1.0e9)
+        .device_memory_bytes
+        .is_none());
 }
 
 /// stall_until never rewinds a timeline.

@@ -20,12 +20,22 @@ pub struct Rect {
 impl Rect {
     /// Creates a rectangle from its top-left corner and extent.
     pub fn new(row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
-        Rect { row0, col0, rows, cols }
+        Rect {
+            row0,
+            col0,
+            rows,
+            cols,
+        }
     }
 
     /// A rectangle covering an entire `rows x cols` tensor.
     pub fn full(rows: usize, cols: usize) -> Self {
-        Rect { row0: 0, col0: 0, rows, cols }
+        Rect {
+            row0: 0,
+            col0: 0,
+            rows,
+            cols,
+        }
     }
 
     /// Total number of elements covered.

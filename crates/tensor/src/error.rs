@@ -42,7 +42,10 @@ impl fmt::Display for TensorError {
                 write!(f, "invalid tensor shape {rows}x{cols}")
             }
             TensorError::ShapeMismatch { expected, actual } => {
-                write!(f, "buffer of {actual} elements does not fit shape needing {expected}")
+                write!(
+                    f,
+                    "buffer of {actual} elements does not fit shape needing {expected}"
+                )
             }
             TensorError::OutOfBounds { row, col, bounds } => write!(
                 f,

@@ -28,7 +28,12 @@ pub struct FieldConfig {
 
 impl Default for FieldConfig {
     fn default() -> Self {
-        FieldConfig { base: 0.0, amplitude: 1.0, block: 64, tail: 0.75 }
+        FieldConfig {
+            base: 0.0,
+            amplitude: 1.0,
+            block: 64,
+            tail: 0.75,
+        }
     }
 }
 
@@ -75,8 +80,9 @@ pub fn heterogeneous(rows: usize, cols: usize, seed: u64, cfg: FieldConfig) -> T
             cfg.amplitude * u.powf(-cfg.tail).min(50.0)
         })
         .collect();
-    let offsets: Vec<f32> =
-        (0..brows * bcols).map(|_| offset_rng.gen_range(-cfg.amplitude..cfg.amplitude)).collect();
+    let offsets: Vec<f32> = (0..brows * bcols)
+        .map(|_| offset_rng.gen_range(-cfg.amplitude..cfg.amplitude))
+        .collect();
     let mut rng = Pcg32::seed_from_u64(seed);
     Tensor::from_fn(rows, cols, |r, c| {
         let b = (r / cfg.block) * bcols + c / cfg.block;
@@ -101,7 +107,9 @@ pub fn image8(rows: usize, cols: usize, seed: u64) -> Tensor {
     let grows = rows.div_ceil(g) + 1;
     let gcols = cols.div_ceil(g) + 1;
     let mut grid_rng = Pcg32::seed_from_u64(seed ^ 0x1111_2222);
-    let grid: Vec<f32> = (0..grows * gcols).map(|_| grid_rng.gen_range(70.0..180.0)).collect();
+    let grid: Vec<f32> = (0..grows * gcols)
+        .map(|_| grid_rng.gen_range(70.0..180.0))
+        .collect();
 
     let brows = rows.div_ceil(g);
     let bcols = cols.div_ceil(g);
@@ -152,7 +160,12 @@ pub fn prices(rows: usize, cols: usize, seed: u64) -> Tensor {
         rows,
         cols,
         seed,
-        FieldConfig { base: 0.0, amplitude: 0.5, block: scaled_block(rows, cols), tail: 0.8 },
+        FieldConfig {
+            base: 0.0,
+            amplitude: 0.5,
+            block: scaled_block(rows, cols),
+            tail: 0.8,
+        },
     );
     field.map(|v| 30.0 * (1.0 + v.clamp(-0.95, 20.0)).max(0.05))
 }
@@ -164,7 +177,12 @@ pub fn temperature(rows: usize, cols: usize, seed: u64) -> Tensor {
         rows,
         cols,
         seed,
-        FieldConfig { base: 324.0, amplitude: 6.0, block: scaled_block(rows, cols), tail: 0.9 },
+        FieldConfig {
+            base: 324.0,
+            amplitude: 6.0,
+            block: scaled_block(rows, cols),
+            tail: 0.9,
+        },
     );
     field.map(|v| v.clamp(300.0, 400.0))
 }
@@ -193,7 +211,10 @@ mod tests {
     fn generators_are_deterministic() {
         assert_eq!(image8(16, 16, 1).as_slice(), image8(16, 16, 1).as_slice());
         assert_eq!(prices(16, 16, 2).as_slice(), prices(16, 16, 2).as_slice());
-        assert_eq!(temperature(16, 16, 3).as_slice(), temperature(16, 16, 3).as_slice());
+        assert_eq!(
+            temperature(16, 16, 3).as_slice(),
+            temperature(16, 16, 3).as_slice()
+        );
         assert_eq!(speckle(16, 16, 4).as_slice(), speckle(16, 16, 4).as_slice());
     }
 

@@ -49,7 +49,11 @@ impl Tensor {
     /// `rows * cols` overflows `usize`.
     pub fn try_filled(rows: usize, cols: usize, value: f32) -> Result<Self> {
         let len = Self::checked_len(rows, cols)?;
-        Ok(Tensor { rows, cols, data: vec![value; len] })
+        Ok(Tensor {
+            rows,
+            cols,
+            data: vec![value; len],
+        })
     }
 
     /// Creates a tensor by evaluating `f(row, col)` for every element.
@@ -77,7 +81,10 @@ impl Tensor {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
         let len = Self::checked_len(rows, cols)?;
         if data.len() != len {
-            return Err(TensorError::ShapeMismatch { expected: len, actual: data.len() });
+            return Err(TensorError::ShapeMismatch {
+                expected: len,
+                actual: data.len(),
+            });
         }
         Ok(Tensor { rows, cols, data })
     }
@@ -86,7 +93,8 @@ impl Tensor {
         if rows == 0 || cols == 0 {
             return Err(TensorError::InvalidShape { rows, cols });
         }
-        rows.checked_mul(cols).ok_or(TensorError::InvalidShape { rows, cols })
+        rows.checked_mul(cols)
+            .ok_or(TensorError::InvalidShape { rows, cols })
     }
 
     /// Number of rows.
@@ -146,7 +154,11 @@ impl Tensor {
     ///
     /// Panics if `row >= self.rows()`.
     pub fn row(&self, row: usize) -> &[f32] {
-        assert!(row < self.rows, "row {row} out of bounds for {} rows", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -156,7 +168,11 @@ impl Tensor {
     ///
     /// Panics if `row >= self.rows()`.
     pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
-        assert!(row < self.rows, "row {row} out of bounds for {} rows", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[row * self.cols..(row + 1) * self.cols]
     }
 
@@ -167,7 +183,8 @@ impl Tensor {
     /// Panics if the window exceeds the tensor bounds; use
     /// [`Tensor::try_view`] for a checked variant.
     pub fn view(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> TensorView<'_> {
-        self.try_view(row0, col0, rows, cols).expect("view within bounds")
+        self.try_view(row0, col0, rows, cols)
+            .expect("view within bounds")
     }
 
     /// Checked variant of [`Tensor::view`].
@@ -183,7 +200,14 @@ impl Tensor {
         cols: usize,
     ) -> Result<TensorView<'_>> {
         self.check_window(row0, col0, rows, cols)?;
-        Ok(TensorView { data: &self.data, stride: self.cols, row0, col0, rows, cols })
+        Ok(TensorView {
+            data: &self.data,
+            stride: self.cols,
+            row0,
+            col0,
+            rows,
+            cols,
+        })
     }
 
     /// Mutably borrows a rectangular window.
@@ -199,7 +223,14 @@ impl Tensor {
         cols: usize,
     ) -> Result<TensorViewMut<'_>> {
         self.check_window(row0, col0, rows, cols)?;
-        Ok(TensorViewMut { stride: self.cols, data: &mut self.data, row0, col0, rows, cols })
+        Ok(TensorViewMut {
+            stride: self.cols,
+            data: &mut self.data,
+            row0,
+            col0,
+            rows,
+            cols,
+        })
     }
 
     fn check_window(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Result<()> {
@@ -250,14 +281,20 @@ impl std::ops::Index<(usize, usize)> for Tensor {
     type Output = f32;
 
     fn index(&self, (row, col): (usize, usize)) -> &f32 {
-        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds"
+        );
         &self.data[row * self.cols + col]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Tensor {
     fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f32 {
-        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds"
+        );
         &mut self.data[row * self.cols + col]
     }
 }
@@ -311,7 +348,10 @@ impl<'a> TensorView<'a> {
     ///
     /// Panics if the coordinates exceed the window.
     pub fn at(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of window");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of window"
+        );
         self.data[(self.row0 + row) * self.stride + self.col0 + col]
     }
 
@@ -337,7 +377,11 @@ impl<'a> TensorView<'a> {
         for r in 0..self.rows {
             data.extend_from_slice(self.row(r));
         }
-        Tensor { rows: self.rows, cols: self.cols, data }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Minimum and maximum element values within the window.
@@ -418,7 +462,13 @@ mod tests {
     #[test]
     fn from_vec_rejects_wrong_length() {
         let err = Tensor::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
-        assert_eq!(err, TensorError::ShapeMismatch { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            TensorError::ShapeMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
     }
 
     #[test]
@@ -461,7 +511,10 @@ mod tests {
         let src_t = Tensor::filled(2, 2, 9.0);
         let src = src_t.view(0, 0, 2, 2);
         let mut dst = Tensor::zeros(4, 4);
-        dst.try_view_mut(1, 1, 2, 2).unwrap().copy_from(&src).unwrap();
+        dst.try_view_mut(1, 1, 2, 2)
+            .unwrap()
+            .copy_from(&src)
+            .unwrap();
         assert_eq!(dst[(1, 1)], 9.0);
         assert_eq!(dst[(2, 2)], 9.0);
         assert_eq!(dst[(0, 0)], 0.0);
@@ -473,8 +526,18 @@ mod tests {
         let src_t = Tensor::filled(2, 3, 1.0);
         let src = src_t.view(0, 0, 2, 3);
         let mut dst = Tensor::zeros(4, 4);
-        let err = dst.try_view_mut(0, 0, 2, 2).unwrap().copy_from(&src).unwrap_err();
-        assert_eq!(err, TensorError::RectMismatch { src: (2, 3), dst: (2, 2) });
+        let err = dst
+            .try_view_mut(0, 0, 2, 2)
+            .unwrap()
+            .copy_from(&src)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::RectMismatch {
+                src: (2, 3),
+                dst: (2, 2)
+            }
+        );
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! dataset allows it. This module provides that geometry for both the
 //! element-wise vector model and the tile-wise matrix model (§3.2.1).
 
-
 /// Main-memory page size assumed by the partitioning rules (bytes).
 pub const PAGE_SIZE_BYTES: usize = 4096;
 
@@ -77,7 +76,10 @@ impl TileSpec {
     /// the dataset is that large, otherwise the full dataset as one tile
     /// dimension ("whenever possible", §3.4).
     pub fn page_rule(rows: usize, cols: usize) -> Self {
-        TileSpec { rows: MIN_TILE_EDGE.min(rows.max(1)), cols: MIN_TILE_EDGE.min(cols.max(1)) }
+        TileSpec {
+            rows: MIN_TILE_EDGE.min(rows.max(1)),
+            cols: MIN_TILE_EDGE.min(cols.max(1)),
+        }
     }
 
     /// Tile rows.
@@ -106,13 +108,22 @@ impl TileSpec {
             let mut col0 = 0;
             while col0 < cols {
                 let tcols = self.cols.min(cols - col0);
-                tiles.push(Tile { index, row0, col0, rows: trows, cols: tcols });
+                tiles.push(Tile {
+                    index,
+                    row0,
+                    col0,
+                    rows: trows,
+                    cols: tcols,
+                });
                 index += 1;
                 col0 += self.cols;
             }
             row0 += self.rows;
         }
-        TileGrid { tiles, dataset: (rows, cols) }
+        TileGrid {
+            tiles,
+            dataset: (rows, cols),
+        }
     }
 }
 
@@ -213,7 +224,11 @@ pub fn segment(len: usize, want: usize) -> Vec<Segment> {
     assert!(len > 0, "cannot segment an empty dataset");
     assert!(want > 0, "must request at least one segment");
     if len < MIN_VECTOR_ELEMS {
-        return vec![Segment { index: 0, start: 0, len }];
+        return vec![Segment {
+            index: 0,
+            start: 0,
+            len,
+        }];
     }
     // Pages available and pages per segment (at least one page each);
     // rounding the pages-per-segment up guarantees at most `want` segments.
@@ -226,8 +241,16 @@ pub fn segment(len: usize, want: usize) -> Vec<Segment> {
     while start < len {
         let remaining = len - start;
         // The final segment absorbs the sub-page remainder.
-        let this = if remaining < chunk + MIN_VECTOR_ELEMS { remaining } else { chunk };
-        segs.push(Segment { index, start, len: this });
+        let this = if remaining < chunk + MIN_VECTOR_ELEMS {
+            remaining
+        } else {
+            chunk
+        };
+        segs.push(Segment {
+            index,
+            start,
+            len: this,
+        });
         start += this;
         index += 1;
     }
@@ -295,7 +318,11 @@ mod tests {
         let total: usize = segs.iter().map(|s| s.len).sum();
         assert_eq!(total, len);
         for s in &segs[..segs.len() - 1] {
-            assert_eq!(s.len % MIN_VECTOR_ELEMS, 0, "non-final segment not page aligned");
+            assert_eq!(
+                s.len % MIN_VECTOR_ELEMS,
+                0,
+                "non-final segment not page aligned"
+            );
         }
         // Contiguity.
         for w in segs.windows(2) {

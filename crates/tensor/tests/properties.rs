@@ -20,7 +20,13 @@ fn copy2d_round_trips() {
         let c0 = rng.gen_range(0usize..20);
         let src = Tensor::from_fn(rows + 20, cols + 20, |r, c| (r * 101 + c) as f32);
         let mut dst = Tensor::zeros(rows, cols);
-        copy2d(&src, Rect::new(r0, c0, rows, cols), &mut dst, Rect::full(rows, cols)).unwrap();
+        copy2d(
+            &src,
+            Rect::new(r0, c0, rows, cols),
+            &mut dst,
+            Rect::full(rows, cols),
+        )
+        .unwrap();
         for r in 0..rows {
             for c in 0..cols {
                 assert_eq!(dst[(r, c)], src[(r0 + r, c0 + c)]);
@@ -28,7 +34,13 @@ fn copy2d_round_trips() {
         }
         // And back into a bigger tensor.
         let mut back = Tensor::zeros(rows + 20, cols + 20);
-        copy2d(&dst, Rect::full(rows, cols), &mut back, Rect::new(r0, c0, rows, cols)).unwrap();
+        copy2d(
+            &dst,
+            Rect::full(rows, cols),
+            &mut back,
+            Rect::new(r0, c0, rows, cols),
+        )
+        .unwrap();
         assert_eq!(back[(r0, c0)], src[(r0, c0)]);
     }
 }

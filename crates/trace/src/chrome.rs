@@ -8,7 +8,8 @@
 //! * `"X"` complete events for paired spans (compute, cast, transfer,
 //!   partitioning, per-partition sampling overhead) with `ts`/`dur` in
 //!   microseconds,
-//! * `"i"` instant events for dispatches, steals, and aggregations,
+//! * `"i"` instant events for dispatches, steals, aggregations, and the
+//!   fault vocabulary (fault, retry, redispatch, device down),
 //! * `"C"` counter events for every gauge series.
 //!
 //! Device rows use `tid = DeviceId`; scheduler-side events (partitioning,
@@ -41,7 +42,9 @@ fn span_event(name: &str, cat: &str, span: &Span) -> JsonValue {
     if let Some(bytes) = span.bytes {
         b = b.field(
             "args",
-            ObjectBuilder::new().field("bytes", JsonValue::Number(bytes as f64)).build(),
+            ObjectBuilder::new()
+                .field("bytes", JsonValue::Number(bytes as f64))
+                .build(),
         );
     }
     b.build()
@@ -78,13 +81,21 @@ pub fn to_chrome_json(data: &TraceData) -> String {
 
     // Paired spans.
     for span in data.compute_spans() {
-        events.push(span_event(&format!("compute h{}", span.hlop), "compute", &span));
+        events.push(span_event(
+            &format!("compute h{}", span.hlop),
+            "compute",
+            &span,
+        ));
     }
     for span in data.cast_spans() {
         events.push(span_event(&format!("cast h{}", span.hlop), "cast", &span));
     }
     for span in data.transfer_spans() {
-        events.push(span_event(&format!("transfer h{}", span.hlop), "transfer", &span));
+        events.push(span_event(
+            &format!("transfer h{}", span.hlop),
+            "transfer",
+            &span,
+        ));
     }
 
     // Scheduler-row spans and instants from the raw records.
@@ -142,6 +153,52 @@ pub fn to_chrome_json(data: &TraceData) -> String {
             EventKind::Aggregate { hlop, device } => {
                 events.push(instant("aggregate", hlop, device, r.time_s));
             }
+            EventKind::FaultInjected { hlop, device } => {
+                events.push(instant("fault", hlop, device, r.time_s));
+            }
+            EventKind::Retry {
+                hlop,
+                device,
+                attempt,
+            } => {
+                events.push(
+                    event("i", &format!("retry h{hlop}"), secs_to_us(r.time_s), device)
+                        .field("s", JsonValue::String("t".into()))
+                        .field(
+                            "args",
+                            ObjectBuilder::new()
+                                .field("attempt", JsonValue::Number(attempt as f64))
+                                .build(),
+                        )
+                        .build(),
+                );
+            }
+            EventKind::Redispatch { hlop, from, to } => {
+                events.push(
+                    event(
+                        "i",
+                        &format!("redispatch h{hlop}"),
+                        secs_to_us(r.time_s),
+                        to,
+                    )
+                    .field("s", JsonValue::String("t".into()))
+                    .field(
+                        "args",
+                        ObjectBuilder::new()
+                            .field("from", JsonValue::Number(from as f64))
+                            .field("to", JsonValue::Number(to as f64))
+                            .build(),
+                    )
+                    .build(),
+                );
+            }
+            EventKind::DeviceDown { device } => {
+                events.push(
+                    event("i", "device down", secs_to_us(r.time_s), device)
+                        .field("s", JsonValue::String("p".into()))
+                        .build(),
+                );
+            }
             _ => {}
         }
     }
@@ -157,7 +214,9 @@ pub fn to_chrome_json(data: &TraceData) -> String {
                     .field("pid", JsonValue::Number(PID))
                     .field(
                         "args",
-                        ObjectBuilder::new().field("value", JsonValue::Number(v)).build(),
+                        ObjectBuilder::new()
+                            .field("value", JsonValue::Number(v))
+                            .build(),
                     )
                     .build(),
             );
@@ -264,16 +323,34 @@ pub fn from_chrome_json(text: &str) -> Result<ChromeTrace, JsonError> {
     let events_json = doc
         .get("traceEvents")
         .and_then(JsonValue::as_array)
-        .ok_or(JsonError { message: "missing traceEvents array".into(), offset: 0 })?;
+        .ok_or(JsonError {
+            message: "missing traceEvents array".into(),
+            offset: 0,
+        })?;
     let mut events = Vec::with_capacity(events_json.len());
     for e in events_json {
-        let ph = e.get("ph").and_then(JsonValue::as_str).unwrap_or_default().to_owned();
-        let name = e.get("name").and_then(JsonValue::as_str).unwrap_or_default().to_owned();
+        let ph = e
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        let name = e
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_owned();
         let ts = e.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0);
         let dur = e.get("dur").and_then(JsonValue::as_f64);
         let tid = e.get("tid").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize;
         let args = e.get("args").cloned();
-        events.push(ChromeEvent { ph, name, ts, dur, tid, args });
+        events.push(ChromeEvent {
+            ph,
+            name,
+            ts,
+            dur,
+            tid,
+            args,
+        });
     }
     Ok(ChromeTrace {
         events,
@@ -293,18 +370,45 @@ mod tests {
         let mut rec = TraceRecorder::new();
         rec.record(0.0, EventKind::PartitionStart { partitions: 4 });
         rec.record(0.0, EventKind::PartitionEnd { hlops: 4 });
-        rec.record(0.001, EventKind::SampleOverhead { hlop: 0, cost_s: 0.001 });
+        rec.record(
+            0.001,
+            EventKind::SampleOverhead {
+                hlop: 0,
+                cost_s: 0.001,
+            },
+        );
         rec.record(0.001, EventKind::Dispatch { hlop: 0, device: 0 });
         rec.record(0.001, EventKind::Dispatch { hlop: 1, device: 2 });
         rec.record(0.001, EventKind::CastStart { hlop: 1, device: 2 });
         rec.record(0.002, EventKind::CastEnd { hlop: 1, device: 2 });
-        rec.record(0.002, EventKind::TransferStart { hlop: 1, device: 2, bytes: 4096 });
-        rec.record(0.003, EventKind::TransferEnd { hlop: 1, device: 2, bytes: 4096 });
+        rec.record(
+            0.002,
+            EventKind::TransferStart {
+                hlop: 1,
+                device: 2,
+                bytes: 4096,
+            },
+        );
+        rec.record(
+            0.003,
+            EventKind::TransferEnd {
+                hlop: 1,
+                device: 2,
+                bytes: 4096,
+            },
+        );
         rec.record(0.001, EventKind::ComputeStart { hlop: 0, device: 0 });
         rec.record(0.004, EventKind::ComputeEnd { hlop: 0, device: 0 });
         rec.record(0.003, EventKind::ComputeStart { hlop: 1, device: 2 });
         rec.record(0.005, EventKind::ComputeEnd { hlop: 1, device: 2 });
-        rec.record(0.004, EventKind::Steal { hlop: 2, from: 2, to: 0 });
+        rec.record(
+            0.004,
+            EventKind::Steal {
+                hlop: 2,
+                from: 2,
+                to: 0,
+            },
+        );
         rec.record(0.005, EventKind::Aggregate { hlop: 1, device: 2 });
         rec.gauge("queue.GPU", 0.001, 2.0);
         rec.gauge("queue.GPU", 0.004, 1.0);
@@ -354,11 +458,70 @@ mod tests {
     fn steal_instant_carries_from_and_to() {
         let data = sample_trace();
         let trace = from_chrome_json(&to_chrome_json(&data)).unwrap();
-        let steal = trace.instant_events().find(|e| e.name.starts_with("steal")).unwrap();
+        let steal = trace
+            .instant_events()
+            .find(|e| e.name.starts_with("steal"))
+            .unwrap();
         let args = steal.args.as_ref().unwrap();
         assert_eq!(args.get("from").unwrap().as_f64(), Some(2.0));
         assert_eq!(args.get("to").unwrap().as_f64(), Some(0.0));
         assert_eq!(steal.tid, 0, "steal instant sits on the thief's row");
+    }
+
+    #[test]
+    fn fault_events_export_as_instants() {
+        let mut rec = TraceRecorder::new();
+        rec.record(0.001, EventKind::FaultInjected { hlop: 3, device: 2 });
+        rec.record(
+            0.002,
+            EventKind::Retry {
+                hlop: 3,
+                device: 2,
+                attempt: 2,
+            },
+        );
+        rec.record(0.003, EventKind::DeviceDown { device: 0 });
+        rec.record(
+            0.003,
+            EventKind::Redispatch {
+                hlop: 5,
+                from: 0,
+                to: 1,
+            },
+        );
+        let trace = from_chrome_json(&to_chrome_json(&rec.finish())).unwrap();
+        assert_eq!(trace.instant_events().count(), 4);
+        let retry = trace
+            .instant_events()
+            .find(|e| e.name.starts_with("retry"))
+            .unwrap();
+        assert_eq!(
+            retry
+                .args
+                .as_ref()
+                .unwrap()
+                .get("attempt")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        let redis = trace
+            .instant_events()
+            .find(|e| e.name.starts_with("redispatch"))
+            .unwrap();
+        assert_eq!(
+            redis.tid, 1,
+            "redispatch sits on the surviving device's row"
+        );
+        assert_eq!(
+            redis.args.as_ref().unwrap().get("from").unwrap().as_f64(),
+            Some(0.0)
+        );
+        let down = trace
+            .instant_events()
+            .find(|e| e.name == "device down")
+            .unwrap();
+        assert_eq!(down.tid, 0);
     }
 
     #[test]

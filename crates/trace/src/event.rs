@@ -101,6 +101,37 @@ pub enum EventKind {
         /// Device that produced it.
         device: DeviceId,
     },
+    /// A scheduled fault fired: a transfer failed or a slowdown window hit
+    /// while this HLOP was being served.
+    FaultInjected {
+        /// The HLOP affected.
+        hlop: usize,
+        /// Device being served when the fault fired.
+        device: DeviceId,
+    },
+    /// A failed transfer was re-issued after backoff.
+    Retry {
+        /// The HLOP whose transfer is retried.
+        hlop: usize,
+        /// Device the transfer serves.
+        device: DeviceId,
+        /// Retry number, 1-based.
+        attempt: usize,
+    },
+    /// A pending HLOP moved off a dead device's queue to a survivor.
+    Redispatch {
+        /// The HLOP that changed queues.
+        hlop: usize,
+        /// The dead device's queue index.
+        from: DeviceId,
+        /// The surviving queue index it landed on.
+        to: DeviceId,
+    },
+    /// A device dropped out of the platform at this instant.
+    DeviceDown {
+        /// The device that died.
+        device: DeviceId,
+    },
 }
 
 impl EventKind {
@@ -119,11 +150,15 @@ impl EventKind {
             EventKind::ComputeEnd { .. } => "ComputeEnd",
             EventKind::Steal { .. } => "Steal",
             EventKind::Aggregate { .. } => "Aggregate",
+            EventKind::FaultInjected { .. } => "FaultInjected",
+            EventKind::Retry { .. } => "Retry",
+            EventKind::Redispatch { .. } => "Redispatch",
+            EventKind::DeviceDown { .. } => "DeviceDown",
         }
     }
 
-    /// The device the event belongs to, when it has one. Steals report
-    /// the thief.
+    /// The device the event belongs to, when it has one. Steals and
+    /// redispatches report the receiving device.
     pub fn device(&self) -> Option<DeviceId> {
         match *self {
             EventKind::Dispatch { device, .. }
@@ -133,8 +168,11 @@ impl EventKind {
             | EventKind::TransferEnd { device, .. }
             | EventKind::ComputeStart { device, .. }
             | EventKind::ComputeEnd { device, .. }
-            | EventKind::Aggregate { device, .. } => Some(device),
-            EventKind::Steal { to, .. } => Some(to),
+            | EventKind::Aggregate { device, .. }
+            | EventKind::FaultInjected { device, .. }
+            | EventKind::Retry { device, .. }
+            | EventKind::DeviceDown { device } => Some(device),
+            EventKind::Steal { to, .. } | EventKind::Redispatch { to, .. } => Some(to),
             EventKind::PartitionStart { .. }
             | EventKind::PartitionEnd { .. }
             | EventKind::SampleOverhead { .. } => None,
@@ -153,8 +191,13 @@ impl EventKind {
             | EventKind::ComputeStart { hlop, .. }
             | EventKind::ComputeEnd { hlop, .. }
             | EventKind::Steal { hlop, .. }
-            | EventKind::Aggregate { hlop, .. } => Some(hlop),
-            EventKind::PartitionStart { .. } | EventKind::PartitionEnd { .. } => None,
+            | EventKind::Aggregate { hlop, .. }
+            | EventKind::FaultInjected { hlop, .. }
+            | EventKind::Retry { hlop, .. }
+            | EventKind::Redispatch { hlop, .. } => Some(hlop),
+            EventKind::PartitionStart { .. }
+            | EventKind::PartitionEnd { .. }
+            | EventKind::DeviceDown { .. } => None,
         }
     }
 }
@@ -199,16 +242,43 @@ mod tests {
         let kinds = [
             EventKind::PartitionStart { partitions: 1 },
             EventKind::PartitionEnd { hlops: 1 },
-            EventKind::SampleOverhead { hlop: 0, cost_s: 0.0 },
+            EventKind::SampleOverhead {
+                hlop: 0,
+                cost_s: 0.0,
+            },
             EventKind::Dispatch { hlop: 0, device: 0 },
             EventKind::CastStart { hlop: 0, device: 2 },
             EventKind::CastEnd { hlop: 0, device: 2 },
-            EventKind::TransferStart { hlop: 0, device: 2, bytes: 1 },
-            EventKind::TransferEnd { hlop: 0, device: 2, bytes: 1 },
+            EventKind::TransferStart {
+                hlop: 0,
+                device: 2,
+                bytes: 1,
+            },
+            EventKind::TransferEnd {
+                hlop: 0,
+                device: 2,
+                bytes: 1,
+            },
             EventKind::ComputeStart { hlop: 0, device: 1 },
             EventKind::ComputeEnd { hlop: 0, device: 1 },
-            EventKind::Steal { hlop: 0, from: 2, to: 0 },
+            EventKind::Steal {
+                hlop: 0,
+                from: 2,
+                to: 0,
+            },
             EventKind::Aggregate { hlop: 0, device: 0 },
+            EventKind::FaultInjected { hlop: 0, device: 2 },
+            EventKind::Retry {
+                hlop: 0,
+                device: 2,
+                attempt: 1,
+            },
+            EventKind::Redispatch {
+                hlop: 0,
+                from: 0,
+                to: 1,
+            },
+            EventKind::DeviceDown { device: 0 },
         ];
         let mut names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
         names.sort_unstable();
@@ -218,7 +288,11 @@ mod tests {
 
     #[test]
     fn device_and_hlop_extraction() {
-        let k = EventKind::Steal { hlop: 7, from: 2, to: 0 };
+        let k = EventKind::Steal {
+            hlop: 7,
+            from: 2,
+            to: 0,
+        };
         assert_eq!(k.device(), Some(0), "steal reports the thief");
         assert_eq!(k.hlop(), Some(7));
         assert_eq!(EventKind::PartitionStart { partitions: 4 }.device(), None);
@@ -227,7 +301,13 @@ mod tests {
 
     #[test]
     fn span_duration() {
-        let s = Span { device: 0, hlop: 1, start_s: 0.25, end_s: 1.0, bytes: None };
+        let s = Span {
+            device: 0,
+            hlop: 1,
+            start_s: 0.25,
+            end_s: 1.0,
+            bytes: None,
+        };
         assert!((s.duration_s() - 0.75).abs() < 1e-12);
     }
 }

@@ -66,7 +66,10 @@ impl JsonValue {
     ///
     /// Returns [`JsonError`] with a byte offset on malformed input.
     pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -164,7 +167,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, message: &str) -> JsonError {
-        JsonError { message: message.to_owned(), offset: self.pos }
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -321,14 +327,20 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(JsonValue::Number)
-            .map_err(|_| JsonError { message: format!("bad number '{text}'"), offset: start })
+            .map_err(|_| JsonError {
+                message: format!("bad number '{text}'"),
+                offset: start,
+            })
     }
 }
 
@@ -365,7 +377,10 @@ mod tests {
     fn parses_scalars() {
         assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
         assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
-        assert_eq!(JsonValue::parse("-2.5e2").unwrap(), JsonValue::Number(-250.0));
+        assert_eq!(
+            JsonValue::parse("-2.5e2").unwrap(),
+            JsonValue::Number(-250.0)
+        );
         assert_eq!(
             JsonValue::parse("\"a\\nb\"").unwrap(),
             JsonValue::String("a\nb".into())

@@ -27,7 +27,10 @@ impl MetricsRegistry {
 
     /// Appends a `(time_s, value)` sample to the named gauge series.
     pub fn push_gauge(&mut self, name: &str, time_s: f64, value: f64) {
-        self.gauges.entry(name.to_owned()).or_default().push((time_s, value));
+        self.gauges
+            .entry(name.to_owned())
+            .or_default()
+            .push((time_s, value));
     }
 
     /// Current value of a counter (zero if never touched).
@@ -42,7 +45,10 @@ impl MetricsRegistry {
 
     /// The peak value a gauge series reached, if it has any samples.
     pub fn gauge_peak(&self, name: &str) -> Option<f64> {
-        self.gauge_series(name).iter().map(|&(_, v)| v).reduce(f64::max)
+        self.gauge_series(name)
+            .iter()
+            .map(|&(_, v)| v)
+            .reduce(f64::max)
     }
 
     /// Iterates counters in name order.
@@ -67,7 +73,10 @@ impl MetricsRegistry {
             self.add_counter(name, value);
         }
         for (name, series) in other.gauges() {
-            self.gauges.entry(name.to_owned()).or_default().extend_from_slice(series);
+            self.gauges
+                .entry(name.to_owned())
+                .or_default()
+                .extend_from_slice(series);
         }
     }
 }
@@ -96,7 +105,11 @@ impl Histogram {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly ascending"
         );
-        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], total: 0 }
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+        }
     }
 
     /// Ten equal-width buckets over `[0, 1]` — utilization fractions.

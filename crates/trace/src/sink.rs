@@ -59,7 +59,12 @@ impl RingBufferSink {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
-        RingBufferSink { buf: Vec::with_capacity(capacity), capacity, head: 0, dropped: 0 }
+        RingBufferSink {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
     }
 
     /// Records currently held, oldest first.
@@ -133,12 +138,17 @@ impl TraceRecorder {
     /// with the metrics.
     pub fn finish(mut self) -> TraceData {
         self.records.sort_by(|a, b| {
-            a.time_s.partial_cmp(&b.time_s).unwrap_or(std::cmp::Ordering::Equal)
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         TraceData {
             records: self.records,
             metrics: self.metrics,
-            device_names: crate::DEFAULT_DEVICE_NAMES.iter().map(|s| (*s).to_owned()).collect(),
+            device_names: crate::DEFAULT_DEVICE_NAMES
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
         }
     }
 }
@@ -181,7 +191,10 @@ impl TraceData {
 
     /// Counts records of the named kind (see [`EventKind::name`]).
     pub fn count(&self, kind_name: &str) -> usize {
-        self.records.iter().filter(|r| r.kind.name() == kind_name).count()
+        self.records
+            .iter()
+            .filter(|r| r.kind.name() == kind_name)
+            .count()
     }
 
     /// Number of distinct event kinds present.
@@ -234,9 +247,11 @@ impl TraceData {
     pub fn transfer_spans(&self) -> Vec<Span> {
         self.pair_spans(
             |k| match *k {
-                EventKind::TransferStart { hlop, device, bytes } => {
-                    Some((hlop, device, Some(bytes)))
-                }
+                EventKind::TransferStart {
+                    hlop,
+                    device,
+                    bytes,
+                } => Some((hlop, device, Some(bytes))),
                 _ => None,
             },
             |k| match *k {
@@ -261,16 +276,25 @@ impl TraceData {
             if let Some((hlop, device, bytes)) = start(&r.kind) {
                 open.push((hlop, device, r.time_s, bytes));
             } else if let Some((hlop, device)) = end(&r.kind) {
-                if let Some(pos) =
-                    open.iter().position(|&(h, d, _, _)| h == hlop && d == device)
+                if let Some(pos) = open
+                    .iter()
+                    .position(|&(h, d, _, _)| h == hlop && d == device)
                 {
                     let (h, d, start_s, bytes) = open.remove(pos);
-                    spans.push(Span { device: d, hlop: h, start_s, end_s: r.time_s, bytes });
+                    spans.push(Span {
+                        device: d,
+                        hlop: h,
+                        start_s,
+                        end_s: r.time_s,
+                        bytes,
+                    });
                 }
             }
         }
         spans.sort_by(|a, b| {
-            a.start_s.partial_cmp(&b.start_s).unwrap_or(std::cmp::Ordering::Equal)
+            a.start_s
+                .partial_cmp(&b.start_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         spans
     }
@@ -394,7 +418,14 @@ mod tests {
         let mut rec = TraceRecorder::new();
         rec.record(0.0, EventKind::Dispatch { hlop: 0, device: 0 });
         rec.record(0.0, EventKind::Dispatch { hlop: 1, device: 1 });
-        rec.record(1.0, EventKind::Steal { hlop: 1, from: 1, to: 0 });
+        rec.record(
+            1.0,
+            EventKind::Steal {
+                hlop: 1,
+                from: 1,
+                to: 0,
+            },
+        );
         let data = rec.finish();
         assert_eq!(data.count("Dispatch"), 2);
         assert_eq!(data.distinct_kinds(), 2);

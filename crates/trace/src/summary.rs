@@ -56,7 +56,10 @@ pub fn timeline_summary(data: &TraceData, makespan_s: f64) -> String {
     out.push('\n');
     for (name, series) in data.metrics.gauges() {
         if let Some(peak) = series.iter().map(|&(_, v)| v).reduce(f64::max) {
-            out.push_str(&format!("gauge {name}: {} samples, peak {peak}\n", series.len()));
+            out.push_str(&format!(
+                "gauge {name}: {} samples, peak {peak}\n",
+                series.len()
+            ));
         }
     }
     out
@@ -75,7 +78,14 @@ mod tests {
         rec.record(0.6, EventKind::ComputeEnd { hlop: 0, device: 0 });
         rec.record(0.0, EventKind::ComputeStart { hlop: 1, device: 2 });
         rec.record(0.3, EventKind::ComputeEnd { hlop: 1, device: 2 });
-        rec.record(0.3, EventKind::Steal { hlop: 2, from: 2, to: 0 });
+        rec.record(
+            0.3,
+            EventKind::Steal {
+                hlop: 2,
+                from: 2,
+                to: 0,
+            },
+        );
         rec.gauge("queue.GPU", 0.0, 2.0);
         let text = timeline_summary(&rec.finish(), 1.0);
         assert!(text.contains("GPU"), "{text}");

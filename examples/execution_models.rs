@@ -16,9 +16,18 @@ fn main() -> Result<(), shmt::ShmtError> {
     let size = 4096;
     // A denoise -> detect -> summarize program (functions A, B, C of Fig 1).
     let program = Program::new(vec![
-        Stage { benchmark: Benchmark::MeanFilter, aux_seed: 1 },
-        Stage { benchmark: Benchmark::Sobel, aux_seed: 2 },
-        Stage { benchmark: Benchmark::Histogram, aux_seed: 3 },
+        Stage {
+            benchmark: Benchmark::MeanFilter,
+            aux_seed: 1,
+        },
+        Stage {
+            benchmark: Benchmark::Sobel,
+            aux_seed: 2,
+        },
+        Stage {
+            benchmark: Benchmark::Histogram,
+            aux_seed: 3,
+        },
     ])?;
     let frame = gen::image8(size, size, 2024);
 
@@ -26,7 +35,10 @@ fn main() -> Result<(), shmt::ShmtError> {
 
     // (a) Conventional: each function runs on the single best device.
     let (conventional_s, _) = program.run_conventional(frame.clone(), 64)?;
-    println!("(a) conventional (best single device per function): {:7.2} ms", conventional_s * 1e3);
+    println!(
+        "(a) conventional (best single device per function): {:7.2} ms",
+        conventional_s * 1e3
+    );
 
     // (c) SHMT: every function co-executes on CPU + GPU + Edge TPU.
     let mut cfg = RuntimeConfig::new(Policy::Qaws {
@@ -35,7 +47,10 @@ fn main() -> Result<(), shmt::ShmtError> {
     });
     cfg.partitions = 64;
     let shmt = program.run_shmt(frame, cfg)?;
-    println!("(c) SHMT (all devices per function):                {:7.2} ms", shmt.total_latency_s * 1e3);
+    println!(
+        "(c) SHMT (all devices per function):                {:7.2} ms",
+        shmt.total_latency_s * 1e3
+    );
     println!(
         "\nend-to-end gain: {:.2}x   energy: {:.3} J",
         conventional_s / shmt.total_latency_s,
@@ -48,7 +63,11 @@ fn main() -> Result<(), shmt::ShmtError> {
             .iter()
             .map(|(kind, f)| format!("{kind} {:.0}%", f * 100.0))
             .collect();
-        println!("  {:<12} {}", stage.benchmark.to_string(), shares.join("  "));
+        println!(
+            "  {:<12} {}",
+            stage.benchmark.to_string(),
+            shares.join("  ")
+        );
     }
     Ok(())
 }

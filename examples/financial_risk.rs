@@ -33,8 +33,7 @@ fn main() -> Result<(), shmt::ShmtError> {
     let platform = Platform::jetson(benchmark);
     let reference = exact_reference(&vop);
     let baseline = gpu_baseline(&platform, &vop, 64)?;
-    let book_value: f64 =
-        reference.as_slice().iter().map(|&v| v as f64).sum();
+    let book_value: f64 = reference.as_slice().iter().map(|&v| v as f64).sum();
     println!(
         "GPU baseline: {:.2} ms, book value ${:.0}\n",
         baseline.makespan_s * 1e3,
@@ -43,7 +42,10 @@ fn main() -> Result<(), shmt::ShmtError> {
 
     let policies = [
         Policy::WorkStealing,
-        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding },
+        Policy::Qaws {
+            assignment: QawsAssignment::TopK,
+            sampling: SamplingMethod::Striding,
+        },
         Policy::Qaws {
             assignment: QawsAssignment::DeviceLimits,
             sampling: SamplingMethod::Reduction,

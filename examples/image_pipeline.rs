@@ -15,7 +15,10 @@ use shmt_kernels::Benchmark;
 use shmt_tensor::{gen, Tensor};
 
 fn qaws_ts() -> Policy {
-    Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding }
+    Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    }
 }
 
 /// Runs one pipeline stage through SHMT and reports it; returns the stage
@@ -58,13 +61,23 @@ fn main() -> Result<(), shmt::ShmtError> {
 
     let mut totals = (0.0, 0.0);
     // Stage 1: despeckle.
-    let smoothed = stage("mean filter", Benchmark::MeanFilter, vec![frame], &mut totals)?;
+    let smoothed = stage(
+        "mean filter",
+        Benchmark::MeanFilter,
+        vec![frame],
+        &mut totals,
+    )?;
     // Stage 2: edge detection on the smoothed frame.
     let edges = stage("sobel", Benchmark::Sobel, vec![smoothed], &mut totals)?;
     // Stage 3: edge-magnitude statistics (values clamp into the 256-bin
     // range like 8-bit magnitudes).
     let clamped = edges.map(|v| v.clamp(0.0, 255.0));
-    let hist = stage("histogram", Benchmark::Histogram, vec![clamped], &mut totals)?;
+    let hist = stage(
+        "histogram",
+        Benchmark::Histogram,
+        vec![clamped],
+        &mut totals,
+    )?;
 
     let strong_edges: f32 = hist.row(0)[64..].iter().sum();
     println!(

@@ -20,8 +20,16 @@ fn blackscholes(x: &[f32]) -> Vec<f32> {
 fn main() {
     println!("NPU model construction (paper section 4.2)\n");
     for (name, f, range) in [
-        ("tanh gate", (|x: &[f32]| vec![(2.0 * x[0]).tanh()]) as fn(&[f32]) -> Vec<f32>, (-1.5f32, 1.5f32)),
-        ("blackscholes", blackscholes as fn(&[f32]) -> Vec<f32>, (0.5, 1.5)),
+        (
+            "tanh gate",
+            (|x: &[f32]| vec![(2.0 * x[0]).tanh()]) as fn(&[f32]) -> Vec<f32>,
+            (-1.5f32, 1.5f32),
+        ),
+        (
+            "blackscholes",
+            blackscholes as fn(&[f32]) -> Vec<f32>,
+            (0.5, 1.5),
+        ),
     ] {
         // Step 1: datasets from the target function on random inputs.
         let data = Dataset::from_function(f, 400, 1, range.0, range.1, 2024);
@@ -30,15 +38,25 @@ fn main() {
             topologies: vec![vec![], vec![8], vec![16], vec![16, 16]],
             target_mse: 2e-4,
             qat_trigger: 3.0,
-            train: TrainConfig { epochs: 300, learning_rate: 0.02, ..Default::default() },
+            train: TrainConfig {
+                epochs: 300,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
         };
         let model = build_npu_model(&data, &config);
         println!("target `{name}`:");
         println!("  chosen topology : 1 -> {:?} -> 1", model.topology);
-        println!("  parameters      : {}", model.float_model.parameter_count());
+        println!(
+            "  parameters      : {}",
+            model.float_model.parameter_count()
+        );
         println!("  fp32 val MSE    : {:.3e}", model.float_mse);
         println!("  int8 val MSE    : {:.3e}", model.quantized_mse);
-        println!("  QAT retraining  : {}", if model.used_qat { "yes" } else { "no" });
+        println!(
+            "  QAT retraining  : {}",
+            if model.used_qat { "yes" } else { "no" }
+        );
         let probe = 0.5 * (range.0 + range.1);
         println!(
             "  f({probe:.2}) = {:.4} exact vs {:.4} on the int8 path\n",

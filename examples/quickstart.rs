@@ -11,8 +11,8 @@
 
 use shmt::baseline::{exact_reference, gpu_baseline};
 use shmt::quality::{mape, ssim};
-use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
 use shmt::sampling::SamplingMethod;
+use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
 use shmt_kernels::Benchmark;
 
 fn main() -> Result<(), shmt::ShmtError> {
@@ -40,13 +40,19 @@ fn main() -> Result<(), shmt::ShmtError> {
     let runtime = ShmtRuntime::new(platform, RuntimeConfig::new(policy));
     let report = runtime.execute(&vop)?;
 
-    println!("GPU baseline latency : {:8.2} ms", baseline.makespan_s * 1e3);
+    println!(
+        "GPU baseline latency : {:8.2} ms",
+        baseline.makespan_s * 1e3
+    );
     for row in report.gantt(60) {
         println!("  {row}");
     }
     println!();
     println!("SHMT latency         : {:8.2} ms", report.makespan_s * 1e3);
-    println!("speedup              : {:8.2}x", baseline.makespan_s / report.makespan_s);
+    println!(
+        "speedup              : {:8.2}x",
+        baseline.makespan_s / report.makespan_s
+    );
     println!();
     for d in &report.devices {
         println!(

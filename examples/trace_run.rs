@@ -54,6 +54,9 @@ fn main() -> Result<(), shmt::ShmtError> {
     std::fs::create_dir_all("results").expect("create results dir");
     let path = "results/trace_example.json";
     std::fs::write(path, &json).expect("write trace file");
-    println!("wrote {path} ({} bytes) — load it at https://ui.perfetto.dev", json.len());
+    println!(
+        "wrote {path} ({} bytes) — load it at https://ui.perfetto.dev",
+        json.len()
+    );
     Ok(())
 }

@@ -21,12 +21,9 @@ fi
 echo "== docs (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
 
-# Informational only: the codebase predates a rustfmt profile, so style
-# drift is reported but does not fail CI.
 if cargo fmt --version >/dev/null 2>&1; then
-    echo "== fmt check (informational) =="
-    drift=$(cargo fmt --all --check 2>/dev/null | grep -c "^Diff in" || true)
-    echo "files with style drift: $drift"
+    echo "== fmt check (hard gate) =="
+    cargo fmt --all --check
 else
     echo "== fmt check skipped (rustfmt unavailable) =="
 fi
@@ -39,5 +36,17 @@ for f in results/trace_*.json; do
     [ -s "$f" ] || { echo "empty trace file: $f"; exit 1; }
 done
 echo "trace files written and validated: $(ls results/trace_*.json | wc -l)"
+
+echo "== fault sweep smoke check =="
+# fault_sweep re-reads every document with the crate's own JSON parser and
+# asserts `degraded` is set iff a dropout scenario was injected; the bin
+# aborts if either check fails.
+cargo run --release -q -p shmt-bench --bin fault_sweep -- --size 256 --partitions 8 >/dev/null
+for f in results/faults_*.json; do
+    [ -s "$f" ] || { echo "empty fault sweep file: $f"; exit 1; }
+    grep -q '"degraded":true' "$f" || { echo "no degraded scenario in $f"; exit 1; }
+    grep -q '"name":"none"' "$f" || { echo "missing fault-free scenario in $f"; exit 1; }
+done
+echo "fault sweep files written and validated: $(ls results/faults_*.json | wc -l)"
 
 echo "CI OK"

@@ -17,7 +17,10 @@ const PARTS: usize = 8;
 /// prototype is launch-overhead-bound below ~1M elements).
 fn slow_platform(b: Benchmark) -> Platform {
     Platform::with_profiles(
-        Calibration { gpu_throughput: 2.0e6, ..Default::default() },
+        Calibration {
+            gpu_throughput: 2.0e6,
+            ..Default::default()
+        },
         bench_profile(b),
     )
 }
@@ -30,7 +33,9 @@ fn run(b: Benchmark, policy: Policy) -> shmt::RunReport {
     let mut cfg = RuntimeConfig::new(policy);
     cfg.partitions = PARTS;
     cfg.quality.sampling_rate = 0.02;
-    ShmtRuntime::new(slow_platform(b), cfg).execute(&vop_for(b)).unwrap()
+    ShmtRuntime::new(slow_platform(b), cfg)
+        .execute(&vop_for(b))
+        .unwrap()
 }
 
 #[test]
@@ -61,7 +66,9 @@ fn outputs_are_faithful_when_tpu_is_disabled() {
         let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
         cfg.partitions = PARTS;
         cfg.device_mask = [true, true, false];
-        let report = ShmtRuntime::new(slow_platform(b), cfg).execute(&vop).unwrap();
+        let report = ShmtRuntime::new(slow_platform(b), cfg)
+            .execute(&vop)
+            .unwrap();
         assert_eq!(report.tpu_fraction, 0.0, "{b}");
         assert_eq!(report.output.as_slice(), reference.as_slice(), "{b}");
     }
@@ -69,12 +76,19 @@ fn outputs_are_faithful_when_tpu_is_disabled() {
 
 #[test]
 fn multi_device_runs_beat_single_device_runs() {
-    for b in [Benchmark::Fft, Benchmark::Dct8x8, Benchmark::Sobel, Benchmark::Srad] {
+    for b in [
+        Benchmark::Fft,
+        Benchmark::Dct8x8,
+        Benchmark::Sobel,
+        Benchmark::Srad,
+    ] {
         let vop = vop_for(b);
         let platform = slow_platform(b);
         let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
         cfg.partitions = PARTS;
-        let all = ShmtRuntime::new(platform.clone(), cfg).execute(&vop).unwrap();
+        let all = ShmtRuntime::new(platform.clone(), cfg)
+            .execute(&vop)
+            .unwrap();
         let mut gpu_only = cfg;
         gpu_only.device_mask = [true, false, false];
         let solo = ShmtRuntime::new(platform, gpu_only).execute(&vop).unwrap();
@@ -89,12 +103,18 @@ fn multi_device_runs_beat_single_device_runs() {
 
 #[test]
 fn quality_ordering_tpu_worst_oracle_best() {
-    for b in [Benchmark::Sobel, Benchmark::Laplacian, Benchmark::Blackscholes] {
+    for b in [
+        Benchmark::Sobel,
+        Benchmark::Laplacian,
+        Benchmark::Blackscholes,
+    ] {
         let vop = vop_for(b);
         let reference = exact_reference(&vop);
         let mut cfg = RuntimeConfig::new(Policy::WorkStealing).tpu_only();
         cfg.partitions = PARTS;
-        let tpu = ShmtRuntime::new(slow_platform(b), cfg).execute(&vop).unwrap();
+        let tpu = ShmtRuntime::new(slow_platform(b), cfg)
+            .execute(&vop)
+            .unwrap();
         let oracle = run(b, Policy::Oracle);
         let e_tpu = mape(&reference, &tpu.output);
         let e_oracle = mape(&reference, &oracle.output);
@@ -140,14 +160,23 @@ fn stealing_restrictions_hold_in_records() {
     let b = Benchmark::Sobel;
     let report = run(
         b,
-        Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Reduction },
+        Policy::Qaws {
+            assignment: QawsAssignment::TopK,
+            sampling: SamplingMethod::Reduction,
+        },
     );
     let vop = vop_for(b);
     let reference = exact_reference(&vop);
     // Gather TPU-executed partition criticalities vs exact-executed.
-    let tpu_count =
-        report.records.iter().filter(|r| r.device == hetsim::DeviceKind::EdgeTpu).count();
-    assert!(tpu_count < report.records.len(), "exact devices must hold critical work");
+    let tpu_count = report
+        .records
+        .iter()
+        .filter(|r| r.device == hetsim::DeviceKind::EdgeTpu)
+        .count();
+    assert!(
+        tpu_count < report.records.len(),
+        "exact devices must hold critical work"
+    );
     // And the overall result must still be close to the reference.
     assert!(mape(&reference, &report.output) < 0.5);
 }
@@ -173,7 +202,9 @@ fn reduction_vops_run_end_to_end() {
         let vop = Vop::reduce(opcode, data.clone()).unwrap();
         let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
         cfg.partitions = PARTS;
-        ShmtRuntime::new(Platform::generic(), cfg).execute(&vop).unwrap()
+        ShmtRuntime::new(Platform::generic(), cfg)
+            .execute(&vop)
+            .unwrap()
     };
 
     let sum = run_reduce(Opcode::ReduceSum);
@@ -193,9 +224,17 @@ fn reduction_vops_run_end_to_end() {
     // Max/min are exact on fp32 devices and within a quantization step on
     // the TPU; extremes can only be under/over-estimated by the snap.
     let max = run_reduce(Opcode::ReduceMax);
-    assert!((max.output[(0, 0)] - exact_max).abs() < 0.2, "max {}", max.output[(0, 0)]);
+    assert!(
+        (max.output[(0, 0)] - exact_max).abs() < 0.2,
+        "max {}",
+        max.output[(0, 0)]
+    );
     let min = run_reduce(Opcode::ReduceMin);
-    assert!((min.output[(0, 0)] - exact_min).abs() < 0.2, "min {}", min.output[(0, 0)]);
+    assert!(
+        (min.output[(0, 0)] - exact_min).abs() < 0.2,
+        "min {}",
+        min.output[(0, 0)]
+    );
 
     // Non-reduction opcodes are rejected.
     assert!(Vop::reduce(Opcode::Add, data.clone()).is_err());
@@ -210,7 +249,9 @@ fn gemm_vop_runs_end_to_end() {
     let reference = exact_reference(&vop);
     let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
     cfg.partitions = 8;
-    let report = ShmtRuntime::new(Platform::generic(), cfg).execute(&vop).unwrap();
+    let report = ShmtRuntime::new(Platform::generic(), cfg)
+        .execute(&vop)
+        .unwrap();
     let e = mape(&reference, &report.output);
     assert!(e < 0.2, "GEMM through SHMT should be close: {e}");
     // And the exact reference matches the primitive.
@@ -229,15 +270,28 @@ fn elementwise_vops_run_end_to_end() {
     let reference = exact_reference(&vop);
     let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
     cfg.partitions = 8;
-    let report = ShmtRuntime::new(Platform::generic(), cfg).execute(&vop).unwrap();
-    assert!(mape(&reference, &report.output) < 0.05, "sqrt VOP degraded too much");
+    let report = ShmtRuntime::new(Platform::generic(), cfg)
+        .execute(&vop)
+        .unwrap();
+    assert!(
+        mape(&reference, &report.output) < 0.05,
+        "sqrt VOP degraded too much"
+    );
 
     let b = shmt_tensor::gen::uniform(128, 128, -1.0, 1.0, 12);
     let vop2 = Vop::binary(BinaryOp::Add, data, b).unwrap();
     let ref2 = exact_reference(&vop2);
-    let report2 = ShmtRuntime::new(Platform::generic(), cfg).execute(&vop2).unwrap();
-    assert!(mape(&ref2, &report2.output) < 0.1, "add VOP degraded too much");
-    assert_eq!(report2.records.len(), report2.devices.iter().map(|d| d.hlops).sum::<usize>());
+    let report2 = ShmtRuntime::new(Platform::generic(), cfg)
+        .execute(&vop2)
+        .unwrap();
+    assert!(
+        mape(&ref2, &report2.output) < 0.1,
+        "add VOP degraded too much"
+    );
+    assert_eq!(
+        report2.records.len(),
+        report2.devices.iter().map(|d| d.hlops).sum::<usize>()
+    );
 }
 
 #[test]

@@ -1,0 +1,234 @@
+//! Fault injection and recovery: the empty plan must be free (bit-identical
+//! runs), seeded plans must be exactly reproducible, and dropout recovery
+//! must respect the accuracy-class matrix — a dead TPU degrades to an
+//! all-exact run, a dead GPU's work lands on the CPU and never on the TPU.
+
+use shmt::calibration::{bench_profile, Calibration};
+use shmt::quality::mape;
+use shmt::sampling::SamplingMethod;
+use shmt::sched::{CPU, GPU, TPU};
+use shmt::trace::EventKind;
+use shmt::{
+    FaultPlan, Platform, Policy, QawsAssignment, RunReport, RuntimeConfig, ShmtRuntime, Vop,
+};
+use shmt_kernels::Benchmark;
+
+/// A slowed-down platform (compute-dominant at test sizes) so every
+/// device participates; same shape as the trace-consistency tests.
+fn slow_platform(b: Benchmark) -> Platform {
+    Platform::with_profiles(
+        Calibration {
+            gpu_throughput: 1.0e6,
+            ..Default::default()
+        },
+        bench_profile(b),
+    )
+}
+
+fn qaws() -> Policy {
+    Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    }
+}
+
+fn runtime(policy: Policy, b: Benchmark) -> ShmtRuntime {
+    let mut cfg = RuntimeConfig::new(policy);
+    cfg.partitions = 16;
+    cfg.quality.sampling_rate = 0.01;
+    ShmtRuntime::new(slow_platform(b), cfg)
+}
+
+fn vop(b: Benchmark, n: usize) -> Vop {
+    Vop::from_benchmark(b, b.generate_inputs(n, n, 7)).unwrap()
+}
+
+fn assert_reports_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(
+        a.output.as_slice(),
+        b.output.as_slice(),
+        "bit-identical output"
+    );
+    assert_eq!(a.makespan_s, b.makespan_s);
+    assert_eq!(a.scheduling_overhead_s, b.scheduling_overhead_s);
+    assert_eq!(a.steals, b.steals);
+    assert_eq!(a.bus_bytes, b.bus_bytes);
+    assert_eq!(a.energy, b.energy);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.tpu_fraction, b.tpu_fraction);
+    assert_eq!(a.faults, b.faults);
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_a_plain_run() {
+    let b = Benchmark::Sobel;
+    let v = vop(b, 256);
+    for policy in [Policy::EvenDistribution, Policy::WorkStealing, qaws()] {
+        let rt = runtime(policy, b);
+        let plain = rt.execute(&v).unwrap();
+        let faulted = rt.execute_with_faults(&v, &FaultPlan::none()).unwrap();
+        assert_reports_identical(&plain, &faulted);
+        assert_eq!(
+            faulted.faults,
+            Default::default(),
+            "empty plan reports nothing"
+        );
+        assert!(!faulted.faults.degraded);
+    }
+}
+
+#[test]
+fn every_qaws_variant_ignores_the_empty_plan() {
+    let b = Benchmark::MeanFilter;
+    let v = vop(b, 128);
+    for policy in Policy::qaws_variants() {
+        let rt = runtime(policy, b);
+        let plain = rt.execute(&v).unwrap();
+        let faulted = rt.execute_with_faults(&v, &FaultPlan::none()).unwrap();
+        assert_reports_identical(&plain, &faulted);
+    }
+}
+
+#[test]
+fn seeded_fault_plans_reproduce_exactly() {
+    let b = Benchmark::Fft;
+    let v = vop(b, 128);
+    let rt = runtime(Policy::WorkStealing, b);
+    let plan = FaultPlan::none()
+        .with_seed(1234)
+        .with_slowdown(GPU, 0.0, 0.5, 2.0)
+        .with_transfer_failures(0.4);
+    let first = rt.execute_with_faults(&v, &plan).unwrap();
+    let second = rt.execute_with_faults(&v, &plan).unwrap();
+    assert_reports_identical(&first, &second);
+    assert!(
+        first.faults.injected > 0,
+        "rate 0.4 over many transfers must fire"
+    );
+}
+
+#[test]
+fn transfer_retries_are_charged_and_traced() {
+    let b = Benchmark::Fft;
+    let v = vop(b, 128);
+    let rt = runtime(Policy::WorkStealing, b);
+    let clean = rt.execute(&v).unwrap();
+    let plan = FaultPlan::none().with_seed(9).with_transfer_failures(0.3);
+    let faulted = rt.execute_with_faults_traced(&v, &plan).unwrap();
+    assert!(
+        faulted.faults.retried > 0,
+        "TPU-heavy FFT must hit transfer faults"
+    );
+    assert!(faulted.faults.injected >= faulted.faults.retried);
+    assert!(
+        !faulted.faults.degraded,
+        "transient faults do not degrade the platform"
+    );
+    assert!(
+        faulted.makespan_s >= clean.makespan_s,
+        "retries cost virtual time: {} vs {}",
+        faulted.makespan_s,
+        clean.makespan_s
+    );
+    let trace = faulted.trace.as_ref().unwrap();
+    assert_eq!(trace.count("Retry"), faulted.faults.retried);
+    assert_eq!(
+        trace.metrics.counter("faults.retries"),
+        faulted.faults.retried as f64
+    );
+    assert_eq!(trace.count("FaultInjected"), faulted.faults.injected);
+}
+
+#[test]
+fn slowdown_window_stretches_the_makespan() {
+    let b = Benchmark::Sobel;
+    let v = vop(b, 256);
+    let rt = runtime(Policy::WorkStealing, b);
+    let clean = rt.execute(&v).unwrap();
+    let plan = FaultPlan::none().with_slowdown(GPU, 0.0, 1.0e9, 8.0);
+    let slowed = rt.execute_with_faults(&v, &plan).unwrap();
+    assert!(
+        slowed.makespan_s > clean.makespan_s,
+        "an 8x GPU slowdown must cost time: {} vs {}",
+        slowed.makespan_s,
+        clean.makespan_s
+    );
+    assert!(slowed.faults.injected > 0);
+    assert!(!slowed.faults.degraded);
+    assert_eq!(
+        slowed.records.len(),
+        clean.records.len(),
+        "all HLOPs still execute"
+    );
+}
+
+#[test]
+fn tpu_dropout_degrades_gracefully_to_exact_output() {
+    let b = Benchmark::Sobel;
+    let v = vop(b, 256);
+    let rt = runtime(qaws(), b);
+    let healthy = rt.execute(&v).unwrap();
+    assert!(
+        healthy.tpu_fraction > 0.0,
+        "the TPU participates when alive"
+    );
+
+    let plan = FaultPlan::none().with_unavailable(TPU);
+    let r = rt.execute_with_faults(&v, &plan).unwrap();
+    assert!(r.faults.degraded);
+    assert_eq!(r.faults.devices_lost, 1);
+    assert_eq!(r.tpu_fraction, 0.0, "no element touches the dead TPU");
+    assert_eq!(r.records.len(), 16, "every HLOP still executes");
+    let reference = shmt::baseline::exact_reference(&v);
+    assert_eq!(
+        mape(&reference, &r.output),
+        0.0,
+        "all-exact run matches the reference"
+    );
+}
+
+#[test]
+fn gpu_dropout_redispatches_to_the_cpu_never_the_tpu() {
+    let b = Benchmark::Sobel;
+    let v = vop(b, 256);
+    let rt = runtime(qaws(), b);
+    let healthy = rt.execute(&v).unwrap();
+
+    // Kill the GPU a quarter of the way through a healthy run, while its
+    // queue still holds the plan's exact (most critical) partitions.
+    let plan = FaultPlan::none().with_dropout(GPU, healthy.makespan_s * 0.25);
+    let r = rt.execute_with_faults_traced(&v, &plan).unwrap();
+    assert!(r.faults.degraded);
+    assert_eq!(r.faults.devices_lost, 1);
+    assert!(
+        r.faults.redispatched > 0,
+        "the GPU queue must not have been empty yet"
+    );
+    assert_eq!(r.records.len(), 16, "every HLOP still executes");
+
+    let trace = r.trace.as_ref().unwrap();
+    assert_eq!(trace.count("DeviceDown"), 1);
+    assert_eq!(trace.count("Redispatch"), r.faults.redispatched);
+    let mut seen = 0;
+    for rec in &trace.records {
+        if let EventKind::Redispatch { from, to, .. } = rec.kind {
+            seen += 1;
+            assert_eq!(from, GPU);
+            assert_eq!(to, CPU, "exact work may never fall back to the int8 TPU");
+        }
+    }
+    assert_eq!(seen, r.faults.redispatched);
+}
+
+#[test]
+fn dropping_every_device_with_pending_work_is_an_error() {
+    let b = Benchmark::Sobel;
+    let v = vop(b, 128);
+    let rt = runtime(Policy::WorkStealing, b);
+    let plan = FaultPlan::none()
+        .with_unavailable(GPU)
+        .with_unavailable(CPU)
+        .with_unavailable(TPU);
+    let err = rt.execute_with_faults(&v, &plan).unwrap_err();
+    assert!(matches!(err, shmt::ShmtError::NoCapableDevice(_)), "{err}");
+}

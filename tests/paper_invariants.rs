@@ -14,7 +14,10 @@ const PARTS: usize = 16;
 
 fn slow_platform(b: Benchmark) -> Platform {
     Platform::with_profiles(
-        Calibration { gpu_throughput: 8.0e6, ..Default::default() },
+        Calibration {
+            gpu_throughput: 8.0e6,
+            ..Default::default()
+        },
         bench_profile(b),
     )
 }
@@ -32,25 +35,41 @@ fn ctx(b: Benchmark) -> Ctx {
     let platform = slow_platform(b);
     let reference = exact_reference(&vop);
     let base = gpu_baseline(&platform, &vop, PARTS).unwrap();
-    Ctx { vop, reference, baseline_s: base.makespan_s, baseline_j: base.energy.total_j(), platform }
+    Ctx {
+        vop,
+        reference,
+        baseline_s: base.makespan_s,
+        baseline_j: base.energy.total_j(),
+        platform,
+    }
 }
 
 fn run(c: &Ctx, policy: Policy) -> shmt::RunReport {
     let mut cfg = RuntimeConfig::new(policy);
     cfg.partitions = PARTS;
     cfg.quality.sampling_rate = 0.01;
-    ShmtRuntime::new(c.platform.clone(), cfg).execute(&c.vop).unwrap()
+    ShmtRuntime::new(c.platform.clone(), cfg)
+        .execute(&c.vop)
+        .unwrap()
 }
 
 fn qaws(s: SamplingMethod) -> Policy {
-    Policy::Qaws { assignment: QawsAssignment::TopK, sampling: s }
+    Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: s,
+    }
 }
 
 /// §5.2: work stealing speeds up every benchmark whose devices have spare
 /// throughput; even distribution is bounded by the slower device.
 #[test]
 fn fig6_work_stealing_beats_even_distribution() {
-    for b in [Benchmark::MeanFilter, Benchmark::Dwt, Benchmark::Laplacian, Benchmark::Hotspot] {
+    for b in [
+        Benchmark::MeanFilter,
+        Benchmark::Dwt,
+        Benchmark::Laplacian,
+        Benchmark::Hotspot,
+    ] {
         let c = ctx(b);
         let ws = run(&c, Policy::WorkStealing);
         let even = run(&c, Policy::EvenDistribution);
@@ -60,7 +79,10 @@ fn fig6_work_stealing_beats_even_distribution() {
             ws.makespan_s,
             even.makespan_s
         );
-        assert!(c.baseline_s / ws.makespan_s > 1.2, "{b}: WS must actually speed up");
+        assert!(
+            c.baseline_s / ws.makespan_s > 1.2,
+            "{b}: WS must actually speed up"
+        );
     }
 }
 
@@ -90,7 +112,10 @@ fn fig6_qaws_close_to_but_not_above_work_stealing() {
         let ratio = ts.makespan_s / ws.makespan_s;
         // Scheduling noise allows small inversions; QAWS must never be
         // meaningfully faster (it only adds restrictions) nor much slower.
-        assert!(ratio >= 0.95, "{b}: QAWS should not meaningfully beat WS ({ratio})");
+        assert!(
+            ratio >= 0.95,
+            "{b}: QAWS should not meaningfully beat WS ({ratio})"
+        );
         assert!(ratio < 1.5, "{b}: QAWS cost should be bounded ({ratio})");
     }
 }
@@ -103,16 +128,27 @@ fn fig7_quality_ordering() {
         let c = ctx(b);
         let mut tpu_cfg = RuntimeConfig::new(Policy::WorkStealing).tpu_only();
         tpu_cfg.partitions = PARTS;
-        let tpu = ShmtRuntime::new(c.platform.clone(), tpu_cfg).execute(&c.vop).unwrap();
+        let tpu = ShmtRuntime::new(c.platform.clone(), tpu_cfg)
+            .execute(&c.vop)
+            .unwrap();
         let ws = run(&c, Policy::WorkStealing);
         let ts = run(&c, qaws(SamplingMethod::Reduction));
         let oracle = run(&c, Policy::Oracle);
 
         let e = |r: &shmt::RunReport| mape(&c.reference, &r.output);
         let (e_tpu, e_ws, e_ts, e_oracle) = (e(&tpu), e(&ws), e(&ts), e(&oracle));
-        assert!(e_tpu > e_ws, "{b}: TPU-only {e_tpu} must be worst (WS {e_ws})");
-        assert!(e_ts <= e_ws * 1.05, "{b}: QAWS {e_ts} must not lose to WS {e_ws}");
-        assert!(e_oracle <= e_ts * 1.2, "{b}: oracle {e_oracle} near-best vs QAWS {e_ts}");
+        assert!(
+            e_tpu > e_ws,
+            "{b}: TPU-only {e_tpu} must be worst (WS {e_ws})"
+        );
+        assert!(
+            e_ts <= e_ws * 1.05,
+            "{b}: QAWS {e_ts} must not lose to WS {e_ws}"
+        );
+        assert!(
+            e_oracle <= e_ts * 1.2,
+            "{b}: oracle {e_oracle} near-best vs QAWS {e_ts}"
+        );
     }
 }
 
@@ -129,7 +165,9 @@ fn fig9_more_samples_do_not_hurt() {
         let mut cfg = RuntimeConfig::new(qaws(SamplingMethod::Striding));
         cfg.partitions = PARTS;
         cfg.quality.sampling_rate = rate;
-        let r = ShmtRuntime::new(c.platform.clone(), cfg).execute(&c.vop).unwrap();
+        let r = ShmtRuntime::new(c.platform.clone(), cfg)
+            .execute(&c.vop)
+            .unwrap();
         errors.push(mape(&c.reference, &r.output));
         times.push(r.makespan_s);
     }
@@ -137,7 +175,10 @@ fn fig9_more_samples_do_not_hurt() {
         errors[2] <= errors[0] * 1.1,
         "denser sampling should not hurt quality: {errors:?}"
     );
-    assert!(times[2] < times[0] * 1.3, "sampling cost stays modest: {times:?}");
+    assert!(
+        times[2] < times[0] * 1.3,
+        "sampling cost stays modest: {times:?}"
+    );
 }
 
 /// §5.5 (Fig 10): SHMT reduces energy and EDP against the GPU baseline.
@@ -163,7 +204,11 @@ fn table3_comm_overhead_small() {
     for b in [Benchmark::Fft, Benchmark::Histogram, Benchmark::Srad] {
         let c = ctx(b);
         let r = run(&c, qaws(SamplingMethod::Striding));
-        assert!(r.comm_overhead() < 0.08, "{b}: comm overhead {}", r.comm_overhead());
+        assert!(
+            r.comm_overhead() < 0.08,
+            "{b}: comm overhead {}",
+            r.comm_overhead()
+        );
     }
 }
 
@@ -178,14 +223,19 @@ fn fig11_memory_ratios() {
         let platform = slow_platform(b);
         let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
         cfg.partitions = PARTS;
-        let r = ShmtRuntime::new(platform.clone(), cfg).execute(&vop).unwrap();
+        let r = ShmtRuntime::new(platform.clone(), cfg)
+            .execute(&vop)
+            .unwrap();
         let bl = gpu_baseline(&platform, &vop, PARTS).unwrap();
         r.peak_memory_bytes as f64 / bl.peak_memory_bytes as f64
     };
     let sobel = base(Benchmark::Sobel); // big GPU intermediates
     let bs = base(Benchmark::Blackscholes); // none
     assert!(sobel < 1.0, "Sobel ratio {sobel}");
-    assert!(sobel < bs, "Sobel {sobel} must save more than Blackscholes {bs}");
+    assert!(
+        sobel < bs,
+        "Sobel {sobel} must save more than Blackscholes {bs}"
+    );
     assert!(bs > 0.95 && bs < 2.2, "Blackscholes ratio {bs}");
 }
 
@@ -205,5 +255,8 @@ fn fig12_speedup_grows_with_problem_size() {
     };
     let small = speedup_at(64);
     let large = speedup_at(512);
-    assert!(large > small, "speedup must grow with size: {small} -> {large}");
+    assert!(
+        large > small,
+        "speedup must grow with size: {small} -> {large}"
+    );
 }

@@ -36,7 +36,10 @@ fn partitions_cover_exactly() {
                 }
             }
         }
-        assert!(covered.iter().all(|&v| v == 1), "{bench} {rows}x{cols}/{want}");
+        assert!(
+            covered.iter().all(|&v| v == 1),
+            "{bench} {rows}x{cols}/{want}"
+        );
         // Alignment rule.
         for t in &tiles {
             assert_eq!(t.row0 % shape.block_align, 0);
@@ -82,15 +85,22 @@ fn quant_codes_are_stable() {
         let params = QuantParams::from_range(lo, lo + width);
         let code = params.quantize(x);
         let snapped = params.dequantize(code);
-        assert_eq!(params.quantize(snapped), code, "lo {lo} width {width} x {x}");
+        assert_eq!(
+            params.quantize(snapped),
+            code,
+            "lo {lo} width {width} x {x}"
+        );
     }
 }
 
 /// Sampling never exceeds the partition and honors the minimum.
 #[test]
 fn sampling_is_bounded() {
-    const METHODS: [SamplingMethod; 3] =
-        [SamplingMethod::Striding, SamplingMethod::UniformRandom, SamplingMethod::Reduction];
+    const METHODS: [SamplingMethod; 3] = [
+        SamplingMethod::Striding,
+        SamplingMethod::UniformRandom,
+        SamplingMethod::Reduction,
+    ];
     let mut rng = Pcg32::seed_from_u64(0x5154);
     for _ in 0..48 {
         let rows = rng.gen_range(2usize..128);
@@ -98,14 +108,23 @@ fn sampling_is_bounded() {
         let rate = rng.gen_range(1e-6f64..1.0);
         let method = METHODS[rng.gen_range(0usize..METHODS.len())];
         let t = Tensor::from_fn(rows, cols, |r, c| (r * cols + c) as f32);
-        let tile = Tile { index: 0, row0: 0, col0: 0, rows, cols };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            col0: 0,
+            rows,
+            cols,
+        };
         let s = sample_partition(&t, tile, method, rate, 42);
         assert!(!s.values.is_empty());
         assert!(s.values.len() <= rows * cols);
         assert!(s.cost_s > 0.0);
         // Every sample is a real element value.
         for v in &s.values {
-            assert!(*v >= 0.0 && *v < (rows * cols) as f32, "{method:?} {rows}x{cols}");
+            assert!(
+                *v >= 0.0 && *v < (rows * cols) as f32,
+                "{method:?} {rows}x{cols}"
+            );
         }
     }
 }
@@ -161,8 +180,9 @@ fn runtime_conserves_hlops_and_mass() {
         let vop = shmt::Vop::from_benchmark(b, b.generate_inputs(96, 96, seed)).unwrap();
         let mut cfg = shmt::RuntimeConfig::new(shmt::Policy::WorkStealing);
         cfg.partitions = parts;
-        let report =
-            shmt::ShmtRuntime::new(shmt::Platform::jetson(b), cfg).execute(&vop).unwrap();
+        let report = shmt::ShmtRuntime::new(shmt::Platform::jetson(b), cfg)
+            .execute(&vop)
+            .unwrap();
         // Each record id unique.
         let mut ids: Vec<usize> = report.records.iter().map(|r| r.id).collect();
         ids.sort_unstable();
@@ -170,7 +190,10 @@ fn runtime_conserves_hlops_and_mass() {
         assert_eq!(ids.len(), report.records.len());
         let total: f32 = report.output.as_slice().iter().sum();
         let expect = 96.0 * 96.0;
-        assert!((total - expect).abs() < 0.08 * expect, "seed {seed} parts {parts}: mass {total}");
+        assert!(
+            (total - expect).abs() < 0.08 * expect,
+            "seed {seed} parts {parts}: mass {total}"
+        );
     }
 }
 

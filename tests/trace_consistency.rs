@@ -15,13 +15,19 @@ use shmt_kernels::Benchmark;
 /// device participates and steals actually happen.
 fn slow_platform(b: Benchmark) -> Platform {
     Platform::with_profiles(
-        Calibration { gpu_throughput: 1.0e6, ..Default::default() },
+        Calibration {
+            gpu_throughput: 1.0e6,
+            ..Default::default()
+        },
         bench_profile(b),
     )
 }
 
 fn qaws() -> Policy {
-    Policy::Qaws { assignment: QawsAssignment::TopK, sampling: SamplingMethod::Striding }
+    Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    }
 }
 
 fn traced_run(policy: Policy, b: Benchmark, n: usize) -> RunReport {
@@ -29,7 +35,9 @@ fn traced_run(policy: Policy, b: Benchmark, n: usize) -> RunReport {
     let mut cfg = RuntimeConfig::new(policy);
     cfg.partitions = 16;
     cfg.quality.sampling_rate = 0.01;
-    ShmtRuntime::new(slow_platform(b), cfg).execute_traced(&vop).unwrap()
+    ShmtRuntime::new(slow_platform(b), cfg)
+        .execute_traced(&vop)
+        .unwrap()
 }
 
 #[test]
@@ -45,7 +53,11 @@ fn compute_spans_reproduce_device_busy_time() {
             busy[d],
             stats.busy_s
         );
-        let span_count = trace.compute_spans().iter().filter(|s| s.device == d).count();
+        let span_count = trace
+            .compute_spans()
+            .iter()
+            .filter(|s| s.device == d)
+            .count();
         assert_eq!(span_count, stats.hlops, "device {d} span count");
     }
 }
@@ -54,7 +66,10 @@ fn compute_spans_reproduce_device_busy_time() {
 fn steal_events_match_report_steals() {
     let report = traced_run(Policy::WorkStealing, Benchmark::Fft, 256);
     let trace = report.trace.as_ref().unwrap();
-    assert!(report.steals > 0, "work stealing must steal at this imbalance");
+    assert!(
+        report.steals > 0,
+        "work stealing must steal at this imbalance"
+    );
     assert_eq!(trace.steals(), report.steals);
     assert_eq!(trace.metrics.counter("steals"), report.steals as f64);
     // Every steal's thief differs from its victim.
@@ -75,7 +90,15 @@ fn qaws_trace_is_rich_and_monotonic() {
         "QAWS should exercise >= 6 event kinds, got {}",
         trace.distinct_kinds()
     );
-    for kind in ["PartitionStart", "PartitionEnd", "SampleOverhead", "Dispatch", "ComputeStart", "ComputeEnd", "Aggregate"] {
+    for kind in [
+        "PartitionStart",
+        "PartitionEnd",
+        "SampleOverhead",
+        "Dispatch",
+        "ComputeStart",
+        "ComputeEnd",
+        "Aggregate",
+    ] {
         assert!(trace.count(kind) > 0, "missing {kind}");
     }
     // Sampling overhead tiles the serial scheduling window.
@@ -95,7 +118,10 @@ fn qaws_trace_is_rich_and_monotonic() {
     );
     // Aggregation happens once per HLOP.
     assert_eq!(trace.count("Aggregate"), report.records.len());
-    assert_eq!(trace.metrics.counter("hlops.completed"), report.records.len() as f64);
+    assert_eq!(
+        trace.metrics.counter("hlops.completed"),
+        report.records.len() as f64
+    );
     // Bus traffic in the metrics matches the report.
     assert_eq!(trace.metrics.counter("bus.bytes"), report.bus_bytes as f64);
 }
@@ -117,7 +143,10 @@ fn chrome_export_round_trips_and_matches_busy_time() {
         );
     }
     assert!(parsed.instant_events().count() > 0);
-    assert!(parsed.counter_events().count() > 0, "queue gauges become counter tracks");
+    assert!(
+        parsed.counter_events().count() > 0,
+        "queue gauges become counter tracks"
+    );
 }
 
 #[test]
@@ -130,11 +159,17 @@ fn null_sink_runs_bit_identical_to_untraced() {
     let runtime = ShmtRuntime::new(slow_platform(b), cfg);
 
     let plain = runtime.execute(&vop).unwrap();
-    let nulled = runtime.execute_with_sink(&vop, &mut shmt::NullSink).unwrap();
+    let nulled = runtime
+        .execute_with_sink(&vop, &mut shmt::NullSink)
+        .unwrap();
     let traced = runtime.execute_traced(&vop).unwrap();
 
     for other in [&nulled, &traced] {
-        assert_eq!(plain.output.as_slice(), other.output.as_slice(), "bit-identical output");
+        assert_eq!(
+            plain.output.as_slice(),
+            other.output.as_slice(),
+            "bit-identical output"
+        );
         assert_eq!(plain.makespan_s, other.makespan_s);
         assert_eq!(plain.steals, other.steals);
         assert_eq!(plain.bus_bytes, other.bus_bytes);
@@ -142,7 +177,10 @@ fn null_sink_runs_bit_identical_to_untraced() {
         assert_eq!(plain.records.len(), other.records.len());
     }
     assert!(plain.trace.is_none());
-    assert!(nulled.trace.is_none(), "external sinks leave the report bare");
+    assert!(
+        nulled.trace.is_none(),
+        "external sinks leave the report bare"
+    );
     assert!(traced.trace.is_some());
 }
 
@@ -181,8 +219,14 @@ fn summary_renders_for_a_real_run() {
 fn program_stages_each_carry_a_trace() {
     use shmt::pipeline::{Program, Stage};
     let program = Program::new(vec![
-        Stage { benchmark: Benchmark::MeanFilter, aux_seed: 1 },
-        Stage { benchmark: Benchmark::Sobel, aux_seed: 2 },
+        Stage {
+            benchmark: Benchmark::MeanFilter,
+            aux_seed: 1,
+        },
+        Stage {
+            benchmark: Benchmark::Sobel,
+            aux_seed: 2,
+        },
     ])
     .unwrap();
     let input = shmt_tensor::gen::image8(128, 128, 3);
