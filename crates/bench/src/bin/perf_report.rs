@@ -1,0 +1,201 @@
+//! Machine-readable kernel performance report.
+//!
+//! ```text
+//! cargo run --release -p shmt-bench --bin perf_report
+//! cargo run --release -p shmt-bench --bin perf_report -- --smoke
+//! ```
+//!
+//! Benches every benchmark kernel's exact and NPU paths at two dataset
+//! sizes, the naive reference implementations of Mean Filter and Sobel
+//! (to quantify the interior/halo fast-path speedup), and one end-to-end
+//! `ShmtRuntime::execute`, then writes the results as JSON:
+//!
+//! ```text
+//! { "<bench>": { "best_ns": N, "mean_ns": N, "iters": N }, ... }
+//! ```
+//!
+//! The default output is `BENCH_kernels.json` at the repository root —
+//! commit it alongside performance PRs so reports can be diffed across
+//! commits. `--smoke` runs a small, fast configuration and writes to
+//! `results/BENCH_kernels_smoke.json` instead (the CI gate); `--out PATH`
+//! overrides either default. Every file is re-read and validated with the
+//! workspace's own JSON parser before the run reports success.
+
+use std::time::Duration;
+
+use shmt::sampling::SamplingMethod;
+use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
+use shmt_bench::harness::{Group, Measurement};
+use shmt_kernels::reference::naive_kernel;
+use shmt_kernels::{Benchmark, ALL_BENCHMARKS};
+use shmt_tensor::tile::Tile;
+use shmt_tensor::Tensor;
+use shmt_trace::json::{JsonValue, ObjectBuilder};
+
+struct Opts {
+    smoke: bool,
+    out: Option<String>,
+}
+
+fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        out: None,
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                opts.out = Some(args.next().unwrap_or_else(|| panic!("--out needs a path")));
+            }
+            other => panic!("unknown flag {other}; accepted: --smoke --out"),
+        }
+    }
+    opts
+}
+
+fn full_tile(n: usize) -> Tile {
+    Tile {
+        index: 0,
+        row0: 0,
+        col0: 0,
+        rows: n,
+        cols: n,
+    }
+}
+
+fn to_json(measurements: &[Measurement]) -> JsonValue {
+    let mut root = ObjectBuilder::new();
+    for m in measurements {
+        root = root.field(
+            &m.name,
+            ObjectBuilder::new()
+                .field("best_ns", JsonValue::Number(m.best_ns as f64))
+                .field("mean_ns", JsonValue::Number(m.mean_ns as f64))
+                .field("iters", JsonValue::Number(f64::from(m.iters)))
+                .build(),
+        );
+    }
+    root.build()
+}
+
+/// Best-time lookup in the serialized report.
+fn best_ns(report: &JsonValue, key: &str) -> Option<f64> {
+    report.get(key)?.get("best_ns")?.as_f64()
+}
+
+fn main() {
+    let opts = parse_opts(std::env::args().skip(1));
+    let (sizes, batch, samples, default_out): (&[usize], _, _, _) = if opts.smoke {
+        (
+            &[128],
+            Duration::from_millis(5),
+            2,
+            "results/BENCH_kernels_smoke.json",
+        )
+    } else {
+        (
+            &[1024, 2048],
+            Duration::from_millis(200),
+            5,
+            "BENCH_kernels.json",
+        )
+    };
+    let out_path = opts.out.as_deref().unwrap_or(default_out);
+    let big = *sizes.last().expect("at least one size");
+
+    let group = Group::with_budget("kernel", batch, samples);
+    for &n in sizes {
+        let tile = full_tile(n);
+        for b in ALL_BENCHMARKS {
+            let kernel = b.kernel();
+            let inputs = b.generate_inputs(n, n, 1);
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let shape = kernel.shape();
+            group.bench(&format!("{b}/exact/{n}"), || {
+                let mut out = shape.allocate_output(n, n);
+                kernel.run_exact(std::hint::black_box(&refs), tile, &mut out);
+                out
+            });
+            group.bench(&format!("{b}/npu/{n}"), || {
+                let mut out = shape.allocate_output(n, n);
+                kernel.run_npu(std::hint::black_box(&refs), tile, &mut out);
+                out
+            });
+        }
+    }
+
+    // The seed-era naive loops, preserved in shmt_kernels::reference:
+    // best(reference) / best(exact) is the interior/halo speedup.
+    for b in [Benchmark::MeanFilter, Benchmark::Sobel] {
+        let kernel = naive_kernel(b);
+        let inputs = b.generate_inputs(big, big, 1);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let shape = kernel.shape();
+        let tile = full_tile(big);
+        group.bench(&format!("{b}/reference/{big}"), || {
+            let mut out = shape.allocate_output(big, big);
+            kernel.run_exact(std::hint::black_box(&refs), tile, &mut out);
+            out
+        });
+    }
+
+    // One end-to-end runtime execution: partitioning, QAWS scheduling,
+    // all device paths, and aggregation.
+    {
+        let benchmark = Benchmark::Sobel;
+        let inputs = benchmark.generate_inputs(big, big, 1);
+        let vop = Vop::from_benchmark(benchmark, inputs).expect("valid VOP");
+        let mut cfg = RuntimeConfig::new(Policy::Qaws {
+            assignment: QawsAssignment::TopK,
+            sampling: SamplingMethod::Striding,
+        });
+        cfg.partitions = if opts.smoke { 8 } else { 64 };
+        let runtime = ShmtRuntime::new(Platform::jetson(benchmark), cfg);
+        group.bench(&format!("e2e/{benchmark}/{big}"), || {
+            runtime
+                .execute(std::hint::black_box(&vop))
+                .expect("run succeeds")
+        });
+    }
+
+    let measurements = group.take_measurements();
+    let json = to_json(&measurements).to_string();
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(out_path, &json).expect("write perf report");
+
+    // Validate the artifact with the workspace's own parser: it must
+    // parse, and it must cover every benchmark on both paths.
+    let written = std::fs::read_to_string(out_path).expect("re-read perf report");
+    let report = JsonValue::parse(&written).expect("perf report is valid JSON");
+    for b in ALL_BENCHMARKS {
+        for path in ["exact", "npu"] {
+            for &n in sizes {
+                let key = format!("kernel/{b}/{path}/{n}");
+                let best =
+                    best_ns(&report, &key).unwrap_or_else(|| panic!("report is missing {key}"));
+                assert!(best > 0.0, "{key} has non-positive best time");
+            }
+        }
+    }
+
+    for b in [Benchmark::MeanFilter, Benchmark::Sobel] {
+        let naive = best_ns(&report, &format!("kernel/{b}/reference/{big}"))
+            .expect("reference entry present");
+        let fast =
+            best_ns(&report, &format!("kernel/{b}/exact/{big}")).expect("exact entry present");
+        println!(
+            "{b}: naive/optimized best-time ratio at {big}x{big}: {:.2}x",
+            naive / fast
+        );
+    }
+    println!(
+        "perf report written and validated: {out_path} ({} entries)",
+        measurements.len()
+    );
+}

@@ -9,7 +9,8 @@
 //! and deterministic:
 //!
 //! * Tile-aggregated kernels write disjoint output tiles, so workers
-//!   compute into private buffers that are stitched in one pass.
+//!   compute each task into a tile-sized scratch buffer (inputs localized
+//!   to the tile's halo-extended footprint) that is stitched in one pass.
 //! * Reduction kernels (Histogram, reduce_*) produce per-HLOP partial
 //!   buffers that are folded in task order, so float accumulation order
 //!   never changes regardless of which worker ran which task.
@@ -30,7 +31,17 @@ pub struct ComputeTask {
 }
 
 /// Number of worker threads to use by default.
+///
+/// The `SHMT_THREADS` environment variable overrides the detected
+/// parallelism (clamped to at least 1); unset or unparsable values fall
+/// back to `available_parallelism`, capped at 16.
 pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("SHMT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
     std::thread::available_parallelism()
         .map_or(1, |n| n.get())
         .min(16)
@@ -70,22 +81,75 @@ pub fn compute_tasks(
     let n_workers = threads.min(tasks.len());
     match aggregation {
         Aggregation::Tile => {
-            // Workers write into private full-shape buffers; tiles are
-            // disjoint, so stitching is order-independent and exact.
-            let results: Vec<(Vec<usize>, Tensor)> = std::thread::scope(|scope| {
+            // Workers compute each task into a tile-sized result: inputs
+            // are localized to the tile's halo-extended footprint and the
+            // kernel runs in local coordinates, so scratch memory scales
+            // with the tile (plus halo), not the dataset. Kernels that
+            // read far outside that footprint (`global_inputs`, e.g.
+            // GEMM) keep the full inputs and a per-worker full-shape
+            // buffer. Tiles are disjoint, so stitching is order-
+            // independent and exact.
+            let shape = kernel.shape();
+            let localize = !shape.global_inputs;
+            let (in_rows, in_cols) = inputs[0].shape();
+            let results: Vec<Vec<(usize, Tensor)>> = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(n_workers);
                 for _ in 0..n_workers {
                     let next = &next;
                     handles.push(scope.spawn(move || {
-                        let mut local = Tensor::zeros(out_rows, out_cols);
-                        let mut ran = Vec::new();
+                        let mut full_scratch: Option<Tensor> = None;
+                        let mut done = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(task) = tasks.get(i) else { break };
-                            run_one(kernel, inputs, *task, &mut local);
-                            ran.push(i);
+                            let tile = task.tile;
+                            let result = if localize {
+                                let ext = shmt_kernels::npu::extended_region(
+                                    tile,
+                                    shape.halo,
+                                    shape.block_align,
+                                    shape.full_rows,
+                                    in_rows,
+                                    in_cols,
+                                );
+                                let locals: Vec<Tensor> = inputs
+                                    .iter()
+                                    .map(|t| {
+                                        t.view(ext.row0, ext.col0, ext.rows, ext.cols).to_tensor()
+                                    })
+                                    .collect();
+                                let local_refs: Vec<&Tensor> = locals.iter().collect();
+                                let local_tile = Tile {
+                                    index: tile.index,
+                                    row0: tile.row0 - ext.row0,
+                                    col0: tile.col0 - ext.col0,
+                                    rows: tile.rows,
+                                    cols: tile.cols,
+                                };
+                                let mut scratch = Tensor::zeros(ext.rows, ext.cols);
+                                run_one(
+                                    kernel,
+                                    &local_refs,
+                                    ComputeTask {
+                                        tile: local_tile,
+                                        npu: task.npu,
+                                    },
+                                    &mut scratch,
+                                );
+                                scratch
+                                    .view(local_tile.row0, local_tile.col0, tile.rows, tile.cols)
+                                    .to_tensor()
+                            } else {
+                                let scratch = full_scratch
+                                    .get_or_insert_with(|| Tensor::zeros(out_rows, out_cols));
+                                run_one(kernel, inputs, *task, scratch);
+                                scratch
+                                    .view(tile.row0, tile.col0, tile.rows, tile.cols)
+                                    .to_tensor()
+                            };
+                            done.push((i, result));
                         }
-                        (ran, local)
+                        done
                     }));
                 }
                 handles
@@ -93,13 +157,12 @@ pub fn compute_tasks(
                     .map(|h| h.join().expect("worker panicked"))
                     .collect()
             });
-            for (ran, local) in &results {
-                for &i in ran {
-                    let tile = tasks[i].tile;
-                    for r in tile.row0..tile.row0 + tile.rows {
-                        let src = &local.row(r)[tile.col0..tile.col0 + tile.cols];
-                        output.row_mut(r)[tile.col0..tile.col0 + tile.cols].copy_from_slice(src);
-                    }
+            for (i, result) in results.iter().flatten() {
+                let tile = tasks[*i].tile;
+                for r in 0..tile.rows {
+                    let src = result.row(r);
+                    output.row_mut(tile.row0 + r)[tile.col0..tile.col0 + tile.cols]
+                        .copy_from_slice(src);
                 }
             }
         }
@@ -238,6 +301,62 @@ mod tests {
         };
         kernel.run_exact(&refs, tile, &mut slow);
         assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_stencils_with_halo() {
+        // Multi-input (Hotspot) and halo-2 (SRAD) kernels exercise the
+        // localized input extraction; the NPU mix checks that quantization
+        // parameters derived from the localized extract match the ones the
+        // serial path derives from the full tensors.
+        for b in [Benchmark::Hotspot, Benchmark::Srad, Benchmark::MeanFilter] {
+            let kernel = b.kernel();
+            let (tasks, inputs) = tasks_for(b, 96, 2);
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let mut serial = kernel.shape().allocate_output(96, 96);
+            compute_tasks(kernel.as_ref(), &refs, &tasks, &mut serial, 1);
+            let mut parallel = kernel.shape().allocate_output(96, 96);
+            compute_tasks(kernel.as_ref(), &refs, &tasks, &mut parallel, 4);
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "{b}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_global_inputs_gemm() {
+        // GEMM reads all of `A`'s row band and all of `B`: `global_inputs`
+        // routes it around the localized-extract path onto per-worker
+        // full-shape scratch.
+        use shmt_kernels::gemm::Gemm;
+        let n = 64;
+        let a = Tensor::from_fn(n, n, |r, c| (((r * 7 + c * 3) % 11) as f32 - 5.0) * 0.5);
+        let b = Tensor::from_fn(n, n, |r, c| (((r * 5 + c * 13) % 9) as f32 - 4.0) * 0.25);
+        let refs = [&a, &b];
+        let tiles = crate::partition::partition_tiles(n, n, 6, &Gemm.shape());
+        let tasks: Vec<ComputeTask> = tiles
+            .iter()
+            .map(|t| ComputeTask {
+                tile: *t,
+                npu: t.index % 2 == 0,
+            })
+            .collect();
+        let mut serial = Gemm.shape().allocate_output(n, n);
+        compute_tasks(&Gemm, &refs, &tasks, &mut serial, 1);
+        let mut parallel = Gemm.shape().allocate_output(n, n);
+        compute_tasks(&Gemm, &refs, &tasks, &mut parallel, 4);
+        assert_eq!(serial.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn shmt_threads_env_overrides_default() {
+        std::env::set_var("SHMT_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        // Zero clamps to one worker rather than deadlocking.
+        std::env::set_var("SHMT_THREADS", "0");
+        assert_eq!(default_threads(), 1);
+        // Garbage falls back to detection.
+        std::env::set_var("SHMT_THREADS", "not-a-number");
+        assert!(default_threads() >= 1);
+        std::env::remove_var("SHMT_THREADS");
     }
 
     #[test]

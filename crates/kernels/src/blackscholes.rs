@@ -33,23 +33,44 @@ impl Default for Blackscholes {
     }
 }
 
+/// Spot-independent subexpressions of the pricing formula, computed once
+/// per tile instead of once per element. Each field is built by the exact
+/// expression the scalar path uses, so hoisting changes no output bit.
+struct PriceConsts {
+    drift: f32,
+    vol_sqrt_t: f32,
+    discount: f32,
+}
+
 impl Blackscholes {
     /// Prices a single call option at spot `s`.
     pub fn price(&self, s: f32) -> f32 {
+        self.price_with(&self.consts(), s)
+    }
+
+    fn consts(&self) -> PriceConsts {
+        let sqrt_t = self.expiry.sqrt();
+        PriceConsts {
+            drift: (self.rate + 0.5 * self.volatility * self.volatility) * self.expiry,
+            vol_sqrt_t: self.volatility * sqrt_t,
+            discount: (-self.rate * self.expiry).exp(),
+        }
+    }
+
+    fn price_with(&self, pc: &PriceConsts, s: f32) -> f32 {
         let s = s.max(1e-6);
         let k = s * self.strike_ratio;
-        let sqrt_t = self.expiry.sqrt();
-        let d1 = ((s / k).ln()
-            + (self.rate + 0.5 * self.volatility * self.volatility) * self.expiry)
-            / (self.volatility * sqrt_t);
-        let d2 = d1 - self.volatility * sqrt_t;
-        s * cnd(d1) - k * (-self.rate * self.expiry).exp() * cnd(d2)
+        // `(s / k).ln()` stays per-element: k is proportional to s, but
+        // folding the ratio to a constant would change the float result.
+        let d1 = ((s / k).ln() + pc.drift) / pc.vol_sqrt_t;
+        let d2 = d1 - pc.vol_sqrt_t;
+        s * cnd(d1) - k * pc.discount * cnd(d2)
     }
 }
 
 /// Cumulative standard normal distribution via the Abramowitz–Stegun
 /// polynomial approximation used by the CUDA sample.
-fn cnd(d: f32) -> f32 {
+pub(crate) fn cnd(d: f32) -> f32 {
     const A1: f32 = 0.319_381_53;
     const A2: f32 = -0.356_563_78;
     const A3: f32 = 1.781_477_9;
@@ -77,11 +98,12 @@ impl Kernel for Blackscholes {
 
     fn run_exact(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
         let input = inputs[0];
+        let pc = self.consts();
         for r in tile.row0..tile.row0 + tile.rows {
             let src = &input.row(r)[tile.col0..tile.col0 + tile.cols];
             let dst = &mut out.row_mut(r)[tile.col0..tile.col0 + tile.cols];
             for (d, &s) in dst.iter_mut().zip(src) {
-                *d = self.price(s);
+                *d = self.price_with(&pc, s);
             }
         }
     }

@@ -52,20 +52,38 @@ impl Kernel for Conv2d {
         let input = inputs[0];
         let (rows, cols) = input.shape();
         let (fr, fc) = self.filter.shape();
-        let (hr, hc) = ((fr / 2) as isize, (fc / 2) as isize);
-        for r in tile.row0..tile.row0 + tile.rows {
-            for c in tile.col0..tile.col0 + tile.cols {
+        let (hr, hc) = (fr / 2, fc / 2);
+        let (hri, hci) = (hr as isize, hc as isize);
+        let interior = crate::stencil::interior(tile, hr, hc, rows, cols);
+        crate::stencil::for_each_halo(tile, interior, |r, c| {
+            let mut acc = 0.0f32;
+            for i in 0..fr {
+                for j in 0..fc {
+                    let rr = (r as isize + i as isize - hri).clamp(0, rows as isize - 1) as usize;
+                    let cc = (c as isize + j as isize - hci).clamp(0, cols as isize - 1) as usize;
+                    acc += input[(rr, cc)] * self.filter[(i, j)];
+                }
+            }
+            out[(r, c)] = acc;
+        });
+        let Some(it) = interior else { return };
+        let filter_rows: Vec<&[f32]> = (0..fr).map(|i| self.filter.row(i)).collect();
+        for r in it.r0..it.r1 {
+            // The fr input rows this output row reads, clipped to the
+            // interior's column footprint.
+            let src_rows: Vec<&[f32]> = (0..fr)
+                .map(|i| &input.row(r + i - hr)[it.c0 - hc..])
+                .collect();
+            let dst = &mut out.row_mut(r)[it.c0..it.c1];
+            for (x, d) in dst.iter_mut().enumerate() {
                 let mut acc = 0.0f32;
-                for i in 0..fr {
-                    for j in 0..fc {
-                        let rr =
-                            (r as isize + i as isize - hr).clamp(0, rows as isize - 1) as usize;
-                        let cc =
-                            (c as isize + j as isize - hc).clamp(0, cols as isize - 1) as usize;
-                        acc += input[(rr, cc)] * self.filter[(i, j)];
+                for (src, fil) in src_rows.iter().zip(&filter_rows) {
+                    // Same filter-row-major accumulation order as above.
+                    for (&v, &w) in src[x..x + fc].iter().zip(*fil) {
+                        acc += v * w;
                     }
                 }
-                out[(r, c)] = acc;
+                *d = acc;
             }
         }
     }

@@ -17,7 +17,7 @@ const N: usize = 8;
 pub struct Dct8x8;
 
 /// DCT basis value `c(u) * cos((2x+1) u pi / 16)`.
-fn basis(u: usize, x: usize) -> f32 {
+pub(crate) fn basis(u: usize, x: usize) -> f32 {
     let cu = if u == 0 {
         (1.0f32 / N as f32).sqrt()
     } else {
@@ -26,11 +26,39 @@ fn basis(u: usize, x: usize) -> f32 {
     cu * ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / (2.0 * N as f32)).cos()
 }
 
+/// The full `basis(u, x)` table, built once per transform so the hot loop
+/// never calls `cos`. Entries are the exact values `basis` returns.
+fn basis_table() -> [[f32; N]; N] {
+    let mut tbl = [[0.0f32; N]; N];
+    for (u, row) in tbl.iter_mut().enumerate() {
+        for (x, v) in row.iter_mut().enumerate() {
+            *v = basis(u, x);
+        }
+    }
+    tbl
+}
+
 /// Transforms one 8x8 block anchored at `(br, bc)` in dataset coordinates,
 /// reading clamped input and writing only coordinates inside `tile`.
-fn transform_block(input: &Tensor, br: usize, bc: usize, tile: Tile, out: &mut Tensor) {
+fn transform_block(
+    input: &Tensor,
+    br: usize,
+    bc: usize,
+    tile: Tile,
+    out: &mut Tensor,
+    tbl: &[[f32; N]; N],
+) {
     let (rows, cols) = input.shape();
-    let read = |r: usize, c: usize| -> f32 { input[(r.min(rows - 1), c.min(cols - 1))] };
+    // Gather the (edge-clamped) block once; the coefficient loops then
+    // read a flat stack buffer instead of clamping per term.
+    let mut blk = [[0.0f32; N]; N];
+    for (x, brow) in blk.iter_mut().enumerate() {
+        let sr = (br + x).min(rows - 1);
+        let src = input.row(sr);
+        for (y, v) in brow.iter_mut().enumerate() {
+            *v = src[(bc + y).min(cols - 1)];
+        }
+    }
     for u in 0..N {
         let or = br + u;
         if or < tile.row0 || or >= tile.row0 + tile.rows || or >= rows {
@@ -43,9 +71,11 @@ fn transform_block(input: &Tensor, br: usize, bc: usize, tile: Tile, out: &mut T
             }
             let mut acc = 0.0f32;
             for x in 0..N {
-                let bu = basis(u, x);
+                let bu = tbl[u][x];
+                let bv = &tbl[v];
                 for y in 0..N {
-                    acc += read(br + x, bc + y) * bu * basis(v, y);
+                    // Same product and sum order as the naive form.
+                    acc += blk[x][y] * bu * bv[y];
                 }
             }
             out[(or, oc)] = acc;
@@ -64,13 +94,14 @@ impl Kernel for Dct8x8 {
 
     fn run_exact(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
         let input = inputs[0];
+        let tbl = basis_table();
         let br0 = (tile.row0 / N) * N;
         let bc0 = (tile.col0 / N) * N;
         let mut br = br0;
         while br < tile.row0 + tile.rows {
             let mut bc = bc0;
             while bc < tile.col0 + tile.cols {
-                transform_block(input, br, bc, tile, out);
+                transform_block(input, br, bc, tile, out, &tbl);
                 bc += N;
             }
             br += N;
@@ -105,6 +136,7 @@ impl Kernel for Dct8x8 {
 /// pipeline example.
 pub fn idct8x8(coeffs: &Tensor) -> Tensor {
     let (rows, cols) = coeffs.shape();
+    let tbl = basis_table();
     let mut out = Tensor::zeros(rows, cols);
     let mut br = 0;
     while br < rows {
@@ -114,9 +146,9 @@ pub fn idct8x8(coeffs: &Tensor) -> Tensor {
                 for y in 0..N.min(cols - bc) {
                     let mut acc = 0.0f32;
                     for u in 0..N.min(rows - br) {
-                        let bu = basis(u, x);
+                        let bu = tbl[u][x];
                         for v in 0..N.min(cols - bc) {
-                            acc += coeffs[(br + u, bc + v)] * bu * basis(v, y);
+                            acc += coeffs[(br + u, bc + v)] * bu * tbl[v][y];
                         }
                     }
                     out[(br + x, bc + y)] = acc;

@@ -43,6 +43,14 @@ fn mirror(i: isize, n: isize) -> usize {
 ///
 /// Works for any length >= 2; length-1 signals pass through unchanged.
 pub fn forward_lift97(x: &mut [f32]) {
+    let mut scratch = vec![0.0f32; x.len()];
+    forward_lift97_with(x, &mut scratch);
+}
+
+/// [`forward_lift97`] writing its deinterleave pass through a caller-owned
+/// scratch buffer (`scratch.len() >= x.len()`), so the blocked transform
+/// does not allocate per row and column.
+fn forward_lift97_with(x: &mut [f32], scratch: &mut [f32]) {
     let n = x.len();
     if n < 2 {
         return;
@@ -67,10 +75,15 @@ pub fn forward_lift97(x: &mut [f32]) {
         }
     }
     // Deinterleave: evens (approx) first, odds (detail) second.
-    let evens: Vec<f32> = x.iter().step_by(2).copied().collect();
-    let odds: Vec<f32> = x.iter().skip(1).step_by(2).copied().collect();
-    x[..evens.len()].copy_from_slice(&evens);
-    x[evens.len()..].copy_from_slice(&odds);
+    let scratch = &mut scratch[..n];
+    scratch.copy_from_slice(x);
+    let half = n.div_ceil(2);
+    for (v, s) in x[..half].iter_mut().zip(scratch.iter().step_by(2)) {
+        *v = *s;
+    }
+    for (v, s) in x[half..].iter_mut().zip(scratch.iter().skip(1).step_by(2)) {
+        *v = *s;
+    }
 }
 
 /// Inverse of [`forward_lift97`], for round-trip verification.
@@ -110,43 +123,66 @@ pub fn inverse_lift97(x: &mut [f32]) {
     unlift(x, 1, ALPHA);
 }
 
+/// Reusable buffers for [`transform_block`], sized for one `BLOCK x BLOCK`
+/// block so a whole-tile run performs no per-block allocations.
+struct Scratch {
+    block: Vec<f32>,
+    col: Vec<f32>,
+    lift: Vec<f32>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            block: vec![0.0; BLOCK * BLOCK],
+            col: vec![0.0; BLOCK],
+            lift: vec![0.0; BLOCK],
+        }
+    }
+}
+
 /// Transforms one block anchored at `(br, bc)`, writing coordinates inside
 /// `tile` only.
-fn transform_block(input: &Tensor, br: usize, bc: usize, tile: Tile, out: &mut Tensor) {
+fn transform_block(
+    input: &Tensor,
+    br: usize,
+    bc: usize,
+    tile: Tile,
+    out: &mut Tensor,
+    s: &mut Scratch,
+) {
     let (rows, cols) = input.shape();
     let brows = BLOCK.min(rows - br);
     let bcols = BLOCK.min(cols - bc);
-    // Copy block, transform rows then columns.
-    let mut block: Vec<Vec<f32>> = (0..brows)
-        .map(|r| input.row(br + r)[bc..bc + bcols].to_vec())
-        .collect();
-    for row in &mut block {
-        forward_lift97(row);
+    // Copy the block into a flat row-major buffer, lifting each row as it
+    // lands; then run the column pass through the strided gather buffer.
+    let block = &mut s.block[..brows * bcols];
+    for (r, chunk) in block.chunks_exact_mut(bcols).enumerate() {
+        chunk.copy_from_slice(&input.row(br + r)[bc..bc + bcols]);
+        forward_lift97_with(chunk, &mut s.lift);
     }
-    let mut col_buf = vec![0.0f32; brows];
-    // Column pass: `c` strides across every row, so no single slice to
-    // iterate — the index form is the natural one here.
-    #[allow(clippy::needless_range_loop)]
+    let col_buf = &mut s.col[..brows];
     for c in 0..bcols {
-        for (r, buf) in col_buf.iter_mut().enumerate() {
-            *buf = block[r][c];
+        for (buf, chunk) in col_buf.iter_mut().zip(block.chunks_exact(bcols)) {
+            *buf = chunk[c];
         }
-        forward_lift97(&mut col_buf);
-        for (r, buf) in col_buf.iter().enumerate() {
-            block[r][c] = *buf;
+        forward_lift97_with(col_buf, &mut s.lift);
+        for (buf, chunk) in col_buf.iter().zip(block.chunks_exact_mut(bcols)) {
+            chunk[c] = *buf;
         }
     }
-    for (r, row) in block.iter().enumerate() {
+    // Publish the rows that intersect the tile with slice copies.
+    let lo = tile.col0.max(bc);
+    let hi = (tile.col0 + tile.cols).min(bc + bcols);
+    if lo >= hi {
+        return;
+    }
+    for (r, chunk) in block.chunks_exact(bcols).enumerate() {
         let or = br + r;
         if or < tile.row0 || or >= tile.row0 + tile.rows {
             continue;
         }
-        for (c, &v) in row.iter().enumerate() {
-            let oc = bc + c;
-            if oc >= tile.col0 && oc < tile.col0 + tile.cols {
-                out[(or, oc)] = v;
-            }
-        }
+        out.row_mut(or)[lo..hi].copy_from_slice(&chunk[lo - bc..hi - bc]);
     }
 }
 
@@ -161,13 +197,14 @@ impl Kernel for Dwt97 {
 
     fn run_exact(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
         let input = inputs[0];
+        let mut scratch = Scratch::new();
         let br0 = (tile.row0 / BLOCK) * BLOCK;
         let bc0 = (tile.col0 / BLOCK) * BLOCK;
         let mut br = br0;
         while br < tile.row0 + tile.rows {
             let mut bc = bc0;
             while bc < tile.col0 + tile.cols {
-                transform_block(input, br, bc, tile, out);
+                transform_block(input, br, bc, tile, out, &mut scratch);
                 bc += BLOCK;
             }
             br += BLOCK;

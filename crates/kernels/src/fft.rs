@@ -123,9 +123,26 @@ impl Kernel for RowFft {
             input.cols(),
             "FFT partitions must span full rows"
         );
-        for r in tile.row0..tile.row0 + tile.rows {
-            let mag = fft_magnitude(input.row(r));
-            out.row_mut(r).copy_from_slice(&mag);
+        let n = input.cols();
+        if n.is_power_of_two() && n >= 2 {
+            // Reuse one complex scratch pair across all rows and write the
+            // magnitudes straight into the output row.
+            let mut re = vec![0.0f32; n];
+            let mut im = vec![0.0f32; n];
+            for r in tile.row0..tile.row0 + tile.rows {
+                re.copy_from_slice(input.row(r));
+                im.fill(0.0);
+                fft_radix2(&mut re, &mut im);
+                let dst = out.row_mut(r);
+                for ((d, &rr), &ii) in dst.iter_mut().zip(&re).zip(&im) {
+                    *d = (rr * rr + ii * ii).sqrt();
+                }
+            }
+        } else {
+            for r in tile.row0..tile.row0 + tile.rows {
+                let mag = fft_magnitude(input.row(r));
+                out.row_mut(r).copy_from_slice(&mag);
+            }
         }
     }
 

@@ -16,6 +16,50 @@ use crate::{Kernel, KernelShape};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Gemm;
 
+/// Depth of the k-blocking: `KB` rows of `B` (a `KB x tile_cols` panel)
+/// are streamed against every output row before moving to the next panel,
+/// so the panel stays cache-resident across the whole row band.
+const KB: usize = 128;
+
+/// Blocked i-k-j matrix multiply of `a[rows, :] * b` restricted to output
+/// columns `col0..col0 + ncols`, overwriting that span of `out`.
+///
+/// Per output element the products accumulate in globally ascending `k`
+/// order with the same zero-skip as a naive i-k-j loop, so results are
+/// bit-identical to the unblocked form.
+pub(crate) fn gemm_into(
+    a: &Tensor,
+    b: &Tensor,
+    row0: usize,
+    nrows: usize,
+    col0: usize,
+    ncols: usize,
+    out: &mut Tensor,
+) {
+    let depth = a.cols();
+    for r in row0..row0 + nrows {
+        out.row_mut(r)[col0..col0 + ncols].fill(0.0);
+    }
+    let mut kb = 0;
+    while kb < depth {
+        let kend = (kb + KB).min(depth);
+        for r in row0..row0 + nrows {
+            let apanel = &a.row(r)[kb..kend];
+            let dst = &mut out.row_mut(r)[col0..col0 + ncols];
+            for (k, &av) in apanel.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.row(kb + k)[col0..col0 + ncols];
+                for (d, &bv) in dst.iter_mut().zip(brow) {
+                    *d += av * bv;
+                }
+            }
+        }
+        kb = kend;
+    }
+}
+
 impl Kernel for Gemm {
     fn name(&self) -> &'static str {
         "GEMM"
@@ -24,6 +68,7 @@ impl Kernel for Gemm {
     fn shape(&self) -> KernelShape {
         KernelShape {
             num_inputs: 2,
+            global_inputs: true,
             ..KernelShape::elementwise()
         }
     }
@@ -37,23 +82,7 @@ impl Kernel for Gemm {
         );
         let (n, m) = a.shape();
         assert_eq!(n, m, "GEMM VOP requires square inputs");
-        for r in tile.row0..tile.row0 + tile.rows {
-            let arow = a.row(r);
-            // Accumulate a full output row stripe restricted to the tile's
-            // columns, walking B row-wise for cache friendliness.
-            let or = out.row_mut(r);
-            let dst = &mut or[tile.col0..tile.col0 + tile.cols];
-            dst.fill(0.0);
-            for (k, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b.row(k)[tile.col0..tile.col0 + tile.cols];
-                for (d, &bv) in dst.iter_mut().zip(brow) {
-                    *d += av * bv;
-                }
-            }
-        }
+        gemm_into(a, b, tile.row0, tile.rows, tile.col0, tile.cols, out);
     }
 
     /// The Edge TPU is literally a matrix engine: its int8 GEMM quantizes

@@ -38,11 +38,13 @@ impl Kernel for Histogram256 {
     fn run_exact(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
         let input = inputs[0];
         assert_eq!(out.shape(), (1, BINS), "histogram output is 1x256");
-        let counts = out.row_mut(0);
+        // A fixed-size array reference lets the count update compile
+        // without a per-element bounds check.
+        let counts: &mut [f32; BINS] = out.row_mut(0).try_into().expect("1x256 output");
         for r in tile.row0..tile.row0 + tile.rows {
             for &v in &input.row(r)[tile.col0..tile.col0 + tile.cols] {
                 let bin = (v.clamp(0.0, (BINS - 1) as f32)) as usize;
-                counts[bin] += 1.0;
+                counts[bin & (BINS - 1)] += 1.0;
             }
         }
     }

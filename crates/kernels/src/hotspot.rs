@@ -64,15 +64,37 @@ impl Kernel for Hotspot {
             let c = c.clamp(0, cols as isize - 1) as usize;
             temp[(r, c)]
         };
-        for r in tile.row0..tile.row0 + tile.rows {
-            for c in tile.col0..tile.col0 + tile.cols {
-                let (ri, ci) = (r as isize, c as isize);
-                let t = temp[(r, c)];
-                let delta = power[(r, c)]
-                    + (at(ri - 1, ci) + at(ri + 1, ci) - 2.0 * t) / self.ry
-                    + (at(ri, ci - 1) + at(ri, ci + 1) - 2.0 * t) / self.rx
+        let interior = crate::stencil::interior(tile, 1, 1, rows, cols);
+        crate::stencil::for_each_halo(tile, interior, |r, c| {
+            let (ri, ci) = (r as isize, c as isize);
+            let t = temp[(r, c)];
+            let delta = power[(r, c)]
+                + (at(ri - 1, ci) + at(ri + 1, ci) - 2.0 * t) / self.ry
+                + (at(ri, ci - 1) + at(ri, ci + 1) - 2.0 * t) / self.rx
+                + (self.ambient - t) / self.rz;
+            out[(r, c)] = t + self.step * delta;
+        });
+        let Some(i) = interior else { return };
+        for r in i.r0..i.r1 {
+            let up = &temp.row(r - 1)[i.c0 - 1..i.c1 + 1];
+            let mid = &temp.row(r)[i.c0 - 1..i.c1 + 1];
+            let dn = &temp.row(r + 1)[i.c0 - 1..i.c1 + 1];
+            let pw = &power.row(r)[i.c0..i.c1];
+            let dst = &mut out.row_mut(r)[i.c0..i.c1];
+            for ((((d, &p), u), m), l) in dst
+                .iter_mut()
+                .zip(pw)
+                .zip(up.windows(3))
+                .zip(mid.windows(3))
+                .zip(dn.windows(3))
+            {
+                // Same term order as the clamped path.
+                let t = m[1];
+                let delta = p
+                    + (u[1] + l[1] - 2.0 * t) / self.ry
+                    + (m[0] + m[2] - 2.0 * t) / self.rx
                     + (self.ambient - t) / self.rz;
-                out[(r, c)] = t + self.step * delta;
+                *d = t + self.step * delta;
             }
         }
     }

@@ -69,6 +69,11 @@ pub struct KernelShape {
     pub aggregation: Aggregation,
     /// Number of input tensors the kernel consumes.
     pub num_inputs: usize,
+    /// `true` if computing any output tile may read input elements far
+    /// outside the tile's halo-extended region (GEMM reads entire rows of
+    /// `A` and all of `B`). Executors must hand such kernels the full
+    /// input tensors rather than per-tile extracts.
+    pub global_inputs: bool,
 }
 
 impl KernelShape {
@@ -80,6 +85,7 @@ impl KernelShape {
             full_rows: false,
             aggregation: Aggregation::Tile,
             num_inputs: 1,
+            global_inputs: false,
         }
     }
 

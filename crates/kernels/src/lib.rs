@@ -55,7 +55,9 @@ pub mod mean_filter;
 pub mod npu;
 pub mod primitives;
 pub mod reductions;
+pub mod reference;
 pub mod sobel;
 pub mod srad;
+mod stencil;
 
 pub use kernel::{Aggregation, Benchmark, Kernel, KernelShape, ReduceOp, ALL_BENCHMARKS};

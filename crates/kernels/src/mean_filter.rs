@@ -26,16 +26,32 @@ impl Kernel for MeanFilter {
             let c = c.clamp(0, cols as isize - 1) as usize;
             input[(r, c)]
         };
-        for r in tile.row0..tile.row0 + tile.rows {
-            for c in tile.col0..tile.col0 + tile.cols {
-                let (ri, ci) = (r as isize, c as isize);
-                let mut acc = 0.0f32;
-                for dr in -1..=1 {
-                    for dc in -1..=1 {
-                        acc += at(ri + dr, ci + dc);
-                    }
+        let interior = crate::stencil::interior(tile, 1, 1, rows, cols);
+        crate::stencil::for_each_halo(tile, interior, |r, c| {
+            let (ri, ci) = (r as isize, c as isize);
+            let mut acc = 0.0f32;
+            for dr in -1..=1 {
+                for dc in -1..=1 {
+                    acc += at(ri + dr, ci + dc);
                 }
-                out[(r, c)] = acc / 9.0;
+            }
+            out[(r, c)] = acc / 9.0;
+        });
+        let Some(i) = interior else { return };
+        for r in i.r0..i.r1 {
+            let up = &input.row(r - 1)[i.c0 - 1..i.c1 + 1];
+            let mid = &input.row(r)[i.c0 - 1..i.c1 + 1];
+            let dn = &input.row(r + 1)[i.c0 - 1..i.c1 + 1];
+            let dst = &mut out.row_mut(r)[i.c0..i.c1];
+            for (((d, u), m), l) in dst
+                .iter_mut()
+                .zip(up.windows(3))
+                .zip(mid.windows(3))
+                .zip(dn.windows(3))
+            {
+                // Same accumulation order as the clamped path: top row,
+                // middle row, bottom row, left to right.
+                *d = (u[0] + u[1] + u[2] + m[0] + m[1] + m[2] + l[0] + l[1] + l[2]) / 9.0;
             }
         }
     }

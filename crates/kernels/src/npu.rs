@@ -114,8 +114,9 @@ pub fn run_via_npu_quant<K: Kernel + ?Sized>(
             if native_u8 && lo >= 0.0 && hi <= 255.0 {
                 local.map_inplace(|v| v.round());
             } else {
+                // Bulk cast: one parameter derivation, one row-major pass.
                 let params = QuantParams::from_slice(local.as_slice());
-                local.map_inplace(|v| params.snap(v));
+                params.snap_slice(local.as_mut_slice());
             }
             local
         })
@@ -187,14 +188,28 @@ pub fn run_via_npu_quant<K: Kernel + ?Sized>(
 /// The tile expanded by its halo, aligned and clamped; `(row0, col0)` is the
 /// region origin in dataset coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Region {
-    row0: usize,
-    col0: usize,
-    rows: usize,
-    cols: usize,
+pub struct Region {
+    /// First dataset row of the region.
+    pub row0: usize,
+    /// First dataset column of the region.
+    pub col0: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
 }
 
-fn extended_region(
+/// Expands `tile` by `halo`, aligns it down to `block_align`, optionally
+/// widens it to full rows, and clamps it to the `rows x cols` dataset.
+///
+/// This is the exact input footprint a (non-`global_inputs`) kernel may
+/// read while computing `tile`; executors use it to hand workers tile-local
+/// extracts instead of whole tensors.
+///
+/// # Panics
+///
+/// Panics if the tile exceeds the dataset bounds.
+pub fn extended_region(
     tile: Tile,
     halo: usize,
     block_align: usize,
@@ -276,9 +291,7 @@ fn snap_tile(t: &mut Tensor, tile: Tile, fidelity: f32) {
     let params = QuantParams::from_range(mid - half, mid + half);
     for r in tile.row0..tile.row0 + tile.rows {
         let start = tile.col0;
-        for v in &mut t.row_mut(r)[start..start + tile.cols] {
-            *v = params.snap(*v);
-        }
+        params.snap_slice(&mut t.row_mut(r)[start..start + tile.cols]);
     }
 }
 

@@ -115,19 +115,9 @@ pub fn gemm(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = b.shape();
     assert_eq!(k, k2, "GEMM inner dimensions must agree: {k} vs {k2}");
     let mut out = Tensor::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            let orow = out.row_mut(i);
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    // Shares the k-blocked i-k-j core with the GEMM VOP kernel; products
+    // still accumulate in ascending k order per element.
+    crate::gemm::gemm_into(a, b, 0, m, 0, n, &mut out);
     out
 }
 
@@ -137,21 +127,19 @@ pub fn gemm(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if the filter has even dimensions.
 pub fn conv2d(input: &Tensor, filter: &Tensor) -> Tensor {
-    let (fr, fc) = filter.shape();
-    assert!(fr % 2 == 1 && fc % 2 == 1, "filter dimensions must be odd");
+    use crate::Kernel;
     let (rows, cols) = input.shape();
-    let (hr, hc) = ((fr / 2) as isize, (fc / 2) as isize);
-    Tensor::from_fn(rows, cols, |r, c| {
-        let mut acc = 0.0f32;
-        for i in 0..fr {
-            for j in 0..fc {
-                let rr = (r as isize + i as isize - hr).clamp(0, rows as isize - 1) as usize;
-                let cc = (c as isize + j as isize - hc).clamp(0, cols as isize - 1) as usize;
-                acc += input[(rr, cc)] * filter[(i, j)];
-            }
-        }
-        acc
-    })
+    let mut out = Tensor::zeros(rows, cols);
+    let tile = shmt_tensor::tile::Tile {
+        index: 0,
+        row0: 0,
+        col0: 0,
+        rows,
+        cols,
+    };
+    // Shares the interior/halo-split convolution with the conv VOP kernel.
+    crate::conv::Conv2d::new(filter.clone()).run_exact(&[input], tile, &mut out);
+    out
 }
 
 #[cfg(test)]

@@ -30,18 +30,35 @@ impl Kernel for Sobel {
             let c = c.clamp(0, cols as isize - 1) as usize;
             input[(r, c)]
         };
-        for r in tile.row0..tile.row0 + tile.rows {
-            for c in tile.col0..tile.col0 + tile.cols {
-                let (ri, ci) = (r as isize, c as isize);
-                let gx = at(ri - 1, ci + 1) + 2.0 * at(ri, ci + 1) + at(ri + 1, ci + 1)
-                    - at(ri - 1, ci - 1)
-                    - 2.0 * at(ri, ci - 1)
-                    - at(ri + 1, ci - 1);
-                let gy = at(ri + 1, ci - 1) + 2.0 * at(ri + 1, ci) + at(ri + 1, ci + 1)
-                    - at(ri - 1, ci - 1)
-                    - 2.0 * at(ri - 1, ci)
-                    - at(ri - 1, ci + 1);
-                out[(r, c)] = (gx * gx + gy * gy).sqrt();
+        let interior = crate::stencil::interior(tile, 1, 1, rows, cols);
+        crate::stencil::for_each_halo(tile, interior, |r, c| {
+            let (ri, ci) = (r as isize, c as isize);
+            let gx = at(ri - 1, ci + 1) + 2.0 * at(ri, ci + 1) + at(ri + 1, ci + 1)
+                - at(ri - 1, ci - 1)
+                - 2.0 * at(ri, ci - 1)
+                - at(ri + 1, ci - 1);
+            let gy = at(ri + 1, ci - 1) + 2.0 * at(ri + 1, ci) + at(ri + 1, ci + 1)
+                - at(ri - 1, ci - 1)
+                - 2.0 * at(ri - 1, ci)
+                - at(ri - 1, ci + 1);
+            out[(r, c)] = (gx * gx + gy * gy).sqrt();
+        });
+        let Some(i) = interior else { return };
+        for r in i.r0..i.r1 {
+            let up = &input.row(r - 1)[i.c0 - 1..i.c1 + 1];
+            let mid = &input.row(r)[i.c0 - 1..i.c1 + 1];
+            let dn = &input.row(r + 1)[i.c0 - 1..i.c1 + 1];
+            let dst = &mut out.row_mut(r)[i.c0..i.c1];
+            for (((d, u), m), l) in dst
+                .iter_mut()
+                .zip(up.windows(3))
+                .zip(mid.windows(3))
+                .zip(dn.windows(3))
+            {
+                // Identical term order to the clamped path above.
+                let gx = u[2] + 2.0 * m[2] + l[2] - u[0] - 2.0 * m[0] - l[0];
+                let gy = l[0] + 2.0 * l[1] + l[2] - u[0] - 2.0 * u[1] - u[2];
+                *d = (gx * gx + gy * gy).sqrt();
             }
         }
     }

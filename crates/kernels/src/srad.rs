@@ -43,11 +43,24 @@ impl Srad {
             let c = c.clamp(0, cols as isize - 1) as usize;
             input[(r, c)]
         };
-        let j = at(r, c).max(1e-6);
-        let dn = at(r - 1, c) - j;
-        let ds = at(r + 1, c) - j;
-        let dw = at(r, c - 1) - j;
-        let de = at(r, c + 1) - j;
+        self.coefficient_of(
+            at(r, c),
+            at(r - 1, c),
+            at(r + 1, c),
+            at(r, c - 1),
+            at(r, c + 1),
+        )
+    }
+
+    /// The same diffusion coefficient from already-gathered neighbor
+    /// values (the interior fast path gathers via row slices).
+    #[inline]
+    fn coefficient_of(&self, center: f32, up: f32, down: f32, left: f32, right: f32) -> f32 {
+        let j = center.max(1e-6);
+        let dn = up - j;
+        let ds = down - j;
+        let dw = left - j;
+        let de = right - j;
         let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (j * j);
         let l = (dn + ds + dw + de) / j;
         let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
@@ -76,19 +89,44 @@ impl Kernel for Srad {
             let c = c.clamp(0, cols as isize - 1) as usize;
             input[(r, c)]
         };
-        for r in tile.row0..tile.row0 + tile.rows {
-            for c in tile.col0..tile.col0 + tile.cols {
-                let (ri, ci) = (r as isize, c as isize);
-                let j = input[(r, c)];
-                let cc = self.coefficient(input, ri, ci);
-                let cs = self.coefficient(input, ri + 1, ci);
-                let ce = self.coefficient(input, ri, ci + 1);
-                // Divergence of c * grad J on the staggered Rodinia grid.
-                let d = cc * (at(ri - 1, ci) - j)
-                    + cs * (at(ri + 1, ci) - j)
-                    + cc * (at(ri, ci - 1) - j)
-                    + ce * (at(ri, ci + 1) - j);
-                out[(r, c)] = j + 0.25 * self.lambda * d;
+        let interior = crate::stencil::interior(tile, 2, 2, rows, cols);
+        crate::stencil::for_each_halo(tile, interior, |r, c| {
+            let (ri, ci) = (r as isize, c as isize);
+            let j = input[(r, c)];
+            let cc = self.coefficient(input, ri, ci);
+            let cs = self.coefficient(input, ri + 1, ci);
+            let ce = self.coefficient(input, ri, ci + 1);
+            // Divergence of c * grad J on the staggered Rodinia grid.
+            let d = cc * (at(ri - 1, ci) - j)
+                + cs * (at(ri + 1, ci) - j)
+                + cc * (at(ri, ci - 1) - j)
+                + ce * (at(ri, ci + 1) - j);
+            out[(r, c)] = j + 0.25 * self.lambda * d;
+        });
+        let Some(i) = interior else { return };
+        // Interior cells read rows r-1..=r+2 and columns c-1..=c+2 (the
+        // south and east coefficients reach one further); 4-wide windows
+        // over four row slices cover exactly that footprint.
+        for r in i.r0..i.r1 {
+            let rm1 = &input.row(r - 1)[i.c0 - 1..i.c1 + 2];
+            let r0 = &input.row(r)[i.c0 - 1..i.c1 + 2];
+            let rp1 = &input.row(r + 1)[i.c0 - 1..i.c1 + 2];
+            let rp2 = &input.row(r + 2)[i.c0 - 1..i.c1 + 2];
+            let dst = &mut out.row_mut(r)[i.c0..i.c1];
+            for ((((d, um), m), dm), d2) in dst
+                .iter_mut()
+                .zip(rm1.windows(4))
+                .zip(r0.windows(4))
+                .zip(rp1.windows(4))
+                .zip(rp2.windows(4))
+            {
+                // Window index 1 is the cell itself; 0/2/3 are c-1/c+1/c+2.
+                let j = m[1];
+                let cc = self.coefficient_of(m[1], um[1], dm[1], m[0], m[2]);
+                let cs = self.coefficient_of(dm[1], m[1], d2[1], dm[0], dm[2]);
+                let ce = self.coefficient_of(m[2], um[2], dm[2], m[1], m[3]);
+                let div = cc * (um[1] - j) + cs * (dm[1] - j) + cc * (m[0] - j) + ce * (m[2] - j);
+                *d = j + 0.25 * self.lambda * div;
             }
         }
     }

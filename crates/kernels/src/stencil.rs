@@ -1,0 +1,130 @@
+//! Interior/halo tile splitting for stencil hot loops.
+//!
+//! Every stencil kernel splits its output tile into an *interior*
+//! rectangle — cells whose full stencil window lies inside the dataset, so
+//! rows can be processed as contiguous slices with no clamping or
+//! per-element bounds checks — and a thin *halo* of remaining cells that
+//! still runs through the original clamped per-cell path. The split only
+//! changes how cells are addressed, never the per-cell arithmetic, so
+//! outputs stay bit-identical to the naive loops (see the golden suite in
+//! `tests/golden.rs` and the contract in DESIGN.md).
+
+use shmt_tensor::tile::Tile;
+
+/// The subrectangle of a tile whose stencil windows stay fully in bounds:
+/// rows `r0..r1`, columns `c0..c1` (half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interior {
+    pub r0: usize,
+    pub r1: usize,
+    pub c0: usize,
+    pub c1: usize,
+}
+
+/// Intersects `tile` with the dataset's interior band for a stencil that
+/// reads `hr` rows and `hc` columns beyond each cell. Returns `None` when
+/// the intersection is empty (tiny tiles or tiles hugging the edge).
+pub(crate) fn interior(
+    tile: Tile,
+    hr: usize,
+    hc: usize,
+    rows: usize,
+    cols: usize,
+) -> Option<Interior> {
+    let r0 = tile.row0.max(hr);
+    let r1 = (tile.row0 + tile.rows).min(rows.saturating_sub(hr));
+    let c0 = tile.col0.max(hc);
+    let c1 = (tile.col0 + tile.cols).min(cols.saturating_sub(hc));
+    if r0 < r1 && c0 < c1 {
+        Some(Interior { r0, r1, c0, c1 })
+    } else {
+        None
+    }
+}
+
+/// Calls `f` for every tile cell *outside* the interior rectangle — the
+/// halo cells that need the clamped slow path. With `interior == None` the
+/// whole tile is halo.
+pub(crate) fn for_each_halo(
+    tile: Tile,
+    interior: Option<Interior>,
+    mut f: impl FnMut(usize, usize),
+) {
+    let (row_end, col_end) = (tile.row0 + tile.rows, tile.col0 + tile.cols);
+    for r in tile.row0..row_end {
+        match interior {
+            Some(i) if r >= i.r0 && r < i.r1 => {
+                for c in tile.col0..i.c0 {
+                    f(r, c);
+                }
+                for c in i.c1..col_end {
+                    f(r, c);
+                }
+            }
+            _ => {
+                for c in tile.col0..col_end {
+                    f(r, c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(row0: usize, col0: usize, rows: usize, cols: usize) -> Tile {
+        Tile {
+            index: 0,
+            row0,
+            col0,
+            rows,
+            cols,
+        }
+    }
+
+    #[test]
+    fn full_tile_interior_shrinks_by_halo() {
+        let i = interior(tile(0, 0, 16, 16), 1, 1, 16, 16).unwrap();
+        assert_eq!((i.r0, i.r1, i.c0, i.c1), (1, 15, 1, 15));
+    }
+
+    #[test]
+    fn centered_tile_is_all_interior() {
+        let i = interior(tile(4, 4, 8, 8), 2, 2, 16, 16).unwrap();
+        assert_eq!((i.r0, i.r1, i.c0, i.c1), (4, 12, 4, 12));
+        let mut halo_cells = 0;
+        for_each_halo(tile(4, 4, 8, 8), Some(i), |_, _| halo_cells += 1);
+        assert_eq!(halo_cells, 0);
+    }
+
+    #[test]
+    fn tiny_dataset_is_all_halo() {
+        assert!(interior(tile(0, 0, 3, 3), 2, 2, 3, 3).is_none());
+        let mut cells = Vec::new();
+        for_each_halo(tile(0, 0, 3, 3), None, |r, c| cells.push((r, c)));
+        assert_eq!(cells.len(), 9);
+    }
+
+    #[test]
+    fn halo_plus_interior_covers_tile_exactly_once() {
+        let t = tile(0, 3, 13, 10);
+        let i = interior(t, 1, 1, 13, 16);
+        let mut count = vec![0u8; 13 * 16];
+        if let Some(i) = i {
+            for r in i.r0..i.r1 {
+                for c in i.c0..i.c1 {
+                    count[r * 16 + c] += 1;
+                }
+            }
+        }
+        for_each_halo(t, i, |r, c| count[r * 16 + c] += 1);
+        for r in 0..13 {
+            for c in 0..16 {
+                let inside = (3..13).contains(&c);
+                assert_eq!(count[r * 16 + c], u8::from(inside), "({r},{c})");
+            }
+        }
+    }
+}

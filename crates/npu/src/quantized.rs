@@ -53,12 +53,10 @@ impl QuantizedMlp {
             .enumerate()
             .map(|(li, layer)| {
                 let weight_params = QuantParams::from_slice(layer.weights());
+                let mut codes = vec![0i8; layer.weights().len()];
+                weight_params.quantize_slice(layer.weights(), &mut codes);
                 QuantLayer {
-                    codes: layer
-                        .weights()
-                        .iter()
-                        .map(|&w| weight_params.quantize(w))
-                        .collect(),
+                    codes,
                     weight_params,
                     bias: layer.bias().to_vec(),
                     in_dim: layer.in_dim(),
@@ -76,17 +74,21 @@ impl QuantizedMlp {
     /// int8 grid.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
         let mut v = x.to_vec();
+        let mut weights: Vec<f32> = Vec::new();
         for layer in &self.layers {
             assert_eq!(v.len(), layer.in_dim, "input dimension mismatch");
+            // Bulk-dequantize the layer's weights once instead of decoding
+            // each code inside the dot products; each product and the sum
+            // order are unchanged, so outputs are bit-identical.
+            weights.resize(layer.codes.len(), 0.0);
+            layer
+                .weight_params
+                .dequantize_slice(&layer.codes, &mut weights);
             let mut out = Vec::with_capacity(layer.out_dim);
             for o in 0..layer.out_dim {
-                let row = &layer.codes[o * layer.in_dim..(o + 1) * layer.in_dim];
-                let z: f32 = row
-                    .iter()
-                    .zip(&v)
-                    .map(|(&c, &inp)| layer.weight_params.dequantize(c) * inp)
-                    .sum::<f32>()
-                    + layer.bias[o];
+                let row = &weights[o * layer.in_dim..(o + 1) * layer.in_dim];
+                let z: f32 =
+                    row.iter().zip(&v).map(|(&w, &inp)| w * inp).sum::<f32>() + layer.bias[o];
                 let a = match layer.activation {
                     Activation::Relu => z.max(0.0),
                     Activation::Sigmoid => 1.0 / (1.0 + (-z).exp()),

@@ -104,6 +104,51 @@ impl QuantParams {
     pub fn snap(&self, x: f32) -> f32 {
         self.dequantize(self.quantize(x))
     }
+
+    /// Quantizes a contiguous slice into `dst` — the bulk form of the Edge
+    /// TPU input cast, with the affine parameters hoisted out of the loop.
+    ///
+    /// Produces exactly the same codes as calling [`QuantParams::quantize`]
+    /// per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` have different lengths.
+    pub fn quantize_slice(&self, src: &[f32], dst: &mut [i8]) {
+        assert_eq!(src.len(), dst.len(), "quantize_slice length mismatch");
+        let (lo, scale) = (self.lo, self.scale);
+        for (d, &x) in dst.iter_mut().zip(src) {
+            let q = ((x - lo) / scale).round().clamp(0.0, 255.0);
+            *d = (q - 128.0) as i8;
+        }
+    }
+
+    /// Dequantizes a contiguous slice of codes into `dst` — the bulk form
+    /// of restoring application precision after an Edge TPU HLOP.
+    ///
+    /// Produces exactly the same values as calling
+    /// [`QuantParams::dequantize`] per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` and `dst` have different lengths.
+    pub fn dequantize_slice(&self, codes: &[i8], dst: &mut [f32]) {
+        assert_eq!(codes.len(), dst.len(), "dequantize_slice length mismatch");
+        let (lo, scale) = (self.lo, self.scale);
+        for (d, &code) in dst.iter_mut().zip(codes) {
+            *d = lo + (f32::from(code) + 128.0) * scale;
+        }
+    }
+
+    /// Snaps every element of a slice to this grid in place — the bulk form
+    /// of [`QuantParams::snap`], bit-identical to the per-element calls.
+    pub fn snap_slice(&self, values: &mut [f32]) {
+        let (lo, scale) = (self.lo, self.scale);
+        for v in values.iter_mut() {
+            let q = ((*v - lo) / scale).round().clamp(0.0, 255.0);
+            *v = lo + q * scale;
+        }
+    }
 }
 
 /// An owned 2-D array of int8 codes plus the parameters that produced it —
@@ -163,10 +208,12 @@ pub fn quantize_tensor(t: &Tensor) -> QuantTensor {
 
 /// Quantizes a whole tensor with caller-chosen parameters.
 pub fn quantize_tensor_with(t: &Tensor, params: QuantParams) -> QuantTensor {
+    let mut codes = vec![0i8; t.len()];
+    params.quantize_slice(t.as_slice(), &mut codes);
     QuantTensor {
         rows: t.rows(),
         cols: t.cols(),
-        codes: t.as_slice().iter().map(|&v| params.quantize(v)).collect(),
+        codes,
         params,
     }
 }
@@ -174,17 +221,15 @@ pub fn quantize_tensor_with(t: &Tensor, params: QuantParams) -> QuantTensor {
 /// Restores a quantized tensor to `f32` ("restoring the result to the data
 /// precision that the application desires", §3.3.2).
 pub fn dequantize_tensor(q: &QuantTensor) -> Tensor {
-    let data: Vec<f32> = q.codes.iter().map(|&c| q.params.dequantize(c)).collect();
+    let mut data = vec![0f32; q.codes.len()];
+    q.params.dequantize_slice(&q.codes, &mut data);
     Tensor::from_vec(q.rows, q.cols, data).expect("quantized tensor has valid shape")
 }
 
 /// Snaps every element of a slice to the int8 grid derived from the slice's
 /// own range — the one-line model of "send through the TPU input path".
 pub fn snap_slice(values: &mut [f32]) {
-    let params = QuantParams::from_slice(values);
-    for v in values.iter_mut() {
-        *v = params.snap(*v);
-    }
+    QuantParams::from_slice(values).snap_slice(values);
 }
 
 #[cfg(test)]
@@ -253,6 +298,63 @@ mod tests {
         assert!((qp.snap(2.0) - 2.0).abs() <= qp.scale());
         let empty = QuantParams::from_slice(&[]);
         assert!(empty.scale() > 0.0);
+    }
+
+    #[test]
+    fn round_trip_far_from_zero() {
+        // A one-unit range six orders of magnitude from the origin: the
+        // lo-anchored mapping must keep the per-step error at `scale()`,
+        // where a zero-point formulation would lose all precision.
+        let qp = QuantParams::from_range(1e6, 1e6 + 1.0);
+        for i in 0..=64 {
+            let x = 1e6 + i as f32 / 64.0;
+            let err = (qp.dequantize(qp.quantize(x)) - x).abs();
+            assert!(err <= qp.scale(), "x={x} err={err} scale={}", qp.scale());
+        }
+    }
+
+    #[test]
+    fn round_trip_negative_only_range() {
+        let qp = QuantParams::from_range(-40.0, -8.0);
+        for i in 0..=100 {
+            let x = -40.0 + 32.0 * (i as f32) / 100.0;
+            let err = (qp.dequantize(qp.quantize(x)) - x).abs();
+            assert!(err <= qp.scale(), "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn from_slice_with_leading_nans_round_trips() {
+        let values = [f32::NAN, f32::NAN, -2.5, 7.0, 0.25];
+        let qp = QuantParams::from_slice(&values);
+        for &x in values.iter().filter(|v| !v.is_nan()) {
+            let err = (qp.dequantize(qp.quantize(x)) - x).abs();
+            assert!(err <= qp.scale(), "x={x} err={err}");
+        }
+        // NaN itself saturates to code 0 (Rust float-to-int cast), not a
+        // poisoned buffer.
+        assert_eq!(qp.quantize(f32::NAN), 0);
+    }
+
+    #[test]
+    fn bulk_slice_paths_match_per_element_calls() {
+        let src: Vec<f32> = (0..257).map(|i| (i as f32) * 0.37 - 11.0).collect();
+        let qp = QuantParams::from_slice(&src);
+
+        let mut codes = vec![0i8; src.len()];
+        qp.quantize_slice(&src, &mut codes);
+        let per_elem: Vec<i8> = src.iter().map(|&v| qp.quantize(v)).collect();
+        assert_eq!(codes, per_elem);
+
+        let mut back = vec![0f32; codes.len()];
+        qp.dequantize_slice(&codes, &mut back);
+        let back_per_elem: Vec<f32> = codes.iter().map(|&c| qp.dequantize(c)).collect();
+        assert_eq!(back, back_per_elem);
+
+        let mut snapped = src.clone();
+        qp.snap_slice(&mut snapped);
+        let snap_per_elem: Vec<f32> = src.iter().map(|&v| qp.snap(v)).collect();
+        assert_eq!(snapped, snap_per_elem);
     }
 
     #[test]

@@ -49,4 +49,15 @@ for f in results/faults_*.json; do
 done
 echo "fault sweep files written and validated: $(ls results/faults_*.json | wc -l)"
 
+echo "== perf report smoke check =="
+# perf_report must produce a JSON artifact that the workspace's own parser
+# accepts and that covers every benchmark's exact and NPU paths; the bin
+# re-reads and validates the file itself and aborts on any gap.
+cargo run --release -q -p shmt-bench --bin perf_report -- --smoke >/dev/null
+f=results/BENCH_kernels_smoke.json
+[ -s "$f" ] || { echo "empty perf report: $f"; exit 1; }
+grep -q '"best_ns":' "$f" || { echo "no measurements in $f"; exit 1; }
+grep -q '"kernel/SRAD/npu/128"' "$f" || { echo "benchmark coverage gap in $f"; exit 1; }
+echo "perf report smoke validated: $f"
+
 echo "CI OK"
