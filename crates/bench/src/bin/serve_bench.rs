@@ -1,0 +1,315 @@
+//! Offered-load sweep for the serving layer (`shmt-serve`).
+//!
+//! ```text
+//! cargo run --release -p shmt-bench --bin serve_bench
+//! cargo run --release -p shmt-bench --bin serve_bench -- --smoke
+//! ```
+//!
+//! A fixed mixed workload (Sobel / Mean Filter / FFT across two
+//! scheduling policies) is served at 1, 2, 4, and 8 concurrent
+//! **closed-loop clients**: each client submits a request, waits for the
+//! response, *thinks* for a fixed interval, and submits its next request
+//! — the Clockwork-style client model. Think time models the
+//! request-preparation / post-processing gap every real client has; with
+//! it, concurrency wins by overlapping one client's think with another's
+//! service even on a single-core host, which is exactly the serving
+//! effect the sweep measures (not a core-count artifact).
+//!
+//! Every response is checked **bit-identical** against a sequential
+//! `ShmtRuntime::execute` reference, and the 4-client sweep point must
+//! beat 1 client on aggregate VOPs/sec — the bin aborts otherwise. The
+//! default artifact is `BENCH_serve.json` at the repository root;
+//! `--smoke` writes a faster configuration to
+//! `results/BENCH_serve_smoke.json` (the CI gate). Either file is
+//! re-read and validated with the workspace's own JSON parser before the
+//! run reports success.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use shmt::sampling::SamplingMethod;
+use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
+use shmt_kernels::Benchmark;
+use shmt_serve::{Request, Server, ServerConfig};
+use shmt_tensor::Tensor;
+use shmt_trace::json::{JsonValue, ObjectBuilder};
+
+struct Opts {
+    smoke: bool,
+    out: Option<String>,
+}
+
+fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        out: None,
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                opts.out = Some(args.next().unwrap_or_else(|| panic!("--out needs a path")));
+            }
+            other => panic!("unknown flag {other}; accepted: --smoke --out"),
+        }
+    }
+    opts
+}
+
+/// One request of the mixed workload.
+#[derive(Clone, Copy)]
+struct Case {
+    benchmark: Benchmark,
+    seed: u64,
+    policy: Policy,
+}
+
+fn workload(requests: usize) -> Vec<Case> {
+    let benches = [Benchmark::Sobel, Benchmark::MeanFilter, Benchmark::Fft];
+    let policies = [
+        Policy::WorkStealing,
+        Policy::Qaws {
+            assignment: QawsAssignment::TopK,
+            sampling: SamplingMethod::Striding,
+        },
+    ];
+    (0..requests)
+        .map(|i| Case {
+            benchmark: benches[i % benches.len()],
+            seed: 100 + i as u64,
+            policy: policies[i % policies.len()],
+        })
+        .collect()
+}
+
+fn make_request(case: Case, n: usize, partitions: usize) -> Request {
+    let vop = Vop::from_benchmark(
+        case.benchmark,
+        case.benchmark.generate_inputs(n, n, case.seed),
+    )
+    .expect("valid VOP");
+    let mut config = RuntimeConfig::new(case.policy);
+    config.partitions = partitions;
+    Request::new(vop, Platform::jetson(case.benchmark), config)
+}
+
+/// One sweep point's outcome.
+struct SweepPoint {
+    clients: usize,
+    wall_s: f64,
+    vops_per_s: f64,
+    service_p50_s: f64,
+    service_p95_s: f64,
+    service_p99_s: f64,
+    queue_wait_p95_s: f64,
+    completed: f64,
+}
+
+/// Serves the whole workload with `clients` closed-loop clients and
+/// verifies every output against its sequential reference.
+fn run_sweep_point(
+    cases: &[Case],
+    references: &[Tensor],
+    clients: usize,
+    n: usize,
+    partitions: usize,
+    think: Duration,
+    executors: usize,
+) -> SweepPoint {
+    let server = Arc::new(Server::new(ServerConfig {
+        executors,
+        queue_capacity: cases.len().max(1),
+        default_deadline: None,
+    }));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let server = Arc::clone(&server);
+            scope.spawn(move || {
+                // Client `c` owns cases c, c+clients, c+2*clients, ...
+                let mut first = true;
+                for (i, case) in cases
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % clients == client)
+                {
+                    if !first {
+                        std::thread::sleep(think);
+                    }
+                    first = false;
+                    let ticket = server
+                        .submit_blocking(make_request(*case, n, partitions))
+                        .expect("server running");
+                    let response = ticket.wait().expect("request succeeds");
+                    assert_eq!(
+                        response.report.output.as_slice(),
+                        references[i].as_slice(),
+                        "served output diverged from sequential execution \
+                         (case {i}, {} clients)",
+                        clients
+                    );
+                }
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let metrics = server.metrics();
+    let completed = metrics.counter("serve.completed");
+    assert_eq!(completed as usize, cases.len(), "every request completes");
+
+    // Worst-case (max over policies) percentiles: a serving SLO is only
+    // as good as its slowest policy.
+    let summaries = server.latency_summaries();
+    assert!(!summaries.is_empty(), "summaries cover the served requests");
+    let max_over =
+        |f: &dyn Fn(&shmt_serve::PolicySummary) -> f64| summaries.iter().map(f).fold(0.0, f64::max);
+    SweepPoint {
+        clients,
+        wall_s,
+        vops_per_s: cases.len() as f64 / wall_s,
+        service_p50_s: max_over(&|s| s.service.p50_s),
+        service_p95_s: max_over(&|s| s.service.p95_s),
+        service_p99_s: max_over(&|s| s.service.p99_s),
+        queue_wait_p95_s: max_over(&|s| s.queue_wait.p95_s),
+        completed,
+    }
+}
+
+fn main() {
+    let opts = parse_opts(std::env::args().skip(1));
+    let (n, partitions, requests, think, default_out) = if opts.smoke {
+        (
+            128,
+            8,
+            8,
+            Duration::from_millis(15),
+            "results/BENCH_serve_smoke.json",
+        )
+    } else {
+        (256, 16, 24, Duration::from_millis(25), "BENCH_serve.json")
+    };
+    let out_path = opts.out.as_deref().unwrap_or(default_out);
+    let executors = 4;
+    let client_counts = [1usize, 2, 4, 8];
+
+    let cases = workload(requests);
+
+    // Sequential references: the ground truth every served response must
+    // match bit-for-bit.
+    let references: Vec<Tensor> = cases
+        .iter()
+        .map(|&case| {
+            let req = make_request(case, n, partitions);
+            ShmtRuntime::new(req.platform, req.config)
+                .execute(&req.vop)
+                .expect("sequential reference run succeeds")
+                .output
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for &clients in &client_counts {
+        let p = run_sweep_point(
+            &cases,
+            &references,
+            clients,
+            n,
+            partitions,
+            think,
+            executors,
+        );
+        println!(
+            "{:>2} clients: {:>6.2} VOPs/s (wall {:.3}s, service p95 {:.1}ms, queue-wait p95 {:.1}ms)",
+            p.clients,
+            p.vops_per_s,
+            p.wall_s,
+            p.service_p95_s * 1e3,
+            p.queue_wait_p95_s * 1e3,
+        );
+        points.push(p);
+    }
+
+    // Acceptance: ≥4 concurrent clients must beat sequential submission
+    // on aggregate throughput, with the bit-identity asserts above.
+    let seq = points
+        .iter()
+        .find(|p| p.clients == 1)
+        .expect("1-client point");
+    let four = points
+        .iter()
+        .find(|p| p.clients == 4)
+        .expect("4-client point");
+    assert!(
+        four.vops_per_s > seq.vops_per_s,
+        "4 concurrent clients ({:.2} VOPs/s) must beat sequential ({:.2} VOPs/s)",
+        four.vops_per_s,
+        seq.vops_per_s
+    );
+    let scaling = four.vops_per_s / seq.vops_per_s;
+
+    let mut sweep = ObjectBuilder::new();
+    for p in &points {
+        sweep = sweep.field(
+            &p.clients.to_string(),
+            ObjectBuilder::new()
+                .field("wall_s", JsonValue::Number(p.wall_s))
+                .field("vops_per_s", JsonValue::Number(p.vops_per_s))
+                .field("service_p50_s", JsonValue::Number(p.service_p50_s))
+                .field("service_p95_s", JsonValue::Number(p.service_p95_s))
+                .field("service_p99_s", JsonValue::Number(p.service_p99_s))
+                .field("queue_wait_p95_s", JsonValue::Number(p.queue_wait_p95_s))
+                .field("completed", JsonValue::Number(p.completed))
+                .build(),
+        );
+    }
+    let json = ObjectBuilder::new()
+        .field(
+            "workload",
+            ObjectBuilder::new()
+                .field("requests", JsonValue::Number(requests as f64))
+                .field("dataset", JsonValue::Number(n as f64))
+                .field("partitions", JsonValue::Number(partitions as f64))
+                .field("think_ms", JsonValue::Number(think.as_secs_f64() * 1e3))
+                .field("executors", JsonValue::Number(executors as f64))
+                .build(),
+        )
+        .field("sweep", sweep.build())
+        .field("scaling_4_vs_1", JsonValue::Number(scaling))
+        .field("bit_identical", JsonValue::Bool(true))
+        .build()
+        .to_string();
+
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(out_path, &json).expect("write serve report");
+
+    // Validate the artifact with the workspace's own parser.
+    let written = std::fs::read_to_string(out_path).expect("re-read serve report");
+    let report = JsonValue::parse(&written).expect("serve report is valid JSON");
+    for &clients in &client_counts {
+        let key = clients.to_string();
+        let vops = report
+            .get("sweep")
+            .and_then(|s| s.get(&key))
+            .and_then(|p| p.get("vops_per_s"))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("report is missing sweep point {key}"));
+        assert!(vops > 0.0, "sweep point {key} has non-positive throughput");
+    }
+    assert!(
+        report
+            .get("scaling_4_vs_1")
+            .and_then(JsonValue::as_f64)
+            .expect("scaling field present")
+            > 1.0
+    );
+
+    println!(
+        "serve report written and validated: {out_path} (4-vs-1 scaling {scaling:.2}x, outputs bit-identical)"
+    );
+}

@@ -9,6 +9,15 @@ pub enum ShmtError {
     InvalidConfig(String),
     /// No device in the platform can execute the requested HLOPs.
     NoCapableDevice(String),
+    /// The scheduler finished with HLOPs still pending — a correctness
+    /// invariant violation that would otherwise surface as silently
+    /// zero-filled output tiles.
+    StrandedHlop {
+        /// HLOPs that actually executed.
+        executed: usize,
+        /// HLOPs the VOP was partitioned into.
+        total: usize,
+    },
 }
 
 impl fmt::Display for ShmtError {
@@ -17,6 +26,11 @@ impl fmt::Display for ShmtError {
             ShmtError::InvalidVop(msg) => write!(f, "invalid VOP: {msg}"),
             ShmtError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             ShmtError::NoCapableDevice(msg) => write!(f, "no capable device: {msg}"),
+            ShmtError::StrandedHlop { executed, total } => write!(
+                f,
+                "scheduler stranded {} of {total} HLOPs (executed {executed})",
+                total - executed
+            ),
         }
     }
 }

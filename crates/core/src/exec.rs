@@ -16,10 +16,13 @@
 //!   never changes regardless of which worker ran which task.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use shmt_kernels::{Aggregation, Kernel};
 use shmt_tensor::tile::Tile;
 use shmt_tensor::Tensor;
+
+use crate::pool::ComputePool;
 
 /// One unit of host compute: which partition, and through which path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,13 +52,35 @@ pub fn default_threads() -> usize {
 
 /// Computes every task and assembles the results into `output`.
 ///
-/// With `threads <= 1` the tasks run inline; otherwise they are spread
-/// over worker threads. The assembled output is identical either way.
+/// With `threads <= 1` the tasks run inline; otherwise up to `threads`
+/// claimant jobs are submitted to the shared [`ComputePool`] — concurrent
+/// runs interleave on the same persistent workers. The assembled output
+/// is identical either way, at any pool size.
 ///
 /// # Panics
 ///
 /// Panics if a worker panics (kernel contract violations).
 pub fn compute_tasks(
+    kernel: &dyn Kernel,
+    inputs: &[&Tensor],
+    tasks: &[ComputeTask],
+    output: &mut Tensor,
+    threads: usize,
+) {
+    compute_tasks_on(
+        ComputePool::global(),
+        kernel,
+        inputs,
+        tasks,
+        output,
+        threads,
+    );
+}
+
+/// [`compute_tasks`] on an explicit pool (dedicated pools are useful in
+/// tests and for callers that want isolated capacity).
+pub fn compute_tasks_on(
+    pool: &ComputePool,
     kernel: &dyn Kernel,
     inputs: &[&Tensor],
     tasks: &[ComputeTask],
@@ -74,29 +99,32 @@ pub fn compute_tasks(
     }
 
     let (out_rows, out_cols) = output.shape();
-    // Workers claim tasks through a shared atomic cursor — the software
-    // analogue of pulling from a shared incoming queue.
+    // Claimant jobs pull task indices through a shared atomic cursor —
+    // the software analogue of pulling from a shared incoming queue — and
+    // deposit per-task results keyed by index, so assembly order is
+    // independent of which worker ran what.
     let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Tensor)>> = Mutex::new(Vec::with_capacity(tasks.len()));
 
     let n_workers = threads.min(tasks.len());
     match aggregation {
         Aggregation::Tile => {
-            // Workers compute each task into a tile-sized result: inputs
-            // are localized to the tile's halo-extended footprint and the
+            // Each task is computed into a tile-sized result: inputs are
+            // localized to the tile's halo-extended footprint and the
             // kernel runs in local coordinates, so scratch memory scales
             // with the tile (plus halo), not the dataset. Kernels that
             // read far outside that footprint (`global_inputs`, e.g.
-            // GEMM) keep the full inputs and a per-worker full-shape
+            // GEMM) keep the full inputs and a per-claimant full-shape
             // buffer. Tiles are disjoint, so stitching is order-
             // independent and exact.
             let shape = kernel.shape();
             let localize = !shape.global_inputs;
             let (in_rows, in_cols) = inputs[0].shape();
-            let results: Vec<Vec<(usize, Tensor)>> = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(n_workers);
-                for _ in 0..n_workers {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n_workers)
+                .map(|_| {
                     let next = &next;
-                    handles.push(scope.spawn(move || {
+                    let results = &results;
+                    let job = move || {
                         let mut full_scratch: Option<Tensor> = None;
                         let mut done = Vec::new();
                         loop {
@@ -149,16 +177,14 @@ pub fn compute_tasks(
                             };
                             done.push((i, result));
                         }
-                        done
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
-            for (i, result) in results.iter().flatten() {
-                let tile = tasks[*i].tile;
+                        results.lock().expect("results poisoned").extend(done);
+                    };
+                    Box::new(job) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scope(jobs);
+            for (i, result) in results.into_inner().expect("results poisoned") {
+                let tile = tasks[i].tile;
                 for r in 0..tile.rows {
                     let src = result.row(r);
                     output.row_mut(tile.row0 + r)[tile.col0..tile.col0 + tile.cols]
@@ -167,16 +193,16 @@ pub fn compute_tasks(
             }
         }
         Aggregation::Reduce { op, .. } => {
-            // Reduction buffers are tiny: workers return one buffer per
+            // Reduction buffers are tiny: claimants deposit one buffer per
             // *task*, and the fold runs in ascending task order — float
             // accumulation order is then independent of which worker ran
             // which task.
             let shape = kernel.shape();
-            let mut partials: Vec<(usize, Tensor)> = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(n_workers);
-                for _ in 0..n_workers {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n_workers)
+                .map(|_| {
                     let next = &next;
-                    handles.push(scope.spawn(move || {
+                    let results = &results;
+                    let job = move || {
                         let mut mine = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -185,14 +211,13 @@ pub fn compute_tasks(
                             run_one(kernel, inputs, *task, &mut buf);
                             mine.push((i, buf));
                         }
-                        mine
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
+                        results.lock().expect("results poisoned").extend(mine);
+                    };
+                    Box::new(job) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scope(jobs);
+            let mut partials = results.into_inner().expect("results poisoned");
             partials.sort_by_key(|(i, _)| *i);
             for (_, buf) in &partials {
                 for r in 0..output.rows() {

@@ -71,6 +71,7 @@ pub mod hlop;
 pub mod partition;
 pub mod pipeline;
 pub mod platform;
+pub mod pool;
 pub mod quality;
 pub mod report;
 pub mod runtime;

@@ -41,7 +41,9 @@ pub struct Program {
 /// The outcome of running a program: per-stage reports plus totals.
 #[derive(Debug)]
 pub struct ProgramReport {
-    /// Per-stage run reports.
+    /// Per-stage run reports. Stage outputs move into the next stage
+    /// rather than being cloned, so each report's `output` is a 1x1
+    /// placeholder; the final result lives in [`ProgramReport::output`].
     pub stages: Vec<RunReport>,
     /// Sum of stage makespans (stages are data-dependent, so they serialize).
     pub total_latency_s: f64,
@@ -116,12 +118,15 @@ impl Program {
         for stage in &self.stages {
             let vop = Self::stage_vop(stage, flowing)?;
             let runtime = ShmtRuntime::new(Platform::jetson(stage.benchmark), config);
-            let report = if traced {
+            let mut report = if traced {
                 runtime.execute_traced(&vop)?
             } else {
                 runtime.execute(&vop)?
             };
-            flowing = sanitize(report.output.clone());
+            // The stage output *moves* into the next stage instead of being
+            // cloned; the per-stage reports keep their timing/energy stats
+            // but carry a 1x1 placeholder output.
+            flowing = sanitize(std::mem::replace(&mut report.output, Tensor::zeros(1, 1)));
             reports.push(report);
         }
         let total_latency_s = reports.iter().map(|r| r.makespan_s).sum();

@@ -1,0 +1,305 @@
+//! A long-lived host compute pool shared by every concurrent run.
+//!
+//! The seed runtime spawned a fresh `std::thread::scope` per
+//! [`crate::exec::compute_tasks`] call, which made every VOP execution pay
+//! thread start-up and tear-down and — more importantly — meant two
+//! concurrent [`crate::runtime::ShmtRuntime`] executions each spun up
+//! their own private workers. The serving layer (`shmt-serve`) multiplexes
+//! many VOP requests over one host, so the workers now live in a
+//! [`ComputePool`]: a fixed set of threads pulling type-erased jobs from
+//! one shared injector queue. Concurrent runs interleave their tile tasks
+//! on the same workers, the paper-§3.3.1 "monitor threads" become
+//! persistent, and per-run spawn cost disappears.
+//!
+//! Design constraints, in order:
+//!
+//! * **std-only** — the workspace is offline; the queue is a
+//!   `Mutex<VecDeque>` + `Condvar`, not a lock-free deque.
+//! * **Determinism** — the pool never influences *what* is computed, only
+//!   *where*; callers assemble results by task index, so output bits do
+//!   not depend on worker count or interleaving.
+//! * **Borrowed jobs** — kernel, inputs, and output tiles are borrowed
+//!   from the caller's stack. [`ComputePool::scope`] erases the job
+//!   lifetime to `'static` for the queue and then blocks until every job
+//!   of the batch has finished, which is exactly the guarantee that makes
+//!   the erasure sound (the same contract as `std::thread::scope`).
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of pool work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between the pool handle and its workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when work arrives or shutdown begins.
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Completion bookkeeping for one [`ComputePool::scope`] batch.
+struct Batch {
+    /// Jobs of this batch still running or queued.
+    remaining: Mutex<usize>,
+    batch_done: Condvar,
+    /// First panic payload raised by a job of this batch, if any.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A fixed-size pool of persistent worker threads fed from one shared
+/// work queue.
+///
+/// Independent callers (concurrent runtime executions, the serving
+/// layer's request executors) submit batches through [`ComputePool::scope`]
+/// and their jobs interleave on the same workers.
+pub struct ComputePool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ComputePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComputePool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ComputePool {
+    /// Spawns a pool with `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("shmt-compute-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ComputePool { shared, workers }
+    }
+
+    /// The process-wide pool shared by every runtime instance.
+    ///
+    /// Sized by [`crate::exec::default_threads`] (so `SHMT_THREADS` is
+    /// honored) but at least 2, so that two concurrent runs keep making
+    /// independent progress even on single-core hosts. Created on first
+    /// use and kept for the life of the process.
+    pub fn global() -> &'static ComputePool {
+        static GLOBAL: OnceLock<ComputePool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ComputePool::new(crate::exec::default_threads().max(2)))
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs a batch of borrowed jobs to completion on the pool.
+    ///
+    /// Blocks until every job has finished, so jobs may borrow from the
+    /// caller's stack even though the queue itself is `'static`. Jobs from
+    /// concurrent `scope` calls interleave in the shared queue in FIFO
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic is captured (the worker thread
+    /// survives), the rest of the batch still runs, and the first payload
+    /// is re-raised here once the batch has drained.
+    pub fn scope<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let batch = Arc::new(Batch {
+            remaining: Mutex::new(jobs.len()),
+            batch_done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            for job in jobs {
+                // SAFETY: the job may borrow data with lifetime 'env. This
+                // function does not return until `remaining` reaches zero,
+                // i.e. until the job has run (or been dropped) — so every
+                // borrow it carries outlives its use, exactly as with
+                // `std::thread::scope`. The transmute only erases the
+                // lifetime parameter; the vtable and data pointer are
+                // unchanged.
+                let job: Job = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + 'env>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(job)
+                };
+                let batch = Arc::clone(&batch);
+                queue.push_back(Box::new(move || {
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(job));
+                    if let Err(payload) = result {
+                        let mut slot = batch.panic.lock().expect("panic slot poisoned");
+                        slot.get_or_insert(payload);
+                    }
+                    let mut remaining = batch.remaining.lock().expect("batch count poisoned");
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        batch.batch_done.notify_all();
+                    }
+                }));
+            }
+            self.shared.work_ready.notify_all();
+        }
+
+        // Help: run queued jobs on the submitting thread (they may belong
+        // to any batch — work conservation beats fairness) until the queue
+        // drains, then sleep until the workers finish this batch's tail.
+        // Helping keeps the submitter contributing compute instead of
+        // idling, exactly like the joiner of the old `std::thread::scope`.
+        loop {
+            let job = {
+                let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+                queue.pop_front()
+            };
+            match job {
+                Some(job) => job(),
+                None => break,
+            }
+        }
+        let mut remaining = batch.remaining.lock().expect("batch count poisoned");
+        while *remaining > 0 {
+            // This batch's jobs are all either done or running on workers
+            // (the queue was drained above and we enqueued them before
+            // helping), so the batch-done signal is the only thing left to
+            // wait for.
+            remaining = batch
+                .batch_done
+                .wait(remaining)
+                .expect("batch count poisoned");
+        }
+        drop(remaining);
+
+        let payload = batch.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.work_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        match job {
+            Some(job) => job(), // panics are caught inside the job wrapper
+            None => return,
+        }
+    }
+}
+
+impl Drop for ComputePool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_runs_every_job_with_borrows() {
+        let pool = ComputePool::new(3);
+        let hits = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..17)
+            .map(|_| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.scope(jobs);
+        assert_eq!(hits.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn concurrent_scopes_interleave_on_one_pool() {
+        let pool = Arc::new(ComputePool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    let local = AtomicUsize::new(0);
+                    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..25)
+                        .map(|_| {
+                            let local = &local;
+                            Box::new(move || {
+                                local.fetch_add(1, Ordering::Relaxed);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool.scope(jobs);
+                    total.fetch_add(local.load(Ordering::Relaxed), Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn job_panic_propagates_to_submitter_and_pool_survives() {
+        let pool = ComputePool::new(2);
+        let boom: Vec<Box<dyn FnOnce() + Send + '_>> =
+            vec![Box::new(|| panic!("kernel contract violated"))];
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| pool.scope(boom)));
+        assert!(caught.is_err(), "panic must reach the submitting thread");
+
+        // Workers caught the panic, so the pool still runs later batches.
+        let ok = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                let ok = &ok;
+                Box::new(move || {
+                    ok.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.scope(jobs);
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = ComputePool::new(1);
+        pool.scope(Vec::new());
+    }
+}

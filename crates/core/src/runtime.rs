@@ -227,20 +227,43 @@ impl ShmtRuntime {
         self.play(vop, &hlops, the_plan, &mut FaultInjector::new(faults), sink)
     }
 
-    /// Moves HLOPs off disabled devices' queues, round-robin over enabled
-    /// ones, and forbids stealing from/to disabled devices.
+    /// Moves HLOPs off disabled devices' queues and forbids stealing
+    /// from/to disabled devices.
+    ///
+    /// Orphans are routed with the same accuracy-ordered rule dropout
+    /// re-dispatch uses ([`kill_device`]): an enabled device is eligible
+    /// when the plan already lets it steal from the disabled device, or
+    /// when its accuracy class is no worse — so masking off the GPU never
+    /// leaks QAWS-critical partitions onto the approximate TPU. Among
+    /// eligible devices the least-loaded (ties to the lowest index) wins;
+    /// if no device is eligible (e.g. only the TPU is enabled), any
+    /// enabled device serves as the fallback, matching the seed's
+    /// degraded-platform semantics.
     fn apply_device_mask(&self, plan: &mut Plan) {
         let mask = self.config.device_mask;
-        let enabled: Vec<usize> = (0..3).filter(|&i| mask[i]).collect();
-        let mut rr = 0usize;
-        for (d, &enabled_dev) in mask.iter().enumerate() {
-            if enabled_dev {
+        for d in 0..3 {
+            if mask[d] {
                 continue;
             }
             let orphans = std::mem::take(&mut plan.queues[d]);
             for h in orphans {
-                plan.queues[enabled[rr % enabled.len()]].push(h);
-                rr += 1;
+                let eligible = |e: &usize| {
+                    let e = *e;
+                    e != d
+                        && mask[e]
+                        && (plan.steal[e][d] || ACCURACY_CLASS[e] <= ACCURACY_CLASS[d])
+                };
+                let target = (0..3)
+                    .filter(eligible)
+                    .min_by_key(|&e| (plan.queues[e].len(), e))
+                    .or_else(|| {
+                        (0..3)
+                            .filter(|&e| e != d && mask[e])
+                            .min_by_key(|&e| (plan.queues[e].len(), e))
+                    });
+                if let Some(target) = target {
+                    plan.queues[target].push(h);
+                }
             }
             for i in 0..3 {
                 plan.steal[d][i] = false;
@@ -320,12 +343,33 @@ impl ShmtRuntime {
             cal.cast_s_per_elem
         };
 
+        // Once every device has retired, any queue left non-empty holds
+        // stranded work (e.g. a withdrawn victim whose expected thief
+        // dropped out before stealing); the drain pass wakes the owners
+        // and — crucially — disables further endgame withdrawal, so each
+        // owner finishes its own remainder and the run cannot re-strand.
+        let mut draining = false;
+
         // The next device to act is always the earliest-free one with work
         // available (its own queue, or a queue it may steal from).
-        while let Some(d) = (0..3)
-            .filter(|&i| !done[i])
-            .min_by(|&a, &b| timelines[a].free_at().cmp(&timelines[b].free_at()))
-        {
+        loop {
+            let Some(d) = (0..3)
+                .filter(|&i| !done[i])
+                .min_by(|&a, &b| timelines[a].free_at().cmp(&timelines[b].free_at()))
+            else {
+                let mut woke = false;
+                for v in 0..3 {
+                    if self.config.device_mask[v] && !dead[v] && !queues[v].is_idle() {
+                        done[v] = false;
+                        woke = true;
+                    }
+                }
+                if !woke {
+                    break;
+                }
+                draining = true;
+                continue;
+            };
             // Dropouts fire once the virtual-time frontier (the acting
             // device's free instant) passes their scheduled moment; a
             // dead device's pending HLOPs re-dispatch immediately, while
@@ -358,19 +402,30 @@ impl ShmtRuntime {
             }
 
             let pending_total: usize = queues.iter().map(QueuePair::pending).sum();
-            if !queues[d].is_idle() && pending_total <= 6 {
+            if !draining && !queues[d].is_idle() && pending_total <= 6 {
                 // §3.4: the runtime may *withdraw* unprocessed HLOPs from a
                 // device's assignment. In the endgame (at most a couple of
                 // pending partitions per device left), a device
                 // retires from pulling its own queue when a still-active
                 // device that may steal from it would finish the item
                 // sooner even after draining its own backlog — otherwise a
-                // slow device's final pull defines the makespan.
+                // slow device's final pull defines the makespan. The peer
+                // must also pass the steal-profit filter below against
+                // *this* queue's backlog, or it would never actually come
+                // take the item and the HLOP would strand.
                 let item_work =
                     queues[d].peek_front().expect("non-empty").elements() as f64 * work_per_elem;
                 let my_completion = timelines[d].free_at() + profiles[d].exec_time(item_work);
+                let my_backlog: f64 = queues[d]
+                    .iter_pending()
+                    .map(|h| profiles[d].exec_time(h.elements() as f64 * work_per_elem))
+                    .sum();
                 let beaten = (0..3).any(|e| {
-                    if e == d || done[e] || !the_plan.steal[e][d] {
+                    if e == d || done[e] || dead[e] || !the_plan.steal[e][d] {
+                        return false;
+                    }
+                    if profiles[e].exec_time(item_work) > my_backlog {
+                        // e's own steal filter would reject this queue.
                         return false;
                     }
                     let backlog: f64 = queues[e]
@@ -596,7 +651,15 @@ impl ShmtRuntime {
             });
         }
 
-        debug_assert_eq!(records.len(), hlops.len(), "every HLOP must execute");
+        if records.len() != hlops.len() {
+            // Every missing record is an output tile that was never
+            // computed; surface it as a typed error instead of silently
+            // returning zero-filled regions.
+            return Err(ShmtError::StrandedHlop {
+                executed: records.len(),
+                total: hlops.len(),
+            });
+        }
 
         // Dropouts the scheduling loop never reached (the device had
         // already retired with an empty queue) still degrade the platform

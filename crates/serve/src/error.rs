@@ -1,0 +1,68 @@
+//! Typed serving errors: admission rejections and request failures.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::server::Request;
+
+/// Why [`crate::Server::submit`] did not admit a request.
+///
+/// Both variants hand the request back so the caller can retry, shed the
+/// load, or route it elsewhere — admission control never consumes work it
+/// will not perform.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded admission queue is at capacity right now.
+    Busy(Request),
+    /// The server has shut down and accepts no further work.
+    Shutdown(Request),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Busy(_) => write!(f, "admission queue full"),
+            SubmitError::Shutdown(_) => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an admitted request did not produce a [`crate::Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request's deadline lapsed while it sat in the admission queue;
+    /// it was failed without touching a device.
+    DeadlineExceeded {
+        /// How long the request waited before the executor picked it up.
+        waited: Duration,
+        /// The deadline it was admitted with.
+        deadline: Duration,
+    },
+    /// The server shut down before an executor reached the request.
+    Canceled,
+    /// The runtime rejected or failed the execution.
+    Runtime(shmt::ShmtError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::DeadlineExceeded { waited, deadline } => write!(
+                f,
+                "deadline exceeded: waited {waited:?} against a deadline of {deadline:?}"
+            ),
+            ServeError::Canceled => write!(f, "request canceled by server shutdown"),
+            ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<shmt::ShmtError> for ServeError {
+    fn from(e: shmt::ShmtError) -> Self {
+        ServeError::Runtime(e)
+    }
+}

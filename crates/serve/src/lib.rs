@@ -1,0 +1,57 @@
+//! # shmt-serve — concurrent multi-VOP serving for the SHMT runtime
+//!
+//! The core runtime executes one VOP per [`shmt::ShmtRuntime::execute`]
+//! call. This crate turns that into a *serving layer*: a [`Server`] owns a
+//! small team of executor threads, accepts many concurrent VOP requests
+//! through a **bounded admission queue**, and runs each request through
+//! its own `ShmtRuntime` instance. All requests share one persistent host
+//! compute pool ([`shmt::pool::ComputePool::global`]), so concurrent runs
+//! interleave their tile computations instead of each spinning up private
+//! workers — the paper's virtual device (§3.3) multiplexed across users,
+//! in the shape PipeSwitch and Clockwork (OSDI '20) established for model
+//! serving.
+//!
+//! The contract, end to end:
+//!
+//! * **Backpressure, not buffering** — [`Server::submit`] returns
+//!   [`SubmitError::Busy`] (handing the request back) the moment the
+//!   admission queue is full; [`Server::submit_blocking`] waits for a
+//!   slot instead. The queue never grows beyond its configured bound.
+//! * **Deadlines, not hangs** — every request carries an optional
+//!   deadline (falling back to the server default). A request whose
+//!   deadline lapses while queued is failed with
+//!   [`ServeError::DeadlineExceeded`] without touching a device, and
+//!   [`Ticket::wait_timeout`] bounds the caller's own wait.
+//! * **Observability** — per-request queue-wait and service-time samples
+//!   flow into [`shmt_trace::MetricsRegistry`] counters plus per-policy
+//!   p50/p95/p99 summaries ([`Server::latency_summaries`]).
+//! * **Determinism** — serving changes *when* a VOP runs, never *what* it
+//!   computes: outputs are bit-identical to a sequential
+//!   `ShmtRuntime::execute` of the same request.
+//!
+//! ```
+//! use shmt::{Platform, Policy, RuntimeConfig, Vop};
+//! use shmt_serve::{Request, Server, ServerConfig};
+//! use shmt_kernels::Benchmark;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::new(ServerConfig::default());
+//! let b = Benchmark::Sobel;
+//! let vop = Vop::from_benchmark(b, b.generate_inputs(64, 64, 1))?;
+//! let req = Request::new(vop, Platform::jetson(b), RuntimeConfig::new(Policy::WorkStealing));
+//! let ticket = server.submit_blocking(req).expect("server running");
+//! let response = ticket.wait()?;
+//! println!("served in {:?}", response.service_time);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod server;
+mod stats;
+
+pub use error::{ServeError, SubmitError};
+pub use server::{Request, Response, Server, ServerConfig, Ticket};
+pub use stats::{LatencyStats, PolicySummary};

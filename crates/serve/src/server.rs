@@ -1,0 +1,447 @@
+//! The serving core: bounded admission queue, executor team, tickets.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use shmt::trace::MetricsRegistry;
+use shmt::{Platform, RunReport, RuntimeConfig, ShmtRuntime, Vop};
+
+use crate::error::{ServeError, SubmitError};
+use crate::stats::{PolicySummary, Sample, SampleStore};
+
+/// One VOP execution request: what to run, on which modeled platform,
+/// under which runtime configuration.
+pub struct Request {
+    /// The VOP to execute.
+    pub vop: Vop,
+    /// The modeled platform the runtime plays the schedule on.
+    pub platform: Platform,
+    /// Runtime configuration (policy, partitions, quality knobs).
+    pub config: RuntimeConfig,
+    /// Per-request deadline measured from admission; overrides the
+    /// server's [`ServerConfig::default_deadline`] when set.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with no per-request deadline (server default applies).
+    pub fn new(vop: Vop, platform: Platform, config: RuntimeConfig) -> Self {
+        Request {
+            vop,
+            platform,
+            config,
+            deadline: None,
+        }
+    }
+
+    /// Sets a deadline measured from the moment the request is admitted.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("opcode", &self.vop.opcode())
+            .field("policy", &self.config.policy.name())
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+/// A completed request: the runtime report plus the serving-side latency
+/// split.
+#[derive(Debug)]
+pub struct Response {
+    /// The runtime's full report (output tensor, makespan, energy, ...).
+    pub report: RunReport,
+    /// Time the request spent in the admission queue.
+    pub queue_wait: Duration,
+    /// Time the executor spent running it.
+    pub service_time: Duration,
+    /// Display name of the scheduling policy that served it.
+    pub policy: String,
+}
+
+/// Serving-layer tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Executor threads pulling from the admission queue. Each runs one
+    /// request at a time; their tile computations all share the global
+    /// [`shmt::pool::ComputePool`].
+    pub executors: usize,
+    /// Admission-queue bound: [`Server::submit`] returns
+    /// [`SubmitError::Busy`] once this many requests are waiting.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not set their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            executors: 2,
+            queue_capacity: 8,
+            default_deadline: None,
+        }
+    }
+}
+
+/// A queued request together with its completion slot and admission time.
+struct Queued {
+    request: Request,
+    ticket: Arc<TicketState>,
+    admitted_at: Instant,
+    deadline: Option<Duration>,
+}
+
+/// Completion slot shared between an executor and the ticket holder.
+struct TicketState {
+    slot: Mutex<Option<Result<Response, ServeError>>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn fulfill(&self, outcome: Result<Response, ServeError>) {
+        let mut slot = self.slot.lock().expect("ticket slot poisoned");
+        *slot = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// A handle to one admitted request's eventual outcome.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the request completes, fails, or is canceled.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut slot = self.state.slot.lock().expect("ticket slot poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.state.ready.wait(slot).expect("ticket slot poisoned");
+        }
+    }
+
+    /// Waits up to `timeout` for the outcome. Returns `None` when the
+    /// request is still in flight — the ticket stays valid, so the caller
+    /// can keep polling or block with [`Ticket::wait`] later; the serving
+    /// side is unaffected either way.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, ServeError>> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().expect("ticket slot poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return Some(outcome);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .state
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .expect("ticket slot poisoned");
+            slot = guard;
+        }
+    }
+
+    /// Takes the outcome if it is already available; never blocks.
+    pub fn try_take(&self) -> Option<Result<Response, ServeError>> {
+        self.state.slot.lock().expect("ticket slot poisoned").take()
+    }
+}
+
+/// Admission queue plus the flags both sides coordinate on.
+struct QueueState {
+    queue: VecDeque<Queued>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when a slot frees up (submitters wait on this).
+    space_ready: Condvar,
+    /// Signalled when work arrives or shutdown begins (executors wait).
+    work_ready: Condvar,
+    capacity: usize,
+    default_deadline: Option<Duration>,
+    metrics: Mutex<MetricsRegistry>,
+    samples: Mutex<SampleStore>,
+    started_at: Instant,
+}
+
+impl Shared {
+    /// Seconds since the server started — the time axis for gauges.
+    fn now_s(&self) -> f64 {
+        self.started_at.elapsed().as_secs_f64()
+    }
+}
+
+/// A concurrent VOP server: a bounded admission queue drained by a team
+/// of executor threads, each running requests through its own
+/// [`ShmtRuntime`] on the shared global compute pool.
+pub struct Server {
+    shared: Arc<Shared>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("executors", &self.executors.len())
+            .field("capacity", &self.shared.capacity)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts the executor team (at least one thread, queue capacity at
+    /// least one).
+    pub fn new(config: ServerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            space_ready: Condvar::new(),
+            work_ready: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            default_deadline: config.default_deadline,
+            metrics: Mutex::new(MetricsRegistry::new()),
+            samples: Mutex::new(SampleStore::default()),
+            started_at: Instant::now(),
+        });
+        let executors = (0..config.executors.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("shmt-serve-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .expect("spawn serve executor")
+            })
+            .collect();
+        Server { shared, executors }
+    }
+
+    /// Admits a request if the queue has room; hands it back as
+    /// [`SubmitError::Busy`] otherwise. Never blocks.
+    ///
+    /// Lock order everywhere in this file: `state` and `metrics` are
+    /// never held at the same time, so the serving path cannot deadlock
+    /// against the executors' queue-depth gauge.
+    // The Err variant carries the whole Request by design: a rejected
+    // caller gets its VOP back without a clone, so the Err is as big as
+    // the request.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let mut state = self.shared.state.lock().expect("serve queue poisoned");
+        if state.shutdown {
+            return Err(SubmitError::Shutdown(request));
+        }
+        if state.queue.len() >= self.shared.capacity {
+            drop(state);
+            self.shared
+                .metrics
+                .lock()
+                .expect("metrics poisoned")
+                .add_counter("serve.rejected_busy", 1.0);
+            return Err(SubmitError::Busy(request));
+        }
+        let (ticket, depth) = self.admit(&mut state, request);
+        drop(state);
+        self.record_admission(depth);
+        Ok(ticket)
+    }
+
+    /// Admits a request, waiting for queue space when necessary. Only
+    /// fails when the server shuts down while the caller is waiting.
+    #[allow(clippy::result_large_err)] // Shutdown hands the request back
+    pub fn submit_blocking(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let mut state = self.shared.state.lock().expect("serve queue poisoned");
+        loop {
+            if state.shutdown {
+                return Err(SubmitError::Shutdown(request));
+            }
+            if state.queue.len() < self.shared.capacity {
+                let (ticket, depth) = self.admit(&mut state, request);
+                drop(state);
+                self.record_admission(depth);
+                return Ok(ticket);
+            }
+            state = self
+                .shared
+                .space_ready
+                .wait(state)
+                .expect("serve queue poisoned");
+        }
+    }
+
+    /// Enqueues under the caller's `state` lock; metrics are recorded by
+    /// the caller *after* that lock drops (see the lock-order note on
+    /// [`Server::submit`]).
+    fn admit(&self, state: &mut QueueState, request: Request) -> (Ticket, usize) {
+        let ticket = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let deadline = request.deadline.or(self.shared.default_deadline);
+        state.queue.push_back(Queued {
+            request,
+            ticket: Arc::clone(&ticket),
+            admitted_at: Instant::now(),
+            deadline,
+        });
+        let depth = state.queue.len();
+        self.shared.work_ready.notify_one();
+        (Ticket { state: ticket }, depth)
+    }
+
+    fn record_admission(&self, depth: usize) {
+        let mut metrics = self.shared.metrics.lock().expect("metrics poisoned");
+        metrics.add_counter("serve.submitted", 1.0);
+        metrics.push_gauge("serve.queue_depth", self.shared.now_s(), depth as f64);
+    }
+
+    /// Snapshot of the serving counters and gauges
+    /// (`serve.submitted`, `serve.completed`, `serve.rejected_busy`,
+    /// `serve.deadline_missed`, `serve.failed`, `serve.canceled`,
+    /// `serve.queue_depth`).
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.shared
+            .metrics
+            .lock()
+            .expect("metrics poisoned")
+            .clone()
+    }
+
+    /// Queue-wait and service-time percentile summaries, one per
+    /// scheduling policy observed so far.
+    pub fn latency_summaries(&self) -> Vec<PolicySummary> {
+        self.shared
+            .samples
+            .lock()
+            .expect("samples poisoned")
+            .summaries()
+    }
+
+    /// Stops admission, cancels queued requests, and joins the executor
+    /// team. Requests already running finish normally. Called implicitly
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("serve queue poisoned");
+            if state.shutdown && self.executors.is_empty() {
+                return;
+            }
+            state.shutdown = true;
+            let canceled: Vec<Queued> = state.queue.drain(..).collect();
+            drop(state);
+            let mut metrics = self.shared.metrics.lock().expect("metrics poisoned");
+            for q in &canceled {
+                q.ticket.fulfill(Err(ServeError::Canceled));
+                metrics.add_counter("serve.canceled", 1.0);
+            }
+        }
+        self.shared.work_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn executor_loop(shared: &Shared) {
+    loop {
+        let (queued, depth) = {
+            let mut state = shared.state.lock().expect("serve queue poisoned");
+            loop {
+                if let Some(q) = state.queue.pop_front() {
+                    shared.space_ready.notify_one();
+                    break (Some(q), state.queue.len());
+                }
+                if state.shutdown {
+                    break (None, 0);
+                }
+                state = shared.work_ready.wait(state).expect("serve queue poisoned");
+            }
+        };
+        let Some(queued) = queued else { return };
+
+        let queue_wait = queued.admitted_at.elapsed();
+        shared.metrics.lock().expect("metrics poisoned").push_gauge(
+            "serve.queue_depth",
+            shared.now_s(),
+            depth as f64,
+        );
+        if let Some(deadline) = queued.deadline {
+            if queue_wait > deadline {
+                // The client's deadline lapsed while the request sat in
+                // the queue; fail it without burning device time.
+                shared
+                    .metrics
+                    .lock()
+                    .expect("metrics poisoned")
+                    .add_counter("serve.deadline_missed", 1.0);
+                queued.ticket.fulfill(Err(ServeError::DeadlineExceeded {
+                    waited: queue_wait,
+                    deadline,
+                }));
+                continue;
+            }
+        }
+
+        let policy = queued.request.config.policy.name();
+        let runtime = ShmtRuntime::new(queued.request.platform, queued.request.config);
+        let service_start = Instant::now();
+        let outcome = runtime.execute(&queued.request.vop);
+        let service_time = service_start.elapsed();
+
+        let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+        match outcome {
+            Ok(report) => {
+                metrics.add_counter("serve.completed", 1.0);
+                metrics.add_counter("serve.queue_wait_s", queue_wait.as_secs_f64());
+                metrics.add_counter("serve.service_s", service_time.as_secs_f64());
+                shared.samples.lock().expect("samples poisoned").record(
+                    &policy,
+                    Sample {
+                        queue_wait_s: queue_wait.as_secs_f64(),
+                        service_s: service_time.as_secs_f64(),
+                    },
+                );
+                queued.ticket.fulfill(Ok(Response {
+                    report,
+                    queue_wait,
+                    service_time,
+                    policy,
+                }));
+            }
+            Err(e) => {
+                metrics.add_counter("serve.failed", 1.0);
+                queued.ticket.fulfill(Err(ServeError::Runtime(e)));
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Latency accounting: per-policy queue-wait and service-time samples
+//! summarized as nearest-rank percentiles.
+
+use std::collections::BTreeMap;
+
+/// One served request's latency split.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Sample {
+    pub queue_wait_s: f64,
+    pub service_s: f64,
+}
+
+/// Percentile summary of one latency dimension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Samples the summary covers.
+    pub count: usize,
+    /// Arithmetic mean, seconds.
+    pub mean_s: f64,
+    /// Median (nearest-rank), seconds.
+    pub p50_s: f64,
+    /// 95th percentile (nearest-rank), seconds.
+    pub p95_s: f64,
+    /// 99th percentile (nearest-rank), seconds.
+    pub p99_s: f64,
+    /// Worst observed, seconds.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    fn from_samples(mut values: Vec<f64>) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let count = values.len();
+        let mean_s = values.iter().sum::<f64>() / count as f64;
+        Some(LatencyStats {
+            count,
+            mean_s,
+            p50_s: nearest_rank(&values, 50.0),
+            p95_s: nearest_rank(&values, 95.0),
+            p99_s: nearest_rank(&values, 99.0),
+            max_s: values[count - 1],
+        })
+    }
+}
+
+/// Latency summary for every request served under one scheduling policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySummary {
+    /// The policy's display name ([`shmt::Policy::name`]).
+    pub policy: String,
+    /// Time from admission to executor pickup.
+    pub queue_wait: LatencyStats,
+    /// Time from pickup to completed execution.
+    pub service: LatencyStats,
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty slice.
+fn nearest_rank(sorted: &[f64], pct: f64) -> f64 {
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Accumulates samples keyed by policy name (deterministic iteration).
+#[derive(Debug, Default)]
+pub(crate) struct SampleStore {
+    per_policy: BTreeMap<String, Vec<Sample>>,
+}
+
+impl SampleStore {
+    pub fn record(&mut self, policy: &str, sample: Sample) {
+        self.per_policy
+            .entry(policy.to_owned())
+            .or_default()
+            .push(sample);
+    }
+
+    pub fn summaries(&self) -> Vec<PolicySummary> {
+        self.per_policy
+            .iter()
+            .filter_map(|(policy, samples)| {
+                let queue_wait =
+                    LatencyStats::from_samples(samples.iter().map(|s| s.queue_wait_s).collect())?;
+                let service =
+                    LatencyStats::from_samples(samples.iter().map(|s| s.service_s).collect())?;
+                Some(PolicySummary {
+                    policy: policy.clone(),
+                    queue_wait,
+                    service,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_hand_computation() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(nearest_rank(&v, 50.0), 50.0);
+        assert_eq!(nearest_rank(&v, 95.0), 95.0);
+        assert_eq!(nearest_rank(&v, 99.0), 99.0);
+        assert_eq!(nearest_rank(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn summaries_group_by_policy() {
+        let mut store = SampleStore::default();
+        for i in 0..10 {
+            store.record(
+                "work-stealing",
+                Sample {
+                    queue_wait_s: f64::from(i) * 0.001,
+                    service_s: 0.5,
+                },
+            );
+        }
+        store.record(
+            "even distribution",
+            Sample {
+                queue_wait_s: 0.0,
+                service_s: 1.0,
+            },
+        );
+        let summaries = store.summaries();
+        assert_eq!(summaries.len(), 2);
+        let ws = summaries
+            .iter()
+            .find(|s| s.policy == "work-stealing")
+            .unwrap();
+        assert_eq!(ws.queue_wait.count, 10);
+        assert_eq!(ws.service.p99_s, 0.5);
+        assert!(ws.queue_wait.p50_s <= ws.queue_wait.p95_s);
+        assert!(ws.queue_wait.p95_s <= ws.queue_wait.p99_s);
+        assert!(ws.queue_wait.p99_s <= ws.queue_wait.max_s);
+    }
+}

@@ -1,0 +1,232 @@
+//! Serving-layer contract tests: backpressure, deadlines, shutdown
+//! cancellation, and sequential-vs-concurrent bit-identity.
+
+use std::time::Duration;
+
+use shmt::{Platform, Policy, RuntimeConfig, ShmtRuntime, Vop};
+use shmt_kernels::Benchmark;
+use shmt_serve::{Request, ServeError, Server, ServerConfig, SubmitError};
+
+fn request(b: Benchmark, n: usize, seed: u64, policy: Policy) -> Request {
+    let vop = Vop::from_benchmark(b, b.generate_inputs(n, n, seed)).expect("valid VOP");
+    let mut config = RuntimeConfig::new(policy);
+    config.partitions = 8;
+    Request::new(vop, Platform::jetson(b), config)
+}
+
+/// Spins until the executor team has popped a request off the queue — an
+/// executor pushes a queue-depth gauge sample of 0 when it takes the
+/// only queued item — so the caller knows later submissions sit behind a
+/// busy executor rather than racing it. Only meaningful while a single
+/// request has been submitted: the admission-side gauge sample is then
+/// always 1, so a 0 anywhere in the series must be the executor's
+/// (samples are not ordered across the two pushers).
+fn wait_until_executor_popped(server: &Server) {
+    while !server
+        .metrics()
+        .gauge_series("serve.queue_depth")
+        .iter()
+        .any(|&(_, depth)| depth == 0.0)
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn submit_returns_busy_at_capacity_and_recovers() {
+    // One executor, capacity one: hold the executor on a request, fill
+    // the single queue slot, and the next submit must bounce.
+    let server = Server::new(ServerConfig {
+        executors: 1,
+        queue_capacity: 1,
+        default_deadline: None,
+    });
+    // Built before submission: generating inputs inside the submit
+    // sequence would pace this thread at the executor's own speed.
+    let blocker = request(Benchmark::Sobel, 512, 1, Policy::WorkStealing);
+    let filler = request(Benchmark::Sobel, 128, 2, Policy::WorkStealing);
+    let extra = request(Benchmark::Sobel, 128, 3, Policy::WorkStealing);
+    let first = server.submit(blocker).expect("first request admitted");
+    wait_until_executor_popped(&server);
+    let second = server.submit(filler).expect("freed slot admits");
+    match server.submit(extra) {
+        Err(SubmitError::Busy(returned)) => {
+            // The request comes back intact for retry elsewhere.
+            assert!(returned.deadline.is_none());
+        }
+        Ok(_) => panic!("a full queue must reject"),
+        Err(SubmitError::Shutdown(_)) => panic!("server is running"),
+    }
+    assert!(server.metrics().counter("serve.rejected_busy") >= 1.0);
+    // Everything admitted still completes.
+    first.wait().expect("blocker completes");
+    second.wait().expect("queued request completes");
+}
+
+#[test]
+fn submit_blocking_waits_instead_of_bouncing() {
+    let server = Server::new(ServerConfig {
+        executors: 1,
+        queue_capacity: 1,
+        default_deadline: None,
+    });
+    let tickets: Vec<_> = (0..6)
+        .map(|seed| {
+            server
+                .submit_blocking(request(
+                    Benchmark::MeanFilter,
+                    128,
+                    seed,
+                    Policy::WorkStealing,
+                ))
+                .expect("server running")
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("all blocking submissions complete");
+    }
+    assert_eq!(server.metrics().counter("serve.completed"), 6.0);
+    assert_eq!(server.metrics().counter("serve.rejected_busy"), 0.0);
+}
+
+#[test]
+fn queued_deadline_produces_typed_error_not_a_hang() {
+    // One executor busy on a big request; a zero deadline on the queued
+    // request must lapse while it waits.
+    let server = Server::new(ServerConfig {
+        executors: 1,
+        queue_capacity: 4,
+        default_deadline: None,
+    });
+    let blocker = server
+        .submit(request(Benchmark::Sobel, 512, 1, Policy::WorkStealing))
+        .expect("admitted");
+    let doomed = server
+        .submit(
+            request(Benchmark::Sobel, 512, 2, Policy::WorkStealing).with_deadline(Duration::ZERO),
+        )
+        .expect("admitted");
+    match doomed.wait() {
+        Err(ServeError::DeadlineExceeded { waited, deadline }) => {
+            assert_eq!(deadline, Duration::ZERO);
+            assert!(waited >= deadline);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    blocker.wait().expect("blocker unaffected");
+    assert_eq!(server.metrics().counter("serve.deadline_missed"), 1.0);
+}
+
+#[test]
+fn ticket_wait_timeout_returns_none_while_in_flight() {
+    let server = Server::new(ServerConfig::default());
+    let ticket = server
+        .submit(request(Benchmark::Sobel, 512, 3, Policy::WorkStealing))
+        .expect("admitted");
+    // Either still in flight (None) or already done (Some(Ok)) — never a
+    // hang, never an error.
+    match ticket.wait_timeout(Duration::from_micros(1)) {
+        None => {
+            let outcome = ticket
+                .wait_timeout(Duration::from_secs(30))
+                .expect("completes well within 30s");
+            outcome.expect("request succeeds");
+        }
+        Some(outcome) => {
+            outcome.expect("request succeeds");
+        }
+    }
+}
+
+#[test]
+fn shutdown_cancels_queued_requests() {
+    let mut server = Server::new(ServerConfig {
+        executors: 1,
+        queue_capacity: 8,
+        default_deadline: None,
+    });
+    // Build every request up front: generating a 512^2 input inside the
+    // submit loop would hand the lone executor a long head start.
+    let blocker = request(Benchmark::Sobel, 512, 0, Policy::WorkStealing);
+    let queued: Vec<_> = (1..5)
+        .map(|seed| request(Benchmark::Sobel, 128, seed, Policy::WorkStealing))
+        .collect();
+    let mut tickets = vec![server.submit(blocker).expect("admitted")];
+    // With the executor busy on the blocker, the requests below really
+    // sit in the queue when shutdown drains it.
+    wait_until_executor_popped(&server);
+    for req in queued {
+        tickets.push(server.submit(req).expect("admitted"));
+    }
+    server.shutdown();
+    let mut canceled = 0;
+    let mut completed = 0;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => completed += 1,
+            Err(ServeError::Canceled) => canceled += 1,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert_eq!(canceled + completed, 5);
+    assert!(canceled >= 1, "queued requests are canceled, not leaked");
+    // Post-shutdown submission is refused with the request handed back.
+    match server.submit(request(Benchmark::Sobel, 128, 9, Policy::WorkStealing)) {
+        Err(SubmitError::Shutdown(_)) => {}
+        other => panic!("expected Shutdown, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_serving_is_bit_identical_to_sequential() {
+    let cases: Vec<(Benchmark, u64, Policy)> = vec![
+        (Benchmark::Sobel, 11, Policy::WorkStealing),
+        (Benchmark::MeanFilter, 12, Policy::WorkStealing),
+        (Benchmark::Fft, 13, Policy::EvenDistribution),
+        (Benchmark::Sobel, 14, Policy::EvenDistribution),
+        (Benchmark::MeanFilter, 15, Policy::WorkStealing),
+        (Benchmark::Fft, 16, Policy::WorkStealing),
+    ];
+    // Sequential references, one runtime per case.
+    let references: Vec<_> = cases
+        .iter()
+        .map(|&(b, seed, policy)| {
+            let req = request(b, 192, seed, policy);
+            ShmtRuntime::new(req.platform.clone(), req.config)
+                .execute(&req.vop)
+                .expect("sequential run succeeds")
+                .output
+        })
+        .collect();
+    // The same cases through a concurrent server.
+    let server = Server::new(ServerConfig {
+        executors: 4,
+        queue_capacity: 16,
+        default_deadline: None,
+    });
+    let tickets: Vec<_> = cases
+        .iter()
+        .map(|&(b, seed, policy)| {
+            server
+                .submit_blocking(request(b, 192, seed, policy))
+                .expect("server running")
+        })
+        .collect();
+    for (ticket, reference) in tickets.into_iter().zip(&references) {
+        let response = ticket.wait().expect("served run succeeds");
+        assert_eq!(
+            response.report.output.as_slice(),
+            reference.as_slice(),
+            "served output must be bit-identical to sequential execution"
+        );
+    }
+    // Latency summaries cover every policy seen.
+    let summaries = server.latency_summaries();
+    assert!(summaries.iter().any(|s| s.policy == "work-stealing"));
+    assert!(summaries.iter().any(|s| s.policy == "even distribution"));
+    for s in &summaries {
+        assert!(s.queue_wait.p50_s <= s.queue_wait.p99_s);
+        assert!(s.service.p50_s <= s.service.p99_s);
+        assert!(s.service.max_s > 0.0);
+    }
+}

@@ -60,4 +60,18 @@ grep -q '"best_ns":' "$f" || { echo "no measurements in $f"; exit 1; }
 grep -q '"kernel/SRAD/npu/128"' "$f" || { echo "benchmark coverage gap in $f"; exit 1; }
 echo "perf report smoke validated: $f"
 
+echo "== serve bench smoke check =="
+# serve_bench sweeps 1/2/4/8 closed-loop clients over a mixed workload,
+# asserts every served output is bit-identical to sequential execution,
+# and aborts unless 4 concurrent clients beat sequential throughput; the
+# artifact is re-read with the workspace's own JSON parser before the
+# bin reports success.
+cargo run --release -q -p shmt-bench --bin serve_bench -- --smoke >/dev/null
+f=results/BENCH_serve_smoke.json
+[ -s "$f" ] || { echo "empty serve report: $f"; exit 1; }
+grep -q '"vops_per_s":' "$f" || { echo "no throughput measurements in $f"; exit 1; }
+grep -q '"bit_identical":true' "$f" || { echo "bit-identity flag missing in $f"; exit 1; }
+grep -q '"scaling_4_vs_1":' "$f" || { echo "scaling summary missing in $f"; exit 1; }
+echo "serve bench smoke validated: $f"
+
 echo "CI OK"
