@@ -4,9 +4,10 @@
 //! cargo run --release -p shmt-bench --bin fault_sweep -- --size 1024
 //! ```
 //!
-//! Runs Sobel under each QAWS variant against five fault scenarios — none,
+//! Runs Sobel under each QAWS variant against six fault scenarios — none,
 //! a GPU slowdown window, transient transfer failures, the Edge TPU absent
-//! from the start, and a mid-run GPU dropout — and writes
+//! from the start, a mid-run GPU dropout, and a double dropout where a
+//! second device dies during the first dropout's re-dispatch — and writes
 //! `results/faults_<policy>.json` with makespan, output MAPE, and the
 //! fault counters per scenario. Every file is validated by re-reading it
 //! with the crate's own JSON parser before it is reported as written, and
@@ -55,6 +56,14 @@ fn scenarios(healthy_makespan_s: f64, seed: u64) -> Vec<(&'static str, FaultPlan
             "gpu_dropout",
             FaultPlan::none().with_dropout(GPU, healthy_makespan_s * 0.25),
         ),
+        // A second device dies while the orphans of the first dropout are
+        // still being re-dispatched — recovery must be idempotent.
+        (
+            "double_dropout",
+            FaultPlan::none()
+                .with_dropout(TPU, healthy_makespan_s * 0.2)
+                .with_dropout(GPU, healthy_makespan_s * 0.45),
+        ),
     ]
 }
 
@@ -85,7 +94,7 @@ fn validate(json: &str, policy: &str) {
         .get("scenarios")
         .and_then(JsonValue::as_array)
         .expect("scenarios array");
-    assert_eq!(rows.len(), 5, "{policy}: five scenarios");
+    assert_eq!(rows.len(), 6, "{policy}: six scenarios");
     for row in rows {
         let name = row.get("name").and_then(JsonValue::as_str).expect("name");
         let degraded = matches!(row.get("degraded"), Some(JsonValue::Bool(true)));

@@ -1,7 +1,7 @@
 use std::fmt;
 
 /// Errors raised by the SHMT runtime.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ShmtError {
     /// The VOP's inputs do not satisfy the kernel's arity or shape rules.
     InvalidVop(String),
@@ -18,6 +18,19 @@ pub enum ShmtError {
         /// HLOPs the VOP was partitioned into.
         total: usize,
     },
+    /// The quality guard found an over-budget partition but no exact
+    /// (fp32) device survives to verify or repair it, so the budget
+    /// cannot be honoured.
+    QualityUnattainable {
+        /// The guard's error estimate for the partition it could not fix.
+        estimated_mape: f64,
+        /// The budget that estimate exceeds.
+        budget_mape: f64,
+    },
+    /// An internal scheduler invariant was violated — always a bug, never
+    /// a consequence of user input, but surfaced as a typed error instead
+    /// of a panic so servers degrade gracefully.
+    Internal(String),
 }
 
 impl fmt::Display for ShmtError {
@@ -31,6 +44,15 @@ impl fmt::Display for ShmtError {
                 "scheduler stranded {} of {total} HLOPs (executed {executed})",
                 total - executed
             ),
+            ShmtError::QualityUnattainable {
+                estimated_mape,
+                budget_mape,
+            } => write!(
+                f,
+                "quality budget unattainable: estimated MAPE {estimated_mape:.4} exceeds \
+                 budget {budget_mape:.4} with no exact device left to repair"
+            ),
+            ShmtError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

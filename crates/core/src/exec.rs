@@ -16,7 +16,7 @@
 //!   never changes regardless of which worker ran which task.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use shmt_kernels::{Aggregation, Kernel};
 use shmt_tensor::tile::Tile;
@@ -177,13 +177,19 @@ pub fn compute_tasks_on(
                             };
                             done.push((i, result));
                         }
-                        results.lock().expect("results poisoned").extend(done);
+                        // A poisoned lock means another worker panicked;
+                        // the Vec of deposited results is still valid, and
+                        // the panic itself is re-raised by `pool.scope`.
+                        results
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .extend(done);
                     };
                     Box::new(job) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
             pool.scope(jobs);
-            for (i, result) in results.into_inner().expect("results poisoned") {
+            for (i, result) in results.into_inner().unwrap_or_else(PoisonError::into_inner) {
                 let tile = tasks[i].tile;
                 for r in 0..tile.rows {
                     let src = result.row(r);
@@ -211,13 +217,16 @@ pub fn compute_tasks_on(
                             run_one(kernel, inputs, *task, &mut buf);
                             mine.push((i, buf));
                         }
-                        results.lock().expect("results poisoned").extend(mine);
+                        results
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .extend(mine);
                     };
                     Box::new(job) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
             pool.scope(jobs);
-            let mut partials = results.into_inner().expect("results poisoned");
+            let mut partials = results.into_inner().unwrap_or_else(PoisonError::into_inner);
             partials.sort_by_key(|(i, _)| *i);
             for (_, buf) in &partials {
                 for r in 0..output.rows() {

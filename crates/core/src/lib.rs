@@ -31,8 +31,13 @@
 //! * fault tolerance — [`runtime::ShmtRuntime::execute_with_faults`]
 //!   runs a VOP under a seeded, deterministic [`FaultPlan`] (slowdown
 //!   windows, transient transfer failures retried with capped backoff,
-//!   device dropout with accuracy-ordered re-dispatch); the report's
-//!   [`FaultReport`] says what fired.
+//!   device dropout with accuracy-ordered re-dispatch, TPU output
+//!   miscalibration); the report's [`FaultReport`] says what fired.
+//! * [`guard`] — output-side quality control (§3.6): a configurable
+//!   [`GuardConfig`] samples pages of every approximate partition after
+//!   aggregation, recomputes them exactly in virtual time, and re-executes
+//!   partitions whose estimated error exceeds the [`QualityBudget`]; the
+//!   report's [`QualityReport`] says what was checked and repaired.
 //! * [`trace`] (re-exported `shmt-trace`) — structured event tracing:
 //!   [`runtime::ShmtRuntime::execute_traced`] captures every dispatch,
 //!   cast, transfer, compute span, steal, and aggregation in virtual time,
@@ -67,6 +72,7 @@ pub mod criticality;
 mod error;
 pub mod exec;
 pub mod experiments;
+pub mod guard;
 pub mod hlop;
 pub mod partition;
 pub mod pipeline;
@@ -80,7 +86,8 @@ pub mod sched;
 pub mod vop;
 
 pub use error::{Result, ShmtError};
-pub use hetsim::{FaultInjector, FaultPlan, FaultReport};
+pub use guard::{GuardConfig, QualityBudget, QualityReport, RepairRecord};
+pub use hetsim::{FaultInjector, FaultPlan, FaultReport, TpuMiscalibration};
 pub use platform::Platform;
 pub use report::{BaselineReport, RunReport};
 pub use runtime::{RuntimeConfig, ShmtRuntime};

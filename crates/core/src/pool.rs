@@ -27,7 +27,7 @@
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// A type-erased unit of pool work.
@@ -77,13 +77,16 @@ impl ComputePool {
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
+        // A failed spawn (resource exhaustion) degrades to fewer workers
+        // instead of panicking: `scope` is correct at any worker count
+        // because the submitting thread helps drain the queue.
         let workers = (0..workers.max(1))
-            .map(|i| {
+            .map_while(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("shmt-compute-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
+                    .ok()
             })
             .collect();
         ComputePool { shared, workers }
@@ -127,7 +130,11 @@ impl ComputePool {
             panic: Mutex::new(None),
         });
         {
-            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for job in jobs {
                 // SAFETY: the job may borrow data with lifetime 'env. This
                 // function does not return until `remaining` reaches zero,
@@ -146,10 +153,13 @@ impl ComputePool {
                 queue.push_back(Box::new(move || {
                     let result = std::panic::catch_unwind(AssertUnwindSafe(job));
                     if let Err(payload) = result {
-                        let mut slot = batch.panic.lock().expect("panic slot poisoned");
+                        let mut slot = batch.panic.lock().unwrap_or_else(PoisonError::into_inner);
                         slot.get_or_insert(payload);
                     }
-                    let mut remaining = batch.remaining.lock().expect("batch count poisoned");
+                    let mut remaining = batch
+                        .remaining
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
                     *remaining -= 1;
                     if *remaining == 0 {
                         batch.batch_done.notify_all();
@@ -166,7 +176,11 @@ impl ComputePool {
         // idling, exactly like the joiner of the old `std::thread::scope`.
         loop {
             let job = {
-                let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+                let mut queue = self
+                    .shared
+                    .queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue.pop_front()
             };
             match job {
@@ -174,7 +188,10 @@ impl ComputePool {
                 None => break,
             }
         }
-        let mut remaining = batch.remaining.lock().expect("batch count poisoned");
+        let mut remaining = batch
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         while *remaining > 0 {
             // This batch's jobs are all either done or running on workers
             // (the queue was drained above and we enqueued them before
@@ -183,11 +200,15 @@ impl ComputePool {
             remaining = batch
                 .batch_done
                 .wait(remaining)
-                .expect("batch count poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
         drop(remaining);
 
-        let payload = batch.panic.lock().expect("panic slot poisoned").take();
+        let payload = batch
+            .panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
         }
@@ -197,7 +218,7 @@ impl ComputePool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
@@ -205,7 +226,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
-                queue = shared.work_ready.wait(queue).expect("pool queue poisoned");
+                queue = shared
+                    .work_ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         match job {

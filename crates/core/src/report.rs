@@ -4,6 +4,7 @@ use hetsim::{DeviceKind, EnergyBreakdown, FaultReport};
 use shmt_tensor::Tensor;
 use shmt_trace::TraceData;
 
+use crate::guard::QualityReport;
 use crate::hlop::HlopRecord;
 
 /// Per-device accounting for one run.
@@ -52,6 +53,9 @@ pub struct RunReport {
     /// What the fault injector did during the run; all-zero (and
     /// `degraded: false`) for a run without a fault plan.
     pub faults: FaultReport,
+    /// What the quality guard observed and repaired; all-zero (with
+    /// `enabled: false`) for a run without the guard.
+    pub quality: QualityReport,
     /// The structured event trace, when the run was captured through
     /// [`crate::runtime::ShmtRuntime::execute_traced`]; `None` otherwise.
     pub trace: Option<TraceData>,
@@ -117,7 +121,9 @@ impl RunReport {
                 format!(
                     "{:<8} |{}| {:>4} HLOPs",
                     d.kind.to_string(),
-                    String::from_utf8(cells).expect("ascii"),
+                    // Cells are only ever b'.' or b'#'; lossy conversion
+                    // keeps this infallible without an unwrap.
+                    String::from_utf8_lossy(&cells),
                     d.hlops
                 )
             })
@@ -200,6 +206,7 @@ mod tests {
             steals: 1,
             peak_memory_bytes: 1024,
             faults: FaultReport::default(),
+            quality: QualityReport::disabled(),
             trace: None,
         }
     }

@@ -20,6 +20,7 @@ use shmt_tensor::Tensor;
 use shmt_trace::{EventKind, NullSink, TraceRecorder, TraceSink};
 
 use crate::error::{Result, ShmtError};
+use crate::guard::{GuardConfig, QualityReport};
 use crate::hlop::{Hlop, HlopRecord};
 use crate::partition::partition_vop;
 use crate::platform::Platform;
@@ -47,6 +48,9 @@ pub struct RuntimeConfig {
     /// Which devices participate, in queue-index order (GPU, CPU, TPU).
     /// Disabled devices' initial assignments are redistributed.
     pub device_mask: [bool; 3],
+    /// Output-verification quality guard (disabled by default; a
+    /// disabled guard leaves reports bit-identical).
+    pub guard: GuardConfig,
     /// Ablation knob: force synchronous (non-double-buffered) casts and
     /// transfers regardless of policy.
     pub force_synchronous: bool,
@@ -62,6 +66,7 @@ impl RuntimeConfig {
             policy,
             partitions: 64,
             quality: QualityConfig::default(),
+            guard: GuardConfig::default(),
             device_mask: [true; 3],
             force_synchronous: false,
             compute_threads: crate::exec::default_threads(),
@@ -193,6 +198,7 @@ impl ShmtRuntime {
         if !self.config.device_mask.iter().any(|&m| m) {
             return Err(ShmtError::NoCapableDevice("all devices disabled".into()));
         }
+        self.config.guard.validate()?;
 
         if sink.enabled() {
             sink.record(
@@ -334,6 +340,12 @@ impl ShmtRuntime {
         let mut compute: Vec<crate::exec::ComputeTask> = Vec::with_capacity(hlops.len());
 
         let work_per_elem = kernel.work_per_element();
+        // TPU miscalibration silently corrupts output values; it only has
+        // something to corrupt for tile-aggregated kernels (reduction
+        // partials fold into shared buffers and are not attributable).
+        let miscal = injector
+            .miscalibration()
+            .filter(|_| matches!(shape.aggregation, shmt_kernels::Aggregation::Tile));
         // Kernels with native uint8 NPU models take 8-bit image data
         // without a host-side cast; everything else pays the fp32->int8
         // conversion on the way in and out (§3.3.2).
@@ -413,8 +425,12 @@ impl ShmtRuntime {
                 // must also pass the steal-profit filter below against
                 // *this* queue's backlog, or it would never actually come
                 // take the item and the HLOP would strand.
-                let item_work =
-                    queues[d].peek_front().expect("non-empty").elements() as f64 * work_per_elem;
+                let Some(front) = queues[d].peek_front() else {
+                    return Err(ShmtError::Internal(
+                        "endgame withdrawal peeked an idle queue".into(),
+                    ));
+                };
+                let item_work = front.elements() as f64 * work_per_elem;
                 let my_completion = timelines[d].free_at() + profiles[d].exec_time(item_work);
                 let my_backlog: f64 = queues[d]
                     .iter_pending()
@@ -450,8 +466,10 @@ impl ShmtRuntime {
                 let victim = (0..3)
                     .filter(|&v| the_plan.steal[d][v] && !queues[v].is_idle())
                     .filter(|&v| {
-                        let item_work = queues[v].peek_back().expect("non-empty").elements() as f64
-                            * work_per_elem;
+                        let Some(back) = queues[v].peek_back() else {
+                            return false;
+                        };
+                        let item_work = back.elements() as f64 * work_per_elem;
                         let victim_backlog: f64 = queues[v]
                             .iter_pending()
                             .map(|h| profiles[v].exec_time(h.elements() as f64 * work_per_elem))
@@ -463,7 +481,11 @@ impl ShmtRuntime {
                     Some(v) => {
                         // Stealing from the back takes the victim's most
                         // critical pending work under quality-aware plans.
-                        let h = queues[v].steal_back().expect("victim has items");
+                        let Some(h) = queues[v].steal_back() else {
+                            return Err(ShmtError::Internal(
+                                "steal victim's queue drained before the steal".into(),
+                            ));
+                        };
                         stolen_ids[h.id] = true;
                         let now = timelines[d].free_at();
                         queues[d].enqueue_traced(now, h, QUEUE_GAUGE[d], sink);
@@ -488,7 +510,11 @@ impl ShmtRuntime {
                 }
             }
 
-            let hlop = queues[d].pop_front().expect("queue refilled above");
+            let Some(hlop) = queues[d].pop_front() else {
+                return Err(ShmtError::Internal(
+                    "acting device's queue empty after refill".into(),
+                ));
+            };
             if sink.enabled() {
                 sink.gauge(
                     QUEUE_GAUGE[d],
@@ -561,6 +587,22 @@ impl ShmtRuntime {
             // window keeps fault-free runs bit-identical.
             let slow = injector.slowdown_factor(d, start);
             if slow != 1.0 {
+                faults.injected += 1;
+                if sink.enabled() {
+                    sink.record(
+                        start.as_secs(),
+                        EventKind::FaultInjected {
+                            hlop: hlop.id,
+                            device: d,
+                        },
+                    );
+                    sink.counter("faults.injected", 1.0);
+                }
+            }
+            // A miscalibrated TPU corrupts every HLOP it serves; the
+            // values are damaged when the corruption is applied to the
+            // computed output below.
+            if is_tpu && miscal.is_some() {
                 faults.injected += 1;
                 if sink.enabled() {
                     sink.record(
@@ -675,6 +717,7 @@ impl ShmtRuntime {
                         faults.devices_lost += 1;
                         faults.injected += 1;
                         faults.degraded = true;
+                        faults.lost[v] = true;
                         if sink.enabled() {
                             sink.record(at.max(t0).as_secs(), EventKind::DeviceDown { device: v });
                             sink.counter("faults.devices_lost", 1.0);
@@ -693,6 +736,46 @@ impl ShmtRuntime {
             &mut output,
             self.config.compute_threads,
         );
+
+        // The miscalibrated TPU wrote `gain·v + bias` into every tile it
+        // served; tiles are disjoint, so post-hoc corruption of the
+        // aggregated output is equivalent to corrupting each HLOP result.
+        if let Some(m) = miscal {
+            for task in compute.iter().filter(|t| t.npu) {
+                let t = task.tile;
+                for r in 0..t.rows {
+                    for v in &mut output.row_mut(t.row0 + r)[t.col0..t.col0 + t.cols] {
+                        *v = m.gain * *v + m.bias;
+                    }
+                }
+            }
+        }
+
+        // Output-side quality control (§3.6): sample pages of every
+        // approximate partition, estimate the error, re-execute exactly
+        // over budget. Charged on the exact devices' timelines, so the
+        // makespan and energy below include the verification cost.
+        let (quality, guard_end) = if self.config.guard.enabled {
+            let alive = [
+                self.config.device_mask[GPU] && !dead[GPU],
+                self.config.device_mask[CPU] && !dead[CPU],
+                self.config.device_mask[TPU] && !dead[TPU],
+            ];
+            crate::guard::run_guard(
+                &self.config.guard,
+                kernel,
+                &inputs,
+                &compute,
+                &mut output,
+                &mut timelines,
+                &alive,
+                latest_completion,
+                sink,
+            )?
+        } else {
+            (QualityReport::disabled(), latest_completion)
+        };
+
         kernel.finalize(&mut output);
 
         // Host-side chunk staging overlaps the multi-device execution (the
@@ -700,7 +783,7 @@ impl ShmtRuntime {
         let total_elems: usize = hlops.iter().map(Hlop::elements).sum();
         let ideal_gpu_kernel_s = total_elems as f64 * work_per_elem / profiles[GPU].throughput;
         let staging_s = bench.host_staging_frac * ideal_gpu_kernel_s;
-        let makespan = latest_completion.max(t0 + staging_s).as_secs();
+        let makespan = guard_end.max(t0 + staging_s).as_secs();
 
         // Energy (§5.5): platform idle floor over the makespan, plus each
         // device's active power over its busy time; the CPU also pays for
@@ -754,6 +837,7 @@ impl ShmtRuntime {
             steals,
             peak_memory_bytes,
             faults,
+            quality,
             trace: None,
         })
     }
@@ -875,6 +959,7 @@ fn kill_device(
     faults.devices_lost += 1;
     faults.injected += 1;
     faults.degraded = true;
+    faults.lost[d] = true;
     if sink.enabled() {
         sink.record(now.as_secs(), EventKind::DeviceDown { device: d });
         sink.counter("faults.devices_lost", 1.0);

@@ -12,16 +12,36 @@ use crate::server::Request;
 /// will not perform.
 #[derive(Debug)]
 pub enum SubmitError {
-    /// The bounded admission queue is at capacity right now.
-    Busy(Request),
+    /// The bounded admission queue is at capacity right now. Carries the
+    /// observed depth and the configured capacity so clients can size
+    /// their backoff to how overloaded the server actually is.
+    Busy {
+        /// The rejected request, handed back intact.
+        request: Request,
+        /// Queue depth observed at rejection time (equals `capacity`).
+        depth: usize,
+        /// The server's configured admission-queue capacity.
+        capacity: usize,
+    },
     /// The server has shut down and accepts no further work.
     Shutdown(Request),
+}
+
+impl SubmitError {
+    /// Recovers the rejected request from either variant.
+    pub fn into_request(self) -> Request {
+        match self {
+            SubmitError::Busy { request, .. } | SubmitError::Shutdown(request) => request,
+        }
+    }
 }
 
 impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SubmitError::Busy(_) => write!(f, "admission queue full"),
+            SubmitError::Busy {
+                depth, capacity, ..
+            } => write!(f, "admission queue full ({depth} of {capacity} slots)"),
             SubmitError::Shutdown(_) => write!(f, "server is shut down"),
         }
     }
@@ -42,8 +62,20 @@ pub enum ServeError {
     },
     /// The server shut down before an executor reached the request.
     Canceled,
+    /// The request's `max_mape` quality SLO cannot be met: the guard found
+    /// over-budget output and no exact device was available to repair it
+    /// (e.g. the only fp32 devices are quarantined or dead).
+    QualityUnattainable {
+        /// The guard's error estimate for the partition it could not fix.
+        estimated_mape: f64,
+        /// The SLO that estimate exceeds.
+        budget_mape: f64,
+    },
     /// The runtime rejected or failed the execution.
     Runtime(shmt::ShmtError),
+    /// The serving layer itself failed (e.g. no executor thread could be
+    /// spawned).
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -54,7 +86,16 @@ impl fmt::Display for ServeError {
                 "deadline exceeded: waited {waited:?} against a deadline of {deadline:?}"
             ),
             ServeError::Canceled => write!(f, "request canceled by server shutdown"),
+            ServeError::QualityUnattainable {
+                estimated_mape,
+                budget_mape,
+            } => write!(
+                f,
+                "quality SLO unattainable: estimated MAPE {estimated_mape:.4} exceeds \
+                 the requested {budget_mape:.4} with no exact device available"
+            ),
             ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+            ServeError::Internal(msg) => write!(f, "serving layer failure: {msg}"),
         }
     }
 }
@@ -63,6 +104,15 @@ impl std::error::Error for ServeError {}
 
 impl From<shmt::ShmtError> for ServeError {
     fn from(e: shmt::ShmtError) -> Self {
-        ServeError::Runtime(e)
+        match e {
+            shmt::ShmtError::QualityUnattainable {
+                estimated_mape,
+                budget_mape,
+            } => ServeError::QualityUnattainable {
+                estimated_mape,
+                budget_mape,
+            },
+            other => ServeError::Runtime(other),
+        }
     }
 }

@@ -1,0 +1,352 @@
+//! Per-device health: strike accounting, a quarantine circuit breaker,
+//! and probe-and-reintegrate.
+//!
+//! The serving layer watches every completed request for evidence that a
+//! modeled device is misbehaving — a dropout recorded in the run's
+//! [`shmt::FaultReport`], or approximate output bad enough that the
+//! quality guard had to repair it. Evidence accumulates as *strikes*;
+//! enough **consecutive** strikes trip a circuit breaker that
+//! *quarantines* the device, masking it out of subsequent requests'
+//! device masks (requests still run, in degraded mode, on the remaining
+//! devices). After a configurable number of quarantined requests the
+//! tracker *probes*: one request re-admits the device, and a clean run
+//! reintegrates it while another strike re-arms the quarantine.
+//!
+//! The tracker never masks the last capable device — when every device a
+//! request asked for is quarantined, the request runs with its original
+//! mask (serving degraded beats not serving).
+
+use crate::server::DEVICES;
+
+/// Circuit-breaker tuning for [`crate::ServerConfig::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Master switch. Disabled, the tracker observes nothing and never
+    /// touches a request's device mask.
+    pub enabled: bool,
+    /// Consecutive strikes that trip the quarantine breaker.
+    pub quarantine_after: usize,
+    /// Requests served while a device sits quarantined before one request
+    /// is used to probe it.
+    pub probe_after: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            enabled: true,
+            quarantine_after: 3,
+            probe_after: 4,
+        }
+    }
+}
+
+/// Public snapshot of one device's health, from [`crate::Server::device_health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceHealth {
+    /// Whether the circuit breaker is currently open for this device.
+    pub quarantined: bool,
+    /// Strikes since the last clean run this device took part in.
+    pub consecutive_strikes: usize,
+    /// Strikes over the server's lifetime.
+    pub total_strikes: usize,
+    /// Times the breaker tripped.
+    pub quarantines: usize,
+    /// Probe requests dispatched to this device while quarantined.
+    pub probes: usize,
+    /// Probes that came back clean and closed the breaker.
+    pub reintegrations: usize,
+}
+
+/// What the tracker decided for one request before execution.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MaskDecision {
+    /// The device mask the request should actually run with.
+    pub mask: [bool; DEVICES],
+    /// Devices included as quarantine probes this request.
+    pub probed: [bool; DEVICES],
+    /// Whether `mask` differs from what the request asked for — the
+    /// request is serving in degraded mode if so.
+    pub masked_any: bool,
+}
+
+/// Health counter increments one outcome produced, applied to the metrics
+/// registry after the health lock drops (lock order: health is never held
+/// together with `state` or `metrics`).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct HealthDelta {
+    pub strikes: usize,
+    pub quarantines: usize,
+    pub reintegrations: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    quarantined: bool,
+    /// A probe request is in flight; hold further probes until it lands.
+    probe_inflight: bool,
+    consecutive: usize,
+    /// Requests planned since the quarantine began (or since the last
+    /// probe); reaching `probe_after` releases the next probe.
+    since_quarantine: usize,
+    total_strikes: usize,
+    quarantines: usize,
+    probes: usize,
+    reintegrations: usize,
+}
+
+/// The mutable tracker behind the server's health mutex.
+#[derive(Debug)]
+pub(crate) struct HealthTracker {
+    config: HealthConfig,
+    slots: [Slot; DEVICES],
+}
+
+impl HealthTracker {
+    pub(crate) fn new(config: HealthConfig) -> Self {
+        HealthTracker {
+            config,
+            slots: [Slot::default(); DEVICES],
+        }
+    }
+
+    /// Decides the effective device mask for a request about to execute:
+    /// masks quarantined devices, releases due probes, and falls back to
+    /// the requested mask when quarantine would leave nothing enabled.
+    pub(crate) fn plan(&mut self, requested: [bool; DEVICES]) -> MaskDecision {
+        if !self.config.enabled {
+            return MaskDecision {
+                mask: requested,
+                probed: [false; DEVICES],
+                masked_any: false,
+            };
+        }
+        let mut mask = requested;
+        let mut probed = [false; DEVICES];
+        for (d, slot) in self.slots.iter_mut().enumerate() {
+            if !requested[d] || !slot.quarantined {
+                continue;
+            }
+            if !slot.probe_inflight && slot.since_quarantine >= self.config.probe_after {
+                slot.probe_inflight = true;
+                slot.since_quarantine = 0;
+                slot.probes += 1;
+                probed[d] = true; // stays in the mask as a probe
+            } else {
+                slot.since_quarantine += 1;
+                mask[d] = false;
+            }
+        }
+        if !mask.iter().any(|&m| m) {
+            // Every requested device is quarantined: never mask the last
+            // capable device; run the request as asked, degraded.
+            mask = requested;
+        }
+        MaskDecision {
+            mask,
+            probed,
+            masked_any: mask != requested,
+        }
+    }
+
+    /// Folds one request's outcome back into the tracker. `struck` is the
+    /// per-device fault attribution (`None` when the run failed for a
+    /// reason no device can be blamed for — probes in flight are released
+    /// without a verdict).
+    pub(crate) fn record(
+        &mut self,
+        decision: &MaskDecision,
+        struck: Option<[bool; DEVICES]>,
+    ) -> HealthDelta {
+        let mut delta = HealthDelta::default();
+        if !self.config.enabled {
+            return delta;
+        }
+        let Some(struck) = struck else {
+            for (d, slot) in self.slots.iter_mut().enumerate() {
+                if decision.probed[d] {
+                    slot.probe_inflight = false;
+                }
+            }
+            return delta;
+        };
+        for (d, slot) in self.slots.iter_mut().enumerate() {
+            if !decision.mask[d] {
+                continue;
+            }
+            if struck[d] {
+                slot.consecutive += 1;
+                slot.total_strikes += 1;
+                delta.strikes += 1;
+                if decision.probed[d] {
+                    // Failed probe: the breaker stays open, the probe
+                    // clock restarts.
+                    slot.probe_inflight = false;
+                } else if !slot.quarantined && slot.consecutive >= self.config.quarantine_after {
+                    slot.quarantined = true;
+                    slot.since_quarantine = 0;
+                    slot.quarantines += 1;
+                    delta.quarantines += 1;
+                }
+            } else {
+                slot.consecutive = 0;
+                if decision.probed[d] {
+                    slot.probe_inflight = false;
+                    slot.quarantined = false;
+                    slot.reintegrations += 1;
+                    delta.reintegrations += 1;
+                }
+            }
+        }
+        delta
+    }
+
+    pub(crate) fn snapshot(&self) -> [DeviceHealth; DEVICES] {
+        self.slots.map(|s| DeviceHealth {
+            quarantined: s.quarantined,
+            consecutive_strikes: s.consecutive,
+            total_strikes: s.total_strikes,
+            quarantines: s.quarantines,
+            probes: s.probes,
+            reintegrations: s.reintegrations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [bool; DEVICES] = [true; DEVICES];
+
+    fn strikes_on(d: usize) -> Option<[bool; DEVICES]> {
+        let mut s = [false; DEVICES];
+        s[d] = true;
+        Some(s)
+    }
+
+    #[test]
+    fn consecutive_strikes_trip_the_breaker() {
+        let mut t = HealthTracker::new(HealthConfig::default());
+        for i in 0..3 {
+            let dec = t.plan(ALL);
+            assert!(dec.mask[2], "device still admitted before trip {i}");
+            t.record(&dec, strikes_on(2));
+        }
+        let dec = t.plan(ALL);
+        assert!(!dec.mask[2], "quarantined device must be masked");
+        assert!(dec.mask[0] && dec.mask[1]);
+        assert!(dec.masked_any);
+        assert!(t.snapshot()[2].quarantined);
+    }
+
+    #[test]
+    fn clean_runs_reset_the_streak() {
+        let mut t = HealthTracker::new(HealthConfig::default());
+        for _ in 0..2 {
+            let dec = t.plan(ALL);
+            t.record(&dec, strikes_on(2));
+        }
+        let dec = t.plan(ALL);
+        t.record(&dec, Some([false; DEVICES]));
+        let dec = t.plan(ALL);
+        t.record(&dec, strikes_on(2));
+        assert!(!t.snapshot()[2].quarantined, "streak must reset on clean");
+    }
+
+    #[test]
+    fn probe_reintegrates_after_a_clean_run() {
+        let cfg = HealthConfig {
+            quarantine_after: 1,
+            probe_after: 2,
+            ..HealthConfig::default()
+        };
+        let mut t = HealthTracker::new(cfg);
+        let dec = t.plan(ALL);
+        t.record(&dec, strikes_on(2));
+        // Quarantined for probe_after requests...
+        for _ in 0..2 {
+            let dec = t.plan(ALL);
+            assert!(!dec.mask[2]);
+            t.record(&dec, Some([false; DEVICES]));
+        }
+        // ...then the next request probes.
+        let dec = t.plan(ALL);
+        assert!(dec.probed[2] && dec.mask[2], "due probe re-admits device");
+        t.record(&dec, Some([false; DEVICES]));
+        let snap = t.snapshot()[2];
+        assert!(!snap.quarantined);
+        assert_eq!(snap.reintegrations, 1);
+    }
+
+    #[test]
+    fn failed_probe_keeps_the_breaker_open() {
+        let cfg = HealthConfig {
+            quarantine_after: 1,
+            probe_after: 1,
+            ..HealthConfig::default()
+        };
+        let mut t = HealthTracker::new(cfg);
+        let dec = t.plan(ALL);
+        t.record(&dec, strikes_on(2));
+        let dec = t.plan(ALL); // quarantined request, clock ticks
+        t.record(&dec, Some([false; DEVICES]));
+        let dec = t.plan(ALL);
+        assert!(dec.probed[2]);
+        t.record(&dec, strikes_on(2));
+        assert!(t.snapshot()[2].quarantined, "struck probe must not close");
+        // And the probe clock restarts rather than probing immediately.
+        let dec = t.plan(ALL);
+        assert!(!dec.mask[2] && !dec.probed[2]);
+    }
+
+    #[test]
+    fn never_masks_the_last_capable_device() {
+        let cfg = HealthConfig {
+            quarantine_after: 1,
+            probe_after: 100,
+            ..HealthConfig::default()
+        };
+        let mut t = HealthTracker::new(cfg);
+        let only_tpu = [false, false, true];
+        let dec = t.plan(only_tpu);
+        t.record(&dec, strikes_on(2));
+        let dec = t.plan(only_tpu);
+        assert_eq!(dec.mask, only_tpu, "last device must stay enabled");
+        assert!(!dec.masked_any);
+    }
+
+    #[test]
+    fn unattributable_failure_releases_probe_without_verdict() {
+        let cfg = HealthConfig {
+            quarantine_after: 1,
+            probe_after: 0,
+            ..HealthConfig::default()
+        };
+        let mut t = HealthTracker::new(cfg);
+        let dec = t.plan(ALL);
+        t.record(&dec, strikes_on(2));
+        let dec = t.plan(ALL);
+        assert!(dec.probed[2]);
+        t.record(&dec, None);
+        let snap = t.snapshot()[2];
+        assert!(snap.quarantined);
+        assert_eq!(snap.total_strikes, 1, "no verdict, no strike");
+    }
+
+    #[test]
+    fn disabled_tracker_is_inert() {
+        let cfg = HealthConfig {
+            enabled: false,
+            ..HealthConfig::default()
+        };
+        let mut t = HealthTracker::new(cfg);
+        for _ in 0..10 {
+            let dec = t.plan(ALL);
+            assert_eq!(dec.mask, ALL);
+            let delta = t.record(&dec, strikes_on(2));
+            assert_eq!(delta.strikes, 0);
+        }
+        assert_eq!(t.snapshot()[2], DeviceHealth::default());
+    }
+}

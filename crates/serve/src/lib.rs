@@ -25,6 +25,17 @@
 //! * **Observability** — per-request queue-wait and service-time samples
 //!   flow into [`shmt_trace::MetricsRegistry`] counters plus per-policy
 //!   p50/p95/p99 summaries ([`Server::latency_summaries`]).
+//! * **Quality SLOs, not silent degradation** — a request may carry
+//!   [`Request::with_max_mape`]; the executor then runs the runtime's
+//!   quality guard with that budget and fails the request with
+//!   [`ServeError::QualityUnattainable`] rather than serve over-budget
+//!   output. Every [`Response`] says whether it was produced
+//!   [`Response::degraded`].
+//! * **Device health** — completed requests feed a per-device circuit
+//!   breaker ([`HealthConfig`]): repeated dropouts or guard repairs
+//!   quarantine a device, quarantined devices are masked out of incoming
+//!   requests (never the last one), and periodic probes reintegrate a
+//!   device once it runs clean ([`Server::device_health`]).
 //! * **Determinism** — serving changes *when* a VOP runs, never *what* it
 //!   computes: outputs are bit-identical to a sequential
 //!   `ShmtRuntime::execute` of the same request.
@@ -49,9 +60,11 @@
 #![warn(missing_docs)]
 
 mod error;
+mod health;
 mod server;
 mod stats;
 
 pub use error::{ServeError, SubmitError};
+pub use health::{DeviceHealth, HealthConfig};
 pub use server::{Request, Response, Server, ServerConfig, Ticket};
 pub use stats::{LatencyStats, PolicySummary};

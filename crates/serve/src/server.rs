@@ -1,15 +1,23 @@
 //! The serving core: bounded admission queue, executor team, tickets.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use shmt::sched::TPU;
 use shmt::trace::MetricsRegistry;
-use shmt::{Platform, RunReport, RuntimeConfig, ShmtRuntime, Vop};
+use shmt::{
+    FaultPlan, GuardConfig, Platform, RunReport, RuntimeConfig, ShmtError, ShmtRuntime, Vop,
+};
 
 use crate::error::{ServeError, SubmitError};
+use crate::health::{DeviceHealth, HealthConfig, HealthTracker};
 use crate::stats::{PolicySummary, Sample, SampleStore};
+
+/// Number of modeled devices (GPU, CPU, Edge TPU) — the width of every
+/// mask the serving layer routes on.
+pub(crate) const DEVICES: usize = 3;
 
 /// One VOP execution request: what to run, on which modeled platform,
 /// under which runtime configuration.
@@ -23,16 +31,30 @@ pub struct Request {
     /// Per-request deadline measured from admission; overrides the
     /// server's [`ServerConfig::default_deadline`] when set.
     pub deadline: Option<Duration>,
+    /// Per-request quality SLO: when set, the executor enables the
+    /// runtime's quality guard with this MAPE budget
+    /// ([`GuardConfig::enforcing`]), overriding whatever guard settings
+    /// the request's [`RuntimeConfig`] carried. A budget the guard cannot
+    /// repair down to fails the request with
+    /// [`ServeError::QualityUnattainable`].
+    pub max_mape: Option<f64>,
+    /// Deterministic fault schedule the run is played under;
+    /// [`FaultPlan::none`] (the default) leaves execution fault-free and
+    /// bit-identical to [`shmt::ShmtRuntime::execute`].
+    pub faults: FaultPlan,
 }
 
 impl Request {
-    /// A request with no per-request deadline (server default applies).
+    /// A request with no per-request deadline (server default applies),
+    /// no quality SLO, and no fault plan.
     pub fn new(vop: Vop, platform: Platform, config: RuntimeConfig) -> Self {
         Request {
             vop,
             platform,
             config,
             deadline: None,
+            max_mape: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -40,6 +62,21 @@ impl Request {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a quality SLO: the served output's estimated MAPE must not
+    /// exceed `max_mape`, enforced by the runtime's quality guard.
+    #[must_use]
+    pub fn with_max_mape(mut self, max_mape: f64) -> Self {
+        self.max_mape = Some(max_mape);
+        self
+    }
+
+    /// Runs the request under a deterministic fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -50,6 +87,8 @@ impl std::fmt::Debug for Request {
             .field("opcode", &self.vop.opcode())
             .field("policy", &self.config.policy.name())
             .field("deadline", &self.deadline)
+            .field("max_mape", &self.max_mape)
+            .field("faulted", &!self.faults.is_empty())
             .finish()
     }
 }
@@ -66,6 +105,12 @@ pub struct Response {
     pub service_time: Duration,
     /// Display name of the scheduling policy that served it.
     pub policy: String,
+    /// Whether the response was produced in a degraded configuration:
+    /// the run lost a device mid-flight ([`shmt::FaultReport::degraded`])
+    /// or device-health quarantine masked devices the request asked for.
+    /// The output is still a genuinely computed result — `degraded` tells
+    /// the client it came from fewer devices than requested.
+    pub degraded: bool,
 }
 
 /// Serving-layer tuning knobs.
@@ -80,6 +125,8 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Deadline applied to requests that do not set their own.
     pub default_deadline: Option<Duration>,
+    /// Device-health circuit breaker (strike thresholds, probe cadence).
+    pub health: HealthConfig,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +135,7 @@ impl Default for ServerConfig {
             executors: 2,
             queue_capacity: 8,
             default_deadline: None,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -108,7 +156,10 @@ struct TicketState {
 
 impl TicketState {
     fn fulfill(&self, outcome: Result<Response, ServeError>) {
-        let mut slot = self.slot.lock().expect("ticket slot poisoned");
+        // Poisoned ticket locks are recovered everywhere in this file:
+        // the slot holds a plain Option that is valid at every step, so a
+        // waiter's panic must not strand other requests.
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
         *slot = Some(outcome);
         self.ready.notify_all();
     }
@@ -128,12 +179,20 @@ impl std::fmt::Debug for Ticket {
 impl Ticket {
     /// Blocks until the request completes, fails, or is canceled.
     pub fn wait(self) -> Result<Response, ServeError> {
-        let mut slot = self.state.slot.lock().expect("ticket slot poisoned");
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(outcome) = slot.take() {
                 return outcome;
             }
-            slot = self.state.ready.wait(slot).expect("ticket slot poisoned");
+            slot = self
+                .state
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -143,7 +202,11 @@ impl Ticket {
     /// side is unaffected either way.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, ServeError>> {
         let deadline = Instant::now() + timeout;
-        let mut slot = self.state.slot.lock().expect("ticket slot poisoned");
+        let mut slot = self
+            .state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(outcome) = slot.take() {
                 return Some(outcome);
@@ -156,14 +219,18 @@ impl Ticket {
                 .state
                 .ready
                 .wait_timeout(slot, deadline - now)
-                .expect("ticket slot poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             slot = guard;
         }
     }
 
     /// Takes the outcome if it is already available; never blocks.
     pub fn try_take(&self) -> Option<Result<Response, ServeError>> {
-        self.state.slot.lock().expect("ticket slot poisoned").take()
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
     }
 }
 
@@ -183,6 +250,10 @@ struct Shared {
     default_deadline: Option<Duration>,
     metrics: Mutex<MetricsRegistry>,
     samples: Mutex<SampleStore>,
+    /// Device-health circuit breaker. Lock order: `health` is only ever
+    /// acquired alone — never while `state`, `metrics`, or `samples` is
+    /// held.
+    health: Mutex<HealthTracker>,
     started_at: Instant,
 }
 
@@ -213,7 +284,20 @@ impl std::fmt::Debug for Server {
 impl Server {
     /// Starts the executor team (at least one thread, queue capacity at
     /// least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn even one executor thread; use
+    /// [`Server::try_new`] for a typed error instead.
     pub fn new(config: ServerConfig) -> Self {
+        Server::try_new(config).expect("spawn serve executor team")
+    }
+
+    /// [`Server::new`] with typed failure: returns
+    /// [`ServeError::Internal`] when no executor thread could be spawned.
+    /// A partially spawned team (some threads started before the OS ran
+    /// out of resources) degrades to the smaller team instead of failing.
+    pub fn try_new(config: ServerConfig) -> Result<Self, ServeError> {
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -225,18 +309,24 @@ impl Server {
             default_deadline: config.default_deadline,
             metrics: Mutex::new(MetricsRegistry::new()),
             samples: Mutex::new(SampleStore::default()),
+            health: Mutex::new(HealthTracker::new(config.health)),
             started_at: Instant::now(),
         });
-        let executors = (0..config.executors.max(1))
-            .map(|i| {
+        let executors: Vec<JoinHandle<()>> = (0..config.executors.max(1))
+            .map_while(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("shmt-serve-{i}"))
                     .spawn(move || executor_loop(&shared))
-                    .expect("spawn serve executor")
+                    .ok()
             })
             .collect();
-        Server { shared, executors }
+        if executors.is_empty() {
+            return Err(ServeError::Internal(
+                "could not spawn any serve executor thread".into(),
+            ));
+        }
+        Ok(Server { shared, executors })
     }
 
     /// Admits a request if the queue has room; hands it back as
@@ -250,18 +340,27 @@ impl Server {
     // the request.
     #[allow(clippy::result_large_err)]
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
-        let mut state = self.shared.state.lock().expect("serve queue poisoned");
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if state.shutdown {
             return Err(SubmitError::Shutdown(request));
         }
         if state.queue.len() >= self.shared.capacity {
+            let depth = state.queue.len();
             drop(state);
             self.shared
                 .metrics
                 .lock()
-                .expect("metrics poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .add_counter("serve.rejected_busy", 1.0);
-            return Err(SubmitError::Busy(request));
+            return Err(SubmitError::Busy {
+                request,
+                depth,
+                capacity: self.shared.capacity,
+            });
         }
         let (ticket, depth) = self.admit(&mut state, request);
         drop(state);
@@ -273,7 +372,11 @@ impl Server {
     /// fails when the server shuts down while the caller is waiting.
     #[allow(clippy::result_large_err)] // Shutdown hands the request back
     pub fn submit_blocking(&self, request: Request) -> Result<Ticket, SubmitError> {
-        let mut state = self.shared.state.lock().expect("serve queue poisoned");
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if state.shutdown {
                 return Err(SubmitError::Shutdown(request));
@@ -288,7 +391,7 @@ impl Server {
                 .shared
                 .space_ready
                 .wait(state)
-                .expect("serve queue poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -313,7 +416,11 @@ impl Server {
     }
 
     fn record_admission(&self, depth: usize) {
-        let mut metrics = self.shared.metrics.lock().expect("metrics poisoned");
+        let mut metrics = self
+            .shared
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         metrics.add_counter("serve.submitted", 1.0);
         metrics.push_gauge("serve.queue_depth", self.shared.now_s(), depth as f64);
     }
@@ -321,13 +428,26 @@ impl Server {
     /// Snapshot of the serving counters and gauges
     /// (`serve.submitted`, `serve.completed`, `serve.rejected_busy`,
     /// `serve.deadline_missed`, `serve.failed`, `serve.canceled`,
-    /// `serve.queue_depth`).
+    /// `serve.degraded`, `serve.quality_unattainable`,
+    /// `serve.queue_depth`, plus the health-breaker counters
+    /// `health.strike`, `health.quarantine`, `health.probe`,
+    /// `health.reintegrate`).
     pub fn metrics(&self) -> MetricsRegistry {
         self.shared
             .metrics
             .lock()
-            .expect("metrics poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone()
+    }
+
+    /// Snapshot of the per-device health breaker state, indexed by the
+    /// runtime's device order (GPU, CPU, Edge TPU).
+    pub fn device_health(&self) -> [DeviceHealth; DEVICES] {
+        self.shared
+            .health
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .snapshot()
     }
 
     /// Queue-wait and service-time percentile summaries, one per
@@ -336,7 +456,7 @@ impl Server {
         self.shared
             .samples
             .lock()
-            .expect("samples poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .summaries()
     }
 
@@ -345,14 +465,22 @@ impl Server {
     /// on drop.
     pub fn shutdown(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("serve queue poisoned");
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if state.shutdown && self.executors.is_empty() {
                 return;
             }
             state.shutdown = true;
             let canceled: Vec<Queued> = state.queue.drain(..).collect();
             drop(state);
-            let mut metrics = self.shared.metrics.lock().expect("metrics poisoned");
+            let mut metrics = self
+                .shared
+                .metrics
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for q in &canceled {
                 q.ticket.fulfill(Err(ServeError::Canceled));
                 metrics.add_counter("serve.canceled", 1.0);
@@ -375,7 +503,7 @@ impl Drop for Server {
 fn executor_loop(shared: &Shared) {
     loop {
         let (queued, depth) = {
-            let mut state = shared.state.lock().expect("serve queue poisoned");
+            let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(q) = state.queue.pop_front() {
                     shared.space_ready.notify_one();
@@ -384,17 +512,20 @@ fn executor_loop(shared: &Shared) {
                 if state.shutdown {
                     break (None, 0);
                 }
-                state = shared.work_ready.wait(state).expect("serve queue poisoned");
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(queued) = queued else { return };
 
         let queue_wait = queued.admitted_at.elapsed();
-        shared.metrics.lock().expect("metrics poisoned").push_gauge(
-            "serve.queue_depth",
-            shared.now_s(),
-            depth as f64,
-        );
+        shared
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_gauge("serve.queue_depth", shared.now_s(), depth as f64);
         if let Some(deadline) = queued.deadline {
             if queue_wait > deadline {
                 // The client's deadline lapsed while the request sat in
@@ -402,7 +533,7 @@ fn executor_loop(shared: &Shared) {
                 shared
                     .metrics
                     .lock()
-                    .expect("metrics poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .add_counter("serve.deadline_missed", 1.0);
                 queued.ticket.fulfill(Err(ServeError::DeadlineExceeded {
                     waited: queue_wait,
@@ -413,34 +544,106 @@ fn executor_loop(shared: &Shared) {
         }
 
         let policy = queued.request.config.policy.name();
-        let runtime = ShmtRuntime::new(queued.request.platform, queued.request.config);
+
+        // Route around quarantined devices (health lock held alone; see
+        // the lock-order notes on `Shared`).
+        let decision = shared
+            .health
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .plan(queued.request.config.device_mask);
+        let probes = decision.probed.iter().filter(|&&p| p).count();
+        if probes > 0 {
+            shared
+                .metrics
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .add_counter("health.probe", probes as f64);
+        }
+
+        let mut config = queued.request.config;
+        config.device_mask = decision.mask;
+        if let Some(max_mape) = queued.request.max_mape {
+            config.guard = GuardConfig::enforcing(max_mape);
+        }
+        let runtime = ShmtRuntime::new(queued.request.platform, config);
         let service_start = Instant::now();
-        let outcome = runtime.execute(&queued.request.vop);
+        let outcome = runtime.execute_with_faults(&queued.request.vop, &queued.request.faults);
         let service_time = service_start.elapsed();
 
-        let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+        // Per-device fault attribution: dropouts strike the device that
+        // died; guard repairs (and an unattainable quality budget) strike
+        // the approximate device whose output missed the budget.
+        let struck = match &outcome {
+            Ok(report) => {
+                let mut s = report.faults.lost;
+                if !report.quality.repairs.is_empty() {
+                    s[TPU] = true;
+                }
+                Some(s)
+            }
+            Err(ShmtError::QualityUnattainable { .. }) => {
+                let mut s = [false; DEVICES];
+                s[TPU] = true;
+                Some(s)
+            }
+            Err(_) => None,
+        };
+        let delta = shared
+            .health
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(&decision, struck);
+
+        let mut metrics = shared
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if delta.strikes > 0 {
+            metrics.add_counter("health.strike", delta.strikes as f64);
+        }
+        if delta.quarantines > 0 {
+            metrics.add_counter("health.quarantine", delta.quarantines as f64);
+        }
+        if delta.reintegrations > 0 {
+            metrics.add_counter("health.reintegrate", delta.reintegrations as f64);
+        }
         match outcome {
             Ok(report) => {
+                let degraded = report.faults.degraded || decision.masked_any;
+                if degraded {
+                    metrics.add_counter("serve.degraded", 1.0);
+                }
                 metrics.add_counter("serve.completed", 1.0);
                 metrics.add_counter("serve.queue_wait_s", queue_wait.as_secs_f64());
                 metrics.add_counter("serve.service_s", service_time.as_secs_f64());
-                shared.samples.lock().expect("samples poisoned").record(
-                    &policy,
-                    Sample {
-                        queue_wait_s: queue_wait.as_secs_f64(),
-                        service_s: service_time.as_secs_f64(),
-                    },
-                );
+                shared
+                    .samples
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .record(
+                        &policy,
+                        Sample {
+                            queue_wait_s: queue_wait.as_secs_f64(),
+                            service_s: service_time.as_secs_f64(),
+                        },
+                    );
                 queued.ticket.fulfill(Ok(Response {
                     report,
                     queue_wait,
                     service_time,
                     policy,
+                    degraded,
                 }));
             }
             Err(e) => {
-                metrics.add_counter("serve.failed", 1.0);
-                queued.ticket.fulfill(Err(ServeError::Runtime(e)));
+                let err = ServeError::from(e);
+                if matches!(err, ServeError::QualityUnattainable { .. }) {
+                    metrics.add_counter("serve.quality_unattainable", 1.0);
+                } else {
+                    metrics.add_counter("serve.failed", 1.0);
+                }
+                queued.ticket.fulfill(Err(err));
             }
         }
     }

@@ -32,7 +32,7 @@ impl LatencyStats {
         if values.is_empty() {
             return None;
         }
-        values.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        values.sort_by(f64::total_cmp);
         let count = values.len();
         let mean_s = values.iter().sum::<f64>() / count as f64;
         Some(LatencyStats {

@@ -1,11 +1,13 @@
 //! Serving-layer contract tests: backpressure, deadlines, shutdown
-//! cancellation, and sequential-vs-concurrent bit-identity.
+//! cancellation, sequential-vs-concurrent bit-identity, device-health
+//! quarantine, and per-request quality SLOs.
 
 use std::time::Duration;
 
-use shmt::{Platform, Policy, RuntimeConfig, ShmtRuntime, Vop};
+use shmt::sched::TPU;
+use shmt::{FaultPlan, Platform, Policy, RuntimeConfig, ShmtRuntime, Vop};
 use shmt_kernels::Benchmark;
-use shmt_serve::{Request, ServeError, Server, ServerConfig, SubmitError};
+use shmt_serve::{HealthConfig, Request, ServeError, Server, ServerConfig, SubmitError};
 
 fn request(b: Benchmark, n: usize, seed: u64, policy: Policy) -> Request {
     let vop = Vop::from_benchmark(b, b.generate_inputs(n, n, seed)).expect("valid VOP");
@@ -40,6 +42,7 @@ fn submit_returns_busy_at_capacity_and_recovers() {
         executors: 1,
         queue_capacity: 1,
         default_deadline: None,
+        health: HealthConfig::default(),
     });
     // Built before submission: generating inputs inside the submit
     // sequence would pace this thread at the executor's own speed.
@@ -50,9 +53,16 @@ fn submit_returns_busy_at_capacity_and_recovers() {
     wait_until_executor_popped(&server);
     let second = server.submit(filler).expect("freed slot admits");
     match server.submit(extra) {
-        Err(SubmitError::Busy(returned)) => {
-            // The request comes back intact for retry elsewhere.
+        Err(SubmitError::Busy {
+            request: returned,
+            depth,
+            capacity,
+        }) => {
+            // The request comes back intact for retry elsewhere, with the
+            // observed load attached so the caller can size its backoff.
             assert!(returned.deadline.is_none());
+            assert_eq!(depth, 1);
+            assert_eq!(capacity, 1);
         }
         Ok(_) => panic!("a full queue must reject"),
         Err(SubmitError::Shutdown(_)) => panic!("server is running"),
@@ -69,6 +79,7 @@ fn submit_blocking_waits_instead_of_bouncing() {
         executors: 1,
         queue_capacity: 1,
         default_deadline: None,
+        health: HealthConfig::default(),
     });
     let tickets: Vec<_> = (0..6)
         .map(|seed| {
@@ -97,6 +108,7 @@ fn queued_deadline_produces_typed_error_not_a_hang() {
         executors: 1,
         queue_capacity: 4,
         default_deadline: None,
+        health: HealthConfig::default(),
     });
     let blocker = server
         .submit(request(Benchmark::Sobel, 512, 1, Policy::WorkStealing))
@@ -144,6 +156,7 @@ fn shutdown_cancels_queued_requests() {
         executors: 1,
         queue_capacity: 8,
         default_deadline: None,
+        health: HealthConfig::default(),
     });
     // Build every request up front: generating a 512^2 input inside the
     // submit loop would hand the lone executor a long head start.
@@ -203,6 +216,7 @@ fn concurrent_serving_is_bit_identical_to_sequential() {
         executors: 4,
         queue_capacity: 16,
         default_deadline: None,
+        health: HealthConfig::default(),
     });
     let tickets: Vec<_> = cases
         .iter()
@@ -229,4 +243,116 @@ fn concurrent_serving_is_bit_identical_to_sequential() {
         assert!(s.service.p50_s <= s.service.p99_s);
         assert!(s.service.max_s > 0.0);
     }
+}
+
+/// One request run to completion on a single-executor server, so health
+/// decisions are strictly sequential and deterministic.
+fn serve_one(server: &Server, req: Request) -> Result<shmt_serve::Response, ServeError> {
+    server.submit_blocking(req).expect("server running").wait()
+}
+
+#[test]
+fn repeated_dropouts_quarantine_probe_and_reintegrate() {
+    let server = Server::new(ServerConfig {
+        executors: 1,
+        queue_capacity: 4,
+        default_deadline: None,
+        health: HealthConfig {
+            enabled: true,
+            quarantine_after: 2,
+            probe_after: 1,
+        },
+    });
+    // The TPU dies at t=0 on the faulted requests: each completes
+    // degraded, striking the TPU once.
+    let dropout = FaultPlan::none().with_dropout(TPU, 1e-9);
+    for _ in 0..2 {
+        let resp = serve_one(
+            &server,
+            request(Benchmark::Sobel, 128, 1, Policy::WorkStealing).with_faults(dropout.clone()),
+        )
+        .expect("dropout runs still complete");
+        assert!(resp.degraded, "a run that lost a device is degraded");
+        assert!(resp.report.faults.lost[TPU]);
+    }
+    let health = server.device_health();
+    assert!(health[TPU].quarantined, "two strikes must trip the breaker");
+    assert_eq!(health[TPU].total_strikes, 2);
+
+    // Quarantined: the next clean request runs without the TPU and is
+    // flagged degraded even though nothing faulted during it.
+    let resp = serve_one(
+        &server,
+        request(Benchmark::Sobel, 128, 2, Policy::WorkStealing),
+    )
+    .expect("masked run completes");
+    assert!(resp.degraded, "health-masked responses are degraded");
+    assert!(!resp.report.faults.degraded, "no fault fired in the run");
+    assert_eq!(resp.report.tpu_fraction, 0.0, "TPU masked out");
+
+    // The probe clock has ticked once; the next request probes the TPU,
+    // runs clean, and reintegrates it.
+    let resp = serve_one(
+        &server,
+        request(Benchmark::Sobel, 128, 3, Policy::WorkStealing),
+    )
+    .expect("probe run completes");
+    assert!(!resp.degraded, "the probe serves with the full mask");
+    assert!(resp.report.tpu_fraction > 0.0, "probe re-admits the TPU");
+    let health = server.device_health();
+    assert!(!health[TPU].quarantined, "clean probe closes the breaker");
+    assert_eq!(health[TPU].probes, 1);
+    assert_eq!(health[TPU].reintegrations, 1);
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.counter("health.strike"), 2.0);
+    assert_eq!(metrics.counter("health.quarantine"), 1.0);
+    assert_eq!(metrics.counter("health.probe"), 1.0);
+    assert_eq!(metrics.counter("health.reintegrate"), 1.0);
+    // Two dropout runs plus the masked run served degraded.
+    assert_eq!(metrics.counter("serve.degraded"), 3.0);
+}
+
+#[test]
+fn quality_slo_without_an_exact_device_fails_typed() {
+    let server = Server::new(ServerConfig::default());
+    // TPU-only mask: every partition is approximate and there is no
+    // exact device left to verify or repair with.
+    let mut req = request(Benchmark::Sobel, 128, 4, Policy::WorkStealing).with_max_mape(1e-6);
+    req.config.device_mask = [false, false, true];
+    match serve_one(&server, req) {
+        Err(ServeError::QualityUnattainable { budget_mape, .. }) => {
+            assert_eq!(budget_mape, 1e-6);
+        }
+        other => panic!("expected QualityUnattainable, got {other:?}"),
+    }
+    assert_eq!(server.metrics().counter("serve.quality_unattainable"), 1.0);
+    assert_eq!(server.metrics().counter("serve.failed"), 0.0);
+}
+
+#[test]
+fn quality_slo_repairs_miscalibrated_output_within_budget() {
+    let server = Server::new(ServerConfig::default());
+    let budget = 0.05;
+    let resp = serve_one(
+        &server,
+        request(Benchmark::Sobel, 128, 5, Policy::WorkStealing)
+            .with_max_mape(budget)
+            .with_faults(FaultPlan::none().with_tpu_miscalibration(1.5, 0.1)),
+    )
+    .expect("guarded run repairs its way under budget");
+    let q = &resp.report.quality;
+    assert!(q.enabled, "the SLO must have enabled the guard");
+    assert!(
+        !q.repairs.is_empty(),
+        "a 1.5x gain error must exceed a {budget} MAPE budget somewhere"
+    );
+    assert!(
+        q.true_mape <= budget,
+        "served quality {} must honor the SLO {budget}",
+        q.true_mape
+    );
+    assert!(!resp.degraded, "no device was lost or masked");
+    // Guard repairs are health evidence against the TPU.
+    assert_eq!(server.device_health()[TPU].total_strikes, 1);
 }

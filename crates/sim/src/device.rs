@@ -213,6 +213,21 @@ impl DeviceTimeline {
         self.free_at
     }
 
+    /// Charges `work_units` of *auxiliary* busy time — verification and
+    /// repair work that is not an HLOP of the plan — starting no earlier
+    /// than `ready`. Advances `free_at` and `busy` exactly like
+    /// [`DeviceTimeline::execute`] but does **not** count a completed
+    /// HLOP (the scheduler's completed-count invariant stays intact) and
+    /// emits no compute span; the caller owns the trace events for this
+    /// interval. Returns the completion instant.
+    pub fn occupy(&mut self, ready: SimTime, work_units: f64) -> SimTime {
+        let start = self.free_at.max(ready);
+        let dur = self.profile.exec_time(work_units);
+        self.busy += dur;
+        self.free_at = start + dur;
+        self.free_at
+    }
+
     /// Resets the timeline to idle at the epoch, keeping the profile.
     pub fn reset(&mut self) {
         self.free_at = SimTime::ZERO;
@@ -262,6 +277,20 @@ mod tests {
         assert_eq!(d.busy_time(), 0.0);
         assert_eq!(d.completed(), 0);
         assert_eq!(d.profile().kind, DeviceKind::EdgeTpu);
+    }
+
+    #[test]
+    fn occupy_charges_busy_time_without_a_completion() {
+        let mut d = DeviceTimeline::new(DeviceProfile::arm_cpu(1.0e6));
+        let t1 = d.execute(SimTime::ZERO, 1.0e6);
+        let t2 = d.occupy(SimTime::ZERO, 1.0e6);
+        assert!(t2 > t1, "occupy serializes after prior work");
+        assert_eq!(d.completed(), 1, "occupy is not an HLOP completion");
+        assert!((d.busy_time() - 2.0 * (1.0 + 8.0e-6)).abs() < 1e-9);
+        // A later `ready` pushes the start without recording transfer wait.
+        let wait_before = d.transfer_wait();
+        d.occupy(t2 + 0.5, 1.0e6);
+        assert_eq!(d.transfer_wait(), wait_before);
     }
 
     #[test]

@@ -46,6 +46,19 @@ pub struct Dropout {
     pub at_s: f64,
 }
 
+/// A persistent affine corruption of every value the Edge TPU produces:
+/// a drifted quantization table or failing calibration writes back
+/// `gain * v + bias` instead of `v`. Unlike slowdowns and dropouts, this
+/// fault degrades *quality*, not *time* — it is what the output-side
+/// quality guard exists to catch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpuMiscalibration {
+    /// Multiplicative error on every TPU output element.
+    pub gain: f32,
+    /// Additive error on every TPU output element.
+    pub bias: f32,
+}
+
 /// A deterministic schedule of faults for one run.
 ///
 /// Build one with the `with_*` methods:
@@ -57,6 +70,7 @@ pub struct Dropout {
 ///     .with_seed(7)
 ///     .with_slowdown(0, 0.0, 1.0, 4.0)
 ///     .with_transfer_failures(0.25)
+///     .with_tpu_miscalibration(1.5, 0.1)
 ///     .with_dropout(2, 0.5);
 /// assert!(!plan.is_empty());
 /// assert_eq!(FaultPlan::none(), FaultPlan::default());
@@ -80,6 +94,8 @@ pub struct FaultPlan {
     pub retry_backoff_cap_s: f64,
     /// Device dropouts.
     pub dropouts: Vec<Dropout>,
+    /// Silent corruption of all TPU output, if scheduled.
+    pub tpu_miscalibration: Option<TpuMiscalibration>,
 }
 
 impl FaultPlan {
@@ -93,12 +109,16 @@ impl FaultPlan {
             retry_backoff_s: 100.0e-6,
             retry_backoff_cap_s: 1.6e-3,
             dropouts: Vec::new(),
+            tpu_miscalibration: None,
         }
     }
 
     /// Whether the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.slowdowns.is_empty() && self.transfer_failure_rate == 0.0 && self.dropouts.is_empty()
+        self.slowdowns.is_empty()
+            && self.transfer_failure_rate == 0.0
+            && self.dropouts.is_empty()
+            && self.tpu_miscalibration.is_none()
     }
 
     /// Sets the seed for transfer-failure draws.
@@ -174,6 +194,27 @@ impl FaultPlan {
     pub fn with_unavailable(self, device: DeviceId) -> Self {
         self.with_dropout(device, 0.0)
     }
+
+    /// Corrupts every TPU output element to `gain * v + bias` — a drifted
+    /// quantization calibration. A gain of 1 with a bias of 0 is the
+    /// identity and is rejected; schedule no miscalibration instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite parameters or the identity transform.
+    #[must_use]
+    pub fn with_tpu_miscalibration(mut self, gain: f32, bias: f32) -> Self {
+        assert!(
+            gain.is_finite() && bias.is_finite(),
+            "miscalibration must be finite, got gain {gain} bias {bias}"
+        );
+        assert!(
+            gain != 1.0 || bias != 0.0,
+            "identity miscalibration is no fault at all"
+        );
+        self.tpu_miscalibration = Some(TpuMiscalibration { gain, bias });
+        self
+    }
 }
 
 impl Default for FaultPlan {
@@ -197,6 +238,10 @@ pub struct FaultReport {
     /// Whether the run finished in a degraded configuration (at least one
     /// device lost).
     pub degraded: bool,
+    /// Which devices (by [`DeviceId`]) dropped out — the per-device
+    /// attribution behind `devices_lost`, consumed by serving-layer
+    /// health tracking.
+    pub lost: [bool; 3],
 }
 
 /// Answers the runtime's fault questions for one run, deterministically.
@@ -258,6 +303,11 @@ impl FaultInjector {
     pub fn backoff(&self, attempt: usize) -> f64 {
         let doubled = self.plan.retry_backoff_s * (1u64 << (attempt - 1).min(32)) as f64;
         doubled.min(self.plan.retry_backoff_cap_s)
+    }
+
+    /// The scheduled TPU output corruption, if any.
+    pub fn miscalibration(&self) -> Option<TpuMiscalibration> {
+        self.plan.tpu_miscalibration
     }
 
     /// When `device` drops out, if ever: the earliest scheduled dropout.
@@ -363,6 +413,26 @@ mod tests {
     fn unavailable_is_a_dropout_at_zero() {
         let plan = FaultPlan::none().with_unavailable(2);
         assert_eq!(FaultInjector::new(&plan).down_at(2), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn miscalibration_activates_the_plan() {
+        let plan = FaultPlan::none().with_tpu_miscalibration(1.5, 0.25);
+        assert!(!plan.is_empty());
+        let inj = FaultInjector::new(&plan);
+        let m = inj.miscalibration().expect("scheduled");
+        assert_eq!(m.gain, 1.5);
+        assert_eq!(m.bias, 0.25);
+        assert_eq!(
+            FaultInjector::new(&FaultPlan::none()).miscalibration(),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "identity miscalibration")]
+    fn rejects_identity_miscalibration() {
+        let _ = FaultPlan::none().with_tpu_miscalibration(1.0, 0.0);
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //! * [`EventQueue`] — a deterministic virtual-time event heap.
 //! * [`FaultPlan`]/[`FaultInjector`] — a seeded, deterministic schedule of
 //!   hardware misbehaviour (slowdown windows, transient transfer failures,
-//!   device dropout) that the runtime consults; the empty plan is inert
-//!   and leaves runs bit-identical.
+//!   device dropout, TPU output miscalibration) that the runtime consults;
+//!   the empty plan is inert and leaves runs bit-identical.
 //!
 //! The SHMT runtime (the `shmt` crate) drives these pieces: it decides what
 //! executes where, charges each HLOP's compute and transfer costs here, and
@@ -60,7 +60,9 @@ mod time;
 
 pub use device::{DeviceKind, DeviceProfile, DeviceTimeline, Precision};
 pub use event::EventQueue;
-pub use fault::{Dropout, FaultInjector, FaultPlan, FaultReport, SlowdownWindow};
+pub use fault::{
+    Dropout, FaultInjector, FaultPlan, FaultReport, SlowdownWindow, TpuMiscalibration,
+};
 pub use interconnect::{Interconnect, Transfer};
 pub use memory::MemoryTracker;
 pub use power::{edp, EnergyBreakdown, EnergyMeter};

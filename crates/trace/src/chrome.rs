@@ -97,6 +97,20 @@ pub fn to_chrome_json(data: &TraceData) -> String {
             &span,
         ));
     }
+    for span in data.guard_verify_spans() {
+        events.push(span_event(
+            &format!("guard verify h{}", span.hlop),
+            "guard",
+            &span,
+        ));
+    }
+    for span in data.guard_repair_spans() {
+        events.push(span_event(
+            &format!("guard repair h{}", span.hlop),
+            "guard",
+            &span,
+        ));
+    }
 
     // Scheduler-row spans and instants from the raw records.
     let mut partition_start: Option<f64> = None;

@@ -132,6 +132,35 @@ pub enum EventKind {
         /// The device that died.
         device: DeviceId,
     },
+    /// The quality guard began recomputing sampled pages of an
+    /// approximate HLOP exactly on `device`.
+    GuardVerifyStart {
+        /// The HLOP being verified.
+        hlop: usize,
+        /// Exact device charged for the recomputation.
+        device: DeviceId,
+    },
+    /// The guard finished verifying the HLOP's sampled pages.
+    GuardVerifyEnd {
+        /// The HLOP verified.
+        hlop: usize,
+        /// Exact device charged for the recomputation.
+        device: DeviceId,
+    },
+    /// The guard began re-executing an over-budget HLOP exactly.
+    GuardRepairStart {
+        /// The HLOP being repaired.
+        hlop: usize,
+        /// Exact device charged for the re-execution.
+        device: DeviceId,
+    },
+    /// The guard finished the exact re-execution.
+    GuardRepairEnd {
+        /// The HLOP repaired.
+        hlop: usize,
+        /// Exact device charged for the re-execution.
+        device: DeviceId,
+    },
 }
 
 impl EventKind {
@@ -154,6 +183,10 @@ impl EventKind {
             EventKind::Retry { .. } => "Retry",
             EventKind::Redispatch { .. } => "Redispatch",
             EventKind::DeviceDown { .. } => "DeviceDown",
+            EventKind::GuardVerifyStart { .. } => "GuardVerifyStart",
+            EventKind::GuardVerifyEnd { .. } => "GuardVerifyEnd",
+            EventKind::GuardRepairStart { .. } => "GuardRepairStart",
+            EventKind::GuardRepairEnd { .. } => "GuardRepairEnd",
         }
     }
 
@@ -171,6 +204,10 @@ impl EventKind {
             | EventKind::Aggregate { device, .. }
             | EventKind::FaultInjected { device, .. }
             | EventKind::Retry { device, .. }
+            | EventKind::GuardVerifyStart { device, .. }
+            | EventKind::GuardVerifyEnd { device, .. }
+            | EventKind::GuardRepairStart { device, .. }
+            | EventKind::GuardRepairEnd { device, .. }
             | EventKind::DeviceDown { device } => Some(device),
             EventKind::Steal { to, .. } | EventKind::Redispatch { to, .. } => Some(to),
             EventKind::PartitionStart { .. }
@@ -194,7 +231,11 @@ impl EventKind {
             | EventKind::Aggregate { hlop, .. }
             | EventKind::FaultInjected { hlop, .. }
             | EventKind::Retry { hlop, .. }
-            | EventKind::Redispatch { hlop, .. } => Some(hlop),
+            | EventKind::Redispatch { hlop, .. }
+            | EventKind::GuardVerifyStart { hlop, .. }
+            | EventKind::GuardVerifyEnd { hlop, .. }
+            | EventKind::GuardRepairStart { hlop, .. }
+            | EventKind::GuardRepairEnd { hlop, .. } => Some(hlop),
             EventKind::PartitionStart { .. }
             | EventKind::PartitionEnd { .. }
             | EventKind::DeviceDown { .. } => None,
@@ -279,6 +320,10 @@ mod tests {
                 to: 1,
             },
             EventKind::DeviceDown { device: 0 },
+            EventKind::GuardVerifyStart { hlop: 0, device: 1 },
+            EventKind::GuardVerifyEnd { hlop: 0, device: 1 },
+            EventKind::GuardRepairStart { hlop: 0, device: 1 },
+            EventKind::GuardRepairEnd { hlop: 0, device: 1 },
         ];
         let mut names: Vec<&str> = kinds.iter().map(EventKind::name).collect();
         names.sort_unstable();

@@ -261,6 +261,36 @@ impl TraceData {
         )
     }
 
+    /// Pairs `GuardVerifyStart`/`GuardVerifyEnd` into spans, in start
+    /// order.
+    pub fn guard_verify_spans(&self) -> Vec<Span> {
+        self.pair_spans(
+            |k| match *k {
+                EventKind::GuardVerifyStart { hlop, device } => Some((hlop, device, None)),
+                _ => None,
+            },
+            |k| match *k {
+                EventKind::GuardVerifyEnd { hlop, device } => Some((hlop, device)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Pairs `GuardRepairStart`/`GuardRepairEnd` into spans, in start
+    /// order.
+    pub fn guard_repair_spans(&self) -> Vec<Span> {
+        self.pair_spans(
+            |k| match *k {
+                EventKind::GuardRepairStart { hlop, device } => Some((hlop, device, None)),
+                _ => None,
+            },
+            |k| match *k {
+                EventKind::GuardRepairEnd { hlop, device } => Some((hlop, device)),
+                _ => None,
+            },
+        )
+    }
+
     /// Matches starts to the earliest unmatched end with the same
     /// `(hlop, device)` key. A single HLOP can legitimately open several
     /// spans on one device (e.g. the inbound and outbound cast), so

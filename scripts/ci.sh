@@ -74,4 +74,20 @@ grep -q '"bit_identical":true' "$f" || { echo "bit-identity flag missing in $f";
 grep -q '"scaling_4_vs_1":' "$f" || { echo "scaling summary missing in $f"; exit 1; }
 echo "serve bench smoke validated: $f"
 
+echo "== chaos sweep smoke check =="
+# chaos_sweep runs seeded fault scenarios with the quality guard off and
+# on, asserts a disabled guard is bit-identical to no guard at all, that
+# guarded runs never exceed their MAPE budget, and that miscalibration
+# scenarios do exceed it unguarded; the bin re-reads the artifact with
+# the workspace's own JSON parser and aborts on any violation.
+cargo run --release -q -p shmt-bench --bin chaos_sweep -- --smoke >/dev/null
+f=results/BENCH_quality_smoke.json
+[ -s "$f" ] || { echo "empty chaos sweep report: $f"; exit 1; }
+grep -q '"guard_off_bit_identical":true' "$f" || { echo "guard-off bit-identity flag missing in $f"; exit 1; }
+grep -q '"within_budget":true' "$f" || { echo "no within-budget guarded scenario in $f"; exit 1; }
+if grep -q '"within_budget":false' "$f"; then
+    echo "guarded scenario exceeded its quality budget in $f"; exit 1
+fi
+echo "chaos sweep smoke validated: $f"
+
 echo "CI OK"

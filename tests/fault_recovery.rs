@@ -232,3 +232,46 @@ fn dropping_every_device_with_pending_work_is_an_error() {
     let err = rt.execute_with_faults(&v, &plan).unwrap_err();
     assert!(matches!(err, shmt::ShmtError::NoCapableDevice(_)), "{err}");
 }
+
+#[test]
+fn double_dropout_during_redispatch_recovers_idempotently() {
+    let b = Benchmark::Sobel;
+    let v = vop(b, 256);
+    let rt = runtime(qaws(), b);
+    let healthy = rt.execute(&v).unwrap();
+
+    // The TPU dies first; while its orphans are being re-dispatched and
+    // worked off, the GPU dies too — the second recovery must fold the
+    // first one's re-dispatched work onto the CPU without losing or
+    // duplicating any HLOP.
+    let plan = FaultPlan::none()
+        .with_dropout(TPU, healthy.makespan_s * 0.2)
+        .with_dropout(GPU, healthy.makespan_s * 0.45);
+    let r = rt.execute_with_faults_traced(&v, &plan).unwrap();
+    assert!(r.faults.degraded);
+    assert_eq!(r.faults.devices_lost, 2);
+    assert_eq!(r.faults.lost, [true, false, true], "GPU and TPU attributed");
+    assert_eq!(r.records.len(), 16, "every HLOP executes exactly once");
+    let mut ids: Vec<usize> = r.records.iter().map(|rec| rec.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 16, "no HLOP ran twice");
+
+    let trace = r.trace.as_ref().unwrap();
+    assert_eq!(trace.count("DeviceDown"), 2);
+    assert_eq!(trace.count("Redispatch"), r.faults.redispatched);
+    // After both deaths every record past the second dropout is on the CPU.
+    for rec in &r.records {
+        if rec.start_s >= healthy.makespan_s * 0.45 {
+            assert_eq!(
+                rec.device,
+                hetsim::DeviceKind::Cpu,
+                "only the CPU survives the second dropout"
+            );
+        }
+    }
+
+    // Seeded double-fault recovery reproduces exactly.
+    let again = rt.execute_with_faults(&v, &plan).unwrap();
+    assert_reports_identical(&r, &again);
+}
