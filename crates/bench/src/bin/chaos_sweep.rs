@@ -19,7 +19,11 @@
 //! * a disabled guard is bit-identical to an unguarded run even with its
 //!   other knobs set to exotic values;
 //! * verification and repair cost virtual time (`quality.overhead_s > 0`
-//!   wherever approximate output was checked).
+//!   wherever approximate output was checked);
+//! * every guarded run feeds a [`shmt_serve::FlightRecorder`], and the
+//!   failing scenarios (repairs, dropouts) must leave
+//!   `results/flight_chaos_*.json` anomaly dumps behind — the black box
+//!   works under chaos, not just in its unit tests.
 //!
 //! The default artifact is `results/BENCH_quality.json`; `--smoke` writes
 //! a faster configuration to `results/BENCH_quality_smoke.json` (the CI
@@ -31,6 +35,7 @@ use shmt::sched::{GPU, TPU};
 use shmt::{
     FaultPlan, GuardConfig, Platform, Policy, QualityBudget, RuntimeConfig, ShmtRuntime, Vop,
 };
+use shmt_serve::{Anomaly, FlightConfig, FlightRecord, FlightRecorder};
 use shmt_tensor::Tensor;
 use shmt_trace::json::{JsonValue, ObjectBuilder};
 
@@ -162,8 +167,37 @@ fn scenario_row(
         .build()
 }
 
+/// Black-boxes one guarded chaos run into the flight recorder: the same
+/// anomaly taxonomy the serving layer records, derived from the report.
+fn record_flight(
+    recorder: &mut FlightRecorder,
+    policy: &str,
+    scenario: &str,
+    report: &shmt::RunReport,
+) {
+    let mut record = FlightRecord::new(policy, &format!("Sobel/{scenario}"));
+    record.makespan_s = report.makespan_s;
+    record.degraded = report.faults.degraded;
+    record.repairs = report.quality.repairs.len();
+    record.redispatched = report.faults.redispatched;
+    record.devices_lost = report.faults.lost;
+    if !report.quality.repairs.is_empty() {
+        record.anomalies.push(Anomaly::QualityRepair);
+    }
+    if report.faults.redispatched > 0 || report.faults.degraded {
+        record.anomalies.push(Anomaly::Redispatch);
+    }
+    recorder.record(record);
+}
+
 /// One policy's full chaos pass. Panics on any contract violation.
-fn run_policy(policy: Policy, cfg: &SweepConfig, vop: &Vop, reference: &Tensor) -> JsonValue {
+fn run_policy(
+    policy: Policy,
+    cfg: &SweepConfig,
+    vop: &Vop,
+    reference: &Tensor,
+    recorder: &mut FlightRecorder,
+) -> JsonValue {
     let name = policy.name();
     let platform = Platform::jetson(Benchmark::Sobel);
     let unguarded_rt = ShmtRuntime::new(platform.clone(), config(policy, cfg.partitions));
@@ -207,6 +241,7 @@ fn run_policy(policy: Policy, cfg: &SweepConfig, vop: &Vop, reference: &Tensor) 
         let guarded = guarded_rt
             .execute_with_faults(vop, &plan)
             .expect("guarded chaos run succeeds");
+        record_flight(recorder, &name, scenario, &guarded);
         let unguarded_mape = mape(reference, &unguarded.output);
         let guarded_mape = mape(reference, &guarded.output);
 
@@ -331,6 +366,11 @@ fn validate(json: &str, policies: usize) {
             }
         }
     }
+    let dumps = doc
+        .get("flight_dumps")
+        .and_then(JsonValue::as_f64)
+        .expect("flight_dumps field");
+    assert!(dumps >= 1.0, "artifact must record flight dumps");
 }
 
 fn main() {
@@ -351,11 +391,31 @@ fn main() {
     let vop = Vop::from_benchmark(benchmark, inputs).expect("valid VOP");
     let reference: Tensor = shmt::baseline::exact_reference(&vop);
 
+    // Black-box the guarded runs: failing scenarios must leave dumps.
+    let dump_prefix = "flight_chaos";
+    if let Ok(entries) = std::fs::read_dir("results") {
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().starts_with(dump_prefix) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+    let mut recorder = FlightRecorder::new(FlightConfig {
+        dump_dir: Some("results".into()),
+        file_prefix: dump_prefix.to_owned(),
+        ..FlightConfig::default()
+    });
+
     let mut policy_rows: Vec<JsonValue> = Vec::new();
     for &policy in &cfg.policies {
-        policy_rows.push(run_policy(policy, &cfg, &vop, &reference));
+        policy_rows.push(run_policy(policy, &cfg, &vop, &reference, &mut recorder));
         println!();
     }
+    let flight_dumps = recorder.dumps_written();
+    assert!(
+        flight_dumps >= 1,
+        "failing chaos scenarios must dump flight context"
+    );
 
     let doc = ObjectBuilder::new()
         .field("benchmark", JsonValue::String(benchmark.name().into()))
@@ -371,6 +431,7 @@ fn main() {
                 .build(),
         )
         .field("policies", JsonValue::Array(policy_rows))
+        .field("flight_dumps", JsonValue::Number(flight_dumps as f64))
         .build()
         .to_string();
 

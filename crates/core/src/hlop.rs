@@ -58,6 +58,10 @@ pub struct HlopRecord {
     pub end_s: f64,
     /// Whether the HLOP was stolen from its originally assigned queue.
     pub stolen: bool,
+    /// Elements in the HLOP's partition — the work the span covered,
+    /// so observers can derive per-device throughput (elements per
+    /// busy second) from completion records alone.
+    pub elements: usize,
 }
 
 #[cfg(test)]

@@ -88,6 +88,23 @@ impl RunReport {
         self.devices.iter().find(|d| d.kind == kind)
     }
 
+    /// Total elements computed per device, in report order — the span
+    /// workload an observer needs to turn busy time into throughput.
+    pub fn device_elements(&self) -> Vec<(DeviceKind, u64)> {
+        self.devices
+            .iter()
+            .map(|d| {
+                let elems = self
+                    .records
+                    .iter()
+                    .filter(|r| r.device == d.kind)
+                    .map(|r| r.elements as u64)
+                    .sum();
+                (d.kind, elems)
+            })
+            .collect()
+    }
+
     /// Fraction of HLOPs executed per device, in report order.
     pub fn device_shares(&self) -> Vec<(DeviceKind, f64)> {
         let total = self.records.len().max(1) as f64;
@@ -186,6 +203,7 @@ mod tests {
                     start_s: 0.0,
                     end_s: 0.4,
                     stolen: false,
+                    elements: 16,
                 },
                 HlopRecord {
                     id: 1,
@@ -193,6 +211,7 @@ mod tests {
                     start_s: 0.4,
                     end_s: 0.6,
                     stolen: false,
+                    elements: 16,
                 },
                 HlopRecord {
                     id: 2,
@@ -200,6 +219,7 @@ mod tests {
                     start_s: 0.0,
                     end_s: 0.3,
                     stolen: true,
+                    elements: 8,
                 },
             ],
             tpu_fraction: 0.33,
@@ -218,6 +238,15 @@ mod tests {
         assert!((r.comm_overhead() - 0.01 / 0.9).abs() < 1e-9);
         assert_eq!(r.device(DeviceKind::Gpu).unwrap().hlops, 2);
         assert!(r.device(DeviceKind::Cpu).is_none());
+    }
+
+    #[test]
+    fn device_elements_sum_per_device() {
+        let r = sample_report();
+        assert_eq!(
+            r.device_elements(),
+            vec![(DeviceKind::Gpu, 32), (DeviceKind::EdgeTpu, 8)]
+        );
     }
 
     #[test]

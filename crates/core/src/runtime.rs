@@ -690,6 +690,7 @@ impl ShmtRuntime {
                 start_s: start.as_secs(),
                 end_s: completion.as_secs(),
                 stolen: stolen_ids[hlop.id],
+                elements: elems,
             });
         }
 

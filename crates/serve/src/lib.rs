@@ -24,7 +24,17 @@
 //!   [`Ticket::wait_timeout`] bounds the caller's own wait.
 //! * **Observability** — per-request queue-wait and service-time samples
 //!   flow into [`shmt_trace::MetricsRegistry`] counters plus per-policy
-//!   p50/p95/p99 summaries ([`Server::latency_summaries`]).
+//!   p50/p95/p99/p999 summaries ([`Server::latency_summaries`]) backed
+//!   by streaming log-bucketed histograms (no stored samples). Executors
+//!   also feed a live [`shmt_trace::Observatory`] — per-device EWMA
+//!   throughput profiles, observed MAPE, queue depths, quarantine state —
+//!   exposed via [`Server::observatory`] and rendered as an
+//!   OpenMetrics text exposition by [`Server::export_openmetrics`].
+//! * **Flight recording** — every request leaves a compact
+//!   [`FlightRecord`] in a bounded ring; anomalies (deadline misses,
+//!   quality repairs, quarantines, dropout re-dispatches, failures) dump
+//!   the ring as `flight_<seq>.json` when a dump directory is configured
+//!   ([`FlightConfig`]), so failures arrive self-explaining.
 //! * **Quality SLOs, not silent degradation** — a request may carry
 //!   [`Request::with_max_mape`]; the executor then runs the runtime's
 //!   quality guard with that budget and fails the request with
@@ -60,11 +70,13 @@
 #![warn(missing_docs)]
 
 mod error;
+mod flight;
 mod health;
 mod server;
 mod stats;
 
 pub use error::{ServeError, SubmitError};
+pub use flight::{Anomaly, FlightConfig, FlightRecord, FlightRecorder};
 pub use health::{DeviceHealth, HealthConfig};
-pub use server::{Request, Response, Server, ServerConfig, Ticket};
+pub use server::{Request, Response, Server, ServerConfig, TelemetryConfig, Ticket};
 pub use stats::{LatencyStats, PolicySummary};

@@ -6,12 +6,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use shmt::sched::TPU;
-use shmt::trace::MetricsRegistry;
 use shmt::{
     FaultPlan, GuardConfig, Platform, RunReport, RuntimeConfig, ShmtError, ShmtRuntime, Vop,
 };
+use shmt_trace::{MetricsRegistry, Observatory};
 
 use crate::error::{ServeError, SubmitError};
+use crate::flight::{Anomaly, FlightConfig, FlightRecord, FlightRecorder};
 use crate::health::{DeviceHealth, HealthConfig, HealthTracker};
 use crate::stats::{PolicySummary, Sample, SampleStore};
 
@@ -113,8 +114,35 @@ pub struct Response {
     pub degraded: bool,
 }
 
+/// Telemetry switches: what the server observes about itself beyond
+/// the bare counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Feed the live [`Observatory`] (latency histograms, per-device
+    /// EWMA profiles) from completed requests. On by default — the
+    /// update cost is a few map operations per request, outside the
+    /// measured execution path.
+    pub observatory: bool,
+    /// Per-request flight recorder; dumps are off until
+    /// [`FlightConfig::dump_dir`] is set.
+    pub flight: FlightConfig,
+    /// Cap on stored samples per metrics gauge series
+    /// ([`MetricsRegistry::with_gauge_cap`]); `None` keeps every sample.
+    pub gauge_cap: Option<usize>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            observatory: true,
+            flight: FlightConfig::default(),
+            gauge_cap: Some(4096),
+        }
+    }
+}
+
 /// Serving-layer tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Executor threads pulling from the admission queue. Each runs one
     /// request at a time; their tile computations all share the global
@@ -127,6 +155,9 @@ pub struct ServerConfig {
     pub default_deadline: Option<Duration>,
     /// Device-health circuit breaker (strike thresholds, probe cadence).
     pub health: HealthConfig,
+    /// Continuous-telemetry switches (observatory, flight recorder,
+    /// gauge cap).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +167,7 @@ impl Default for ServerConfig {
             queue_capacity: 8,
             default_deadline: None,
             health: HealthConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -254,6 +286,13 @@ struct Shared {
     /// acquired alone — never while `state`, `metrics`, or `samples` is
     /// held.
     health: Mutex<HealthTracker>,
+    /// Live telemetry (latency histograms, device profiles). Same lock
+    /// discipline as `health`: only ever acquired alone.
+    observatory: Mutex<Observatory>,
+    /// Whether executors feed the observatory at all.
+    observatory_enabled: bool,
+    /// Per-request flight recorder. Only ever acquired alone.
+    flight: Mutex<FlightRecorder>,
     started_at: Instant,
 }
 
@@ -298,6 +337,10 @@ impl Server {
     /// A partially spawned team (some threads started before the OS ran
     /// out of resources) degrades to the smaller team instead of failing.
     pub fn try_new(config: ServerConfig) -> Result<Self, ServeError> {
+        let metrics = match config.telemetry.gauge_cap {
+            Some(cap) => MetricsRegistry::with_gauge_cap(cap.max(2)),
+            None => MetricsRegistry::new(),
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -307,9 +350,12 @@ impl Server {
             work_ready: Condvar::new(),
             capacity: config.queue_capacity.max(1),
             default_deadline: config.default_deadline,
-            metrics: Mutex::new(MetricsRegistry::new()),
+            metrics: Mutex::new(metrics),
             samples: Mutex::new(SampleStore::default()),
             health: Mutex::new(HealthTracker::new(config.health)),
+            observatory: Mutex::new(Observatory::new()),
+            observatory_enabled: config.telemetry.observatory,
+            flight: Mutex::new(FlightRecorder::new(config.telemetry.flight)),
             started_at: Instant::now(),
         });
         let executors: Vec<JoinHandle<()>> = (0..config.executors.max(1))
@@ -429,15 +475,72 @@ impl Server {
     /// (`serve.submitted`, `serve.completed`, `serve.rejected_busy`,
     /// `serve.deadline_missed`, `serve.failed`, `serve.canceled`,
     /// `serve.degraded`, `serve.quality_unattainable`,
-    /// `serve.queue_depth`, plus the health-breaker counters
-    /// `health.strike`, `health.quarantine`, `health.probe`,
-    /// `health.reintegrate`).
+    /// `serve.flight_dumps`, `serve.queue_depth`, plus the
+    /// health-breaker counters `health.strike`, `health.quarantine`,
+    /// `health.probe`, `health.reintegrate`).
     pub fn metrics(&self) -> MetricsRegistry {
         self.shared
             .metrics
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clone()
+    }
+
+    /// Live telemetry snapshot: the observatory the executors feed
+    /// (latency histograms, per-device EWMA profiles), merged with the
+    /// serving counters/gauges and the current quarantine flags. Renders
+    /// directly via [`Server::export_openmetrics`].
+    pub fn observatory(&self) -> Observatory {
+        let mut obs = self
+            .shared
+            .observatory
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let metrics = self
+            .shared
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        obs.merge_registry(&metrics);
+        let health = self
+            .shared
+            .health
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .snapshot();
+        for (d, h) in health.iter().enumerate() {
+            obs.set_quarantined(d, h.quarantined);
+        }
+        obs
+    }
+
+    /// The current telemetry as an OpenMetrics text exposition
+    /// (terminated by `# EOF`; parseable by
+    /// [`shmt_trace::openmetrics::Exposition::parse`]).
+    pub fn export_openmetrics(&self) -> String {
+        shmt_trace::openmetrics::render(&self.observatory())
+    }
+
+    /// The flight recorder's retained recent requests, oldest first.
+    pub fn flight_records(&self) -> Vec<FlightRecord> {
+        self.shared
+            .flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .records()
+            .cloned()
+            .collect()
+    }
+
+    /// Anomaly dumps the flight recorder has written so far.
+    pub fn flight_dumps(&self) -> usize {
+        self.shared
+            .flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dumps_written()
     }
 
     /// Snapshot of the per-device health breaker state, indexed by the
@@ -500,6 +603,25 @@ impl Drop for Server {
     }
 }
 
+/// Records a flight entry and bumps the `serve.flight_dumps` counter
+/// when it triggered a disk dump. Lock order: `flight`, then `metrics`,
+/// each held alone.
+fn record_flight(shared: &Shared, record: FlightRecord) {
+    let dumped = shared
+        .flight
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .record(record)
+        .is_some();
+    if dumped {
+        shared
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .add_counter("serve.flight_dumps", 1.0);
+    }
+}
+
 fn executor_loop(shared: &Shared) {
     loop {
         let (queued, depth) = {
@@ -535,6 +657,14 @@ fn executor_loop(shared: &Shared) {
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .add_counter("serve.deadline_missed", 1.0);
+                let mut fr = FlightRecord::new(
+                    &queued.request.config.policy.name(),
+                    &queued.request.vop.opcode().to_string(),
+                );
+                fr.queue_wait_s = queue_wait.as_secs_f64();
+                fr.outcome = Anomaly::DeadlineMissed.name().to_owned();
+                fr.anomalies.push(Anomaly::DeadlineMissed);
+                record_flight(shared, fr);
                 queued.ticket.fulfill(Err(ServeError::DeadlineExceeded {
                     waited: queue_wait,
                     deadline,
@@ -544,6 +674,7 @@ fn executor_loop(shared: &Shared) {
         }
 
         let policy = queued.request.config.policy.name();
+        let opcode = queued.request.vop.opcode().to_string();
 
         // Route around quarantined devices (health lock held alone; see
         // the lock-order notes on `Shared`).
@@ -594,6 +725,79 @@ fn executor_loop(shared: &Shared) {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .record(&decision, struck);
+        let quarantined = {
+            let snapshot = shared
+                .health
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .snapshot();
+            let mut q = [false; DEVICES];
+            for (d, h) in snapshot.iter().enumerate() {
+                q[d] = h.quarantined;
+            }
+            q
+        };
+
+        // Continuous telemetry: feed the observatory from the completed
+        // report (span completions in virtual time) and leave a flight
+        // record. Both locks are taken alone, after execution, so the
+        // measured runtime path is untouched.
+        if shared.observatory_enabled {
+            let mut obs = shared
+                .observatory
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            obs.record_latency("serve.queue_wait_seconds", queue_wait.as_secs_f64());
+            if let Ok(report) = &outcome {
+                obs.record_latency("serve.service_seconds", service_time.as_secs_f64());
+                obs.record_latency("serve.makespan_virtual_seconds", report.makespan_s);
+                for (d, (kind, elems)) in report.device_elements().into_iter().enumerate() {
+                    let stats = &report.devices[d];
+                    debug_assert_eq!(stats.kind, kind);
+                    if stats.busy_s > 0.0 && elems > 0 {
+                        obs.observe_span(d, &opcode, elems, stats.busy_s);
+                    }
+                    obs.set_queue_depth(d, stats.max_queue_depth as f64);
+                }
+                if report.quality.enabled && report.quality.checked_hlops > 0 {
+                    obs.observe_mape(TPU, report.quality.estimated_mape);
+                }
+            }
+            for (d, &q) in quarantined.iter().enumerate() {
+                obs.set_quarantined(d, q);
+            }
+        }
+        let mut fr = FlightRecord::new(&policy, &opcode);
+        fr.queue_wait_s = queue_wait.as_secs_f64();
+        fr.service_s = service_time.as_secs_f64();
+        fr.quarantined = quarantined;
+        if delta.quarantines > 0 {
+            fr.anomalies.push(Anomaly::DeviceQuarantine);
+        }
+        match &outcome {
+            Ok(report) => {
+                fr.makespan_s = report.makespan_s;
+                fr.degraded = report.faults.degraded || decision.masked_any;
+                fr.repairs = report.quality.repairs.len();
+                fr.redispatched = report.faults.redispatched;
+                fr.devices_lost = report.faults.lost;
+                if fr.repairs > 0 {
+                    fr.anomalies.push(Anomaly::QualityRepair);
+                }
+                if fr.redispatched > 0 || report.faults.degraded {
+                    fr.anomalies.push(Anomaly::Redispatch);
+                }
+            }
+            Err(ShmtError::QualityUnattainable { .. }) => {
+                fr.outcome = Anomaly::QualityUnattainable.name().to_owned();
+                fr.anomalies.push(Anomaly::QualityUnattainable);
+            }
+            Err(_) => {
+                fr.outcome = Anomaly::Failure.name().to_owned();
+                fr.anomalies.push(Anomaly::Failure);
+            }
+        }
+        record_flight(shared, fr);
 
         let mut metrics = shared
             .metrics

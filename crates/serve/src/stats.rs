@@ -1,7 +1,14 @@
-//! Latency accounting: per-policy queue-wait and service-time samples
-//! summarized as nearest-rank percentiles.
+//! Latency accounting: per-policy queue-wait and service-time
+//! distributions held as streaming log-bucketed histograms
+//! ([`shmt_trace::Histogram::latency_log`]), summarized as quantiles at
+//! bucket resolution. No raw samples are stored, so a 10⁵-request run
+//! holds constant memory per policy; the exact nearest-rank path
+//! survives only in the tests, as the oracle the histograms are
+//! checked against.
 
 use std::collections::BTreeMap;
+
+use shmt_trace::Histogram;
 
 /// One served request's latency split.
 #[derive(Debug, Clone, Copy)]
@@ -10,38 +17,42 @@ pub(crate) struct Sample {
     pub service_s: f64,
 }
 
-/// Percentile summary of one latency dimension.
+/// Percentile summary of one latency dimension. Quantiles come from a
+/// log-bucketed histogram: they never underestimate the exact
+/// nearest-rank value and overestimate by at most one bucket (1.25×).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     /// Samples the summary covers.
     pub count: usize,
-    /// Arithmetic mean, seconds.
+    /// Arithmetic mean, seconds (exact — from the running sum).
     pub mean_s: f64,
-    /// Median (nearest-rank), seconds.
+    /// Median, seconds.
     pub p50_s: f64,
-    /// 95th percentile (nearest-rank), seconds.
+    /// 95th percentile, seconds.
     pub p95_s: f64,
-    /// 99th percentile (nearest-rank), seconds.
+    /// 99th percentile, seconds.
     pub p99_s: f64,
-    /// Worst observed, seconds.
+    /// 99.9th percentile, seconds.
+    pub p999_s: f64,
+    /// Worst observed, seconds (exact).
     pub max_s: f64,
 }
 
 impl LatencyStats {
-    fn from_samples(mut values: Vec<f64>) -> Option<Self> {
-        if values.is_empty() {
+    fn from_histogram(hist: &Histogram) -> Option<Self> {
+        let count = usize::try_from(hist.total()).ok()?;
+        if count == 0 {
             return None;
         }
-        values.sort_by(f64::total_cmp);
-        let count = values.len();
-        let mean_s = values.iter().sum::<f64>() / count as f64;
+        let q = |p: f64| hist.quantile(p).expect("non-empty histogram");
         Some(LatencyStats {
             count,
-            mean_s,
-            p50_s: nearest_rank(&values, 50.0),
-            p95_s: nearest_rank(&values, 95.0),
-            p99_s: nearest_rank(&values, 99.0),
-            max_s: values[count - 1],
+            mean_s: hist.mean().expect("non-empty histogram"),
+            p50_s: q(0.50),
+            p95_s: q(0.95),
+            p99_s: q(0.99),
+            p999_s: q(0.999),
+            max_s: hist.max_value().expect("non-empty histogram"),
         })
     }
 }
@@ -57,38 +68,52 @@ pub struct PolicySummary {
     pub service: LatencyStats,
 }
 
-/// Nearest-rank percentile of an ascending-sorted, non-empty slice.
-fn nearest_rank(sorted: &[f64], pct: f64) -> f64 {
+/// Nearest-rank percentile of an ascending-sorted, non-empty slice —
+/// the exact oracle the streaming histograms are tested against.
+#[cfg(test)]
+pub(crate) fn nearest_rank(sorted: &[f64], pct: f64) -> f64 {
     let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Accumulates samples keyed by policy name (deterministic iteration).
+/// One policy's streaming latency state: a histogram per dimension.
+#[derive(Debug)]
+struct PolicyHists {
+    queue_wait: Histogram,
+    service: Histogram,
+}
+
+impl Default for PolicyHists {
+    fn default() -> Self {
+        PolicyHists {
+            queue_wait: Histogram::latency_log(),
+            service: Histogram::latency_log(),
+        }
+    }
+}
+
+/// Accumulates latency distributions keyed by policy name
+/// (deterministic iteration).
 #[derive(Debug, Default)]
 pub(crate) struct SampleStore {
-    per_policy: BTreeMap<String, Vec<Sample>>,
+    per_policy: BTreeMap<String, PolicyHists>,
 }
 
 impl SampleStore {
     pub fn record(&mut self, policy: &str, sample: Sample) {
-        self.per_policy
-            .entry(policy.to_owned())
-            .or_default()
-            .push(sample);
+        let hists = self.per_policy.entry(policy.to_owned()).or_default();
+        hists.queue_wait.record(sample.queue_wait_s);
+        hists.service.record(sample.service_s);
     }
 
     pub fn summaries(&self) -> Vec<PolicySummary> {
         self.per_policy
             .iter()
-            .filter_map(|(policy, samples)| {
-                let queue_wait =
-                    LatencyStats::from_samples(samples.iter().map(|s| s.queue_wait_s).collect())?;
-                let service =
-                    LatencyStats::from_samples(samples.iter().map(|s| s.service_s).collect())?;
+            .filter_map(|(policy, hists)| {
                 Some(PolicySummary {
                     policy: policy.clone(),
-                    queue_wait,
-                    service,
+                    queue_wait: LatencyStats::from_histogram(&hists.queue_wait)?,
+                    service: LatencyStats::from_histogram(&hists.service)?,
                 })
             })
             .collect()
@@ -115,7 +140,7 @@ mod tests {
             store.record(
                 "work-stealing",
                 Sample {
-                    queue_wait_s: f64::from(i) * 0.001,
+                    queue_wait_s: f64::from(i + 1) * 0.001,
                     service_s: 0.5,
                 },
             );
@@ -123,7 +148,7 @@ mod tests {
         store.record(
             "even distribution",
             Sample {
-                queue_wait_s: 0.0,
+                queue_wait_s: 0.001,
                 service_s: 1.0,
             },
         );
@@ -134,9 +159,47 @@ mod tests {
             .find(|s| s.policy == "work-stealing")
             .unwrap();
         assert_eq!(ws.queue_wait.count, 10);
+        // All service samples identical: every quantile lands in the
+        // same bucket, clamped to the exact max.
         assert_eq!(ws.service.p99_s, 0.5);
+        assert_eq!(ws.service.p999_s, 0.5);
+        assert_eq!(ws.service.max_s, 0.5);
         assert!(ws.queue_wait.p50_s <= ws.queue_wait.p95_s);
         assert!(ws.queue_wait.p95_s <= ws.queue_wait.p99_s);
-        assert!(ws.queue_wait.p99_s <= ws.queue_wait.max_s);
+        assert!(ws.queue_wait.p99_s <= ws.queue_wait.p999_s);
+        assert!(ws.queue_wait.p999_s <= ws.queue_wait.max_s);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_exact_oracle() {
+        // Log-uniform-ish spread across four decades, deterministic.
+        let mut values: Vec<f64> = (0..500).map(|i| 1.0e-5 * 1.03f64.powi(i % 400)).collect();
+        let mut store = SampleStore::default();
+        for &v in &values {
+            store.record(
+                "p",
+                Sample {
+                    queue_wait_s: v,
+                    service_s: v,
+                },
+            );
+        }
+        values.sort_by(f64::total_cmp);
+        let s = &store.summaries()[0].service;
+        for (got, pct) in [
+            (s.p50_s, 50.0),
+            (s.p95_s, 95.0),
+            (s.p99_s, 99.0),
+            (s.p999_s, 99.9),
+        ] {
+            let exact = nearest_rank(&values, pct);
+            assert!(
+                got >= exact && got <= exact * 1.25 + 1e-12,
+                "p{pct}: streaming {got} vs exact {exact}"
+            );
+        }
+        assert_eq!(s.max_s, *values.last().unwrap(), "max is exact");
+        let exact_mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((s.mean_s - exact_mean).abs() < 1e-12, "mean is exact");
     }
 }

@@ -7,7 +7,9 @@ use std::time::Duration;
 use shmt::sched::TPU;
 use shmt::{FaultPlan, Platform, Policy, RuntimeConfig, ShmtRuntime, Vop};
 use shmt_kernels::Benchmark;
-use shmt_serve::{HealthConfig, Request, ServeError, Server, ServerConfig, SubmitError};
+use shmt_serve::{
+    HealthConfig, Request, ServeError, Server, ServerConfig, SubmitError, TelemetryConfig,
+};
 
 fn request(b: Benchmark, n: usize, seed: u64, policy: Policy) -> Request {
     let vop = Vop::from_benchmark(b, b.generate_inputs(n, n, seed)).expect("valid VOP");
@@ -43,6 +45,7 @@ fn submit_returns_busy_at_capacity_and_recovers() {
         queue_capacity: 1,
         default_deadline: None,
         health: HealthConfig::default(),
+        telemetry: TelemetryConfig::default(),
     });
     // Built before submission: generating inputs inside the submit
     // sequence would pace this thread at the executor's own speed.
@@ -80,6 +83,7 @@ fn submit_blocking_waits_instead_of_bouncing() {
         queue_capacity: 1,
         default_deadline: None,
         health: HealthConfig::default(),
+        telemetry: TelemetryConfig::default(),
     });
     let tickets: Vec<_> = (0..6)
         .map(|seed| {
@@ -109,6 +113,7 @@ fn queued_deadline_produces_typed_error_not_a_hang() {
         queue_capacity: 4,
         default_deadline: None,
         health: HealthConfig::default(),
+        telemetry: TelemetryConfig::default(),
     });
     let blocker = server
         .submit(request(Benchmark::Sobel, 512, 1, Policy::WorkStealing))
@@ -157,6 +162,7 @@ fn shutdown_cancels_queued_requests() {
         queue_capacity: 8,
         default_deadline: None,
         health: HealthConfig::default(),
+        telemetry: TelemetryConfig::default(),
     });
     // Build every request up front: generating a 512^2 input inside the
     // submit loop would hand the lone executor a long head start.
@@ -217,6 +223,7 @@ fn concurrent_serving_is_bit_identical_to_sequential() {
         queue_capacity: 16,
         default_deadline: None,
         health: HealthConfig::default(),
+        telemetry: TelemetryConfig::default(),
     });
     let tickets: Vec<_> = cases
         .iter()
@@ -262,6 +269,7 @@ fn repeated_dropouts_quarantine_probe_and_reintegrate() {
             quarantine_after: 2,
             probe_after: 1,
         },
+        telemetry: TelemetryConfig::default(),
     });
     // The TPU dies at t=0 on the faulted requests: each completes
     // degraded, striking the TPU once.

@@ -17,9 +17,16 @@
 //! * [`MetricsRegistry`] — monotonic counters and timestamped gauge
 //!   series (queue depths, bus occupancy), plus a fixed-bound
 //!   [`Histogram`].
+//! * [`Observatory`] — live, mergeable telemetry: streaming log-bucketed
+//!   latency histograms (p50/p95/p99/p999 without storing samples) and
+//!   per-device online profiles (EWMA throughput per HLOP kind, observed
+//!   MAPE, queue depth, quarantine state).
 //! * [`chrome`] — a hand-rolled Chrome trace-event JSON exporter (loadable
 //!   in Perfetto / `chrome://tracing`) and a reader for round-trip
 //!   validation.
+//! * [`openmetrics`] — a hand-rolled OpenMetrics/Prometheus text exporter
+//!   and parser for everything an [`Observatory`] holds, with
+//!   deterministic byte-stable output.
 //! * [`summary`] — a plain-text per-device timeline summary.
 //! * [`json`] — the tiny dependency-free JSON value model backing the
 //!   exporter and reader.
@@ -49,9 +56,12 @@ pub mod chrome;
 mod event;
 pub mod json;
 mod metrics;
+mod observatory;
+pub mod openmetrics;
 mod sink;
 pub mod summary;
 
 pub use event::{DeviceId, EventKind, Span, TraceRecord, DEFAULT_DEVICE_NAMES};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use observatory::{DeviceProfile, Observatory, DEFAULT_EWMA_ALPHA};
 pub use sink::{NullSink, RingBufferSink, TraceData, TraceRecorder, TraceSink};

@@ -1,0 +1,339 @@
+//! Live, mergeable telemetry: streaming latency histograms plus
+//! per-device *online profiles*.
+//!
+//! The [`Observatory`] is the observation half of an adaptive scheduling
+//! loop: it is fed span completions (in virtual time), quality
+//! observations, and queue depths as requests finish, and answers
+//! "how fast is each device right now?" without ever storing raw
+//! samples. Latencies go into log-bucketed [`Histogram`]s (p50/p95/p99/
+//! p999 at bucket resolution); device behavior goes into EWMA profiles
+//! keyed by HLOP kind. Everything is mergeable, so per-worker
+//! observatories can fold into one, and everything renders through the
+//! [`crate::openmetrics`] exporter.
+
+use std::collections::BTreeMap;
+
+use crate::event::{DeviceId, DEFAULT_DEVICE_NAMES};
+use crate::metrics::{Histogram, MetricsRegistry};
+
+/// Default EWMA smoothing factor: each new observation carries 25% of
+/// the updated estimate, so profiles converge within ~a dozen requests
+/// while still damping single-request noise.
+pub const DEFAULT_EWMA_ALPHA: f64 = 0.25;
+
+/// What the observatory currently believes about one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Display name ("GPU", "CPU", "EdgeTPU").
+    pub name: String,
+    /// Span completions observed.
+    pub spans: u64,
+    /// Total busy time observed, virtual seconds.
+    pub busy_s: f64,
+    /// Total elements computed across observed spans.
+    pub elements: u64,
+    /// EWMA throughput per HLOP kind, elements per virtual second.
+    pub ewma_throughput: BTreeMap<String, f64>,
+    /// EWMA of observed approximation error (MAPE), if any was reported.
+    pub ewma_mape: Option<f64>,
+    /// Most recent queue depth reported for this device.
+    pub queue_depth: f64,
+    /// Whether the health breaker currently holds this device out.
+    pub quarantined: bool,
+}
+
+impl DeviceProfile {
+    fn new(name: &str) -> Self {
+        DeviceProfile {
+            name: name.to_owned(),
+            spans: 0,
+            busy_s: 0.0,
+            elements: 0,
+            ewma_throughput: BTreeMap::new(),
+            ewma_mape: None,
+            queue_depth: 0.0,
+            quarantined: false,
+        }
+    }
+
+    /// Lifetime-average throughput (elements per busy second) across
+    /// all kinds, if anything was observed.
+    pub fn mean_throughput(&self) -> Option<f64> {
+        (self.busy_s > 0.0).then(|| self.elements as f64 / self.busy_s)
+    }
+}
+
+fn ewma(prev: Option<f64>, value: f64, alpha: f64) -> f64 {
+    match prev {
+        None => value,
+        Some(p) => alpha * value + (1.0 - alpha) * p,
+    }
+}
+
+/// Streaming telemetry store: latency histograms, per-device online
+/// profiles, and a metrics registry, all updatable live and mergeable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observatory {
+    alpha: f64,
+    profiles: Vec<DeviceProfile>,
+    histograms: BTreeMap<String, Histogram>,
+    metrics: MetricsRegistry,
+}
+
+impl Default for Observatory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Observatory {
+    /// An observatory over the default device roster with the default
+    /// smoothing factor.
+    pub fn new() -> Self {
+        Self::with_alpha(DEFAULT_EWMA_ALPHA)
+    }
+
+    /// An observatory with a custom EWMA smoothing factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Observatory {
+            alpha,
+            profiles: DEFAULT_DEVICE_NAMES
+                .iter()
+                .map(|n| DeviceProfile::new(n))
+                .collect(),
+            histograms: BTreeMap::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Number of devices profiled.
+    pub fn device_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Feeds one span completion: `device` spent `busy_s` virtual
+    /// seconds computing `elements` elements of an HLOP of `kind`.
+    /// Updates the device's EWMA throughput for that kind.
+    pub fn observe_span(&mut self, device: DeviceId, kind: &str, elements: u64, busy_s: f64) {
+        let alpha = self.alpha;
+        let p = &mut self.profiles[device];
+        p.spans += 1;
+        p.busy_s += busy_s;
+        p.elements += elements;
+        if busy_s > 0.0 && elements > 0 {
+            let inst = elements as f64 / busy_s;
+            let prev = p.ewma_throughput.get(kind).copied();
+            p.ewma_throughput
+                .insert(kind.to_owned(), ewma(prev, inst, alpha));
+        }
+    }
+
+    /// Feeds one quality observation (a MAPE estimate attributed to
+    /// `device`, typically the approximating NPU).
+    pub fn observe_mape(&mut self, device: DeviceId, mape: f64) {
+        let alpha = self.alpha;
+        let p = &mut self.profiles[device];
+        p.ewma_mape = Some(ewma(p.ewma_mape, mape, alpha));
+    }
+
+    /// Records the latest queue depth for a device.
+    pub fn set_queue_depth(&mut self, device: DeviceId, depth: f64) {
+        self.profiles[device].queue_depth = depth;
+    }
+
+    /// Records the health breaker's current verdict for a device.
+    pub fn set_quarantined(&mut self, device: DeviceId, quarantined: bool) {
+        self.profiles[device].quarantined = quarantined;
+    }
+
+    /// Records one latency sample into the named log-bucketed histogram
+    /// (created on first use with [`Histogram::latency_log`] bounds).
+    pub fn record_latency(&mut self, name: &str, seconds: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(Histogram::latency_log)
+            .record(seconds);
+    }
+
+    /// The named latency histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All device profiles, in device-id order.
+    pub fn profiles(&self) -> &[DeviceProfile] {
+        &self.profiles
+    }
+
+    /// One device's profile.
+    pub fn profile(&self, device: DeviceId) -> &DeviceProfile {
+        &self.profiles[device]
+    }
+
+    /// The embedded metrics registry (counters and gauges).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the embedded metrics registry.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Folds an external registry's counters and gauges into this
+    /// observatory's metrics.
+    pub fn merge_registry(&mut self, registry: &MetricsRegistry) {
+        self.metrics.merge(registry);
+    }
+
+    /// Folds another observatory into this one: histograms with the
+    /// same name merge bucket-wise, metrics merge, and device profiles
+    /// combine (totals add; EWMAs average weighted by span count;
+    /// queue depth takes the max; quarantine ORs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device rosters differ or same-named histograms
+    /// have different bounds.
+    pub fn merge(&mut self, other: &Observatory) {
+        assert_eq!(
+            self.profiles.len(),
+            other.profiles.len(),
+            "cannot merge observatories over different device rosters"
+        );
+        for (name, hist) in other.histograms() {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(hist),
+                None => {
+                    self.histograms.insert(name.to_owned(), hist.clone());
+                }
+            }
+        }
+        self.metrics.merge(&other.metrics);
+        for (mine, theirs) in self.profiles.iter_mut().zip(&other.profiles) {
+            let (ws, wo) = (mine.spans as f64, theirs.spans as f64);
+            let blend = |a: Option<f64>, b: Option<f64>| match (a, b) {
+                (Some(a), Some(b)) if ws + wo > 0.0 => Some((a * ws + b * wo) / (ws + wo)),
+                (Some(a), Some(b)) => Some((a + b) / 2.0),
+                (a, b) => a.or(b),
+            };
+            for (kind, &v) in &theirs.ewma_throughput {
+                let merged = blend(mine.ewma_throughput.get(kind).copied(), Some(v))
+                    .expect("blend of Some is Some");
+                mine.ewma_throughput.insert(kind.clone(), merged);
+            }
+            mine.ewma_mape = blend(mine.ewma_mape, theirs.ewma_mape);
+            mine.spans += theirs.spans;
+            mine.busy_s += theirs.busy_s;
+            mine.elements += theirs.elements;
+            mine.queue_depth = mine.queue_depth.max(theirs.queue_depth);
+            mine.quarantined |= theirs.quarantined;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_update_totals_and_ewma() {
+        let mut obs = Observatory::new();
+        obs.observe_span(0, "Sobel", 1000, 0.001); // 1e6 elem/s
+        let p = obs.profile(0);
+        assert_eq!(p.spans, 1);
+        assert_eq!(p.elements, 1000);
+        assert_eq!(p.ewma_throughput["Sobel"], 1.0e6, "first sets directly");
+        obs.observe_span(0, "Sobel", 1000, 0.002); // 5e5 elem/s
+        let t = obs.profile(0).ewma_throughput["Sobel"];
+        assert!((t - (0.25 * 5.0e5 + 0.75 * 1.0e6)).abs() < 1e-6);
+        assert_eq!(obs.profile(0).mean_throughput(), Some(2000.0 / 0.003));
+    }
+
+    #[test]
+    fn ewma_converges_to_a_sustained_slowdown() {
+        let mut obs = Observatory::new();
+        obs.observe_span(0, "Fft", 1000, 0.001); // healthy: 1e6
+        for _ in 0..24 {
+            obs.observe_span(0, "Fft", 1000, 0.004); // 4x slower: 2.5e5
+        }
+        let t = obs.profile(0).ewma_throughput["Fft"];
+        let ratio = t / 1.0e6;
+        assert!(
+            (ratio - 0.25).abs() < 0.01,
+            "EWMA should converge to the slowdown ratio, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn mape_queue_and_quarantine_are_tracked() {
+        let mut obs = Observatory::new();
+        assert_eq!(obs.profile(2).ewma_mape, None);
+        obs.observe_mape(2, 0.10);
+        obs.observe_mape(2, 0.20);
+        let m = obs.profile(2).ewma_mape.unwrap();
+        assert!((m - (0.25 * 0.20 + 0.75 * 0.10)).abs() < 1e-12);
+        obs.set_queue_depth(1, 7.0);
+        obs.set_quarantined(2, true);
+        assert_eq!(obs.profile(1).queue_depth, 7.0);
+        assert!(obs.profile(2).quarantined);
+    }
+
+    #[test]
+    fn latency_histograms_stream_quantiles() {
+        let mut obs = Observatory::new();
+        for i in 1..=100 {
+            obs.record_latency("serve.service_seconds", i as f64 * 1.0e-3);
+        }
+        let h = obs.histogram("serve.service_seconds").unwrap();
+        assert_eq!(h.total(), 100);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((0.050..=0.050 * 1.25).contains(&p50), "p50 {p50}");
+        let p999 = h.quantile(0.999).unwrap();
+        assert!((0.100..=0.100 * 1.25).contains(&p999), "p999 {p999}");
+    }
+
+    #[test]
+    fn merge_folds_histograms_profiles_and_metrics() {
+        let mut a = Observatory::new();
+        let mut b = Observatory::new();
+        a.record_latency("serve.service_seconds", 0.010);
+        b.record_latency("serve.service_seconds", 0.020);
+        b.record_latency("serve.queue_wait_seconds", 0.001);
+        a.observe_span(0, "Sobel", 100, 0.001);
+        b.observe_span(0, "Sobel", 300, 0.001);
+        b.set_quarantined(2, true);
+        a.metrics_mut().add_counter("serve.completed", 1.0);
+        b.metrics_mut().add_counter("serve.completed", 2.0);
+
+        a.merge(&b);
+        assert_eq!(a.histogram("serve.service_seconds").unwrap().total(), 2);
+        assert_eq!(a.histogram("serve.queue_wait_seconds").unwrap().total(), 1);
+        let p = a.profile(0);
+        assert_eq!(p.spans, 2);
+        assert_eq!(p.elements, 400);
+        // Equal span weights: blend of 1e5 and 3e5.
+        assert!((p.ewma_throughput["Sobel"] - 2.0e5).abs() < 1e-6);
+        assert!(a.profile(2).quarantined);
+        assert_eq!(a.metrics().counter("serve.completed"), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_is_rejected() {
+        Observatory::with_alpha(0.0);
+    }
+}

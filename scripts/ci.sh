@@ -88,6 +88,26 @@ grep -q '"within_budget":true' "$f" || { echo "no within-budget guarded scenario
 if grep -q '"within_budget":false' "$f"; then
     echo "guarded scenario exceeded its quality budget in $f"; exit 1
 fi
-echo "chaos sweep smoke validated: $f"
+grep -q '"flight_dumps":' "$f" || { echo "flight-dump count missing in $f"; exit 1; }
+ls results/flight_chaos_*.json >/dev/null 2>&1 || { echo "no flight dumps from failing chaos scenarios"; exit 1; }
+echo "chaos sweep smoke validated: $f ($(ls results/flight_chaos_*.json | wc -l) flight dumps)"
+
+echo "== telemetry smoke check =="
+# obs_report proves the telemetry layer pays for itself: serving with the
+# observatory and flight ring on must stay within 5% of the NullSink
+# path, the OpenMetrics exposition must round-trip byte-identically
+# through the workspace's own parser, injected faults must leave flight
+# dumps behind, and the per-device EWMA profile must track an injected
+# 4x GPU slowdown. The bin aborts on any violation and re-validates its
+# own artifact.
+cargo run --release -q -p shmt-bench --bin obs_report -- --smoke >/dev/null
+f=results/BENCH_obs_smoke.json
+[ -s "$f" ] || { echo "empty obs report: $f"; exit 1; }
+grep -q '"within_budget":true' "$f" || { echo "telemetry overhead budget flag missing in $f"; exit 1; }
+grep -q '"round_trip":true' "$f" || { echo "exporter round-trip flag missing in $f"; exit 1; }
+grep -q '"flight_dumps":' "$f" || { echo "flight-dump count missing in $f"; exit 1; }
+grep -q '"slowdown_ratio":' "$f" || { echo "profile convergence missing in $f"; exit 1; }
+ls results/flight_obs_*.json >/dev/null 2>&1 || { echo "no flight dumps from injected faults"; exit 1; }
+echo "telemetry smoke validated: $f"
 
 echo "CI OK"
