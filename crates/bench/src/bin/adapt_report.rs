@@ -1,0 +1,432 @@
+//! Adaptive-scheduling self-validation: does closing the loop from
+//! Observatory profiles back to the planner actually pay?
+//!
+//! ```text
+//! cargo run --release -p shmt-bench --bin adapt_report
+//! cargo run --release -p shmt-bench --bin adapt_report -- --smoke
+//! ```
+//!
+//! Two scenarios, each of which aborts the bin on failure:
+//!
+//! 1. **Throughput under slowdown** — a stream of Sobel requests runs
+//!    under an injected 4× GPU slowdown, static planner vs the adaptive
+//!    loop (each request recalibrated from the EWMA profiles the
+//!    previous requests fed). Adaptive must strictly beat static on
+//!    end-to-end virtual-time throughput. The first (cold-observatory)
+//!    request and a full adaptation-*disabled* replay must stay
+//!    bit-identical to the static arm, and re-running the adaptive arm
+//!    must reproduce it bit for bit.
+//! 2. **Quality SLO under TPU miscalibration** — the same stream under
+//!    a 1.5× TPU gain error with a monitoring guard measuring the
+//!    delivered error. The static QAWS plan breaches a 0.10 MAPE SLO;
+//!    the adaptive loop must squeeze TPU admission from the measured
+//!    MAPE EWMA until post-warmup requests hold the SLO.
+//!
+//! The default artifact is `BENCH_adapt.json` at the repository root;
+//! `--smoke` writes `results/BENCH_adapt_smoke.json` (the CI gate).
+//! Either file is re-read and validated with the workspace's own JSON
+//! parser before the run reports success.
+
+use shmt::calibration::{bench_profile, AdaptiveConfig, Calibration};
+use shmt::quality::mape;
+use shmt::sampling::SamplingMethod;
+use shmt::sched::{CPU, GPU, TPU};
+use shmt::{
+    AdaptiveCalibration, FaultPlan, GuardConfig, Platform, Policy, QawsAssignment, RunReport,
+    RuntimeConfig, ShmtRuntime, Vop,
+};
+use shmt_kernels::Benchmark;
+use shmt_trace::json::{JsonValue, ObjectBuilder};
+use shmt_trace::Observatory;
+
+struct Opts {
+    smoke: bool,
+    out: Option<String>,
+}
+
+fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        out: None,
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                opts.out = Some(args.next().unwrap_or_else(|| panic!("--out needs a path")));
+            }
+            other => panic!("unknown flag {other}; accepted: --smoke --out"),
+        }
+    }
+    opts
+}
+
+/// A compute-dominant platform (slow GPU) so the injected slowdown and
+/// the decision-side estimates dominate fixed launch overheads.
+fn slow_platform(b: Benchmark) -> Platform {
+    Platform::with_profiles(
+        Calibration {
+            gpu_throughput: 1.0e6,
+            ..Calibration::default()
+        },
+        bench_profile(b),
+    )
+}
+
+fn vop(b: Benchmark, n: usize, seed: u64) -> Vop {
+    Vop::from_benchmark(b, b.generate_inputs(n, n, seed)).expect("valid VOP")
+}
+
+/// Static per-device element rates for this kernel — the denominator
+/// `calibrate` compares observed EWMA throughput against.
+fn modeled_elems_per_s(platform: &Platform, v: &Vop) -> [f64; 3] {
+    let work = v.kernel().work_per_element();
+    let profiles = platform.device_profiles();
+    [
+        profiles[GPU].throughput / work,
+        profiles[CPU].throughput / work,
+        profiles[TPU].throughput / work,
+    ]
+}
+
+/// Feeds a finished report into the observatory exactly the way the
+/// serving layer does.
+fn feed(obs: &mut Observatory, report: &RunReport, opcode: &str) {
+    for (d, (_, elems)) in report.device_elements().into_iter().enumerate() {
+        let busy = report.devices[d].busy_s;
+        if busy > 0.0 && elems > 0 {
+            obs.observe_span(d, opcode, elems, busy);
+        }
+    }
+    if report.quality.enabled && report.quality.checked_hlops > 0 {
+        obs.observe_mape(TPU, report.quality.true_mape);
+    }
+}
+
+struct ArmResult {
+    reports: Vec<RunReport>,
+    calibrations: Vec<AdaptiveCalibration>,
+}
+
+/// One scenario's fixed shape: the request stream and the fault plan it
+/// runs under. Arms differ only in the adaptive config.
+struct Scenario<'a> {
+    platform: &'a Platform,
+    base: RuntimeConfig,
+    requests: usize,
+    n: usize,
+    seed0: u64,
+    faults: &'a FaultPlan,
+    slo: Option<f64>,
+}
+
+impl Scenario<'_> {
+    /// Runs the request stream, recalibrating each request from the
+    /// observations of the previous ones under `adapt` (the disabled
+    /// config reproduces the static arm bit for bit).
+    fn run_arm(&self, adapt: &AdaptiveConfig) -> ArmResult {
+        let mut obs = Observatory::new();
+        let mut reports = Vec::with_capacity(self.requests);
+        let mut calibrations = Vec::with_capacity(self.requests);
+        for i in 0..self.requests {
+            let v = vop(Benchmark::Sobel, self.n, self.seed0 + i as u64);
+            let cal = adapt.calibrate(
+                obs.profiles(),
+                modeled_elems_per_s(self.platform, &v),
+                "Sobel",
+                self.slo,
+            );
+            let mut config = self.base;
+            config.adapt = cal;
+            let report = ShmtRuntime::new(self.platform.clone(), config)
+                .execute_with_faults(&v, self.faults)
+                .expect("request succeeds");
+            feed(&mut obs, &report, "Sobel");
+            calibrations.push(cal);
+            reports.push(report);
+        }
+        ArmResult {
+            reports,
+            calibrations,
+        }
+    }
+}
+
+fn bit_identical(a: &ArmResult, b: &ArmResult) -> bool {
+    a.reports.len() == b.reports.len()
+        && a.reports.iter().zip(&b.reports).all(|(x, y)| {
+            x.output.as_slice() == y.output.as_slice() && x.makespan_s == y.makespan_s
+        })
+}
+
+/// End-to-end virtual-time throughput of an arm: total elements over
+/// total makespan.
+fn throughput(arm: &ArmResult, n: usize) -> f64 {
+    let elements = (arm.reports.len() * n * n) as f64;
+    let makespan: f64 = arm.reports.iter().map(|r| r.makespan_s).sum();
+    elements / makespan
+}
+
+fn number_array(values: impl IntoIterator<Item = f64>) -> JsonValue {
+    JsonValue::Array(values.into_iter().map(JsonValue::Number).collect())
+}
+
+fn main() {
+    let opts = parse_opts(std::env::args().skip(1));
+    let (n, requests, default_out) = if opts.smoke {
+        (96, 6, "results/BENCH_adapt_smoke.json")
+    } else {
+        (192, 10, "BENCH_adapt.json")
+    };
+    let out_path = opts.out.as_deref().unwrap_or(default_out);
+    let partitions = 16;
+    let platform = slow_platform(Benchmark::Sobel);
+    let enabled = AdaptiveConfig::enabled();
+    let disabled = AdaptiveConfig::default();
+
+    // ---- 1. Throughput under an injected 4x GPU slowdown -------------
+    let slowdown = FaultPlan::none().with_slowdown(GPU, 0.0, 1.0e9, 4.0);
+    let mut ws = RuntimeConfig::new(Policy::WorkStealing);
+    ws.partitions = partitions;
+    let scenario = Scenario {
+        platform: &platform,
+        base: ws,
+        requests,
+        n,
+        seed0: 100,
+        faults: &slowdown,
+        slo: None,
+    };
+    let static_arm = scenario.run_arm(&disabled);
+    let adaptive_arm = scenario.run_arm(&enabled);
+    let replay_arm = scenario.run_arm(&enabled);
+    let disabled_arm = scenario.run_arm(&disabled);
+
+    assert!(
+        static_arm
+            .calibrations
+            .iter()
+            .all(AdaptiveCalibration::is_neutral),
+        "the disabled config must never calibrate away from neutral"
+    );
+    let first_request_bit_identical = adaptive_arm.reports[0].output.as_slice()
+        == static_arm.reports[0].output.as_slice()
+        && adaptive_arm.reports[0].makespan_s == static_arm.reports[0].makespan_s;
+    assert!(
+        first_request_bit_identical,
+        "a cold observatory must leave the first request on the static path"
+    );
+    let disabled_bit_identical = bit_identical(&disabled_arm, &static_arm);
+    assert!(
+        disabled_bit_identical,
+        "adaptation off must be bit-identical to the static planner"
+    );
+    let replay_deterministic = bit_identical(&adaptive_arm, &replay_arm)
+        && adaptive_arm.calibrations == replay_arm.calibrations;
+    assert!(
+        replay_deterministic,
+        "the adaptive arm must replay bit for bit from the same stream"
+    );
+    assert!(
+        !adaptive_arm
+            .calibrations
+            .last()
+            .expect("non-empty arm")
+            .is_neutral(),
+        "a sustained 4x slowdown must drive the calibration off neutral"
+    );
+    let static_throughput = throughput(&static_arm, n);
+    let adaptive_throughput = throughput(&adaptive_arm, n);
+    let adaptive_beats_static = adaptive_throughput > static_throughput;
+    assert!(
+        adaptive_beats_static,
+        "adaptive {adaptive_throughput:.0} elem/s must strictly beat static \
+         {static_throughput:.0} elem/s under the slowdown"
+    );
+    let gpu_speed_factor_final = adaptive_arm
+        .calibrations
+        .last()
+        .expect("non-empty arm")
+        .speed_factors[GPU];
+    println!(
+        "slowdown: static {static_throughput:.0} elem/s, adaptive {adaptive_throughput:.0} \
+         elem/s ({:+.1}%), final GPU factor {gpu_speed_factor_final:.3}",
+        (adaptive_throughput / static_throughput - 1.0) * 100.0
+    );
+
+    // ---- 2. Quality SLO under a 1.5x TPU gain error ------------------
+    let slo = 0.10;
+    let miscal = FaultPlan::none().with_tpu_miscalibration(1.5, 0.1);
+    let mut topk = RuntimeConfig::new(Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    });
+    topk.partitions = partitions;
+    topk.guard = GuardConfig::monitor(slo);
+    let scenario = Scenario {
+        platform: &platform,
+        base: topk,
+        requests,
+        n,
+        seed0: 200,
+        faults: &miscal,
+        slo: Some(slo),
+    };
+    let static_q = scenario.run_arm(&disabled);
+    let adaptive_q = scenario.run_arm(&enabled);
+
+    // Bench-side delivered quality: each output against an exact-devices
+    // reference of the same request (the guard only *measures* here; a
+    // monitoring guard never repairs).
+    let reference = |i: usize| {
+        let mut config = topk;
+        config.guard = GuardConfig::default();
+        config.device_mask = [true, true, false];
+        ShmtRuntime::new(platform.clone(), config)
+            .execute(&vop(Benchmark::Sobel, n, 200 + i as u64))
+            .expect("exact reference succeeds")
+            .output
+    };
+    let mape_of = |arm: &ArmResult| -> Vec<f64> {
+        arm.reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| mape(&reference(i), &r.output))
+            .collect()
+    };
+    let static_mape = mape_of(&static_q);
+    let adaptive_mape = mape_of(&adaptive_q);
+    let warmup = enabled.min_mape_observations as usize;
+    let static_breaches = static_mape.iter().any(|&m| m > slo);
+    assert!(
+        static_breaches,
+        "the static plan must breach the {slo} SLO under miscalibration: {static_mape:?}"
+    );
+    let adaptive_holds =
+        adaptive_mape.len() > warmup && adaptive_mape[warmup..].iter().all(|&m| m <= slo);
+    assert!(
+        adaptive_holds,
+        "post-warmup adaptive requests must hold the {slo} SLO: {adaptive_mape:?}"
+    );
+    let final_admission = adaptive_q
+        .calibrations
+        .last()
+        .expect("non-empty arm")
+        .tpu_admission;
+    let final_tpu_fraction = adaptive_q
+        .reports
+        .last()
+        .expect("non-empty arm")
+        .tpu_fraction;
+    assert!(
+        final_admission < 1.0,
+        "measured error over target must have squeezed admission, got {final_admission}"
+    );
+    println!(
+        "quality: static MAPE {:.3} (breach), adaptive final MAPE {:.4} (SLO {slo}), \
+         final admission {final_admission:.4}, final TPU fraction {final_tpu_fraction:.3}",
+        static_mape.last().expect("non-empty"),
+        adaptive_mape.last().expect("non-empty"),
+    );
+
+    // ---- Artifact ----------------------------------------------------
+    let json = ObjectBuilder::new()
+        .field(
+            "workload",
+            ObjectBuilder::new()
+                .field("requests", JsonValue::Number(requests as f64))
+                .field("dataset", JsonValue::Number(n as f64))
+                .field("partitions", JsonValue::Number(partitions as f64))
+                .field("benchmark", JsonValue::String("Sobel".to_owned()))
+                .build(),
+        )
+        .field(
+            "slowdown",
+            ObjectBuilder::new()
+                .field("injected_gpu_factor", JsonValue::Number(4.0))
+                .field("static_elems_per_s", JsonValue::Number(static_throughput))
+                .field(
+                    "adaptive_elems_per_s",
+                    JsonValue::Number(adaptive_throughput),
+                )
+                .field(
+                    "speedup",
+                    JsonValue::Number(adaptive_throughput / static_throughput),
+                )
+                .field(
+                    "gpu_speed_factor_final",
+                    JsonValue::Number(gpu_speed_factor_final),
+                )
+                .field(
+                    "adaptive_beats_static",
+                    JsonValue::Bool(adaptive_beats_static),
+                )
+                .field(
+                    "first_request_bit_identical",
+                    JsonValue::Bool(first_request_bit_identical),
+                )
+                .field(
+                    "disabled_bit_identical",
+                    JsonValue::Bool(disabled_bit_identical),
+                )
+                .field(
+                    "replay_deterministic",
+                    JsonValue::Bool(replay_deterministic),
+                )
+                .build(),
+        )
+        .field(
+            "quality",
+            ObjectBuilder::new()
+                .field("slo_mape", JsonValue::Number(slo))
+                .field("warmup_requests", JsonValue::Number(warmup as f64))
+                .field("static_mape", number_array(static_mape.iter().copied()))
+                .field("adaptive_mape", number_array(adaptive_mape.iter().copied()))
+                .field("final_admission", JsonValue::Number(final_admission))
+                .field("final_tpu_fraction", JsonValue::Number(final_tpu_fraction))
+                .field("static_breaches", JsonValue::Bool(static_breaches))
+                .field("adaptive_holds", JsonValue::Bool(adaptive_holds))
+                .build(),
+        )
+        .build()
+        .to_string();
+
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(out_path, &json).expect("write adapt report");
+
+    // Validate the artifact with the workspace's own parser.
+    let written = std::fs::read_to_string(out_path).expect("re-read adapt report");
+    let report = JsonValue::parse(&written).expect("adapt report is valid JSON");
+    let flag = |section: &str, name: &str| {
+        matches!(
+            report.get(section).and_then(|o| o.get(name)),
+            Some(JsonValue::Bool(true))
+        )
+    };
+    for (section, name) in [
+        ("slowdown", "adaptive_beats_static"),
+        ("slowdown", "first_request_bit_identical"),
+        ("slowdown", "disabled_bit_identical"),
+        ("slowdown", "replay_deterministic"),
+        ("quality", "static_breaches"),
+        ("quality", "adaptive_holds"),
+    ] {
+        assert!(flag(section, name), "missing flag {section}.{name}");
+    }
+    let speedup = report
+        .get("slowdown")
+        .and_then(|s| s.get("speedup"))
+        .and_then(JsonValue::as_f64)
+        .expect("speedup field present");
+    assert!(speedup > 1.0, "artifact must record a real speedup");
+
+    println!(
+        "adapt report written and validated: {out_path} \
+         (speedup {speedup:.3}, SLO held with admission {final_admission:.4})"
+    );
+}

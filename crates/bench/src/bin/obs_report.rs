@@ -123,9 +123,8 @@ fn serve_workload(
     let server = Arc::new(Server::new(ServerConfig {
         executors: 4,
         queue_capacity: cases.len().max(1),
-        default_deadline: None,
-        health: HealthConfig::default(),
         telemetry,
+        ..ServerConfig::default()
     }));
     let started = Instant::now();
     std::thread::scope(|scope| {
@@ -168,14 +167,13 @@ fn gpu_ewma_under(case: Case, n: usize, partitions: usize, count: usize, faults:
     let server = Server::new(ServerConfig {
         executors: 1,
         queue_capacity: 4,
-        default_deadline: None,
         // Slowdowns are not strikes, but keep the breaker out of the
         // measurement entirely: this phase profiles throughput only.
         health: HealthConfig {
             enabled: false,
             ..HealthConfig::default()
         },
-        telemetry: TelemetryConfig::default(),
+        ..ServerConfig::default()
     });
     for _ in 0..count {
         let vop = Vop::from_benchmark(
@@ -193,7 +191,7 @@ fn gpu_ewma_under(case: Case, n: usize, partitions: usize, count: usize, faults:
             .expect("request succeeds");
     }
     let obs = server.observatory();
-    let profile = obs.profile(GPU);
+    let profile = obs.profile(GPU).expect("GPU profile exists");
     *profile
         .ewma_throughput
         .get("Sobel")
@@ -290,8 +288,6 @@ fn main() {
     let faulted = Server::new(ServerConfig {
         executors: 1,
         queue_capacity: 4,
-        default_deadline: None,
-        health: HealthConfig::default(),
         telemetry: TelemetryConfig {
             flight: FlightConfig {
                 dump_dir: Some(dump_dir.into()),
@@ -300,6 +296,7 @@ fn main() {
             },
             ..TelemetryConfig::default()
         },
+        ..ServerConfig::default()
     });
     let sobel = Case {
         benchmark: Benchmark::Sobel,

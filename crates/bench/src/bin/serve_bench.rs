@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use shmt::sampling::SamplingMethod;
 use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
 use shmt_kernels::Benchmark;
-use shmt_serve::{HealthConfig, Request, Server, ServerConfig, TelemetryConfig};
+use shmt_serve::{Request, Server, ServerConfig};
 use shmt_tensor::Tensor;
 use shmt_trace::json::{JsonValue, ObjectBuilder};
 
@@ -120,9 +120,7 @@ fn run_sweep_point(
     let server = Arc::new(Server::new(ServerConfig {
         executors,
         queue_capacity: cases.len().max(1),
-        default_deadline: None,
-        health: HealthConfig::default(),
-        telemetry: TelemetryConfig::default(),
+        ..ServerConfig::default()
     }));
     let started = Instant::now();
     std::thread::scope(|scope| {

@@ -62,6 +62,13 @@ pub struct GuardConfig {
     /// Whether the guard runs at all. Disabled (the default) is inert:
     /// reports are bit-identical to an unguarded run.
     pub enabled: bool,
+    /// Whether over-budget partitions are re-executed exactly (the
+    /// default). With `repair == false` the guard runs in *monitor*
+    /// mode: it verifies and charges virtual time identically, but
+    /// over-budget partitions keep their approximate output and their
+    /// measured error flows into `true_mape` — the feedback signal the
+    /// adaptive scheduler consumes.
+    pub repair: bool,
     /// The error budget enforced on every approximate partition.
     pub budget: QualityBudget,
     /// Rows per sampled page.
@@ -75,6 +82,7 @@ impl Default for GuardConfig {
     fn default() -> Self {
         GuardConfig {
             enabled: false,
+            repair: true,
             budget: QualityBudget::default(),
             page_rows: 8,
             pages_per_hlop: 2,
@@ -89,6 +97,16 @@ impl GuardConfig {
             enabled: true,
             budget: QualityBudget { max_mape },
             ..GuardConfig::default()
+        }
+    }
+
+    /// An enabled guard that *measures* quality against `max_mape` but
+    /// never repairs: over-budget partitions are reported through
+    /// [`QualityReport::true_mape`], not re-executed.
+    pub fn monitor(max_mape: f64) -> Self {
+        GuardConfig {
+            repair: false,
+            ..GuardConfig::enforcing(max_mape)
         }
     }
 
@@ -156,7 +174,9 @@ pub struct QualityReport {
     pub estimated_mape: f64,
     /// Element-weighted post-repair MAPE over all sampled pages —
     /// repaired partitions contribute zero, so this is ≤ the budget
-    /// whenever the guarded run returned `Ok`.
+    /// whenever a repairing guard returned `Ok`. In monitor mode
+    /// ([`GuardConfig::monitor`]) nothing is repaired and this is the
+    /// measured shipped error, which may exceed the budget.
     pub true_mape: f64,
     /// Exact re-executions performed, in HLOP order.
     pub repairs: Vec<RepairRecord>,
@@ -323,7 +343,7 @@ pub(crate) fn run_guard(
         est_weighted += page_weighted;
         elems_weighed += page_elems;
 
-        if estimate > budget {
+        if estimate > budget && config.repair {
             // Repair: re-execute the whole partition exactly and splice
             // the result in. The true pre-repair error over the full tile
             // is a free by-product of the recomputation.
@@ -372,6 +392,8 @@ pub(crate) fn run_guard(
             // The repaired partition is now exact: its verified pages
             // contribute zero post-repair error.
         } else {
+            // Under budget — or monitor mode, where the measured error
+            // ships as-is and is reported instead of fixed.
             true_weighted += page_weighted;
         }
     }

@@ -85,6 +85,7 @@ pub mod sampling;
 pub mod sched;
 pub mod vop;
 
+pub use calibration::{AdaptiveCalibration, AdaptiveConfig};
 pub use error::{Result, ShmtError};
 pub use guard::{GuardConfig, QualityBudget, QualityReport, RepairRecord};
 pub use hetsim::{FaultInjector, FaultPlan, FaultReport, TpuMiscalibration};

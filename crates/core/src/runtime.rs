@@ -19,6 +19,7 @@ use hetsim::{
 use shmt_tensor::Tensor;
 use shmt_trace::{EventKind, NullSink, TraceRecorder, TraceSink};
 
+use crate::calibration::AdaptiveCalibration;
 use crate::error::{Result, ShmtError};
 use crate::guard::{GuardConfig, QualityReport};
 use crate::hlop::{Hlop, HlopRecord};
@@ -51,6 +52,14 @@ pub struct RuntimeConfig {
     /// Output-verification quality guard (disabled by default; a
     /// disabled guard leaves reports bit-identical).
     pub guard: GuardConfig,
+    /// Adaptive calibration resolved from observed device behavior
+    /// ([`crate::calibration::AdaptiveConfig::calibrate`]). The neutral
+    /// default is the exact identity: it scales decision-side cost
+    /// estimates by 1.0 and leaves the planner's TPU admission at 1.0,
+    /// so runs stay bit-identical to the static scheduler. Speed
+    /// factors steer *decisions* (steal-profit, endgame withdrawal);
+    /// virtual-time charging never sees them.
+    pub adapt: AdaptiveCalibration,
     /// Ablation knob: force synchronous (non-double-buffered) casts and
     /// transfers regardless of policy.
     pub force_synchronous: bool,
@@ -68,6 +77,7 @@ impl RuntimeConfig {
             quality: QualityConfig::default(),
             guard: GuardConfig::default(),
             device_mask: [true; 3],
+            adapt: AdaptiveCalibration::neutral(),
             force_synchronous: false,
             compute_threads: crate::exec::default_threads(),
         }
@@ -199,6 +209,7 @@ impl ShmtRuntime {
             return Err(ShmtError::NoCapableDevice("all devices disabled".into()));
         }
         self.config.guard.validate()?;
+        self.config.adapt.validate()?;
 
         if sink.enabled() {
             sink.record(
@@ -222,6 +233,7 @@ impl ShmtRuntime {
             &self.config.quality,
             PlanContext {
                 gpu_throughput: profiles[GPU].throughput,
+                tpu_admission: self.config.adapt.tpu_admission,
             },
             sink,
         );
@@ -362,6 +374,15 @@ impl ShmtRuntime {
         // owner finishes its own remainder and the run cannot re-strand.
         let mut draining = false;
 
+        // Adaptive speed factors scale the *decision-side* cost
+        // estimates only: which queue looks worth stealing from, which
+        // device wins the endgame. Virtual-time charging below stays on
+        // the static model, so adaptation can never flatter the
+        // makespan — and the neutral 1.0 divides bitwise-exactly,
+        // keeping adaptation-off runs bit-identical.
+        let speed = self.config.adapt.speed_factors;
+        let est = |dev: usize, work: f64| profiles[dev].exec_time(work) / speed[dev];
+
         // The next device to act is always the earliest-free one with work
         // available (its own queue, or a queue it may steal from).
         loop {
@@ -431,25 +452,24 @@ impl ShmtRuntime {
                     ));
                 };
                 let item_work = front.elements() as f64 * work_per_elem;
-                let my_completion = timelines[d].free_at() + profiles[d].exec_time(item_work);
+                let my_completion = timelines[d].free_at() + est(d, item_work);
                 let my_backlog: f64 = queues[d]
                     .iter_pending()
-                    .map(|h| profiles[d].exec_time(h.elements() as f64 * work_per_elem))
+                    .map(|h| est(d, h.elements() as f64 * work_per_elem))
                     .sum();
                 let beaten = (0..3).any(|e| {
                     if e == d || done[e] || dead[e] || !the_plan.steal[e][d] {
                         return false;
                     }
-                    if profiles[e].exec_time(item_work) > my_backlog {
+                    if est(e, item_work) > my_backlog {
                         // e's own steal filter would reject this queue.
                         return false;
                     }
                     let backlog: f64 = queues[e]
                         .iter_pending()
-                        .map(|h| profiles[e].exec_time(h.elements() as f64 * work_per_elem))
+                        .map(|h| est(e, h.elements() as f64 * work_per_elem))
                         .sum();
-                    timelines[e].free_at() + backlog + profiles[e].exec_time(item_work)
-                        <= my_completion
+                    timelines[e].free_at() + backlog + est(e, item_work) <= my_completion
                 });
                 if beaten {
                     done[d] = true;
@@ -472,9 +492,9 @@ impl ShmtRuntime {
                         let item_work = back.elements() as f64 * work_per_elem;
                         let victim_backlog: f64 = queues[v]
                             .iter_pending()
-                            .map(|h| profiles[v].exec_time(h.elements() as f64 * work_per_elem))
+                            .map(|h| est(v, h.elements() as f64 * work_per_elem))
                             .sum();
-                        profiles[d].exec_time(item_work) <= victim_backlog
+                        est(d, item_work) <= victim_backlog
                     })
                     .max_by_key(|&v| queues[v].pending());
                 match victim {

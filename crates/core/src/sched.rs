@@ -232,11 +232,38 @@ fn steal_accuracy_ordered() -> [[bool; 3]; 3] {
     m
 }
 
-/// Device throughputs the planner needs to price scheduling overheads.
+/// Device throughputs the planner needs to price scheduling overheads,
+/// plus the adaptive layer's knobs on planning policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanContext {
     /// GPU sustained throughput (work units/s).
     pub gpu_throughput: f64,
+    /// Adaptive multiplier on the Edge TPU's admission aperture
+    /// ([`crate::calibration::AdaptiveCalibration::tpu_admission`]):
+    /// scales the QAWS window share left to the TPU under Top-K and the
+    /// TPU's criticality limit under DeviceLimits. `1.0` reproduces the
+    /// static planner bit-for-bit; `0.0` evicts the TPU from planning.
+    pub tpu_admission: f64,
+}
+
+impl PlanContext {
+    /// A static-planner context (neutral admission) for the given GPU
+    /// throughput.
+    pub fn new(gpu_throughput: f64) -> Self {
+        PlanContext {
+            gpu_throughput,
+            tpu_admission: 1.0,
+        }
+    }
+}
+
+/// Scales the Top-K accurate-queue count by shrinking the TPU's share
+/// of each window: `w - k` partitions per window go approximate under
+/// the static planner; the admission multiplier scales that share.
+/// `admission == 1.0` returns `k` exactly.
+fn adapt_top_k(k: usize, w: usize, admission: f64) -> usize {
+    let tpu_share = (w.saturating_sub(k) as f64 * admission).round() as usize;
+    w.saturating_sub(tpu_share.min(w))
 }
 
 /// Builds the plan for `policy` over the partitioned VOP.
@@ -298,11 +325,15 @@ pub fn plan_traced(
             let (scores, cost) = sample_scores(vop, hlops, sampling, quality, sink);
             let indices = match assignment {
                 QawsAssignment::DeviceLimits => {
-                    let limits = device_limits_from(&scores, quality.limit_factor);
+                    // The admission multiplier scales the TPU's
+                    // criticality limit; x1.0 is bitwise exact.
+                    let factor = quality.limit_factor * ctx.tpu_admission as f32;
+                    let limits = device_limits_from(&scores, factor);
                     algorithm1_device_limits(&scores, &limits)
                 }
                 QawsAssignment::TopK => {
                     let k = (vop.criticality_hint() * quality.window as f64).round() as usize;
+                    let k = adapt_top_k(k, quality.window, ctx.tpu_admission);
                     algorithm2_top_k(&scores, k.max(1), quality.window)
                 }
             };
@@ -704,9 +735,7 @@ mod tests {
             &vop,
             &hlops,
             &QualityConfig::default(),
-            PlanContext {
-                gpu_throughput: 1.0e9,
-            },
+            PlanContext::new(1.0e9),
         );
         assert!(plan.queues[CPU].is_empty());
         assert!(!plan.queues[GPU].is_empty());
@@ -728,9 +757,7 @@ mod tests {
             &vop,
             &hlops,
             &QualityConfig::default(),
-            PlanContext {
-                gpu_throughput: 1.0e9,
-            },
+            PlanContext::new(1.0e9),
         );
         assert!(plan.queues.iter().all(|q| !q.is_empty()));
         assert!(plan.steal[TPU][GPU], "unrestricted stealing");
@@ -749,9 +776,7 @@ mod tests {
             &vop,
             &hlops,
             &QualityConfig::default(),
-            PlanContext {
-                gpu_throughput: 1.0e9,
-            },
+            PlanContext::new(1.0e9),
         );
         assert!(p.steal[GPU][TPU], "GPU may steal approximate work");
         assert!(!p.steal[TPU][GPU], "TPU must not steal exact work");
@@ -783,9 +808,7 @@ mod tests {
                 sampling_rate: 0.05,
                 ..QualityConfig::default()
             },
-            PlanContext {
-                gpu_throughput: 1.0e9,
-            },
+            PlanContext::new(1.0e9),
         );
         let max_exact: f32 = p.queues[GPU]
             .iter()
@@ -816,18 +839,14 @@ mod tests {
             &vop,
             &hlops,
             &QualityConfig::default(),
-            PlanContext {
-                gpu_throughput: 1.0e9,
-            },
+            PlanContext::new(1.0e9),
         );
         let oracle = plan(
             Policy::Oracle,
             &vop,
             &hlops,
             &QualityConfig::default(),
-            PlanContext {
-                gpu_throughput: 1.0e9,
-            },
+            PlanContext::new(1.0e9),
         );
         assert!(ira.overhead_s > 0.0);
         assert_eq!(oracle.overhead_s, 0.0);

@@ -33,6 +33,9 @@ pub enum Anomaly {
     Redispatch,
     /// The request failed outright.
     Failure,
+    /// The adaptive calibration applied to this request changed from the
+    /// previous calibration for the same opcode.
+    Adaptation,
 }
 
 impl Anomaly {
@@ -45,6 +48,7 @@ impl Anomaly {
             Anomaly::DeviceQuarantine => "device_quarantine",
             Anomaly::Redispatch => "redispatch",
             Anomaly::Failure => "failure",
+            Anomaly::Adaptation => "adaptation",
         }
     }
 }

@@ -46,9 +46,24 @@
 //!   quarantine a device, quarantined devices are masked out of incoming
 //!   requests (never the last one), and periodic probes reintegrate a
 //!   device once it runs clean ([`Server::device_health`]).
+//! * **QoS classes** — every request carries a [`Priority`]
+//!   (`Interactive`, `Batch` — the default — or `BestEffort`); the
+//!   admission queue is drained by priority-weighted stride scheduling,
+//!   so foreground traffic is dequeued ahead of scavenger traffic
+//!   without starving it. Per-class queue-wait summaries via
+//!   [`Server::class_summaries`].
+//! * **Adaptive scheduling** — with [`ServerConfig::adapt`] enabled,
+//!   executors close the loop from the observatory back to the planner:
+//!   each request is recalibrated from the live per-device EWMA
+//!   throughput and measured-MAPE profiles
+//!   ([`shmt::AdaptiveConfig::calibrate`]) before it runs, so a slowed
+//!   device sheds work and a miscalibrated TPU loses eligibility.
+//!   Calibration changes are counted (`serve.adapted`) and flight-
+//!   recorded ([`Anomaly::Adaptation`]).
 //! * **Determinism** — serving changes *when* a VOP runs, never *what* it
-//!   computes: outputs are bit-identical to a sequential
-//!   `ShmtRuntime::execute` of the same request.
+//!   computes: with adaptation off (the default), outputs are
+//!   bit-identical to a sequential `ShmtRuntime::execute` of the same
+//!   request.
 //!
 //! ```
 //! use shmt::{Platform, Policy, RuntimeConfig, Vop};
@@ -78,5 +93,5 @@ mod stats;
 pub use error::{ServeError, SubmitError};
 pub use flight::{Anomaly, FlightConfig, FlightRecord, FlightRecorder};
 pub use health::{DeviceHealth, HealthConfig};
-pub use server::{Request, Response, Server, ServerConfig, TelemetryConfig, Ticket};
-pub use stats::{LatencyStats, PolicySummary};
+pub use server::{Priority, Request, Response, Server, ServerConfig, TelemetryConfig, Ticket};
+pub use stats::{ClassSummary, LatencyStats, PolicySummary};

@@ -1,24 +1,76 @@
 //! The serving core: bounded admission queue, executor team, tickets.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use shmt::sched::TPU;
 use shmt::{
-    FaultPlan, GuardConfig, Platform, RunReport, RuntimeConfig, ShmtError, ShmtRuntime, Vop,
+    AdaptiveCalibration, AdaptiveConfig, FaultPlan, GuardConfig, Platform, RunReport,
+    RuntimeConfig, ShmtError, ShmtRuntime, Vop,
 };
 use shmt_trace::{MetricsRegistry, Observatory};
 
 use crate::error::{ServeError, SubmitError};
 use crate::flight::{Anomaly, FlightConfig, FlightRecord, FlightRecorder};
 use crate::health::{DeviceHealth, HealthConfig, HealthTracker};
-use crate::stats::{PolicySummary, Sample, SampleStore};
+use crate::stats::{ClassSummary, PolicySummary, Sample, SampleStore};
 
 /// Number of modeled devices (GPU, CPU, Edge TPU) — the width of every
 /// mask the serving layer routes on.
 pub(crate) const DEVICES: usize = 3;
+
+/// Number of QoS priority classes ([`Priority`]).
+pub(crate) const CLASSES: usize = 3;
+
+/// Per-class stride: the pass-value increment a class pays for each
+/// dequeue. Inversely proportional to the class weights (8 : 3 : 1 over
+/// a common numerator of 24), so over a contended window Interactive
+/// requests are dequeued ~8× as often as BestEffort — weighted fairness
+/// rather than starvation-prone strict priority.
+const STRIDE: [u64; CLASSES] = [3, 8, 24];
+
+/// Multi-tenant QoS class carried by every [`Request`].
+///
+/// The admission queue is split per class and drained by stride
+/// scheduling: each class carries a *pass* value, the executor always
+/// pops from the backlogged class with the smallest pass (ties go to the
+/// higher priority), and a dequeue advances that class's pass by its
+/// stride. Higher-priority classes have smaller strides, so they are
+/// served proportionally more often while lower classes still make
+/// progress — deficit-fair sharing, not starvation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive foreground traffic (weight 8).
+    Interactive,
+    /// Throughput traffic — the default class, so a server receiving
+    /// only default requests degenerates to plain FIFO.
+    #[default]
+    Batch,
+    /// Scavenger traffic served from leftover capacity (weight 1).
+    BestEffort,
+}
+
+impl Priority {
+    /// Every class in dequeue-preference order.
+    pub const ALL: [Priority; CLASSES] =
+        [Priority::Interactive, Priority::Batch, Priority::BestEffort];
+
+    /// Stable queue index (also the tiebreak order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name used in summaries and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::BestEffort => "best_effort",
+        }
+    }
+}
 
 /// One VOP execution request: what to run, on which modeled platform,
 /// under which runtime configuration.
@@ -43,6 +95,10 @@ pub struct Request {
     /// [`FaultPlan::none`] (the default) leaves execution fault-free and
     /// bit-identical to [`shmt::ShmtRuntime::execute`].
     pub faults: FaultPlan,
+    /// QoS class the request is admitted under; [`Priority::Batch`] by
+    /// default. Affects only *when* the request is dequeued, never what
+    /// it computes.
+    pub priority: Priority,
 }
 
 impl Request {
@@ -56,6 +112,7 @@ impl Request {
             deadline: None,
             max_mape: None,
             faults: FaultPlan::none(),
+            priority: Priority::default(),
         }
     }
 
@@ -80,6 +137,13 @@ impl Request {
         self.faults = faults;
         self
     }
+
+    /// Admits the request under a QoS class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
 }
 
 impl std::fmt::Debug for Request {
@@ -90,6 +154,7 @@ impl std::fmt::Debug for Request {
             .field("deadline", &self.deadline)
             .field("max_mape", &self.max_mape)
             .field("faulted", &!self.faults.is_empty())
+            .field("priority", &self.priority)
             .finish()
     }
 }
@@ -142,7 +207,7 @@ impl Default for TelemetryConfig {
 }
 
 /// Serving-layer tuning knobs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// Executor threads pulling from the admission queue. Each runs one
     /// request at a time; their tile computations all share the global
@@ -158,6 +223,13 @@ pub struct ServerConfig {
     /// Continuous-telemetry switches (observatory, flight recorder,
     /// gauge cap).
     pub telemetry: TelemetryConfig,
+    /// Adaptive scheduling: when enabled (and the observatory is on),
+    /// each executor recalibrates the request's planner from the live
+    /// observatory profiles before running it
+    /// ([`shmt::AdaptiveConfig::calibrate`]). Disabled by default —
+    /// served outputs then stay bit-identical to a sequential
+    /// [`shmt::ShmtRuntime::execute`] of the same request.
+    pub adapt: AdaptiveConfig,
 }
 
 impl Default for ServerConfig {
@@ -168,6 +240,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             health: HealthConfig::default(),
             telemetry: TelemetryConfig::default(),
+            adapt: AdaptiveConfig::default(),
         }
     }
 }
@@ -266,10 +339,63 @@ impl Ticket {
     }
 }
 
-/// Admission queue plus the flags both sides coordinate on.
+/// Admission queues (one per QoS class) plus the flags both sides
+/// coordinate on. Dequeue is stride scheduling over the class passes —
+/// see [`Priority`].
 struct QueueState {
-    queue: VecDeque<Queued>,
+    queues: [VecDeque<Queued>; CLASSES],
+    pass: [u64; CLASSES],
     shutdown: bool,
+}
+
+impl QueueState {
+    fn new() -> Self {
+        QueueState {
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            pass: [0; CLASSES],
+            shutdown: false,
+        }
+    }
+
+    /// Requests waiting across every class — the capacity bound.
+    fn total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Enqueues under the request's class. A class waking from empty
+    /// starts at the current minimum pass of the backlogged classes, so
+    /// an idle class cannot bank credit and then monopolize the
+    /// executors; when everything was idle the passes reset outright.
+    fn push(&mut self, queued: Queued) {
+        let c = queued.request.priority.index();
+        if self.queues[c].is_empty() {
+            let floor = (0..CLASSES)
+                .filter(|&k| !self.queues[k].is_empty())
+                .map(|k| self.pass[k])
+                .min();
+            match floor {
+                Some(f) => self.pass[c] = self.pass[c].max(f),
+                None => self.pass = [0; CLASSES],
+            }
+        }
+        self.queues[c].push_back(queued);
+    }
+
+    /// Pops from the backlogged class with the smallest pass (ties to
+    /// the higher-priority class), charging it its stride.
+    fn pop_next(&mut self) -> Option<Queued> {
+        let c = (0..CLASSES)
+            .filter(|&c| !self.queues[c].is_empty())
+            .min_by_key(|&c| (self.pass[c], c))?;
+        self.pass[c] += STRIDE[c];
+        self.queues[c].pop_front()
+    }
+
+    /// Removes and returns every queued request, oldest class-order
+    /// first (shutdown cancellation).
+    fn drain_all(&mut self) -> Vec<Queued> {
+        self.queues.iter_mut().flat_map(|q| q.drain(..)).collect()
+    }
 }
 
 struct Shared {
@@ -293,6 +419,13 @@ struct Shared {
     observatory_enabled: bool,
     /// Per-request flight recorder. Only ever acquired alone.
     flight: Mutex<FlightRecorder>,
+    /// Adaptive-scheduling gates; executors recalibrate per request
+    /// when enabled.
+    adapt: AdaptiveConfig,
+    /// Last calibration applied per opcode, so adaptation *events*
+    /// (the calibration actually changing) can be counted and flight-
+    /// recorded. Only ever acquired alone.
+    calibrations: Mutex<BTreeMap<String, AdaptiveCalibration>>,
     started_at: Instant,
 }
 
@@ -342,10 +475,7 @@ impl Server {
             None => MetricsRegistry::new(),
         };
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                shutdown: false,
-            }),
+            state: Mutex::new(QueueState::new()),
             space_ready: Condvar::new(),
             work_ready: Condvar::new(),
             capacity: config.queue_capacity.max(1),
@@ -356,6 +486,8 @@ impl Server {
             observatory: Mutex::new(Observatory::new()),
             observatory_enabled: config.telemetry.observatory,
             flight: Mutex::new(FlightRecorder::new(config.telemetry.flight)),
+            adapt: config.adapt,
+            calibrations: Mutex::new(BTreeMap::new()),
             started_at: Instant::now(),
         });
         let executors: Vec<JoinHandle<()>> = (0..config.executors.max(1))
@@ -394,8 +526,8 @@ impl Server {
         if state.shutdown {
             return Err(SubmitError::Shutdown(request));
         }
-        if state.queue.len() >= self.shared.capacity {
-            let depth = state.queue.len();
+        if state.total() >= self.shared.capacity {
+            let depth = state.total();
             drop(state);
             self.shared
                 .metrics
@@ -427,7 +559,7 @@ impl Server {
             if state.shutdown {
                 return Err(SubmitError::Shutdown(request));
             }
-            if state.queue.len() < self.shared.capacity {
+            if state.total() < self.shared.capacity {
                 let (ticket, depth) = self.admit(&mut state, request);
                 drop(state);
                 self.record_admission(depth);
@@ -450,13 +582,13 @@ impl Server {
             ready: Condvar::new(),
         });
         let deadline = request.deadline.or(self.shared.default_deadline);
-        state.queue.push_back(Queued {
+        state.push(Queued {
             request,
             ticket: Arc::clone(&ticket),
             admitted_at: Instant::now(),
             deadline,
         });
-        let depth = state.queue.len();
+        let depth = state.total();
         self.shared.work_ready.notify_one();
         (Ticket { state: ticket }, depth)
     }
@@ -563,6 +695,16 @@ impl Server {
             .summaries()
     }
 
+    /// Queue-wait percentile summaries per QoS class, in
+    /// dequeue-preference order (classes never served are omitted).
+    pub fn class_summaries(&self) -> Vec<ClassSummary> {
+        self.shared
+            .samples
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .class_summaries()
+    }
+
     /// Stops admission, cancels queued requests, and joins the executor
     /// team. Requests already running finish normally. Called implicitly
     /// on drop.
@@ -577,7 +719,7 @@ impl Server {
                 return;
             }
             state.shutdown = true;
-            let canceled: Vec<Queued> = state.queue.drain(..).collect();
+            let canceled: Vec<Queued> = state.drain_all();
             drop(state);
             let mut metrics = self
                 .shared
@@ -627,9 +769,9 @@ fn executor_loop(shared: &Shared) {
         let (queued, depth) = {
             let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
-                if let Some(q) = state.queue.pop_front() {
+                if let Some(q) = state.pop_next() {
                     shared.space_ready.notify_one();
-                    break (Some(q), state.queue.len());
+                    break (Some(q), state.total());
                 }
                 if state.shutdown {
                     break (None, 0);
@@ -675,6 +817,7 @@ fn executor_loop(shared: &Shared) {
 
         let policy = queued.request.config.policy.name();
         let opcode = queued.request.vop.opcode().to_string();
+        let priority = queued.request.priority;
 
         // Route around quarantined devices (health lock held alone; see
         // the lock-order notes on `Shared`).
@@ -697,6 +840,42 @@ fn executor_loop(shared: &Shared) {
         if let Some(max_mape) = queued.request.max_mape {
             config.guard = GuardConfig::enforcing(max_mape);
         }
+
+        // Adaptive scheduling: resolve the live observatory profiles
+        // into a per-request calibration (observed speed factors + TPU
+        // admission). Pure function of the observation stream; the
+        // neutral calibration is the exact identity, so a cold or
+        // healthy observatory changes nothing. `observatory` and
+        // `calibrations` locks are each taken alone, per the lock notes
+        // on `Shared`.
+        let mut adapted = false;
+        if shared.adapt.enabled && shared.observatory_enabled {
+            let profiles = shared
+                .observatory
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .profiles()
+                .to_vec();
+            let work = queued.request.vop.kernel().work_per_element();
+            let devices = queued.request.platform.device_profiles();
+            let modeled = [
+                devices[0].throughput / work,
+                devices[1].throughput / work,
+                devices[2].throughput / work,
+            ];
+            let cal = shared
+                .adapt
+                .calibrate(&profiles, modeled, &opcode, queued.request.max_mape);
+            config.adapt = cal;
+            let prev = shared
+                .calibrations
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(opcode.clone(), cal)
+                .unwrap_or_default();
+            adapted = prev != cal;
+        }
+
         let runtime = ShmtRuntime::new(queued.request.platform, config);
         let service_start = Instant::now();
         let outcome = runtime.execute_with_faults(&queued.request.vop, &queued.request.faults);
@@ -760,7 +939,10 @@ fn executor_loop(shared: &Shared) {
                     obs.set_queue_depth(d, stats.max_queue_depth as f64);
                 }
                 if report.quality.enabled && report.quality.checked_hlops > 0 {
-                    obs.observe_mape(TPU, report.quality.estimated_mape);
+                    // Feed the guard's *measured* post-verification error
+                    // (under a monitoring guard this equals the pre-repair
+                    // estimate) — the signal adaptive TPU admission keys on.
+                    obs.observe_mape(TPU, report.quality.true_mape);
                 }
             }
             for (d, &q) in quarantined.iter().enumerate() {
@@ -773,6 +955,9 @@ fn executor_loop(shared: &Shared) {
         fr.quarantined = quarantined;
         if delta.quarantines > 0 {
             fr.anomalies.push(Anomaly::DeviceQuarantine);
+        }
+        if adapted {
+            fr.anomalies.push(Anomaly::Adaptation);
         }
         match &outcome {
             Ok(report) => {
@@ -812,6 +997,9 @@ fn executor_loop(shared: &Shared) {
         if delta.reintegrations > 0 {
             metrics.add_counter("health.reintegrate", delta.reintegrations as f64);
         }
+        if adapted {
+            metrics.add_counter("serve.adapted", 1.0);
+        }
         match outcome {
             Ok(report) => {
                 let degraded = report.faults.degraded || decision.masked_any;
@@ -821,17 +1009,19 @@ fn executor_loop(shared: &Shared) {
                 metrics.add_counter("serve.completed", 1.0);
                 metrics.add_counter("serve.queue_wait_s", queue_wait.as_secs_f64());
                 metrics.add_counter("serve.service_s", service_time.as_secs_f64());
-                shared
+                let mut samples = shared
                     .samples
                     .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .record(
-                        &policy,
-                        Sample {
-                            queue_wait_s: queue_wait.as_secs_f64(),
-                            service_s: service_time.as_secs_f64(),
-                        },
-                    );
+                    .unwrap_or_else(PoisonError::into_inner);
+                samples.record(
+                    &policy,
+                    Sample {
+                        queue_wait_s: queue_wait.as_secs_f64(),
+                        service_s: service_time.as_secs_f64(),
+                    },
+                );
+                samples.record_class(priority.index(), priority.name(), queue_wait.as_secs_f64());
+                drop(samples);
                 queued.ticket.fulfill(Ok(Response {
                     report,
                     queue_wait,

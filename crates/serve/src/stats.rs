@@ -68,6 +68,16 @@ pub struct PolicySummary {
     pub service: LatencyStats,
 }
 
+/// Queue-wait summary for one QoS priority class
+/// ([`crate::Priority`]), in dequeue-preference order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSummary {
+    /// The class's stable name ([`crate::Priority::name`]).
+    pub class: String,
+    /// Time from admission to executor pickup for this class.
+    pub queue_wait: LatencyStats,
+}
+
 /// Nearest-rank percentile of an ascending-sorted, non-empty slice —
 /// the exact oracle the streaming histograms are tested against.
 #[cfg(test)]
@@ -92,11 +102,12 @@ impl Default for PolicyHists {
     }
 }
 
-/// Accumulates latency distributions keyed by policy name
-/// (deterministic iteration).
+/// Accumulates latency distributions keyed by policy name and, for
+/// queue waits, by QoS class index (deterministic iteration).
 #[derive(Debug, Default)]
 pub(crate) struct SampleStore {
     per_policy: BTreeMap<String, PolicyHists>,
+    per_class: BTreeMap<usize, (String, Histogram)>,
 }
 
 impl SampleStore {
@@ -104,6 +115,14 @@ impl SampleStore {
         let hists = self.per_policy.entry(policy.to_owned()).or_default();
         hists.queue_wait.record(sample.queue_wait_s);
         hists.service.record(sample.service_s);
+    }
+
+    pub fn record_class(&mut self, index: usize, name: &str, queue_wait_s: f64) {
+        let (_, hist) = self
+            .per_class
+            .entry(index)
+            .or_insert_with(|| (name.to_owned(), Histogram::latency_log()));
+        hist.record(queue_wait_s);
     }
 
     pub fn summaries(&self) -> Vec<PolicySummary> {
@@ -114,6 +133,18 @@ impl SampleStore {
                     policy: policy.clone(),
                     queue_wait: LatencyStats::from_histogram(&hists.queue_wait)?,
                     service: LatencyStats::from_histogram(&hists.service)?,
+                })
+            })
+            .collect()
+    }
+
+    pub fn class_summaries(&self) -> Vec<ClassSummary> {
+        self.per_class
+            .values()
+            .filter_map(|(name, hist)| {
+                Some(ClassSummary {
+                    class: name.clone(),
+                    queue_wait: LatencyStats::from_histogram(hist)?,
                 })
             })
             .collect()

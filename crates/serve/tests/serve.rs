@@ -1,14 +1,16 @@
 //! Serving-layer contract tests: backpressure, deadlines, shutdown
 //! cancellation, sequential-vs-concurrent bit-identity, device-health
-//! quarantine, and per-request quality SLOs.
+//! quarantine, per-request quality SLOs, QoS priority classes, and the
+//! adaptive-calibration loop.
 
 use std::time::Duration;
 
-use shmt::sched::TPU;
-use shmt::{FaultPlan, Platform, Policy, RuntimeConfig, ShmtRuntime, Vop};
+use shmt::calibration::{bench_profile, Calibration};
+use shmt::sched::{GPU, TPU};
+use shmt::{AdaptiveConfig, FaultPlan, Platform, Policy, RuntimeConfig, ShmtRuntime, Vop};
 use shmt_kernels::Benchmark;
 use shmt_serve::{
-    HealthConfig, Request, ServeError, Server, ServerConfig, SubmitError, TelemetryConfig,
+    Anomaly, HealthConfig, Priority, Request, ServeError, Server, ServerConfig, SubmitError,
 };
 
 fn request(b: Benchmark, n: usize, seed: u64, policy: Policy) -> Request {
@@ -43,9 +45,7 @@ fn submit_returns_busy_at_capacity_and_recovers() {
     let server = Server::new(ServerConfig {
         executors: 1,
         queue_capacity: 1,
-        default_deadline: None,
-        health: HealthConfig::default(),
-        telemetry: TelemetryConfig::default(),
+        ..ServerConfig::default()
     });
     // Built before submission: generating inputs inside the submit
     // sequence would pace this thread at the executor's own speed.
@@ -81,9 +81,7 @@ fn submit_blocking_waits_instead_of_bouncing() {
     let server = Server::new(ServerConfig {
         executors: 1,
         queue_capacity: 1,
-        default_deadline: None,
-        health: HealthConfig::default(),
-        telemetry: TelemetryConfig::default(),
+        ..ServerConfig::default()
     });
     let tickets: Vec<_> = (0..6)
         .map(|seed| {
@@ -111,9 +109,7 @@ fn queued_deadline_produces_typed_error_not_a_hang() {
     let server = Server::new(ServerConfig {
         executors: 1,
         queue_capacity: 4,
-        default_deadline: None,
-        health: HealthConfig::default(),
-        telemetry: TelemetryConfig::default(),
+        ..ServerConfig::default()
     });
     let blocker = server
         .submit(request(Benchmark::Sobel, 512, 1, Policy::WorkStealing))
@@ -160,9 +156,7 @@ fn shutdown_cancels_queued_requests() {
     let mut server = Server::new(ServerConfig {
         executors: 1,
         queue_capacity: 8,
-        default_deadline: None,
-        health: HealthConfig::default(),
-        telemetry: TelemetryConfig::default(),
+        ..ServerConfig::default()
     });
     // Build every request up front: generating a 512^2 input inside the
     // submit loop would hand the lone executor a long head start.
@@ -221,9 +215,7 @@ fn concurrent_serving_is_bit_identical_to_sequential() {
     let server = Server::new(ServerConfig {
         executors: 4,
         queue_capacity: 16,
-        default_deadline: None,
-        health: HealthConfig::default(),
-        telemetry: TelemetryConfig::default(),
+        ..ServerConfig::default()
     });
     let tickets: Vec<_> = cases
         .iter()
@@ -263,13 +255,12 @@ fn repeated_dropouts_quarantine_probe_and_reintegrate() {
     let server = Server::new(ServerConfig {
         executors: 1,
         queue_capacity: 4,
-        default_deadline: None,
         health: HealthConfig {
             enabled: true,
             quarantine_after: 2,
             probe_after: 1,
         },
-        telemetry: TelemetryConfig::default(),
+        ..ServerConfig::default()
     });
     // The TPU dies at t=0 on the faulted requests: each completes
     // degraded, striking the TPU once.
@@ -319,6 +310,121 @@ fn repeated_dropouts_quarantine_probe_and_reintegrate() {
     assert_eq!(metrics.counter("health.reintegrate"), 1.0);
     // Two dropout runs plus the masked run served degraded.
     assert_eq!(metrics.counter("serve.degraded"), 3.0);
+}
+
+#[test]
+fn priority_classes_order_queue_waits() {
+    // One executor pinned on a blocker while a backlog of nine equal
+    // requests builds, submitted in *reverse* priority order so plain
+    // FIFO would favor BestEffort. Stride dequeue must drain the
+    // backlog so that mean queue wait orders Interactive < Batch <
+    // BestEffort, without starving any class.
+    let server = Server::new(ServerConfig {
+        executors: 1,
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    });
+    let blocker = request(Benchmark::Sobel, 512, 60, Policy::WorkStealing);
+    // Build all requests up front so submission is near-instantaneous.
+    let backlog: Vec<Request> = [Priority::BestEffort, Priority::Batch, Priority::Interactive]
+        .into_iter()
+        .flat_map(|class| {
+            (0..3).map(move |i| {
+                request(Benchmark::Sobel, 128, 70 + i, Policy::WorkStealing).with_priority(class)
+            })
+        })
+        .collect();
+    let first = server.submit(blocker).expect("blocker admitted");
+    wait_until_executor_popped(&server);
+    let tickets: Vec<_> = backlog
+        .into_iter()
+        .map(|req| {
+            let class = req.priority;
+            (class, server.submit(req).expect("backlog admitted"))
+        })
+        .collect();
+    first.wait().expect("blocker completes");
+    let mut waits = [(0.0, 0usize); 3];
+    for (class, t) in tickets {
+        let resp = t.wait().expect("every class completes — no starvation");
+        let slot = &mut waits[class.index()];
+        slot.0 += resp.queue_wait.as_secs_f64();
+        slot.1 += 1;
+    }
+    let mean = |class: Priority| {
+        let (sum, count) = waits[class.index()];
+        assert_eq!(count, 3, "{} requests all completed", class.name());
+        sum / count as f64
+    };
+    let (i, b, e) = (
+        mean(Priority::Interactive),
+        mean(Priority::Batch),
+        mean(Priority::BestEffort),
+    );
+    assert!(
+        i < b && b < e,
+        "queue waits must order by class: interactive {i:.4}s, batch {b:.4}s, best_effort {e:.4}s"
+    );
+    // The per-class summaries track the same traffic (the blocker rides
+    // in the default Batch class), in dequeue-preference order.
+    let classes = server.class_summaries();
+    assert_eq!(
+        classes.iter().map(|c| c.class.as_str()).collect::<Vec<_>>(),
+        vec!["interactive", "batch", "best_effort"],
+        "summaries come in dequeue-preference order"
+    );
+    assert_eq!(
+        classes.iter().map(|c| c.queue_wait.count).sum::<usize>(),
+        10,
+        "nine backlog requests plus the blocker"
+    );
+}
+
+#[test]
+fn adaptive_loop_recalibrates_from_observed_slowdown() {
+    // Serve repeated Sobel requests under an injected 4x GPU slowdown
+    // with the adaptive loop on. Once the observatory's GPU EWMA clears
+    // the confidence gate, the per-opcode calibration must leave
+    // neutral — counted by `serve.adapted` and flight-recorded.
+    let platform = Platform::with_profiles(
+        // Slow GPU so per-partition compute dwarfs launch overhead and
+        // the slowdown is visible in elements-per-busy-second.
+        Calibration {
+            gpu_throughput: 1.0e6,
+            ..Calibration::default()
+        },
+        bench_profile(Benchmark::Sobel),
+    );
+    let server = Server::new(ServerConfig {
+        executors: 1,
+        queue_capacity: 4,
+        adapt: AdaptiveConfig::enabled(),
+        ..ServerConfig::default()
+    });
+    let slowdown = FaultPlan::none().with_slowdown(GPU, 0.0, 1.0e9, 4.0);
+    for i in 0..6 {
+        let b = Benchmark::Sobel;
+        let vop = Vop::from_benchmark(b, b.generate_inputs(96, 96, 80 + i)).expect("valid VOP");
+        let mut config = RuntimeConfig::new(Policy::WorkStealing);
+        config.partitions = 8;
+        let req = Request::new(vop, platform.clone(), config).with_faults(slowdown.clone());
+        server
+            .submit_blocking(req)
+            .expect("server running")
+            .wait()
+            .expect("slowed request completes");
+    }
+    assert!(
+        server.metrics().counter("serve.adapted") >= 1.0,
+        "a sustained 4x slowdown must produce at least one adaptation event"
+    );
+    assert!(
+        server
+            .flight_records()
+            .iter()
+            .any(|r| r.anomalies.contains(&Anomaly::Adaptation)),
+        "adaptation events are flight-recorded"
+    );
 }
 
 #[test]

@@ -110,4 +110,22 @@ grep -q '"slowdown_ratio":' "$f" || { echo "profile convergence missing in $f"; 
 ls results/flight_obs_*.json >/dev/null 2>&1 || { echo "no flight dumps from injected faults"; exit 1; }
 echo "telemetry smoke validated: $f"
 
+echo "== adaptive scheduling smoke check =="
+# adapt_report closes the loop from Observatory profiles to planner
+# policy: under an injected 4x GPU slowdown the adaptive arm must
+# strictly beat the static planner on end-to-end virtual-time
+# throughput, and under a TPU miscalibration the measured-MAPE feedback
+# must hold a quality SLO the static plan breaches. Adaptation off must
+# stay bit-identical to the static path. The bin aborts on any
+# violation and re-validates its own artifact.
+cargo run --release -q -p shmt-bench --bin adapt_report -- --smoke >/dev/null
+f=results/BENCH_adapt_smoke.json
+[ -s "$f" ] || { echo "empty adapt report: $f"; exit 1; }
+grep -q '"adaptive_beats_static":true' "$f" || { echo "adaptive throughput win missing in $f"; exit 1; }
+grep -q '"disabled_bit_identical":true' "$f" || { echo "adaptation-off bit-identity flag missing in $f"; exit 1; }
+grep -q '"replay_deterministic":true' "$f" || { echo "replay determinism flag missing in $f"; exit 1; }
+grep -q '"static_breaches":true' "$f" || { echo "static SLO breach flag missing in $f"; exit 1; }
+grep -q '"adaptive_holds":true' "$f" || { echo "adaptive SLO hold flag missing in $f"; exit 1; }
+echo "adaptive scheduling smoke validated: $f"
+
 echo "CI OK"

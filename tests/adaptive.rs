@@ -1,0 +1,306 @@
+//! Adaptive-scheduling contract tests: the neutral calibration is the
+//! exact identity (adaptation off == static planner, bit for bit),
+//! recalibrated plans are deterministic given the same observation
+//! stream, observed speed factors cut the makespan under an injected
+//! slowdown, and measured-MAPE feedback squeezes a miscalibrated TPU
+//! out of planning without breaching the quality SLO.
+
+use shmt::calibration::{bench_profile, AdaptiveConfig, Calibration};
+use shmt::quality::mape;
+use shmt::sampling::SamplingMethod;
+use shmt::sched::{CPU, GPU, TPU};
+use shmt::{
+    AdaptiveCalibration, FaultPlan, GuardConfig, Platform, Policy, QawsAssignment, RuntimeConfig,
+    ShmtRuntime, Vop,
+};
+use shmt_kernels::Benchmark;
+use shmt_trace::Observatory;
+
+/// A compute-dominant platform (slow GPU) so decision-side estimates
+/// and injected slowdowns are not drowned by fixed launch overheads.
+fn slow_platform(b: Benchmark) -> Platform {
+    Platform::with_profiles(
+        Calibration {
+            gpu_throughput: 1.0e6,
+            ..Calibration::default()
+        },
+        bench_profile(b),
+    )
+}
+
+fn vop(b: Benchmark, n: usize, seed: u64) -> Vop {
+    Vop::from_benchmark(b, b.generate_inputs(n, n, seed)).expect("valid VOP")
+}
+
+fn config(policy: Policy, adapt: AdaptiveCalibration) -> RuntimeConfig {
+    let mut config = RuntimeConfig::new(policy);
+    config.partitions = 16;
+    config.adapt = adapt;
+    config
+}
+
+/// What the static model says each device sustains on this kernel, in
+/// elements per second — the denominator `calibrate` compares observed
+/// EWMA throughput against.
+fn modeled_elems_per_s(platform: &Platform, v: &Vop) -> [f64; 3] {
+    let work = v.kernel().work_per_element();
+    let profiles = platform.device_profiles();
+    [
+        profiles[GPU].throughput / work,
+        profiles[CPU].throughput / work,
+        profiles[TPU].throughput / work,
+    ]
+}
+
+/// Feeds one finished report into an observatory the way the serving
+/// layer does: per-device spans for busy devices, measured MAPE when
+/// the guard checked anything.
+fn feed(obs: &mut Observatory, report: &shmt::RunReport, opcode: &str) {
+    for (d, (_, elems)) in report.device_elements().into_iter().enumerate() {
+        let busy = report.devices[d].busy_s;
+        if busy > 0.0 && elems > 0 {
+            obs.observe_span(d, opcode, elems, busy);
+        }
+    }
+    if report.quality.enabled && report.quality.checked_hlops > 0 {
+        obs.observe_mape(TPU, report.quality.true_mape);
+    }
+}
+
+#[test]
+fn insufficient_evidence_calibrates_to_the_exact_identity() {
+    // Two spans sit below the confidence gate: the resolved calibration
+    // must be the *exact* neutral value, and a run carrying it must be
+    // bit-identical to the static configuration — output and makespan.
+    let b = Benchmark::Sobel;
+    let platform = slow_platform(b);
+    let v = vop(b, 96, 7);
+    let mut obs = Observatory::new();
+    for _ in 0..2 {
+        obs.observe_span(GPU, "Sobel", 9216, 0.036); // 4x off-model
+    }
+    let cal = AdaptiveConfig::enabled().calibrate(
+        obs.profiles(),
+        modeled_elems_per_s(&platform, &v),
+        "Sobel",
+        None,
+    );
+    assert!(cal.is_neutral(), "below-gate evidence must stay neutral");
+
+    let faults = FaultPlan::none().with_slowdown(GPU, 0.0, 1.0e9, 4.0);
+    let static_run = ShmtRuntime::new(
+        platform.clone(),
+        config(Policy::WorkStealing, AdaptiveCalibration::neutral()),
+    )
+    .execute_with_faults(&v, &faults)
+    .expect("static run succeeds");
+    let adaptive_run = ShmtRuntime::new(platform, config(Policy::WorkStealing, cal))
+        .execute_with_faults(&v, &faults)
+        .expect("neutral-calibrated run succeeds");
+    assert_eq!(
+        static_run.output.as_slice(),
+        adaptive_run.output.as_slice(),
+        "neutral calibration must be bit-identical"
+    );
+    assert_eq!(static_run.makespan_s, adaptive_run.makespan_s);
+    assert_eq!(static_run.tpu_fraction, adaptive_run.tpu_fraction);
+}
+
+#[test]
+fn recalibrated_runs_are_deterministic_for_the_same_stream() {
+    // Same observation stream -> same calibration -> bit-identical runs.
+    let b = Benchmark::Sobel;
+    let platform = slow_platform(b);
+    let v = vop(b, 96, 11);
+    let faults = FaultPlan::none().with_slowdown(GPU, 0.0, 1.0e9, 4.0);
+    let run_once = || {
+        let mut obs = Observatory::new();
+        for i in 0..4 {
+            let warm = ShmtRuntime::new(
+                platform.clone(),
+                config(Policy::WorkStealing, AdaptiveCalibration::neutral()),
+            )
+            .execute_with_faults(&vop(b, 96, 20 + i), &faults)
+            .expect("warmup run succeeds");
+            feed(&mut obs, &warm, "Sobel");
+        }
+        let cal = AdaptiveConfig::enabled().calibrate(
+            obs.profiles(),
+            modeled_elems_per_s(&platform, &v),
+            "Sobel",
+            None,
+        );
+        assert!(!cal.is_neutral(), "a sustained 4x slowdown must register");
+        let report = ShmtRuntime::new(platform.clone(), config(Policy::WorkStealing, cal))
+            .execute_with_faults(&v, &faults)
+            .expect("recalibrated run succeeds");
+        (cal, report)
+    };
+    let (cal_a, run_a) = run_once();
+    let (cal_b, run_b) = run_once();
+    assert_eq!(cal_a, cal_b, "calibration is a pure function of the stream");
+    assert_eq!(run_a.output.as_slice(), run_b.output.as_slice());
+    assert_eq!(run_a.makespan_s, run_b.makespan_s);
+}
+
+#[test]
+fn observed_speed_factors_cut_the_slowdown_makespan() {
+    // Under a 4x GPU slowdown the static planner keeps trusting the
+    // model and leaves work stranded on the slow device; decision-side
+    // speed factors shift steals and withdrawal toward the healthy
+    // devices and must strictly improve the virtual makespan.
+    let b = Benchmark::Sobel;
+    let platform = slow_platform(b);
+    let faults = FaultPlan::none().with_slowdown(GPU, 0.0, 1.0e9, 4.0);
+    let mut obs = Observatory::new();
+    let mut static_makespan = 0.0;
+    for i in 0..4 {
+        let report = ShmtRuntime::new(
+            platform.clone(),
+            config(Policy::WorkStealing, AdaptiveCalibration::neutral()),
+        )
+        .execute_with_faults(&vop(b, 128, 30 + i), &faults)
+        .expect("static run succeeds");
+        feed(&mut obs, &report, "Sobel");
+        static_makespan = report.makespan_s;
+    }
+    let probe = vop(b, 128, 34);
+    let cal = AdaptiveConfig::enabled().calibrate(
+        obs.profiles(),
+        modeled_elems_per_s(&platform, &probe),
+        "Sobel",
+        None,
+    );
+    assert!(
+        cal.speed_factors[GPU] < 0.5,
+        "the GPU factor must reflect the slowdown, got {:?}",
+        cal.speed_factors
+    );
+    let static_report = ShmtRuntime::new(
+        platform.clone(),
+        config(Policy::WorkStealing, AdaptiveCalibration::neutral()),
+    )
+    .execute_with_faults(&probe, &faults)
+    .expect("static probe succeeds");
+    let adaptive_report = ShmtRuntime::new(platform, config(Policy::WorkStealing, cal))
+        .execute_with_faults(&probe, &faults)
+        .expect("adaptive probe succeeds");
+    assert!(
+        adaptive_report.makespan_s < static_report.makespan_s,
+        "adaptive {:.6}s must beat static {:.6}s (earlier static {static_makespan:.6}s)",
+        adaptive_report.makespan_s,
+        static_report.makespan_s
+    );
+}
+
+#[test]
+fn tpu_admission_scales_planner_eligibility() {
+    let b = Benchmark::Sobel;
+    let platform = slow_platform(b);
+    let v = vop(b, 128, 40);
+    let policy = Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    };
+    // Admission 1.0 is the identity on the planner.
+    let unit = {
+        let mut cal = AdaptiveCalibration::neutral();
+        cal.tpu_admission = 1.0;
+        cal
+    };
+    let static_report = ShmtRuntime::new(
+        platform.clone(),
+        config(policy, AdaptiveCalibration::neutral()),
+    )
+    .execute(&v)
+    .expect("static run succeeds");
+    let unit_report = ShmtRuntime::new(platform.clone(), config(policy, unit))
+        .execute(&v)
+        .expect("unit-admission run succeeds");
+    assert_eq!(
+        static_report.output.as_slice(),
+        unit_report.output.as_slice(),
+        "admission 1.0 must leave plans bit-identical"
+    );
+    // Admission 0.0 evicts the TPU: everything runs exactly.
+    let evict = {
+        let mut cal = AdaptiveCalibration::neutral();
+        cal.tpu_admission = 0.0;
+        cal
+    };
+    let evicted = ShmtRuntime::new(platform, config(policy, evict))
+        .execute(&v)
+        .expect("evicted run succeeds");
+    assert_eq!(evicted.tpu_fraction, 0.0, "admission 0 evicts the TPU");
+    assert!(
+        static_report.tpu_fraction > 0.0,
+        "the static plan must have used the TPU for the eviction to mean anything"
+    );
+}
+
+#[test]
+fn mape_feedback_squeezes_a_miscalibrated_tpu_under_the_slo() {
+    // Closed loop under a TPU gain error: monitoring guards measure the
+    // delivered error, the observatory accumulates it, and the resolved
+    // admission must evict the TPU so the served output honors an SLO
+    // the static plan breaches.
+    let b = Benchmark::Sobel;
+    let platform = slow_platform(b);
+    let slo = 0.10;
+    let faults = FaultPlan::none().with_tpu_miscalibration(1.5, 0.1);
+    let policy = Policy::Qaws {
+        assignment: QawsAssignment::TopK,
+        sampling: SamplingMethod::Striding,
+    };
+    let run = |seed: u64, cal: AdaptiveCalibration| {
+        let mut cfg = config(policy, cal);
+        cfg.guard = GuardConfig::monitor(slo);
+        ShmtRuntime::new(platform.clone(), cfg)
+            .execute_with_faults(&vop(b, 128, seed), &faults)
+            .expect("monitored run succeeds")
+    };
+    let reference = |seed: u64| {
+        let mut cfg = config(policy, AdaptiveCalibration::neutral());
+        cfg.device_mask = [true, true, false]; // exact devices only
+        ShmtRuntime::new(platform.clone(), cfg)
+            .execute(&vop(b, 128, seed))
+            .expect("exact reference succeeds")
+            .output
+    };
+
+    let mut obs = Observatory::new();
+    let mut static_breached = false;
+    for i in 0..4 {
+        let seed = 50 + i;
+        let report = run(seed, AdaptiveCalibration::neutral());
+        static_breached |= mape(&reference(seed), &report.output) > slo;
+        feed(&mut obs, &report, "Sobel");
+    }
+    assert!(
+        static_breached,
+        "a 1.5x gain error must breach a {slo} MAPE SLO under the static plan"
+    );
+    let cfg = AdaptiveConfig::enabled();
+    let cal = cfg.calibrate(
+        obs.profiles(),
+        modeled_elems_per_s(&platform, &vop(b, 128, 54)),
+        "Sobel",
+        Some(slo),
+    );
+    assert!(
+        cal.tpu_admission < 0.1,
+        "measured error far over target must squeeze admission, got {}",
+        cal.tpu_admission
+    );
+    let adaptive = run(54, cal);
+    let adaptive_mape = mape(&reference(54), &adaptive.output);
+    assert!(
+        adaptive.tpu_fraction < 0.1,
+        "adaptive plan must shed TPU work, got {}",
+        adaptive.tpu_fraction
+    );
+    assert!(
+        adaptive_mape <= slo,
+        "adaptive output {adaptive_mape} must honor the {slo} SLO"
+    );
+}

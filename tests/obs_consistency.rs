@@ -47,9 +47,8 @@ fn server_with(telemetry: TelemetryConfig) -> Server {
     Server::new(ServerConfig {
         executors: 2,
         queue_capacity: 8,
-        default_deadline: None,
-        health: HealthConfig::default(),
         telemetry,
+        ..ServerConfig::default()
     })
 }
 
@@ -149,8 +148,6 @@ fn flight_ring_evicts_and_dumps_on_anomaly() {
     let server = Server::new(ServerConfig {
         executors: 1,
         queue_capacity: 8,
-        default_deadline: None,
-        health: HealthConfig::default(),
         telemetry: TelemetryConfig {
             flight: FlightConfig {
                 capacity: 4,
@@ -159,6 +156,7 @@ fn flight_ring_evicts_and_dumps_on_anomaly() {
             },
             ..TelemetryConfig::default()
         },
+        ..ServerConfig::default()
     });
     // Clean requests first: they fill the ring but never dump.
     for i in 0..6 {
@@ -223,12 +221,11 @@ fn ewma_profiles_converge_to_an_injected_slowdown() {
         let server = Server::new(ServerConfig {
             executors: 1,
             queue_capacity: 4,
-            default_deadline: None,
             health: HealthConfig {
                 enabled: false,
                 ..HealthConfig::default()
             },
-            telemetry: TelemetryConfig::default(),
+            ..ServerConfig::default()
         });
         for i in 0..8 {
             let b = Benchmark::Sobel;
@@ -243,7 +240,7 @@ fn ewma_profiles_converge_to_an_injected_slowdown() {
                 .expect("request succeeds");
         }
         let obs = server.observatory();
-        let profile = obs.profile(GPU);
+        let profile = obs.profile(GPU).expect("GPU profile exists");
         assert_eq!(profile.spans, 8, "every run contributed a GPU span");
         *profile
             .ewma_throughput

@@ -161,7 +161,7 @@ fn masked_gpu_keeps_qaws_critical_partitions_off_the_tpu() {
         &vop,
         &hlops,
         &cfg.quality,
-        shmt::sched::PlanContext { gpu_throughput },
+        shmt::sched::PlanContext::new(gpu_throughput),
     );
     let planned_tpu: std::collections::BTreeSet<usize> =
         the_plan.queues[2].iter().map(|h| h.id).collect();
