@@ -242,7 +242,7 @@ fn run_policy(
         let guarded = guarded_rt
             .execute_with_faults(vop, &plan)
             .expect("guarded chaos run succeeds");
-        record_flight(recorder, &name, scenario, &guarded);
+        record_flight(recorder, name, scenario, &guarded);
         let unguarded_mape = mape(reference, &unguarded.output);
         let guarded_mape = mape(reference, &guarded.output);
 
@@ -309,7 +309,7 @@ fn run_policy(
     }
 
     ObjectBuilder::new()
-        .field("policy", JsonValue::String(name))
+        .field("policy", JsonValue::String(name.to_string()))
         .field("healthy_mape", JsonValue::Number(healthy_mape))
         .field("budget_mape", JsonValue::Number(budget))
         .field("guard_off_bit_identical", JsonValue::Bool(bit_identical))

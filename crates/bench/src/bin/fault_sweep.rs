@@ -162,7 +162,7 @@ fn main() {
         }
 
         let doc = ObjectBuilder::new()
-            .field("policy", JsonValue::String(policy.name()))
+            .field("policy", JsonValue::String(policy.name().to_string()))
             .field("benchmark", JsonValue::String(benchmark.name().into()))
             .field("size", JsonValue::Number(config.size as f64))
             .field("partitions", JsonValue::Number(config.partitions as f64))
@@ -171,7 +171,7 @@ fn main() {
             .field("scenarios", JsonValue::Array(rows))
             .build()
             .to_string();
-        validate(&doc, &policy.name());
+        validate(&doc, policy.name());
 
         let path = format!("results/faults_{}.json", policy_slug(policy));
         std::fs::write(&path, &doc).expect("write sweep file");

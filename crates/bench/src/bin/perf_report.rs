@@ -14,6 +14,14 @@
 //! { "<bench>": { "best_ns": N, "mean_ns": N, "iters": N }, ... }
 //! ```
 //!
+//! Two non-timing sections ride along: a `kernel/<b>/npu_differs` flag
+//! per benchmark (the exact and NPU paths may legitimately converge in
+//! *time* — Histogram's NPU path is a full exact accumulation plus a
+//! 256-bin snap — so the report proves the paths are really different by
+//! comparing their *outputs*), and a `serve/rps` section measuring warm
+//! `shmt_serve::Server` throughput over mixed requests, self-validated
+//! against [`RPS_FLOOR`] via the `rps_above_floor` field that CI greps.
+//!
 //! The default output is `BENCH_kernels.json` at the repository root —
 //! commit it alongside performance PRs so reports can be diffed across
 //! commits. `--smoke` runs a small, fast configuration and writes to
@@ -21,16 +29,23 @@
 //! overrides either default. Every file is re-read and validated with the
 //! workspace's own JSON parser before the run reports success.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use shmt::sampling::SamplingMethod;
 use shmt::{Platform, Policy, QawsAssignment, RuntimeConfig, ShmtRuntime, Vop};
 use shmt_bench::harness::{Group, Measurement};
 use shmt_kernels::reference::naive_kernel;
 use shmt_kernels::{Benchmark, ALL_BENCHMARKS};
+use shmt_serve::{Request, Server, ServerConfig};
 use shmt_tensor::tile::Tile;
 use shmt_tensor::Tensor;
 use shmt_trace::json::{JsonValue, ObjectBuilder};
+
+/// Minimum warm-server throughput (mixed Sobel / Mean Filter / FFT
+/// requests) the report will certify. Deliberately conservative — the
+/// gate exists to catch serve-path regressions of an order of
+/// magnitude, not to flake on a loaded CI host.
+const RPS_FLOOR: f64 = 2.0;
 
 struct Opts {
     smoke: bool,
@@ -65,7 +80,18 @@ fn full_tile(n: usize) -> Tile {
     }
 }
 
-fn to_json(measurements: &[Measurement]) -> JsonValue {
+/// Warm-server requests-per-second over a mixed workload.
+struct ServeRps {
+    requests: usize,
+    wall_s: f64,
+    requests_per_s: f64,
+}
+
+fn to_json(
+    measurements: &[Measurement],
+    npu_flags: &[(Benchmark, bool)],
+    rps: &ServeRps,
+) -> JsonValue {
     let mut root = ObjectBuilder::new();
     for m in measurements {
         root = root.field(
@@ -77,7 +103,75 @@ fn to_json(measurements: &[Measurement]) -> JsonValue {
                 .build(),
         );
     }
-    root.build()
+    for (b, differs) in npu_flags {
+        root = root.field(
+            &format!("kernel/{b}/npu_differs"),
+            JsonValue::Bool(*differs),
+        );
+    }
+    root.field(
+        "serve/rps",
+        ObjectBuilder::new()
+            .field("requests", JsonValue::Number(rps.requests as f64))
+            .field("wall_s", JsonValue::Number(rps.wall_s))
+            .field("requests_per_s", JsonValue::Number(rps.requests_per_s))
+            .field("floor", JsonValue::Number(RPS_FLOOR))
+            .field(
+                "rps_above_floor",
+                JsonValue::Bool(rps.requests_per_s > RPS_FLOOR),
+            )
+            .build(),
+    )
+    .build()
+}
+
+/// Times the serve path end to end: a warm [`Server`] handling mixed
+/// Sobel / Mean Filter / FFT requests sequentially through the public
+/// `submit_blocking` API. Warm-up requests (which grow the arenas and
+/// spin up executors) run before the clock starts; timed requests are
+/// pre-built so construction cost stays outside the window.
+fn serve_rps(smoke: bool) -> ServeRps {
+    let (requests, warmup, n, partitions) = if smoke {
+        (6, 3, 128, 8)
+    } else {
+        (24, 6, 256, 16)
+    };
+    let server = Server::new(ServerConfig {
+        executors: 4,
+        queue_capacity: requests,
+        ..ServerConfig::default()
+    });
+    let benches = [Benchmark::Sobel, Benchmark::MeanFilter, Benchmark::Fft];
+    let make = |i: usize| {
+        let b = benches[i % benches.len()];
+        let vop =
+            Vop::from_benchmark(b, b.generate_inputs(n, n, 40 + i as u64)).expect("valid VOP");
+        let mut config = RuntimeConfig::new(Policy::WorkStealing);
+        config.partitions = partitions;
+        Request::new(vop, Platform::jetson(b), config)
+    };
+    for i in 0..warmup {
+        server
+            .submit_blocking(make(i))
+            .expect("server running")
+            .wait()
+            .expect("warm-up request succeeds");
+    }
+    let timed: Vec<Request> = (0..requests).map(make).collect();
+    let started = Instant::now();
+    for req in timed {
+        server
+            .submit_blocking(req)
+            .expect("server running")
+            .wait()
+            .expect("timed request succeeds");
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    ServeRps {
+        requests,
+        wall_s,
+        requests_per_s: requests as f64 / wall_s,
+    }
 }
 
 /// Best-time lookup in the serialized report.
@@ -160,8 +254,30 @@ fn main() {
         });
     }
 
+    // Output-difference audit (not a timing): run both paths once at the
+    // small size and record whether the NPU output actually diverges.
+    // Timings alone can't tell the paths apart — Histogram's converge.
+    let small = sizes[0];
+    let npu_flags: Vec<(Benchmark, bool)> = ALL_BENCHMARKS
+        .iter()
+        .map(|&b| {
+            let kernel = b.kernel();
+            let inputs = b.generate_inputs(small, small, 1);
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let shape = kernel.shape();
+            let tile = full_tile(small);
+            let mut exact = shape.allocate_output(small, small);
+            kernel.run_exact(&refs, tile, &mut exact);
+            let mut npu = shape.allocate_output(small, small);
+            kernel.run_npu(&refs, tile, &mut npu);
+            (b, exact.as_slice() != npu.as_slice())
+        })
+        .collect();
+
+    let rps = serve_rps(opts.smoke);
+
     let measurements = group.take_measurements();
-    let json = to_json(&measurements).to_string();
+    let json = to_json(&measurements, &npu_flags, &rps).to_string();
     if let Some(dir) = std::path::Path::new(out_path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).expect("create output dir");
@@ -182,7 +298,38 @@ fn main() {
                 assert!(best > 0.0, "{key} has non-positive best time");
             }
         }
+        // The NPU path must really be a different computation, whatever
+        // its timing row says.
+        let differs = report
+            .get(&format!("kernel/{b}/npu_differs"))
+            .and_then(|v| match v {
+                JsonValue::Bool(x) => Some(*x),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("report is missing kernel/{b}/npu_differs"));
+        assert!(differs, "{b}: npu output is identical to exact output");
     }
+
+    // Serve-path throughput: the section must exist, be positive, and
+    // clear the recorded floor — `rps_above_floor` is what CI greps.
+    let serve = report.get("serve/rps").expect("serve/rps section present");
+    let rps_value = serve
+        .get("requests_per_s")
+        .and_then(JsonValue::as_f64)
+        .expect("requests_per_s present");
+    assert!(
+        rps_value > RPS_FLOOR,
+        "serve path ran at {rps_value:.2} req/s, below the {RPS_FLOOR} floor"
+    );
+    assert_eq!(
+        serve.get("rps_above_floor"),
+        Some(&JsonValue::Bool(true)),
+        "rps_above_floor must self-validate"
+    );
+    println!(
+        "serve path: {rps_value:.2} req/s over {} warm mixed requests",
+        rps.requests
+    );
 
     for b in [Benchmark::MeanFilter, Benchmark::Sobel] {
         let naive = best_ns(&report, &format!("kernel/{b}/reference/{big}"))

@@ -38,27 +38,33 @@ impl CriticalityStats {
     /// Empty or all-NaN samples yield all-zero statistics (a partition we
     /// know nothing about is treated as non-critical).
     pub fn from_samples(samples: &[f32]) -> Self {
-        let clean: Vec<f32> = samples.iter().copied().filter(|v| v.is_finite()).collect();
-        if clean.is_empty() {
+        // Streamed over the raw slice instead of collecting the finite
+        // values first: visits the same values in the same order as the
+        // old filtered copy, so every fold is bit-identical — minus one
+        // heap allocation per scored partition.
+        let finite = || samples.iter().copied().filter(|v| v.is_finite());
+        let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for v in finite() {
+            if count == 0 {
+                min = v;
+                max = v;
+            }
+            min = min.min(v);
+            max = max.max(v);
+            sum += v as f64;
+            count += 1;
+        }
+        if count == 0 {
             return CriticalityStats {
                 min: 0.0,
                 max: 0.0,
                 stddev: 0.0,
             };
         }
-        let (mut min, mut max) = (clean[0], clean[0]);
-        let mut sum = 0.0f64;
-        for &v in &clean {
-            min = min.min(v);
-            max = max.max(v);
-            sum += v as f64;
-        }
-        let mean = sum / clean.len() as f64;
-        let var = clean
-            .iter()
-            .map(|&v| (v as f64 - mean).powi(2))
-            .sum::<f64>()
-            / clean.len() as f64;
+        let mean = sum / count as f64;
+        let var = finite().map(|v| (v as f64 - mean).powi(2)).sum::<f64>() / count as f64;
         CriticalityStats {
             min,
             max,

@@ -16,13 +16,48 @@
 //!   never changes regardless of which worker ran which task.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
 
 use shmt_kernels::{Aggregation, Kernel};
 use shmt_tensor::tile::Tile;
 use shmt_tensor::Tensor;
 
 use crate::pool::ComputePool;
+
+/// Maximum kernel arity the executor supports — lets per-task input
+/// reference lists live in fixed stack arrays instead of heap vectors.
+/// Every benchmark kernel takes 1 or 2 inputs; 4 leaves headroom.
+pub const MAX_KERNEL_ARITY: usize = 4;
+
+/// Pre-sized per-slot result collection: each claimed task index is
+/// written by exactly one worker, so the slots need no lock.
+///
+/// Safety contract: index `i` is written at most once (claimants obtain
+/// indices from a shared `fetch_add` cursor, so claims are unique), the
+/// backing `Vec` is pre-sized and never reallocated while workers hold
+/// this pointer, and the pool's batch barrier orders every write before
+/// the submitting thread reads the slots back.
+struct SlotWriter {
+    ptr: *mut Option<Tensor>,
+    len: usize,
+}
+
+// SAFETY: concurrent `write` calls touch disjoint slots per the
+// contract above; the raw pointer itself is freely sendable.
+unsafe impl Sync for SlotWriter {}
+
+impl SlotWriter {
+    /// Deposits `value` into slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be a unique claim below `len` (see the struct contract).
+    unsafe fn write(&self, i: usize, value: Tensor) {
+        debug_assert!(i < self.len);
+        // The pre-sized slot holds `None` (trivial drop), so a plain
+        // store through the pointer is enough.
+        unsafe { *self.ptr.add(i) = Some(value) };
+    }
+}
 
 /// One unit of host compute: which partition, and through which path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,15 +133,29 @@ pub fn compute_tasks_on(
         return;
     }
 
+    assert!(
+        inputs.len() <= MAX_KERNEL_ARITY,
+        "kernel arity {} exceeds executor maximum {MAX_KERNEL_ARITY}",
+        inputs.len()
+    );
+
     let (out_rows, out_cols) = output.shape();
     // Claimant jobs pull task indices through a shared atomic cursor —
     // the software analogue of pulling from a shared incoming queue — and
-    // deposit per-task results keyed by index, so assembly order is
-    // independent of which worker ran what.
+    // deposit each result into its task's pre-sized slot, so assembly
+    // order is independent of which worker ran what and collection needs
+    // no lock (the seed's `Mutex<Vec<(usize, Tensor)>>` serialized every
+    // deposit). Slot spines and all scratch tensors come from the arena,
+    // so a warm call allocates nothing.
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, Tensor)>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    let mut slots: Vec<Option<Tensor>> = crate::arena::SLOTS.take();
+    slots.resize_with(tasks.len(), || None);
+    let writer = SlotWriter {
+        ptr: slots.as_mut_ptr(),
+        len: slots.len(),
+    };
 
-    let n_workers = threads.min(tasks.len());
+    let n_claims = threads.min(tasks.len());
     match aggregation {
         Aggregation::Tile => {
             // Each task is computed into a tile-sized result: inputs are
@@ -120,76 +169,69 @@ pub fn compute_tasks_on(
             let shape = kernel.shape();
             let localize = !shape.global_inputs;
             let (in_rows, in_cols) = inputs[0].shape();
-            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n_workers)
-                .map(|_| {
-                    let next = &next;
-                    let results = &results;
-                    let job = move || {
-                        let mut full_scratch: Option<Tensor> = None;
-                        let mut done = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(task) = tasks.get(i) else { break };
-                            let tile = task.tile;
-                            let result = if localize {
-                                let ext = shmt_kernels::npu::extended_region(
-                                    tile,
-                                    shape.halo,
-                                    shape.block_align,
-                                    shape.full_rows,
-                                    in_rows,
-                                    in_cols,
-                                );
-                                let locals: Vec<Tensor> = inputs
-                                    .iter()
-                                    .map(|t| {
-                                        t.view(ext.row0, ext.col0, ext.rows, ext.cols).to_tensor()
-                                    })
-                                    .collect();
-                                let local_refs: Vec<&Tensor> = locals.iter().collect();
-                                let local_tile = Tile {
-                                    index: tile.index,
-                                    row0: tile.row0 - ext.row0,
-                                    col0: tile.col0 - ext.col0,
-                                    rows: tile.rows,
-                                    cols: tile.cols,
-                                };
-                                let mut scratch = Tensor::zeros(ext.rows, ext.cols);
-                                run_one(
-                                    kernel,
-                                    &local_refs,
-                                    ComputeTask {
-                                        tile: local_tile,
-                                        npu: task.npu,
-                                    },
-                                    &mut scratch,
-                                );
-                                scratch
-                                    .view(local_tile.row0, local_tile.col0, tile.rows, tile.cols)
-                                    .to_tensor()
-                            } else {
-                                let scratch = full_scratch
-                                    .get_or_insert_with(|| Tensor::zeros(out_rows, out_cols));
-                                run_one(kernel, inputs, *task, scratch);
-                                scratch
-                                    .view(tile.row0, tile.col0, tile.rows, tile.cols)
-                                    .to_tensor()
+            pool.scope_fn(n_claims, &|| {
+                let mut full_scratch: Option<Tensor> = None;
+                let mut locals: Vec<Tensor> = crate::arena::LOCALS.take();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(i) else { break };
+                    let tile = task.tile;
+                    let result =
+                        if localize {
+                            let ext = shmt_kernels::npu::extended_region(
+                                tile,
+                                shape.halo,
+                                shape.block_align,
+                                shape.full_rows,
+                                in_rows,
+                                in_cols,
+                            );
+                            locals.clear();
+                            locals.extend(inputs.iter().map(|t| {
+                                t.view(ext.row0, ext.col0, ext.rows, ext.cols).to_tensor()
+                            }));
+                            let mut local_refs: [&Tensor; MAX_KERNEL_ARITY] =
+                                [inputs[0]; MAX_KERNEL_ARITY];
+                            for (slot, t) in local_refs.iter_mut().zip(&locals) {
+                                *slot = t;
+                            }
+                            let local_tile = Tile {
+                                index: tile.index,
+                                row0: tile.row0 - ext.row0,
+                                col0: tile.col0 - ext.col0,
+                                rows: tile.rows,
+                                cols: tile.cols,
                             };
-                            done.push((i, result));
-                        }
-                        // A poisoned lock means another worker panicked;
-                        // the Vec of deposited results is still valid, and
-                        // the panic itself is re-raised by `pool.scope`.
-                        results
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .extend(done);
-                    };
-                    Box::new(job) as Box<dyn FnOnce() + Send + '_>
-                })
-                .collect();
-            pool.scope(jobs);
-            for (i, result) in results.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                            let mut scratch = Tensor::zeros(ext.rows, ext.cols);
+                            run_one(
+                                kernel,
+                                &local_refs[..locals.len()],
+                                ComputeTask {
+                                    tile: local_tile,
+                                    npu: task.npu,
+                                },
+                                &mut scratch,
+                            );
+                            scratch
+                                .view(local_tile.row0, local_tile.col0, tile.rows, tile.cols)
+                                .to_tensor()
+                        } else {
+                            let scratch = full_scratch
+                                .get_or_insert_with(|| Tensor::zeros(out_rows, out_cols));
+                            run_one(kernel, inputs, *task, scratch);
+                            scratch
+                                .view(tile.row0, tile.col0, tile.rows, tile.cols)
+                                .to_tensor()
+                        };
+                    // SAFETY: `i` came from the shared cursor, so this
+                    // claim is unique and in bounds (`tasks.get` checked).
+                    unsafe { writer.write(i, result) };
+                }
+                locals.clear();
+                crate::arena::LOCALS.put(locals);
+            });
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let result = slot.take().expect("claimed task deposited no result");
                 let tile = tasks[i].tile;
                 for r in 0..tile.rows {
                     let src = result.row(r);
@@ -200,35 +242,20 @@ pub fn compute_tasks_on(
         }
         Aggregation::Reduce { op, .. } => {
             // Reduction buffers are tiny: claimants deposit one buffer per
-            // *task*, and the fold runs in ascending task order — float
-            // accumulation order is then independent of which worker ran
-            // which task.
+            // *task*, and the fold walks the slots in ascending task order
+            // — float accumulation order is then independent of which
+            // worker ran which task.
             let shape = kernel.shape();
-            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n_workers)
-                .map(|_| {
-                    let next = &next;
-                    let results = &results;
-                    let job = move || {
-                        let mut mine = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(task) = tasks.get(i) else { break };
-                            let mut buf = shape.allocate_output(out_rows, out_cols);
-                            run_one(kernel, inputs, *task, &mut buf);
-                            mine.push((i, buf));
-                        }
-                        results
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .extend(mine);
-                    };
-                    Box::new(job) as Box<dyn FnOnce() + Send + '_>
-                })
-                .collect();
-            pool.scope(jobs);
-            let mut partials = results.into_inner().unwrap_or_else(PoisonError::into_inner);
-            partials.sort_by_key(|(i, _)| *i);
-            for (_, buf) in &partials {
+            pool.scope_fn(n_claims, &|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(i) else { break };
+                let mut buf = shape.allocate_output(out_rows, out_cols);
+                run_one(kernel, inputs, *task, &mut buf);
+                // SAFETY: unique in-bounds claim, as above.
+                unsafe { writer.write(i, buf) };
+            });
+            for slot in slots.iter_mut() {
+                let buf = slot.take().expect("claimed task deposited no result");
                 for r in 0..output.rows() {
                     let dst = output.row_mut(r);
                     for (d, s) in dst.iter_mut().zip(buf.row(r)) {
@@ -238,6 +265,7 @@ pub fn compute_tasks_on(
             }
         }
     }
+    crate::arena::SLOTS.put(slots);
 }
 
 fn run_one(kernel: &dyn Kernel, inputs: &[&Tensor], task: ComputeTask, out: &mut Tensor) {
@@ -260,14 +288,13 @@ pub fn compute_exact_parallel(
     let shape = kernel.shape();
     let mut output = shape.allocate_output(rows, cols);
     let bands = crate::partition::partition_tiles(rows, cols, threads.max(1) * 2, &shape);
-    let tasks: Vec<ComputeTask> = bands
-        .iter()
-        .map(|t| ComputeTask {
-            tile: *t,
-            npu: false,
-        })
-        .collect();
+    let mut tasks: Vec<ComputeTask> = crate::arena::COMPUTE.take();
+    tasks.extend(bands.iter().map(|t| ComputeTask {
+        tile: *t,
+        npu: false,
+    }));
     compute_tasks(kernel, inputs, &tasks, &mut output, threads);
+    crate::arena::COMPUTE.put(tasks);
     kernel.finalize(&mut output);
     output
 }

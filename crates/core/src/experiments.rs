@@ -81,7 +81,7 @@ pub fn fig6_policies() -> Vec<(String, Fig6Policy)> {
         ),
     ];
     for p in Policy::qaws_variants() {
-        out.push((p.name(), Fig6Policy::Runtime(p)));
+        out.push((p.name().to_string(), Fig6Policy::Runtime(p)));
     }
     out
 }
@@ -298,7 +298,7 @@ pub fn quality_policies() -> Vec<(String, QualityPolicy)> {
         ),
     ];
     for p in Policy::qaws_variants() {
-        out.push((p.name(), QualityPolicy::Runtime(p)));
+        out.push((p.name().to_string(), QualityPolicy::Runtime(p)));
     }
     out.push(("oracle".to_string(), QualityPolicy::Runtime(Policy::Oracle)));
     out

@@ -25,6 +25,8 @@
 //!   Fig 2.
 //! * [`baseline`] — the GPU baseline and software-pipelining references.
 //! * [`exec`] — host-side parallel execution of the HLOP computations.
+//! * [`arena`] — pooled tensor pages and per-run bookkeeping spines, so
+//!   warm repeated executions allocate nothing.
 //! * [`quality`] — MAPE and SSIM.
 //! * [`experiments`] — drivers that regenerate every figure and table of
 //!   the paper's evaluation.
@@ -66,6 +68,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod baseline;
 pub mod calibration;
 pub mod criticality;

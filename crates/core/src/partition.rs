@@ -11,13 +11,28 @@
 //! size whenever possible").
 
 use shmt_kernels::KernelShape;
+use shmt_tensor::arena::VecPool;
 use shmt_tensor::tile::{Tile, MIN_VECTOR_ELEMS};
 
 use crate::error::{Result, ShmtError};
 use crate::hlop::Hlop;
 use crate::vop::Vop;
 
+/// Pooled tile-list spines: partitioning runs once per request, so its
+/// scratch recycles like everything else on the serve path.
+static TILES: VecPool<Tile> = VecPool::new();
+
+/// Pooled axis-cut spines for [`axis_cuts_into`].
+static STARTS: VecPool<usize> = VecPool::new();
+
+/// Pooled segment lists (start, length) for the grid/band builders.
+static CUTS: VecPool<(usize, usize)> = VecPool::new();
+
 /// Splits `vop` into roughly `want` page-granular HLOP partitions.
+///
+/// The returned vector's spine comes from the runtime arena; callers
+/// that are done with it may hand it to [`crate::arena`]'s HLOP pool
+/// (the runtime does) or just drop it.
 ///
 /// # Errors
 ///
@@ -30,38 +45,54 @@ pub fn partition_vop(vop: &Vop, want: usize) -> Result<Vec<Hlop>> {
     }
     let (rows, cols) = vop.partition_space();
     let shape = vop.kernel().shape();
-    let tiles = partition_tiles(rows, cols, want, &shape);
-    Ok(tiles
-        .into_iter()
-        .map(|t| Hlop::new(t.index, vop.opcode(), t))
-        .collect())
+    let mut tiles = TILES.take();
+    partition_tiles_into(rows, cols, want, &shape, &mut tiles);
+    let mut hlops = crate::arena::HLOPS.take();
+    hlops.extend(tiles.iter().map(|t| Hlop::new(t.index, vop.opcode(), *t)));
+    TILES.put(tiles);
+    Ok(hlops)
 }
 
 /// Computes the tile partitioning of a `rows x cols` space under a
 /// kernel's constraints.
 pub fn partition_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShape) -> Vec<Tile> {
+    let mut tiles = Vec::new();
+    partition_tiles_into(rows, cols, want, shape, &mut tiles);
+    tiles
+}
+
+/// [`partition_tiles`] into a caller-supplied (typically pooled) vector,
+/// which is cleared first.
+pub fn partition_tiles_into(
+    rows: usize,
+    cols: usize,
+    want: usize,
+    shape: &KernelShape,
+    tiles: &mut Vec<Tile>,
+) {
     assert!(
         rows > 0 && cols > 0 && want > 0,
         "degenerate partition request"
     );
+    tiles.clear();
     if shape.full_rows {
-        band_tiles(rows, cols, want, shape)
+        band_tiles(rows, cols, want, shape, tiles);
     } else {
-        grid_tiles(rows, cols, want, shape)
+        grid_tiles(rows, cols, want, shape, tiles);
     }
 }
 
 /// Splits `total` into at most `parts` near-equal segments whose starts
-/// are multiples of `align`. Unlike naive fixed-size tiling, near-equal
-/// cuts never leave a sub-page remainder segment at the edge.
-fn axis_cuts(total: usize, parts: usize, align: usize) -> Vec<(usize, usize)> {
+/// are multiples of `align`, appended to `segs` (cleared first). Unlike
+/// naive fixed-size tiling, near-equal cuts never leave a sub-page
+/// remainder segment at the edge.
+fn axis_cuts_into(total: usize, parts: usize, align: usize, segs: &mut Vec<(usize, usize)>) {
+    segs.clear();
     let align = align.max(1);
     let parts = parts.clamp(1, total.div_ceil(align));
-    let mut starts: Vec<usize> = (0..parts)
-        .map(|i| (i * total / parts) / align * align)
-        .collect();
+    let mut starts = STARTS.take();
+    starts.extend((0..parts).map(|i| (i * total / parts) / align * align));
     starts.dedup();
-    let mut segs = Vec::with_capacity(starts.len());
     for (i, &start) in starts.iter().enumerate() {
         let end = if i + 1 < starts.len() {
             starts[i + 1]
@@ -72,12 +103,12 @@ fn axis_cuts(total: usize, parts: usize, align: usize) -> Vec<(usize, usize)> {
             segs.push((start, end - start));
         }
     }
-    segs
+    STARTS.put(starts);
 }
 
 /// Square-ish matrix tiles: a near-equal grid of roughly `want` tiles,
 /// grown until each holds at least one page when the dataset does.
-fn grid_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShape) -> Vec<Tile> {
+fn grid_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShape, tiles: &mut Vec<Tile>) {
     let align = shape.block_align.max(1);
     let target = ((rows * cols) as f64 / want as f64).sqrt().max(1.0);
     let mut n_r = ((rows as f64 / target).round() as usize).clamp(1, rows);
@@ -97,12 +128,13 @@ fn grid_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShape) -> Vec
             n_r -= 1;
         }
     }
-    let row_cuts = axis_cuts(rows, n_r, align);
-    let col_cuts = axis_cuts(cols, n_c, align);
-    let mut tiles = Vec::with_capacity(row_cuts.len() * col_cuts.len());
+    let mut row_cuts = CUTS.take();
+    let mut col_cuts = CUTS.take();
+    axis_cuts_into(rows, n_r, align, &mut row_cuts);
+    axis_cuts_into(cols, n_c, align, &mut col_cuts);
     let mut index = 0;
-    for &(row0, h) in &row_cuts {
-        for &(col0, w) in &col_cuts {
+    for &(row0, h) in row_cuts.iter() {
+        for &(col0, w) in col_cuts.iter() {
             tiles.push(Tile {
                 index,
                 row0,
@@ -113,26 +145,26 @@ fn grid_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShape) -> Vec
             index += 1;
         }
     }
-    tiles
+    CUTS.put(row_cuts);
+    CUTS.put(col_cuts);
 }
 
 /// Bands of full rows for row-wise kernels, band starts aligned to the
 /// block edge, each band page-sized when the dataset allows.
-fn band_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShape) -> Vec<Tile> {
+fn band_tiles(rows: usize, cols: usize, want: usize, shape: &KernelShape, tiles: &mut Vec<Tile>) {
     let align = shape.block_align.max(1);
     let min_rows_for_page = MIN_VECTOR_ELEMS.div_ceil(cols);
     let n = want.min((rows / min_rows_for_page.max(1)).max(1));
-    let cuts = axis_cuts(rows, n, align);
-    cuts.iter()
-        .enumerate()
-        .map(|(index, &(row0, h))| Tile {
-            index,
-            row0,
-            col0: 0,
-            rows: h,
-            cols,
-        })
-        .collect()
+    let mut cuts = CUTS.take();
+    axis_cuts_into(rows, n, align, &mut cuts);
+    tiles.extend(cuts.iter().enumerate().map(|(index, &(row0, h))| Tile {
+        index,
+        row0,
+        col0: 0,
+        rows: h,
+        cols,
+    }));
+    CUTS.put(cuts);
 }
 
 #[cfg(test)]

@@ -33,12 +33,67 @@ use std::thread::JoinHandle;
 /// A type-erased unit of pool work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued unit of work: either an owned boxed job
+/// ([`ComputePool::scope`]) or one claim on a batch-shared closure
+/// ([`ComputePool::scope_fn`], which enqueues `n` copies of one borrowed
+/// closure and so never boxes — the warm queue re-uses its deque
+/// capacity and the whole submission is allocation-free).
+enum Task {
+    Boxed(Job),
+    Shared(SharedTask),
+}
+
+/// One claim on a `scope_fn` batch: raw pointers to the caller-owned
+/// closure and the caller's stack-allocated [`Batch`].
+///
+/// Soundness: `scope_fn` does not return (normally or by unwind) until
+/// the batch's `remaining` count hits zero, i.e. until every queued
+/// claim has been consumed, so both pointees strictly outlive every
+/// copy of this struct in the queue or in flight — the same contract
+/// that makes `scope`'s lifetime erasure sound.
+#[derive(Clone, Copy)]
+struct SharedTask {
+    job: *const (dyn Fn() + Sync),
+    batch: *const Batch,
+}
+
+// SAFETY: the pointees are `Sync` (`dyn Fn() + Sync`; `Batch` holds only
+// `Mutex`/`Condvar`) and outlive the task per the contract above, so
+// moving the pointers across threads is safe.
+unsafe impl Send for SharedTask {}
+
 /// Shared state between the pool handle and its workers.
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<VecDeque<Task>>,
     /// Signalled when work arrives or shutdown begins.
     work_ready: Condvar,
     shutdown: AtomicBool,
+}
+
+/// Runs one queued task, catching panics for shared claims (boxed jobs
+/// carry their own catch wrapper).
+fn run_task(task: Task) {
+    match task {
+        Task::Boxed(job) => job(),
+        Task::Shared(t) => {
+            // SAFETY: see `SharedTask` — both pointers are live until
+            // the batch completes, which cannot happen before this claim
+            // decrements `remaining` below.
+            let (job, batch) = unsafe { (&*t.job, &*t.batch) };
+            if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(job)) {
+                let mut slot = batch.panic.lock().unwrap_or_else(PoisonError::into_inner);
+                slot.get_or_insert(payload);
+            }
+            let mut remaining = batch
+                .remaining
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *remaining -= 1;
+            if *remaining == 0 {
+                batch.batch_done.notify_all();
+            }
+        }
+    }
 }
 
 /// Completion bookkeeping for one [`ComputePool::scope`] batch.
@@ -150,7 +205,7 @@ impl ComputePool {
                     >(job)
                 };
                 let batch = Arc::clone(&batch);
-                queue.push_back(Box::new(move || {
+                queue.push_back(Task::Boxed(Box::new(move || {
                     let result = std::panic::catch_unwind(AssertUnwindSafe(job));
                     if let Err(payload) = result {
                         let mut slot = batch.panic.lock().unwrap_or_else(PoisonError::into_inner);
@@ -164,18 +219,77 @@ impl ComputePool {
                     if *remaining == 0 {
                         batch.batch_done.notify_all();
                     }
-                }));
+                })));
             }
             self.shared.work_ready.notify_all();
         }
 
-        // Help: run queued jobs on the submitting thread (they may belong
-        // to any batch — work conservation beats fairness) until the queue
-        // drains, then sleep until the workers finish this batch's tail.
-        // Helping keeps the submitter contributing compute instead of
-        // idling, exactly like the joiner of the old `std::thread::scope`.
+        self.help_until_batch_done(&batch);
+    }
+
+    /// Runs `claims` invocations of one shared borrowed closure to
+    /// completion on the pool — the allocation-free form of
+    /// [`ComputePool::scope`].
+    ///
+    /// Where `scope` boxes every job, `scope_fn` enqueues `claims`
+    /// lightweight references to the single closure, so a warm pool
+    /// performs no heap allocation at all (the deque re-uses its
+    /// capacity; the batch bookkeeping lives on this stack frame). The
+    /// closure must coordinate its own work division — the executor
+    /// does this with an atomic task cursor.
+    ///
+    /// Blocks until all `claims` invocations have finished, which is
+    /// what makes handing borrowed pointers to the queue sound.
+    ///
+    /// # Panics
+    ///
+    /// As with [`ComputePool::scope`]: a panicking invocation is caught,
+    /// the rest of the batch still runs, and the first payload is
+    /// re-raised here once the batch has drained.
+    pub fn scope_fn(&self, claims: usize, job: &(dyn Fn() + Sync)) {
+        if claims == 0 {
+            return;
+        }
+        let batch = Batch {
+            remaining: Mutex::new(claims),
+            batch_done: Condvar::new(),
+            panic: Mutex::new(None),
+        };
+        // SAFETY: erases the borrow lifetimes to 'static for the queue.
+        // `help_until_batch_done` below does not return until every
+        // claim has run, so the pointees (the caller's closure and the
+        // stack `batch`) outlive every queued copy. Workers touch
+        // `batch` for the last time while holding `remaining`'s lock,
+        // whose release happens-before the submitter's final wakeup.
+        let task = SharedTask {
+            job: unsafe {
+                std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync)>(job)
+            },
+            batch: &batch,
+        };
+        {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for _ in 0..claims {
+                queue.push_back(Task::Shared(task));
+            }
+            self.shared.work_ready.notify_all();
+        }
+        self.help_until_batch_done(&batch);
+    }
+
+    /// Help: run queued tasks on the submitting thread (they may belong
+    /// to any batch — work conservation beats fairness) until the queue
+    /// drains, then sleep until the workers finish this batch's tail.
+    /// Helping keeps the submitter contributing compute instead of
+    /// idling, exactly like the joiner of the old `std::thread::scope`.
+    /// Re-raises the batch's first captured panic after completion.
+    fn help_until_batch_done(&self, batch: &Batch) {
         loop {
-            let job = {
+            let task = {
                 let mut queue = self
                     .shared
                     .queue
@@ -183,8 +297,8 @@ impl ComputePool {
                     .unwrap_or_else(PoisonError::into_inner);
                 queue.pop_front()
             };
-            match job {
-                Some(job) => job(),
+            match task {
+                Some(task) => run_task(task),
                 None => break,
             }
         }
@@ -233,7 +347,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match job {
-            Some(job) => job(), // panics are caught inside the job wrapper
+            Some(task) => run_task(task), // panics are caught inside the task
             None => return,
         }
     }
@@ -325,5 +439,58 @@ mod tests {
     fn empty_batch_is_a_noop() {
         let pool = ComputePool::new(1);
         pool.scope(Vec::new());
+        pool.scope_fn(0, &|| unreachable!("zero claims must not run"));
+    }
+
+    #[test]
+    fn scope_fn_runs_every_claim() {
+        let pool = ComputePool::new(3);
+        let hits = AtomicUsize::new(0);
+        pool.scope_fn(23, &|| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 23);
+    }
+
+    #[test]
+    fn scope_fn_panic_propagates_and_pool_survives() {
+        let pool = ComputePool::new(2);
+        let n = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope_fn(4, &|| {
+                if n.fetch_add(1, Ordering::Relaxed) == 2 {
+                    panic!("shared job failed");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "panic must reach the submitting thread");
+        let ok = AtomicUsize::new(0);
+        pool.scope_fn(4, &|| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn concurrent_scope_fn_batches_share_the_pool() {
+        let pool = Arc::new(ComputePool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    let local = AtomicUsize::new(0);
+                    pool.scope_fn(25, &|| {
+                        local.fetch_add(1, Ordering::Relaxed);
+                    });
+                    total.fetch_add(local.load(Ordering::Relaxed), Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 100);
     }
 }

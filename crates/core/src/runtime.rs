@@ -13,8 +13,8 @@
 //! quality measurement.
 
 use hetsim::{
-    DeviceTimeline, EnergyMeter, FaultInjector, FaultPlan, FaultReport, Interconnect,
-    MemoryTracker, QueuePair, SimTime, Transfer,
+    DeviceTimeline, EnergyMeter, FaultInjector, FaultPlan, FaultReport, Interconnect, QueuePair,
+    SimTime, Transfer,
 };
 use shmt_tensor::Tensor;
 use shmt_trace::{EventKind, NullSink, TraceRecorder, TraceSink};
@@ -242,7 +242,9 @@ impl ShmtRuntime {
             the_plan.pipelined = false;
         }
 
-        self.play(vop, &hlops, the_plan, &mut FaultInjector::new(faults), sink)
+        let report = self.play(vop, &hlops, the_plan, &mut FaultInjector::new(faults), sink);
+        crate::arena::HLOPS.put(hlops);
+        report
     }
 
     /// Moves HLOPs off disabled devices' queues and forbids stealing
@@ -301,7 +303,20 @@ impl ShmtRuntime {
     ) -> Result<RunReport> {
         let kernel = vop.kernel();
         let shape = kernel.shape();
-        let inputs: Vec<&Tensor> = vop.inputs().iter().collect();
+        // Kernel inputs as a fixed-arity reference array on the stack —
+        // the collect into a Vec here used to be one of the per-run
+        // allocations the warm serve path now avoids.
+        let input_tensors = vop.inputs();
+        assert!(
+            input_tensors.len() <= crate::exec::MAX_KERNEL_ARITY,
+            "kernel arity exceeds MAX_KERNEL_ARITY"
+        );
+        let mut input_refs: [&Tensor; crate::exec::MAX_KERNEL_ARITY] =
+            [&input_tensors[0]; crate::exec::MAX_KERNEL_ARITY];
+        for (slot, t) in input_refs.iter_mut().zip(input_tensors) {
+            *slot = t;
+        }
+        let inputs = &input_refs[..input_tensors.len()];
         let (rows, cols) = vop.partition_space();
         let mut output = shape.allocate_output(rows, cols);
 
@@ -310,32 +325,28 @@ impl ShmtRuntime {
         let profiles = self.platform.device_profiles();
         let t0 = SimTime::from_secs(the_plan.overhead_s);
 
-        let mut timelines: Vec<DeviceTimeline> = profiles
-            .iter()
-            .map(|p| DeviceTimeline::starting_at(*p, t0))
-            .collect();
+        let mut timelines: [DeviceTimeline; 3] =
+            profiles.map(|p| DeviceTimeline::starting_at(p, t0));
         let mut bus = self.platform.bus();
-        let mut queues: Vec<QueuePair<Hlop>> = the_plan
-            .queues
-            .iter()
-            .enumerate()
-            .map(|(d, q)| {
-                let mut pair = QueuePair::new();
-                for h in q {
-                    pair.enqueue_traced(t0, *h, QUEUE_GAUGE[d], sink);
-                    if sink.enabled() {
-                        sink.record(
-                            t0.as_secs(),
-                            EventKind::Dispatch {
-                                hlop: h.id,
-                                device: d,
-                            },
-                        );
-                    }
+        // Queue pairs are pooled whole: their deques keep capacity across
+        // runs, so a warm run's enqueues never touch the heap.
+        let mut queues = crate::arena::QUEUE_PAIRS
+            .take_or(|| [QueuePair::new(), QueuePair::new(), QueuePair::new()]);
+        for (d, (pair, q)) in queues.iter_mut().zip(&the_plan.queues).enumerate() {
+            pair.reset();
+            for h in q {
+                pair.enqueue_traced(t0, *h, QUEUE_GAUGE[d], sink);
+                if sink.enabled() {
+                    sink.record(
+                        t0.as_secs(),
+                        EventKind::Dispatch {
+                            hlop: h.id,
+                            device: d,
+                        },
+                    );
                 }
-                pair
-            })
-            .collect();
+            }
+        }
 
         // A disabled device is born "done": it never acts. A device that
         // drops out is additionally "dead": it can never be woken by a
@@ -345,11 +356,14 @@ impl ShmtRuntime {
         let mut faults = FaultReport::default();
         let mut prev_start = [t0; 3];
         let mut latest_completion = t0;
-        let mut records: Vec<HlopRecord> = Vec::with_capacity(hlops.len());
-        let mut stolen_ids: Vec<bool> = vec![false; hlops.len()];
+        let mut records: Vec<HlopRecord> = crate::arena::RECORDS.take();
+        records.reserve(hlops.len());
+        let mut stolen_ids: Vec<bool> = crate::arena::STOLEN.take();
+        stolen_ids.resize(hlops.len(), false);
         let mut steals = 0usize;
         let mut tpu_elements = 0usize;
-        let mut compute: Vec<crate::exec::ComputeTask> = Vec::with_capacity(hlops.len());
+        let mut compute: Vec<crate::exec::ComputeTask> = crate::arena::COMPUTE.take();
+        compute.reserve(hlops.len());
 
         let work_per_elem = kernel.work_per_element();
         // TPU miscalibration silently corrupts output values; it only has
@@ -752,7 +766,7 @@ impl ShmtRuntime {
         // NPU path for Edge TPU partitions, fanned out over host threads.
         crate::exec::compute_tasks(
             kernel,
-            &inputs,
+            inputs,
             &compute,
             &mut output,
             self.config.compute_threads,
@@ -785,7 +799,7 @@ impl ShmtRuntime {
             crate::guard::run_guard(
                 &self.config.guard,
                 kernel,
-                &inputs,
+                inputs,
                 &compute,
                 &mut output,
                 &mut timelines,
@@ -826,30 +840,39 @@ impl ShmtRuntime {
         );
         let energy = meter.finish(makespan);
 
-        let devices: Vec<DeviceStats> = timelines
-            .iter()
-            .zip(&mut queues)
-            .map(|(t, q)| {
-                let completed_count = q.drain_completed().count();
-                debug_assert_eq!(completed_count, t.completed());
-                DeviceStats {
-                    kind: t.profile().kind,
-                    busy_s: t.busy_time(),
-                    wait_s: t.transfer_wait(),
-                    hlops: t.completed(),
-                    max_queue_depth: q.max_depth(),
-                    stolen_away: q.total_stolen_away(),
-                }
-            })
-            .collect();
+        let mut devices: Vec<DeviceStats> = crate::arena::DEVICES.take();
+        devices.extend(timelines.iter().zip(&mut queues).map(|(t, q)| {
+            let completed_count = q.drain_completed().count();
+            debug_assert_eq!(completed_count, t.completed());
+            DeviceStats {
+                kind: t.profile().kind,
+                busy_s: t.busy_time(),
+                wait_s: t.transfer_wait(),
+                hlops: t.completed(),
+                max_queue_depth: q.max_depth(),
+                stolen_away: q.total_stolen_away(),
+            }
+        }));
 
         let tpu_fraction = tpu_elements as f64 / total_elems as f64;
         let peak_memory_bytes = self.memory_model(vop, hlops.len(), tpu_fraction, output.len());
 
+        // Per-run scratch back to the arena; the report's own spines
+        // (records, devices, repairs) recycle when the caller hands the
+        // report to [`crate::arena::recycle_report`].
+        let scheduling_overhead_s = the_plan.overhead_s;
+        the_plan.recycle();
+        for q in queues.iter_mut() {
+            q.reset();
+        }
+        crate::arena::QUEUE_PAIRS.put(queues);
+        crate::arena::STOLEN.put(stolen_ids);
+        crate::arena::COMPUTE.put(compute);
+
         Ok(RunReport {
             output,
             makespan_s: makespan,
-            scheduling_overhead_s: the_plan.overhead_s,
+            scheduling_overhead_s,
             devices,
             energy,
             bus_bytes: bus.total_bytes(),
@@ -877,24 +900,24 @@ impl ShmtRuntime {
         let (rows, cols) = vop.partition_space();
         let n = (rows * cols) as u64;
         let band_elems = n / hlop_count.max(1) as u64;
-        let mut mem = MemoryTracker::new();
-        mem.alloc("inputs", 4 * n * vop.inputs().len() as u64);
-        mem.alloc("output", 4 * out_elems as u64);
+        // Alloc-only model: the peak is just the sum of the classes, so
+        // plain arithmetic replaces the labeled `MemoryTracker` (whose
+        // class strings were a per-run heap allocation).
+        let mut mem: u64 = 0;
+        mem += 4 * n * vop.inputs().len() as u64; // inputs
+        mem += 4 * out_elems as u64; // output
         if self.config.device_mask[GPU] || self.config.device_mask[CPU] {
-            // Per-HLOP intermediates, double buffered.
-            mem.alloc(
-                "gpu-intermediates",
-                (bench.gpu_intermediate * (band_elems * 4) as f64 * 2.0) as u64,
-            );
+            // Per-HLOP GPU intermediates, double buffered.
+            mem += (bench.gpu_intermediate * (band_elems * 4) as f64 * 2.0) as u64;
         }
         if self.config.device_mask[TPU] && tpu_fraction > 0.0 {
             // int8 in/out plus f32 snap staging, double buffered, plus the
             // resident compiled-model constant.
-            mem.alloc("tpu-staging", band_elems * 10 * 2);
-            mem.alloc("tpu-model", 6 * 1024 * 1024);
+            mem += band_elems * 10 * 2;
+            mem += 6 * 1024 * 1024;
         }
-        mem.alloc("runtime", (hlop_count * 512) as u64);
-        mem.peak_bytes()
+        mem += (hlop_count * 512) as u64; // runtime bookkeeping
+        mem
     }
 }
 

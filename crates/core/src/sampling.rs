@@ -79,10 +79,28 @@ pub fn sample_partition(
     rate: f64,
     seed: u64,
 ) -> SampleSet {
+    let mut values = Vec::new();
+    let cost_s = sample_partition_into(input, tile, method, rate, seed, &mut values);
+    SampleSet { values, cost_s }
+}
+
+/// Out-param form of [`sample_partition`]: appends the drawn values to
+/// `values` (after clearing it) and returns the virtual sampling cost.
+/// The planner's warm path reuses one pooled buffer across partitions
+/// instead of allocating a fresh `Vec` per draw.
+pub fn sample_partition_into(
+    input: &Tensor,
+    tile: Tile,
+    method: SamplingMethod,
+    rate: f64,
+    seed: u64,
+    values: &mut Vec<f32>,
+) -> f64 {
     assert!(
         rate > 0.0 && rate <= 1.0,
         "sampling rate must be in (0, 1], got {rate}"
     );
+    values.clear();
     let len = tile.len();
     let n = ((len as f64 * rate).round() as usize).clamp(1, len);
     let view = input.view(tile.row0, tile.col0, tile.rows, tile.cols);
@@ -91,7 +109,7 @@ pub fn sample_partition(
         let c = i % tile.cols;
         view.at(r, c)
     };
-    let values: Vec<f32> = match method {
+    match method {
         SamplingMethod::Striding => {
             // Algorithm 3: S[i] = D[i * s]. A stride that divides the row
             // width would pin every sample to one column of the partition;
@@ -104,14 +122,14 @@ pub fn sample_partition(
             // partition; wrapping keeps every draw a distinct element
             // instead of collecting the final one repeatedly (which
             // silently biased the criticality std-dev toward it).
-            (0..n).map(|i| at_flat((i * s) % len)).collect()
+            values.extend((0..n).map(|i| at_flat((i * s) % len)));
         }
         SamplingMethod::UniformRandom => {
             // Algorithm 4: S[i] = D[random()].
             let mut rng = Pcg32::seed_from_u64(
                 seed ^ (tile.index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
             );
-            (0..n).map(|_| at_flat(rng.gen_range(0..len))).collect()
+            values.extend((0..n).map(|_| at_flat(rng.gen_range(0..len))));
         }
         SamplingMethod::Reduction => {
             // Algorithm 5: nested per-dimension strides with a small, fixed
@@ -124,21 +142,19 @@ pub fn sample_partition(
             const STEP: usize = 8;
             let step_r = STEP.min(tile.rows.div_ceil(2)).max(1);
             let step_c = STEP.min(tile.cols.div_ceil(2)).max(1);
-            let mut out = Vec::with_capacity((tile.rows / step_r + 1) * (tile.cols / step_c + 1));
+            values.reserve((tile.rows / step_r + 1) * (tile.cols / step_c + 1));
             let mut r = 0;
             while r < tile.rows {
                 let mut c = 0;
                 while c < tile.cols {
-                    out.push(view.at(r, c));
+                    values.push(view.at(r, c));
                     c += step_c;
                 }
                 r += step_r;
             }
-            out
         }
-    };
-    let cost_s = values.len() as f64 * method.cost_per_sample();
-    SampleSet { values, cost_s }
+    }
+    values.len() as f64 * method.cost_per_sample()
 }
 
 #[cfg(test)]

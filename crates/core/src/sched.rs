@@ -28,7 +28,7 @@ use shmt_trace::{EventKind, NullSink, TraceSink};
 
 use crate::criticality::{CriticalityMetric, CriticalityStats};
 use crate::hlop::Hlop;
-use crate::sampling::{sample_partition, SampleSet, SamplingMethod};
+use crate::sampling::{sample_partition_into, SamplingMethod};
 use crate::vop::Vop;
 
 /// Index of a device queue. By the paper's convention the GPU queue is
@@ -109,23 +109,41 @@ impl Policy {
         ]
     }
 
-    /// Display name matching the paper's figure legends.
-    pub fn name(&self) -> String {
+    /// Display name matching the paper's figure legends. Static strings:
+    /// policy names are rendered on every report row and bench label, and
+    /// the serve path formats them per request — no heap behind them.
+    pub fn name(&self) -> &'static str {
+        use QawsAssignment::*;
+        use SamplingMethod::*;
         match self {
-            Policy::EvenDistribution => "even distribution".into(),
-            Policy::WorkStealing => "work-stealing".into(),
+            Policy::EvenDistribution => "even distribution",
+            Policy::WorkStealing => "work-stealing",
             Policy::Qaws {
-                assignment,
-                sampling,
-            } => {
-                let a = match assignment {
-                    QawsAssignment::TopK => "T",
-                    QawsAssignment::DeviceLimits => "L",
-                };
-                format!("QAWS-{a}{}", sampling.suffix())
-            }
-            Policy::IraSampling => "IRA-sampling".into(),
-            Policy::Oracle => "oracle".into(),
+                assignment: TopK,
+                sampling: Striding,
+            } => "QAWS-TS",
+            Policy::Qaws {
+                assignment: TopK,
+                sampling: UniformRandom,
+            } => "QAWS-TU",
+            Policy::Qaws {
+                assignment: TopK,
+                sampling: Reduction,
+            } => "QAWS-TR",
+            Policy::Qaws {
+                assignment: DeviceLimits,
+                sampling: Striding,
+            } => "QAWS-LS",
+            Policy::Qaws {
+                assignment: DeviceLimits,
+                sampling: UniformRandom,
+            } => "QAWS-LU",
+            Policy::Qaws {
+                assignment: DeviceLimits,
+                sampling: Reduction,
+            } => "QAWS-LR",
+            Policy::IraSampling => "IRA-sampling",
+            Policy::Oracle => "oracle",
         }
     }
 
@@ -185,7 +203,9 @@ impl Default for QualityConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Initial queue contents per device index (front = next to run).
-    pub queues: Vec<Vec<Hlop>>,
+    /// Fixed-size spine (one slot per device); the inner vectors come
+    /// from the runtime arena and are recycled after the plan is played.
+    pub queues: [Vec<Hlop>; 3],
     /// Serial scheduler-side overhead in seconds (sampling, canaries).
     pub overhead_s: f64,
     /// Whether casts/transfers overlap compute.
@@ -200,6 +220,22 @@ impl Plan {
     pub fn total_hlops(&self) -> usize {
         self.queues.iter().map(Vec::len).sum()
     }
+
+    /// Returns the plan's queue spines to the runtime arena.
+    pub fn recycle(self) {
+        for q in self.queues {
+            crate::arena::HLOPS.put(q);
+        }
+    }
+}
+
+/// Three empty per-device queues with pooled spines.
+fn pooled_queues() -> [Vec<Hlop>; 3] {
+    [
+        crate::arena::HLOPS.take(),
+        crate::arena::HLOPS.take(),
+        crate::arena::HLOPS.take(),
+    ]
 }
 
 /// Unrestricted stealing between distinct devices.
@@ -291,7 +327,7 @@ pub fn plan_traced(
     match policy {
         Policy::EvenDistribution => {
             // Round-robin between GPU and Edge TPU only (§5.2).
-            let mut queues = vec![Vec::new(), Vec::new(), Vec::new()];
+            let mut queues = pooled_queues();
             for (i, h) in hlops.iter().enumerate() {
                 queues[if i % 2 == 0 { GPU } else { TPU }].push(*h);
             }
@@ -307,7 +343,7 @@ pub fn plan_traced(
         }
         Policy::WorkStealing => {
             // Even initial split across all devices (§3.4), free stealing.
-            let mut queues = vec![Vec::new(), Vec::new(), Vec::new()];
+            let mut queues = pooled_queues();
             for (i, h) in hlops.iter().enumerate() {
                 queues[i % 3].push(*h);
             }
@@ -322,23 +358,30 @@ pub fn plan_traced(
             assignment,
             sampling,
         } => {
-            let (scores, cost) = sample_scores(vop, hlops, sampling, quality, sink);
-            let indices = match assignment {
+            // Scores and class decisions live in pooled spines: the
+            // whole QAWS planning pass is allocation-free once warm.
+            let mut scores = crate::arena::SCORES.take();
+            let cost = sample_scores_into(vop, hlops, sampling, quality, sink, &mut scores);
+            let mut classes = crate::arena::CLASSES.take();
+            match assignment {
                 QawsAssignment::DeviceLimits => {
                     // The admission multiplier scales the TPU's
                     // criticality limit; x1.0 is bitwise exact.
                     let factor = quality.limit_factor * ctx.tpu_admission as f32;
-                    let limits = device_limits_from(&scores, factor);
-                    algorithm1_device_limits(&scores, &limits)
+                    let limits = device_limits_pair(&scores, factor);
+                    algorithm1_into(&scores, &limits, &mut classes);
                 }
                 QawsAssignment::TopK => {
                     let k = (vop.criticality_hint() * quality.window as f64).round() as usize;
                     let k = adapt_top_k(k, quality.window, ctx.tpu_admission);
-                    algorithm2_top_k(&scores, k.max(1), quality.window)
+                    algorithm2_into(&scores, k.max(1), quality.window, &mut classes);
                 }
-            };
+            }
+            let queues = queues_from_classes(hlops, &scores, &classes);
+            crate::arena::SCORES.put(scores);
+            crate::arena::CLASSES.put(classes);
             Plan {
-                queues: queues_from_classes(hlops, &scores, &indices),
+                queues,
                 overhead_s: cost,
                 pipelined: true,
                 steal: if quality.unrestricted_steal {
@@ -394,32 +437,41 @@ pub fn plan_traced(
     }
 }
 
-/// Samples every partition and scores its criticality; returns the scores
-/// and the total serial sampling cost.
-fn sample_scores(
+/// Samples every partition and scores its criticality into `scores`
+/// (cleared first); returns the total serial sampling cost. One pooled
+/// value buffer is reused across every partition's draw.
+fn sample_scores_into(
     vop: &Vop,
     hlops: &[Hlop],
     method: SamplingMethod,
     quality: &QualityConfig,
     sink: &mut dyn TraceSink,
-) -> (Vec<f32>, f64) {
+    scores: &mut Vec<f32>,
+) -> f64 {
     let input = &vop.inputs()[0];
     let mut cost = 0.0;
-    let scores = hlops
-        .iter()
-        .map(|h| {
-            let SampleSet { values, cost_s } =
-                sample_partition(input, h.tile, method, quality.sampling_rate, quality.seed);
-            cost += cost_s;
-            if sink.enabled() {
-                // Stamped at the end of this partition's slice of the
-                // serial sampling window.
-                sink.record(cost, EventKind::SampleOverhead { hlop: h.id, cost_s });
-            }
-            CriticalityStats::from_samples(&values).score(quality.metric)
-        })
-        .collect();
-    (scores, cost)
+    let mut values = crate::arena::SAMPLES.take();
+    scores.clear();
+    scores.reserve(hlops.len());
+    for h in hlops {
+        let cost_s = sample_partition_into(
+            input,
+            h.tile,
+            method,
+            quality.sampling_rate,
+            quality.seed,
+            &mut values,
+        );
+        cost += cost_s;
+        if sink.enabled() {
+            // Stamped at the end of this partition's slice of the
+            // serial sampling window.
+            sink.record(cost, EventKind::SampleOverhead { hlop: h.id, cost_s });
+        }
+        scores.push(CriticalityStats::from_samples(&values).score(quality.metric));
+    }
+    crate::arena::SAMPLES.put(values);
+    cost
 }
 
 /// Algorithm 1 (Device Limitation): assign each partition to the least
@@ -431,32 +483,61 @@ fn sample_scores(
 /// paper's "assigns only data inputs lower than the criticality limits to
 /// that computing resource".
 pub fn algorithm1_device_limits(scores: &[f32], limits: &[(f32, QueueIndex)]) -> Vec<QueueIndex> {
-    scores
-        .iter()
-        .map(|&s| {
-            let mut q = GPU; // default: the most accurate queue
-            for &(limit, queue) in limits {
-                if s < limit {
-                    q = queue;
-                    break;
-                }
+    let mut out = Vec::new();
+    algorithm1_into(scores, limits, &mut out);
+    out
+}
+
+/// Out-param form of [`algorithm1_device_limits`]: clears and refills
+/// `out`, so the planner's warm path can reuse a pooled spine.
+fn algorithm1_into(scores: &[f32], limits: &[(f32, QueueIndex)], out: &mut Vec<QueueIndex>) {
+    out.clear();
+    out.extend(scores.iter().map(|&s| {
+        let mut q = GPU; // default: the most accurate queue
+        for &(limit, queue) in limits {
+            if s < limit {
+                q = queue;
+                break;
             }
-            q
-        })
-        .collect()
+        }
+        q
+    }));
 }
 
 /// Derives the Edge TPU's criticality limit from the score distribution:
 /// `limit_factor x median`. The exact devices have an infinite limit.
 pub fn device_limits_from(scores: &[f32], limit_factor: f32) -> Vec<(f32, QueueIndex)> {
-    let mut sorted: Vec<f32> = scores.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let median = if sorted.is_empty() {
+    device_limits_pair(scores, limit_factor).to_vec()
+}
+
+/// Fixed-size form of [`device_limits_from`]: there are only ever two
+/// limits (TPU's median-derived cap and the exact devices' infinity), so
+/// the warm path needs no `Vec` at all. The median is selected without
+/// sorting a scratch copy of the scores.
+fn device_limits_pair(scores: &[f32], limit_factor: f32) -> [(f32, QueueIndex); 2] {
+    let median = if scores.is_empty() {
         0.0
     } else {
-        sorted[sorted.len() / 2]
+        // The element a full sort would place at index len/2, found by
+        // counting: `s` lands there iff fewer-than-or-`target` scores
+        // order strictly below it and the ties reach past `target`.
+        // Quadratic in the partition count, but partition counts are
+        // tens, not millions, and it beats allocating and sorting a
+        // scratch vector on every planning pass.
+        let target = scores.len() / 2;
+        let by = |a: f32, b: f32| a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
+        let mut med = scores[0];
+        for &s in scores {
+            let below = scores.iter().filter(|&&x| by(x, s).is_lt()).count();
+            let equal = scores.iter().filter(|&&x| by(x, s).is_eq()).count();
+            if below <= target && target < below + equal {
+                med = s;
+                break;
+            }
+        }
+        med
     };
-    vec![(median * limit_factor, TPU), (f32::INFINITY, GPU)]
+    [(median * limit_factor, TPU), (f32::INFINITY, GPU)]
 }
 
 /// Algorithm 2 (Top-K criticality): within each window of `w` partitions,
@@ -467,12 +548,25 @@ pub fn device_limits_from(scores: &[f32], limit_factor: f32) -> Vec<(f32, QueueI
 ///
 /// Panics if `k > w` or `w == 0`.
 pub fn algorithm2_top_k(scores: &[f32], k: usize, w: usize) -> Vec<QueueIndex> {
+    let mut out = Vec::new();
+    algorithm2_into(scores, k, w, &mut out);
+    out
+}
+
+/// Out-param form of [`algorithm2_top_k`]: clears and refills `out` and
+/// reuses one pooled rank-ordering scratch across windows. The per-window
+/// sort is stable, matching the original, so ties keep their bit-exact
+/// assignment.
+fn algorithm2_into(scores: &[f32], k: usize, w: usize, out: &mut Vec<QueueIndex>) {
     assert!(w > 0, "window must be positive");
     assert!(k <= w, "K must not exceed the window size");
-    let mut out = vec![TPU; scores.len()];
+    out.clear();
+    out.resize(scores.len(), TPU);
+    let mut order = crate::arena::ORDER.take();
     for (w_idx, chunk) in scores.chunks(w).enumerate() {
         let base = w_idx * w;
-        let mut order: Vec<usize> = (0..chunk.len()).collect();
+        order.clear();
+        order.extend(0..chunk.len());
         order.sort_by(|&a, &b| {
             chunk[b]
                 .partial_cmp(&chunk[a])
@@ -482,7 +576,7 @@ pub fn algorithm2_top_k(scores: &[f32], k: usize, w: usize) -> Vec<QueueIndex> {
             out[base + local] = if rank < k { GPU } else { TPU };
         }
     }
-    out
+    crate::arena::ORDER.put(order);
 }
 
 /// Rank-based assignment for oracle/IRA: the top `critical_fraction` of
@@ -511,8 +605,8 @@ fn rank_assignment(errors: &[f32], critical_fraction: f64) -> Vec<QueueIndex> {
 /// from the **back** of a victim's queue, whatever they reclaim is exactly
 /// the most critical TPU-eligible work — the quality-preserving direction
 /// of §3.5's restricted stealing.
-fn queues_from_classes(hlops: &[Hlop], scores: &[f32], classes: &[QueueIndex]) -> Vec<Vec<Hlop>> {
-    let mut queues = vec![Vec::new(), Vec::new(), Vec::new()];
+fn queues_from_classes(hlops: &[Hlop], scores: &[f32], classes: &[QueueIndex]) -> [Vec<Hlop>; 3] {
+    let mut queues = pooled_queues();
     for ((h, &score), &class) in hlops.iter().zip(scores).zip(classes) {
         let mut h = *h;
         h.criticality = Some(score);
@@ -532,7 +626,9 @@ fn queues_from_classes(hlops: &[Hlop], scores: &[f32], classes: &[QueueIndex]) -
             .partial_cmp(&b.criticality)
             .unwrap_or(std::cmp::Ordering::Equal)
     };
-    queues[TPU].sort_by(by_score_asc);
+    // Unstable sort: allocation-free, and ties are immaterial here (equal
+    // criticality scores are interchangeable for steal ordering).
+    queues[TPU].sort_unstable_by(by_score_asc);
     // Exact queues stay in arrival order: critical partitions land
     // anywhere in the schedule, including its tail, where they can only
     // run on exact hardware — the small utilization price quality
@@ -660,7 +756,7 @@ mod tests {
             .name(),
             "QAWS-LR"
         );
-        let names: Vec<String> = Policy::qaws_variants().iter().map(Policy::name).collect();
+        let names: Vec<&str> = Policy::qaws_variants().iter().map(Policy::name).collect();
         assert_eq!(
             names,
             ["QAWS-TS", "QAWS-TU", "QAWS-TR", "QAWS-LS", "QAWS-LU", "QAWS-LR"]

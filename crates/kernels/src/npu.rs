@@ -103,25 +103,38 @@ pub fn run_via_npu_quant<K: Kernel + ?Sized>(
 
     // Quantize-snap each input region: this is the int8 device buffer.
     // Kernels with native uint8 models take integer 8-bit image data
-    // losslessly; everything else goes through the affine int8 cast.
+    // losslessly; everything else goes through the affine int8 cast. The
+    // extraction is fused with the range scan — each transferred page is
+    // touched once for both the copy and the cast-parameter derivation,
+    // then once more for the snap itself (the old path did copy, then a
+    // full min/max pass, then a second range scan inside `from_slice`).
     let native_u8 = kernel.npu_native_u8();
-    let snapped: Vec<Tensor> = inputs
-        .iter()
-        .map(|t| {
-            let view = t.view(ext.row0, ext.col0, ext.rows, ext.cols);
-            let mut local = view.to_tensor();
-            let (lo, hi) = local.min_max();
-            if native_u8 && lo >= 0.0 && hi <= 255.0 {
-                local.map_inplace(|v| v.round());
-            } else {
-                // Bulk cast: one parameter derivation, one row-major pass.
-                let params = QuantParams::from_slice(local.as_slice());
-                params.snap_slice(local.as_mut_slice());
-            }
-            local
-        })
-        .collect();
-    let snapped_refs: Vec<&Tensor> = snapped.iter().collect();
+    assert!(inputs.len() <= MAX_ARITY, "kernel arity above MAX_ARITY");
+    let mut snapped: [Option<Tensor>; MAX_ARITY] = [None, None, None, None];
+    for (slot, t) in snapped.iter_mut().zip(inputs) {
+        let view = t.view(ext.row0, ext.col0, ext.rows, ext.cols);
+        let (mut local, range) = view.to_tensor_with_min_max();
+        // `None` means every element was NaN; `min_max` reports (0, 0)
+        // there, and `from_slice` falls back to the unit range.
+        let (lo, hi) = range.unwrap_or((0.0, 0.0));
+        if native_u8 && lo >= 0.0 && hi <= 255.0 {
+            local.map_inplace(|v| v.round());
+        } else {
+            let params = match range {
+                Some((lo, hi)) => QuantParams::from_range(lo, hi),
+                None => QuantParams::from_range(0.0, 1.0),
+            };
+            params.snap_slice(local.as_mut_slice());
+        }
+        *slot = Some(local);
+    }
+    let mut snapped_refs: [&Tensor; MAX_ARITY] = [inputs[0]; MAX_ARITY];
+    for (r, s) in snapped_refs.iter_mut().zip(&snapped) {
+        if let Some(s) = s {
+            *r = s;
+        }
+    }
+    let snapped_refs = &snapped_refs[..inputs.len()];
 
     // Run the exact kernel on the snapped local data.
     let local_tile = Tile {
@@ -134,21 +147,31 @@ pub fn run_via_npu_quant<K: Kernel + ?Sized>(
     match shape.aggregation {
         Aggregation::Tile => {
             let mut local_out = Tensor::zeros(ext.rows, ext.cols);
-            kernel.run_exact(&snapped_refs, local_tile, &mut local_out);
+            kernel.run_exact(snapped_refs, local_tile, &mut local_out);
             // Re-quantize the produced tile through the (possibly coarsened)
-            // int8 output grid, then publish it to the global output.
+            // int8 output grid *while publishing* it to the global output:
+            // each produced value is read once and the snapped result goes
+            // straight to its final location, instead of an in-place snap
+            // pass followed by a copy pass. The snap arithmetic is the
+            // same, so the output is bit-identical to the two-pass form.
             match quant {
-                OutputQuant::PerTile => snap_tile(&mut local_out, local_tile, fidelity),
-                OutputQuant::BlockChannels { edge } => snap_channels(
-                    &mut local_out,
+                OutputQuant::PerTile => {
+                    publish_snapped_tile(&local_out, local_tile, tile, out, fidelity);
+                }
+                OutputQuant::BlockChannels { edge } => publish_snapped_channels(
+                    &local_out,
                     local_tile,
+                    tile,
+                    out,
                     fidelity,
                     |r, c| (r % edge) * edge + c % edge,
                     edge * edge,
                 ),
-                OutputQuant::Subbands { edge } => snap_channels(
-                    &mut local_out,
+                OutputQuant::Subbands { edge } => publish_snapped_channels(
+                    &local_out,
                     local_tile,
+                    tile,
+                    out,
                     fidelity,
                     |r, c| {
                         let half = edge / 2;
@@ -156,13 +179,6 @@ pub fn run_via_npu_quant<K: Kernel + ?Sized>(
                     },
                     4,
                 ),
-            }
-            for r in 0..tile.rows {
-                let src = local_out.view(local_tile.row0 + r, local_tile.col0, 1, tile.cols);
-                out.try_view_mut(tile.row0 + r, tile.col0, 1, tile.cols)
-                    .expect("output tile within bounds")
-                    .copy_from(&src)
-                    .expect("same shape");
             }
         }
         Aggregation::Reduce {
@@ -174,7 +190,7 @@ pub fn run_via_npu_quant<K: Kernel + ?Sized>(
             // buffers fold with the reduction's own operation.
             let shape2 = kernel.shape();
             let mut local_out = shape2.allocate_output(srows, scols);
-            kernel.run_exact(&snapped_refs, local_tile, &mut local_out);
+            kernel.run_exact(snapped_refs, local_tile, &mut local_out);
             for r in 0..srows {
                 let dst = out.row_mut(r);
                 for (d, s) in dst.iter_mut().zip(local_out.row(r)) {
@@ -184,6 +200,10 @@ pub fn run_via_npu_quant<K: Kernel + ?Sized>(
         }
     }
 }
+
+/// Maximum kernel arity the NPU path supports (enough for every paper
+/// benchmark); lets the snapped input buffers live in fixed stack arrays.
+const MAX_ARITY: usize = 4;
 
 /// The tile expanded by its halo, aligned and clamped; `(row0, col0)` is the
 /// region origin in dataset coordinates.
@@ -240,58 +260,82 @@ pub fn extended_region(
     }
 }
 
-/// Snaps the `tile` region of `t` per channel: each channel id gets its own
-/// int8 grid derived from that channel's observed range within the tile.
-/// Channel ids are computed from *local* coordinates, which share the
-/// global block phase because the extraction region is block-aligned.
-fn snap_channels(
-    t: &mut Tensor,
+/// Most channels any output-grid organization uses (DCT8x8's 64 block
+/// positions); lets per-channel ranges and grids live on the stack.
+const MAX_CHANNELS: usize = 64;
+
+/// Snaps the `local_tile` region of `local` per channel and writes the
+/// result into the `tile` region of `out` in one pass. Each channel id
+/// gets its own int8 grid derived from that channel's observed range
+/// within the tile. Channel ids are computed from *local* coordinates,
+/// which share the global block phase because the extraction region is
+/// block-aligned.
+fn publish_snapped_channels(
+    local: &Tensor,
+    local_tile: Tile,
     tile: Tile,
+    out: &mut Tensor,
     fidelity: f32,
     channel_of: impl Fn(usize, usize) -> usize,
     channels: usize,
 ) {
-    let mut lo = vec![f32::INFINITY; channels];
-    let mut hi = vec![f32::NEG_INFINITY; channels];
-    for r in tile.row0..tile.row0 + tile.rows {
-        for c in tile.col0..tile.col0 + tile.cols {
-            let ch = channel_of(r, c);
-            let v = t[(r, c)];
+    assert!(channels <= MAX_CHANNELS, "too many quantization channels");
+    let mut lo = [f32::INFINITY; MAX_CHANNELS];
+    let mut hi = [f32::NEG_INFINITY; MAX_CHANNELS];
+    for r in local_tile.row0..local_tile.row0 + local_tile.rows {
+        let row = &local.row(r)[local_tile.col0..local_tile.col0 + local_tile.cols];
+        for (j, &v) in row.iter().enumerate() {
+            let ch = channel_of(r, local_tile.col0 + j);
             lo[ch] = lo[ch].min(v);
             hi[ch] = hi[ch].max(v);
         }
     }
-    let params: Vec<QuantParams> = (0..channels)
-        .map(|ch| {
-            if lo[ch] > hi[ch] {
-                QuantParams::from_range(0.0, 1.0)
-            } else {
-                let mid = 0.5 * (lo[ch] + hi[ch]);
-                let half = 0.5 * (hi[ch] - lo[ch]) * fidelity;
-                QuantParams::from_range(mid - half, mid + half)
-            }
-        })
-        .collect();
-    for r in tile.row0..tile.row0 + tile.rows {
-        for c in tile.col0..tile.col0 + tile.cols {
-            let ch = channel_of(r, c);
-            t[(r, c)] = params[ch].snap(t[(r, c)]);
+    let mut params = [QuantParams::from_range(0.0, 1.0); MAX_CHANNELS];
+    for (ch, p) in params.iter_mut().take(channels).enumerate() {
+        if lo[ch] <= hi[ch] {
+            let mid = 0.5 * (lo[ch] + hi[ch]);
+            let half = 0.5 * (hi[ch] - lo[ch]) * fidelity;
+            *p = QuantParams::from_range(mid - half, mid + half);
+        }
+    }
+    for r in 0..tile.rows {
+        let lr = local_tile.row0 + r;
+        let src = &local.row(lr)[local_tile.col0..local_tile.col0 + tile.cols];
+        let dst = &mut out.row_mut(tile.row0 + r)[tile.col0..tile.col0 + tile.cols];
+        for (j, (d, s)) in dst.iter_mut().zip(src).enumerate() {
+            let ch = channel_of(lr, local_tile.col0 + j);
+            *d = params[ch].snap(*s);
         }
     }
 }
 
-/// Snaps the `tile` region of `t` to an int8 grid derived from that region's
-/// range, with the step coarsened by `fidelity`.
-fn snap_tile(t: &mut Tensor, tile: Tile, fidelity: f32) {
-    let view = t.view(tile.row0, tile.col0, tile.rows, tile.cols);
+/// Snaps the `local_tile` region of `local` to an int8 grid derived from
+/// that region's range (step coarsened by `fidelity`) and writes the
+/// result into the `tile` region of `out` in one pass.
+fn publish_snapped_tile(
+    local: &Tensor,
+    local_tile: Tile,
+    tile: Tile,
+    out: &mut Tensor,
+    fidelity: f32,
+) {
+    let view = local.view(
+        local_tile.row0,
+        local_tile.col0,
+        local_tile.rows,
+        local_tile.cols,
+    );
     let (lo, hi) = view.min_max();
     // Coarsen by pretending the range is `fidelity` times wider.
     let mid = 0.5 * (lo + hi);
     let half = 0.5 * (hi - lo) * fidelity;
     let params = QuantParams::from_range(mid - half, mid + half);
-    for r in tile.row0..tile.row0 + tile.rows {
-        let start = tile.col0;
-        params.snap_slice(&mut t.row_mut(r)[start..start + tile.cols]);
+    for r in 0..tile.rows {
+        let src = &local.row(local_tile.row0 + r)[local_tile.col0..local_tile.col0 + tile.cols];
+        let dst = &mut out.row_mut(tile.row0 + r)[tile.col0..tile.col0 + tile.cols];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = params.snap(*s);
+        }
     }
 }
 
@@ -416,6 +460,194 @@ mod tests {
                 / 1024.0
         };
         assert!(mean_abs_err(&wide) > 10.0 * mean_abs_err(&narrow));
+    }
+
+    /// The pre-fusion NPU pipeline, kept verbatim as the reference the
+    /// fused path must match bit-for-bit: separate copy / min-max /
+    /// parameter passes on the way in, and an in-place snap followed by
+    /// a copy pass on the way out.
+    fn two_pass_reference<K: Kernel + ?Sized>(
+        kernel: &K,
+        inputs: &[&Tensor],
+        tile: Tile,
+        out: &mut Tensor,
+        fidelity: f32,
+        quant: OutputQuant,
+    ) {
+        let shape = kernel.shape();
+        let (rows, cols) = inputs[0].shape();
+        let ext = extended_region(
+            tile,
+            shape.halo,
+            shape.block_align,
+            shape.full_rows,
+            rows,
+            cols,
+        );
+        let native_u8 = kernel.npu_native_u8();
+        let snapped: Vec<Tensor> = inputs
+            .iter()
+            .map(|t| {
+                let view = t.view(ext.row0, ext.col0, ext.rows, ext.cols);
+                let mut local = view.to_tensor();
+                let (lo, hi) = local.min_max();
+                if native_u8 && lo >= 0.0 && hi <= 255.0 {
+                    local.map_inplace(|v| v.round());
+                } else {
+                    let params = QuantParams::from_slice(local.as_slice());
+                    params.snap_slice(local.as_mut_slice());
+                }
+                local
+            })
+            .collect();
+        let snapped_refs: Vec<&Tensor> = snapped.iter().collect();
+        let local_tile = Tile {
+            index: tile.index,
+            row0: tile.row0 - ext.row0,
+            col0: tile.col0 - ext.col0,
+            rows: tile.rows,
+            cols: tile.cols,
+        };
+        match shape.aggregation {
+            Aggregation::Tile => {
+                let mut local_out = Tensor::zeros(ext.rows, ext.cols);
+                kernel.run_exact(&snapped_refs, local_tile, &mut local_out);
+                let snap_channels =
+                    |t: &mut Tensor, channel_of: &dyn Fn(usize, usize) -> usize, channels| {
+                        let mut lo = vec![f32::INFINITY; channels];
+                        let mut hi = vec![f32::NEG_INFINITY; channels];
+                        for r in local_tile.row0..local_tile.row0 + local_tile.rows {
+                            for c in local_tile.col0..local_tile.col0 + local_tile.cols {
+                                let ch = channel_of(r, c);
+                                let v = t[(r, c)];
+                                lo[ch] = lo[ch].min(v);
+                                hi[ch] = hi[ch].max(v);
+                            }
+                        }
+                        let params: Vec<QuantParams> = (0..channels)
+                            .map(|ch| {
+                                if lo[ch] > hi[ch] {
+                                    QuantParams::from_range(0.0, 1.0)
+                                } else {
+                                    let mid = 0.5 * (lo[ch] + hi[ch]);
+                                    let half = 0.5 * (hi[ch] - lo[ch]) * fidelity;
+                                    QuantParams::from_range(mid - half, mid + half)
+                                }
+                            })
+                            .collect();
+                        for r in local_tile.row0..local_tile.row0 + local_tile.rows {
+                            for c in local_tile.col0..local_tile.col0 + local_tile.cols {
+                                let ch = channel_of(r, c);
+                                t[(r, c)] = params[ch].snap(t[(r, c)]);
+                            }
+                        }
+                    };
+                match quant {
+                    OutputQuant::PerTile => {
+                        let view = local_out.view(
+                            local_tile.row0,
+                            local_tile.col0,
+                            local_tile.rows,
+                            local_tile.cols,
+                        );
+                        let (lo, hi) = view.min_max();
+                        let mid = 0.5 * (lo + hi);
+                        let half = 0.5 * (hi - lo) * fidelity;
+                        let params = QuantParams::from_range(mid - half, mid + half);
+                        for r in local_tile.row0..local_tile.row0 + local_tile.rows {
+                            let start = local_tile.col0;
+                            params.snap_slice(
+                                &mut local_out.row_mut(r)[start..start + local_tile.cols],
+                            );
+                        }
+                    }
+                    OutputQuant::BlockChannels { edge } => snap_channels(
+                        &mut local_out,
+                        &|r, c| (r % edge) * edge + c % edge,
+                        edge * edge,
+                    ),
+                    OutputQuant::Subbands { edge } => snap_channels(
+                        &mut local_out,
+                        &|r, c| {
+                            let half = edge / 2;
+                            usize::from(r % edge >= half) * 2 + usize::from(c % edge >= half)
+                        },
+                        4,
+                    ),
+                }
+                for r in 0..tile.rows {
+                    let src = local_out.view(local_tile.row0 + r, local_tile.col0, 1, tile.cols);
+                    out.try_view_mut(tile.row0 + r, tile.col0, 1, tile.cols)
+                        .unwrap()
+                        .copy_from(&src)
+                        .unwrap();
+                }
+            }
+            Aggregation::Reduce {
+                rows: srows,
+                cols: scols,
+                op,
+            } => {
+                let mut local_out = kernel.shape().allocate_output(srows, scols);
+                kernel.run_exact(&snapped_refs, local_tile, &mut local_out);
+                for r in 0..srows {
+                    let dst = out.row_mut(r);
+                    for (d, s) in dst.iter_mut().zip(local_out.row(r)) {
+                        *d = op.combine(*d, *s);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_path_bit_identical_to_two_pass_reference() {
+        // An off-origin tile (halo + block alignment in play) on every
+        // output-grid organization, plus a reduction kernel for the
+        // input-side fusion alone. Exact equality, not tolerance.
+        let cases = [
+            (Benchmark::Sobel, OutputQuant::PerTile, 1.8),
+            (
+                Benchmark::Dct8x8,
+                OutputQuant::BlockChannels { edge: 8 },
+                1.0,
+            ),
+            (Benchmark::Dwt, OutputQuant::Subbands { edge: 32 }, 2.5),
+            (Benchmark::Histogram, OutputQuant::PerTile, 1.0),
+        ];
+        for (bench, quant, fidelity) in cases {
+            let kernel = bench.kernel();
+            let inputs = bench.generate_inputs(96, 96, 11);
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let shape = kernel.shape();
+            let tile = Tile {
+                index: 0,
+                row0: 32,
+                col0: 0,
+                rows: 33,
+                cols: 96,
+            };
+            let (or, oc) = match shape.aggregation {
+                Aggregation::Tile => (96, 96),
+                Aggregation::Reduce { rows, cols, .. } => (rows, cols),
+            };
+            let mut fused = shape.allocate_output(or, oc);
+            run_via_npu_quant(kernel.as_ref(), &refs, tile, &mut fused, fidelity, quant);
+            let mut reference = shape.allocate_output(or, oc);
+            two_pass_reference(
+                kernel.as_ref(),
+                &refs,
+                tile,
+                &mut reference,
+                fidelity,
+                quant,
+            );
+            assert_eq!(
+                fused.as_slice(),
+                reference.as_slice(),
+                "{bench:?} fused output must be bit-identical"
+            );
+        }
     }
 
     #[test]

@@ -170,7 +170,7 @@ pub struct Response {
     /// Time the executor spent running it.
     pub service_time: Duration,
     /// Display name of the scheduling policy that served it.
-    pub policy: String,
+    pub policy: &'static str,
     /// Whether the response was produced in a degraded configuration:
     /// the run lost a device mid-flight ([`shmt::FaultReport::degraded`])
     /// or device-health quarantine masked devices the request asked for.
@@ -800,7 +800,7 @@ fn executor_loop(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner)
                     .add_counter("serve.deadline_missed", 1.0);
                 let mut fr = FlightRecord::new(
-                    &queued.request.config.policy.name(),
+                    queued.request.config.policy.name(),
                     &queued.request.vop.opcode().to_string(),
                 );
                 fr.queue_wait_s = queue_wait.as_secs_f64();
@@ -949,7 +949,7 @@ fn executor_loop(shared: &Shared) {
                 obs.set_quarantined(d, q);
             }
         }
-        let mut fr = FlightRecord::new(&policy, &opcode);
+        let mut fr = FlightRecord::new(policy, &opcode);
         fr.queue_wait_s = queue_wait.as_secs_f64();
         fr.service_s = service_time.as_secs_f64();
         fr.quarantined = quarantined;
@@ -1014,7 +1014,7 @@ fn executor_loop(shared: &Shared) {
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner);
                 samples.record(
-                    &policy,
+                    policy,
                     Sample {
                         queue_wait_s: queue_wait.as_secs_f64(),
                         service_s: service_time.as_secs_f64(),

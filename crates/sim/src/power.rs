@@ -27,7 +27,10 @@ impl EnergyBreakdown {
 pub struct EnergyMeter {
     idle_power_w: f64,
     active_j: f64,
-    per_device_j: Vec<(DeviceKind, f64)>,
+    // Inline per-device accumulators (one per DeviceKind, with slack):
+    // a meter is created per run, so heap-free bookkeeping matters for
+    // the serve path's alloc-free steady state.
+    per_device_j: [Option<(DeviceKind, f64)>; 4],
 }
 
 impl EnergyMeter {
@@ -41,7 +44,7 @@ impl EnergyMeter {
         EnergyMeter {
             idle_power_w,
             active_j: 0.0,
-            per_device_j: Vec::new(),
+            per_device_j: [None; 4],
         }
     }
 
@@ -84,9 +87,14 @@ impl EnergyMeter {
         );
         let joules = busy_s * active_power_w;
         self.active_j += joules;
-        match self.per_device_j.iter_mut().find(|(k, _)| *k == device) {
-            Some((_, j)) => *j += joules,
-            None => self.per_device_j.push((device, joules)),
+        let slot = self
+            .per_device_j
+            .iter_mut()
+            .find(|s| matches!(s, Some((k, _)) if *k == device) || s.is_none());
+        match slot {
+            Some(Some((_, j))) => *j += joules,
+            Some(s @ None) => *s = Some((device, joules)),
+            None => unreachable!("more device kinds than energy slots"),
         }
         if sink.enabled() {
             sink.counter("energy.active_j", joules);
@@ -97,6 +105,7 @@ impl EnergyMeter {
     pub fn device_energy_j(&self, device: DeviceKind) -> f64 {
         self.per_device_j
             .iter()
+            .flatten()
             .find(|(k, _)| *k == device)
             .map_or(0.0, |(_, j)| *j)
     }

@@ -32,6 +32,17 @@ impl<T> QueuePair<T> {
         }
     }
 
+    /// Clears all queue state for re-use while keeping both deques'
+    /// capacity — the runtime pools whole queue pairs across runs so a
+    /// warm run's enqueues never allocate.
+    pub fn reset(&mut self) {
+        self.incoming.clear();
+        self.completed.clear();
+        self.enqueued = 0;
+        self.stolen_away = 0;
+        self.max_depth = 0;
+    }
+
     /// Enqueues work on the incoming side at virtual time `at`.
     pub fn enqueue(&mut self, at: SimTime, item: T) {
         self.incoming.push_back((at, item));

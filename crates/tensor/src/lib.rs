@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 mod copy;
 mod error;
 pub mod gen;

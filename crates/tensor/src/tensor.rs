@@ -5,6 +5,10 @@ use crate::{Result, TensorError};
 /// All SHMT datasets in the paper are flat 2-D floating-point arrays held in
 /// the system's shared main memory (§4.1); `Tensor` plays that role here.
 ///
+/// Backing storage is pooled: tensors take their buffer from the global
+/// page arena ([`crate::arena`]) and return it on drop, so steady-state
+/// tensor traffic performs no heap allocation once the arena is warm.
+///
 /// # Examples
 ///
 /// ```
@@ -15,11 +19,29 @@ use crate::{Result, TensorError};
 /// assert_eq!(t.get(1, 2), Some(4.0));
 /// assert_eq!(t.as_slice().len(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = crate::arena::take_f32(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        crate::arena::put_f32(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -49,11 +71,9 @@ impl Tensor {
     /// `rows * cols` overflows `usize`.
     pub fn try_filled(rows: usize, cols: usize, value: f32) -> Result<Self> {
         let len = Self::checked_len(rows, cols)?;
-        Ok(Tensor {
-            rows,
-            cols,
-            data: vec![value; len],
-        })
+        let mut data = crate::arena::take_f32(len);
+        data.resize(len, value);
+        Ok(Tensor { rows, cols, data })
     }
 
     /// Creates a tensor by evaluating `f(row, col)` for every element.
@@ -63,7 +83,7 @@ impl Tensor {
     /// Panics if either dimension is zero or the element count overflows.
     pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
         let len = Self::checked_len(rows, cols).expect("valid tensor shape");
-        let mut data = Vec::with_capacity(len);
+        let mut data = crate::arena::take_f32(len);
         for r in 0..rows {
             for c in 0..cols {
                 data.push(f(r, c));
@@ -134,9 +154,11 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor and returns its backing storage.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor and returns its backing storage. The buffer
+    /// leaves the arena's custody: it is freed normally unless the
+    /// caller hands it back (e.g. via [`Tensor::from_vec`]).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Checked element access.
@@ -257,10 +279,12 @@ impl Tensor {
 
     /// Returns a new tensor with `f` applied to every element.
     pub fn map<F: FnMut(f32) -> f32>(&self, mut f: F) -> Tensor {
+        let mut data = crate::arena::take_f32(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
@@ -373,7 +397,7 @@ impl<'a> TensorView<'a> {
 
     /// Copies the window into a new owned [`Tensor`].
     pub fn to_tensor(&self) -> Tensor {
-        let mut data = Vec::with_capacity(self.len());
+        let mut data = crate::arena::take_f32(self.len());
         for r in 0..self.rows {
             data.extend_from_slice(self.row(r));
         }
@@ -382,6 +406,40 @@ impl<'a> TensorView<'a> {
             cols: self.cols,
             data,
         }
+    }
+
+    /// Copies the window into an owned [`Tensor`] while scanning its
+    /// NaN-filtered minimum and maximum in the same pass — the fused
+    /// form of [`TensorView::to_tensor`] + [`TensorView::min_max`] used
+    /// by the Edge TPU transfer step, so each transferred page is
+    /// touched once instead of twice.
+    ///
+    /// Returns `None` for the range when every element is NaN, matching
+    /// the `(0.0, 0.0)` convention of [`TensorView::min_max`] at the
+    /// call site's discretion. The range is bit-identical to a separate
+    /// [`TensorView::min_max`] scan: the same elements are folded with
+    /// the same `min`/`max` calls in the same row-major order.
+    pub fn to_tensor_with_min_max(&self) -> (Tensor, Option<(f32, f32)>) {
+        let mut data = crate::arena::take_f32(self.len());
+        let mut range: Option<(f32, f32)> = None;
+        for r in 0..self.rows {
+            let row = self.row(r);
+            data.extend_from_slice(row);
+            for v in row.iter().copied().filter(|v| !v.is_nan()) {
+                range = Some(match range {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        (
+            Tensor {
+                rows: self.rows,
+                cols: self.cols,
+                data,
+            },
+            range,
+        )
     }
 
     /// Minimum and maximum element values within the window.
@@ -544,6 +602,32 @@ mod tests {
     fn min_max_ignores_nan() {
         let t = Tensor::from_vec(1, 4, vec![3.0, f32::NAN, -1.0, 2.0]).unwrap();
         assert_eq!(t.min_max(), (-1.0, 3.0));
+    }
+
+    #[test]
+    fn to_tensor_with_min_max_matches_separate_passes() {
+        let t = Tensor::from_fn(5, 7, |r, c| (r as f32) - (c as f32) * 0.5);
+        let v = t.view(1, 2, 3, 4);
+        let (copy, range) = v.to_tensor_with_min_max();
+        assert_eq!(copy, v.to_tensor());
+        assert_eq!(range, Some(v.min_max()));
+    }
+
+    #[test]
+    fn to_tensor_with_min_max_all_nan_is_none() {
+        let nan = Tensor::from_vec(1, 2, vec![f32::NAN, f32::NAN]).unwrap();
+        let (copy, range) = nan.view(0, 0, 1, 2).to_tensor_with_min_max();
+        assert_eq!(range, None);
+        assert!(copy.as_slice().iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn dropped_tensor_buffer_is_recycled() {
+        let t = Tensor::filled(32, 32, 1.5);
+        let before = crate::arena::stats();
+        drop(t);
+        let after = crate::arena::stats();
+        assert!(after.recycled + after.dropped > before.recycled + before.dropped);
     }
 
     #[test]

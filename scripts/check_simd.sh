@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Proof that the kernel hot loops autovectorize: build shmt-kernels with
+# --emit asm and require packed float instructions in the output.
+#
+# The interior loops are written in the slice idioms (windows(3) zips,
+# iter_mut().zip saxpy) that LLVM reliably turns into SIMD; this gate
+# keeps that property from silently regressing — a refactor that breaks
+# vectorization (say, reintroducing per-element bounds checks) collapses
+# the packed-op count and fails CI. Packed sqrtps additionally pins the
+# Sobel/SRAD magnitude loops specifically, since sqrt only appears there.
+#
+# Uses its own target dir: the RUSTFLAGS change would otherwise
+# invalidate the main build cache for every later cargo invocation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+case "$(uname -m)" in
+x86_64) ;;
+*)
+    echo "SIMD asm check skipped (non-x86_64 host: $(uname -m))"
+    exit 0
+    ;;
+esac
+
+RUSTFLAGS="--emit asm" cargo build --release -q -p shmt-kernels \
+    --target-dir target/simd-check
+
+asm=$(ls -t target/simd-check/release/deps/shmt_kernels-*.s | head -1)
+[ -s "$asm" ] || { echo "no assembly emitted for shmt-kernels"; exit 1; }
+
+packed=$(grep -cE '\b(mulps|addps|subps|vmulps|vaddps|vsubps|vfmadd[0-9]*ps)\b' "$asm" || true)
+packed_sqrt=$(grep -cE '\b(sqrtps|vsqrtps)\b' "$asm" || true)
+
+echo "packed float ops: $packed, packed sqrt: $packed_sqrt ($asm)"
+if [ "$packed" -lt 50 ]; then
+    echo "autovectorization regressed: only $packed packed float ops (want >= 50)"
+    exit 1
+fi
+if [ "$packed_sqrt" -lt 1 ]; then
+    echo "autovectorization regressed: no packed sqrt in the stencil magnitude loops"
+    exit 1
+fi
+echo "SIMD asm check OK"

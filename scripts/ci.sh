@@ -14,9 +14,21 @@ cargo test -q --workspace
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== clippy (warnings are errors) =="
     cargo clippy -q --workspace --all-targets -- -D warnings
+    # Hot-path crates additionally deny redundant_clone (a nursery lint,
+    # so it needs the explicit -D): a stray clone on the serve or kernel
+    # path is an allocation the arena work exists to eliminate.
+    echo "== clippy hot-path (redundant_clone is an error) =="
+    cargo clippy -q -p shmt-tensor -p shmt-kernels -p shmt -p shmt-serve \
+        --all-targets -- -D warnings -D clippy::redundant_clone
 else
     echo "== clippy skipped (unavailable) =="
 fi
+
+echo "== SIMD asm check =="
+# Proves the kernel hot loops actually autovectorize: builds shmt-kernels
+# with --emit asm and requires packed float ops (mulps/addps/sqrtps) in
+# the output. Skips itself on non-x86_64 hosts.
+scripts/check_simd.sh
 
 echo "== docs (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
@@ -52,12 +64,26 @@ echo "fault sweep files written and validated: $(ls results/faults_*.json | wc -
 echo "== perf report smoke check =="
 # perf_report must produce a JSON artifact that the workspace's own parser
 # accepts and that covers every benchmark's exact and NPU paths; the bin
-# re-reads and validates the file itself and aborts on any gap.
+# re-reads and validates the file itself and aborts on any gap. Committed
+# full-size reports (BENCH_kernels.json) should be recorded with
+# RUSTFLAGS="-C target-cpu=native" on an otherwise idle host so the
+# autovectorized hot loops run at the ISA the machine actually has; the
+# smoke gate here deliberately uses the portable default.
 cargo run --release -q -p shmt-bench --bin perf_report -- --smoke >/dev/null
 f=results/BENCH_kernels_smoke.json
 [ -s "$f" ] || { echo "empty perf report: $f"; exit 1; }
 grep -q '"best_ns":' "$f" || { echo "no measurements in $f"; exit 1; }
 grep -q '"kernel/SRAD/npu/128"' "$f" || { echo "benchmark coverage gap in $f"; exit 1; }
+# The NPU rows must be real distinct computations, not re-labelled exact
+# timings: every benchmark records an output-difference flag.
+grep -q '"kernel/Histogram/npu_differs":true' "$f" || { echo "Histogram npu path identical to exact in $f"; exit 1; }
+if grep -q '"npu_differs":false' "$f"; then
+    echo "an npu path produced output identical to exact in $f"; exit 1
+fi
+# Serve-path throughput gate: warm server, mixed requests, must clear
+# the floor recorded in the artifact.
+grep -q '"requests_per_s":' "$f" || { echo "serve RPS section missing in $f"; exit 1; }
+grep -q '"rps_above_floor":true' "$f" || { echo "serve path below its RPS floor in $f"; exit 1; }
 echo "perf report smoke validated: $f"
 
 echo "== serve bench smoke check =="
