@@ -202,8 +202,8 @@ fn main() {
         .iter()
         .map(|&case| {
             let req = make_request(case, n, partitions);
-            ShmtRuntime::new(req.platform, req.config)
-                .execute(&req.vop)
+            ShmtRuntime::new(req.platform.clone(), req.config)
+                .execute(req.vop().expect("single-VOP request"))
                 .expect("sequential reference run succeeds")
                 .output
         })

@@ -87,7 +87,11 @@ impl Group {
             for _ in 0..iters {
                 std::hint::black_box(f());
             }
-            let per_iter = start.elapsed() / iters;
+            // Integer division truncates: a batch faster than 1 ns/iter
+            // (a trivial closure in release) would report 0 ns and trip
+            // every downstream `best_ns > 0` gate. Clamp to the timer's
+            // resolution floor instead.
+            let per_iter = (start.elapsed() / iters).max(Duration::from_nanos(1));
             best = best.min(per_iter);
             total += per_iter;
         }

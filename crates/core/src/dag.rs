@@ -1,0 +1,1248 @@
+//! Multi-VOP dataflow graphs with inter-stage data residency.
+//!
+//! [`crate::pipeline::Program`] chains stages linearly and re-stages every
+//! intermediate through host memory. [`VopDag`] generalizes the chain into
+//! a DAG of VOP stages (nodes = VOP stages, edges = tensor dependencies,
+//! cycle/arity validation at build time) and composes the stages with
+//! *mixed-mode awareness*:
+//!
+//! * **Residency** — an HLOP's output stays resident on its producing
+//!   device when the consuming stage reads it there. The CPU and GPU share
+//!   host memory (zero-copy), so exact-class edges never round-trip
+//!   through framework staging buffers; an Edge-TPU tile consumed by an
+//!   Edge-TPU tile of the next stage stays in device memory as int8 and
+//!   skips both the producer's restoration and the consumer's cast+PCIe
+//!   staging. The accuracy class is respected: int8 data is only ever left
+//!   in place for an approximate-class consumer — any exact-device
+//!   consumer receives restored fp32, which is exactly the cross-device
+//!   edge charge.
+//! * **Fusion** — adjacent element-wise stages (a unary node whose single
+//!   consumer is another unary node) collapse into one VOP, eliminating
+//!   the intermediate tensor entirely.
+//! * **Edge charging** — only real cross-device edges are charged: the
+//!   staged (non-resident) portion of every Edge-TPU tile pays its
+//!   fp32↔int8 cast on the TPU timeline via [`DeviceTimeline::occupy`] and
+//!   its PCIe bytes on the simulated [`Interconnect`]; resident portions
+//!   charge nothing.
+//!
+//! # Cost model
+//!
+//! Every stage is executed **once** through the ordinary
+//! [`crate::runtime::ShmtRuntime`] — placement, stealing, and the computed
+//! values are decided there, so the resident and naive compositions below
+//! are bit-identical by construction and a linear DAG reproduces
+//! [`crate::pipeline::Program`]'s per-stage reports exactly. The DAG layer
+//! then *re-times* each stage's schedule twice with placement pinned:
+//!
+//! * **naive** — conventional framework composition: every Edge-TPU tile
+//!   stages in and restores out in full, and each inter-stage edge
+//!   additionally round-trips the whole tensor through a host staging
+//!   buffer (one bus transfer down, one back up) behind a global barrier.
+//! * **resident** — the replay skips the cast/PCIe charges for tile
+//!   regions that stay in TPU memory, and inter-stage edges cost nothing
+//!   beyond the dependency itself (shared host memory is zero-copy).
+//!
+//! Both compositions use the same replay model and the same pinned
+//! schedule, and residency only ever removes non-negative charges, so the
+//! resident makespan never exceeds the naive one. Numerically the outputs
+//! are identical in both modes: residency is a *cost-model* statement
+//! about where bytes live, while the simulated int8 path always models the
+//! same quantize→compute→dequantize computation. Guarded stages (per-node
+//! quality budgets) are not re-timed — their pass-1 makespan is used for
+//! both compositions, so the guard's charge is never flattered.
+
+use hetsim::{DeviceKind, DeviceTimeline, Interconnect, SimTime};
+use shmt_kernels::primitives::{BinaryOp, UnaryOp};
+use shmt_kernels::{Aggregation, Benchmark, Kernel, KernelShape};
+use shmt_tensor::tile::Tile;
+use shmt_tensor::Tensor;
+use shmt_trace::{NullSink, TraceSink};
+
+use crate::error::{Result, ShmtError};
+use crate::guard::GuardConfig;
+use crate::partition::partition_vop;
+use crate::pipeline::{sanitize, Stage};
+use crate::platform::Platform;
+use crate::report::RunReport;
+use crate::runtime::{RuntimeConfig, ShmtRuntime};
+use crate::sched::{CPU, GPU, TPU};
+use crate::vop::{Opcode, Vop};
+
+/// Identifier of a node within its DAG (its index in the node list).
+pub type NodeId = usize;
+
+/// The operation a DAG node applies to its inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeOp {
+    /// A benchmark kernel stage; auxiliary inputs beyond the supplied
+    /// dependencies are generated from `aux_seed` (exactly like
+    /// [`crate::pipeline::Program`] stages).
+    Benchmark {
+        /// The kernel this stage applies.
+        benchmark: Benchmark,
+        /// Seed for generated auxiliary inputs.
+        aux_seed: u64,
+    },
+    /// A unary element-wise stage (fusable).
+    Unary(UnaryOp),
+    /// A binary element-wise stage over two dependencies.
+    Binary(BinaryOp),
+}
+
+/// One node of a [`VopDag`]: an operation plus the node ids whose outputs
+/// feed its kernel inputs, in slot order. A node with no dependencies is a
+/// root and reads the DAG's external input tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagNode {
+    /// The operation.
+    pub op: NodeOp,
+    /// Producing nodes, in kernel-input slot order.
+    pub deps: Vec<NodeId>,
+    /// Per-stage quality budget: when set, the stage runs under an
+    /// enforcing [`GuardConfig`] with this MAPE budget.
+    pub max_mape: Option<f64>,
+}
+
+impl DagNode {
+    /// A benchmark stage over the given dependencies (empty = root).
+    pub fn benchmark(benchmark: Benchmark, aux_seed: u64, deps: Vec<NodeId>) -> Self {
+        DagNode {
+            op: NodeOp::Benchmark {
+                benchmark,
+                aux_seed,
+            },
+            deps,
+            max_mape: None,
+        }
+    }
+
+    /// A unary element-wise stage over one producer.
+    pub fn unary(op: UnaryOp, dep: NodeId) -> Self {
+        DagNode {
+            op: NodeOp::Unary(op),
+            deps: vec![dep],
+            max_mape: None,
+        }
+    }
+
+    /// A binary element-wise stage over two producers.
+    pub fn binary(op: BinaryOp, a: NodeId, b: NodeId) -> Self {
+        DagNode {
+            op: NodeOp::Binary(op),
+            deps: vec![a, b],
+            max_mape: None,
+        }
+    }
+
+    /// Attaches a per-stage quality budget (enforced by the output guard).
+    #[must_use]
+    pub fn with_quality_budget(mut self, max_mape: f64) -> Self {
+        self.max_mape = Some(max_mape);
+        self
+    }
+}
+
+/// A validated DAG of VOP stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VopDag {
+    nodes: Vec<DagNode>,
+    /// Node ids in a deterministic topological order (Kahn, smallest id
+    /// first among ready nodes).
+    topo: Vec<NodeId>,
+    /// The unique sink (the DAG's output node).
+    sink: NodeId,
+}
+
+impl VopDag {
+    /// Validates and builds a DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmtError::InvalidConfig`] when the node list is empty,
+    /// a dependency index is out of range or self-referential, a node's
+    /// dependency count violates its kernel's arity (unary: at most one;
+    /// binary: exactly two; benchmark: at most the kernel arity), the
+    /// graph has a cycle, or there is not exactly one sink.
+    pub fn new(nodes: Vec<DagNode>) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(ShmtError::InvalidConfig(
+                "DAG needs at least one node".into(),
+            ));
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            for &d in &n.deps {
+                if d >= nodes.len() {
+                    return Err(ShmtError::InvalidConfig(format!(
+                        "node {i} depends on missing node {d}"
+                    )));
+                }
+                if d == i {
+                    return Err(ShmtError::InvalidConfig(format!(
+                        "node {i} depends on itself"
+                    )));
+                }
+            }
+            let (min, max) = match n.op {
+                NodeOp::Unary(_) => (0, 1),
+                NodeOp::Binary(_) => (2, 2),
+                NodeOp::Benchmark { benchmark, .. } => (0, benchmark.kernel().shape().num_inputs),
+            };
+            if n.deps.len() < min || n.deps.len() > max {
+                return Err(ShmtError::InvalidConfig(format!(
+                    "node {i} has {} dependencies; its kernel admits {min}..={max}",
+                    n.deps.len()
+                )));
+            }
+        }
+
+        // Kahn's algorithm, deterministic (lowest ready id first).
+        let mut indegree: Vec<usize> = nodes.iter().map(|n| n.deps.len()).collect();
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            for &d in &n.deps {
+                consumers[d].push(i);
+            }
+        }
+        let mut ready: Vec<NodeId> = (0..nodes.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(nodes.len());
+        while let Some(&next) = ready.iter().min() {
+            ready.retain(|&i| i != next);
+            topo.push(next);
+            for &c in &consumers[next] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        if topo.len() != nodes.len() {
+            return Err(ShmtError::InvalidConfig(
+                "DAG contains a dependency cycle".into(),
+            ));
+        }
+        let sinks: Vec<NodeId> = (0..nodes.len())
+            .filter(|&i| consumers[i].is_empty())
+            .collect();
+        let [sink] = sinks[..] else {
+            return Err(ShmtError::InvalidConfig(format!(
+                "DAG must have exactly one sink, found {}",
+                sinks.len()
+            )));
+        };
+        Ok(VopDag { nodes, topo, sink })
+    }
+
+    /// The linear DAG equivalent to a [`crate::pipeline::Program`] stage
+    /// chain: node `i` consumes node `i-1`, node 0 reads the external
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VopDag::new`]'s validation errors (e.g. an empty
+    /// chain).
+    pub fn linear(stages: &[Stage]) -> Result<Self> {
+        let nodes = stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                DagNode::benchmark(
+                    s.benchmark,
+                    s.aux_seed,
+                    if i == 0 { vec![] } else { vec![i - 1] },
+                )
+            })
+            .collect();
+        VopDag::new(nodes)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always `false`: validation rejects empty DAGs.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes, indexed by [`NodeId`].
+    pub fn nodes(&self) -> &[DagNode] {
+        &self.nodes
+    }
+
+    /// The DAG's unique sink node.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.deps.len()).sum()
+    }
+
+    /// Runs the DAG on the external input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VOP validation and runtime errors.
+    pub fn run(&self, input: &Tensor, cfg: &DagConfig) -> Result<DagReport> {
+        self.run_with_sink(input, cfg, &mut NullSink)
+    }
+
+    /// [`VopDag::run`], streaming every stage's runtime events (plus
+    /// `dag.*` counters) into `sink` — the per-stage spans appear under
+    /// the ordinary runtime event kinds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VopDag::run`].
+    pub fn run_with_sink(
+        &self,
+        input: &Tensor,
+        cfg: &DagConfig,
+        sink: &mut dyn TraceSink,
+    ) -> Result<DagReport> {
+        self.run_with_cancel(input, cfg, sink, &mut || false)
+    }
+
+    /// [`VopDag::run_with_sink`] with a cancellation hook, polled between
+    /// stages (the serve layer uses it for pipeline-level deadlines).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VopDag::run`], plus [`ShmtError::Canceled`] when the
+    /// hook returns `true`.
+    pub fn run_with_cancel(
+        &self,
+        input: &Tensor,
+        cfg: &DagConfig,
+        sink: &mut dyn TraceSink,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Result<DagReport> {
+        let stages = self.plan_stages(cfg.fuse_elementwise);
+        let fused = self.nodes.len() - stages.len();
+
+        // Pass 1: execute every stage once through the ordinary runtime,
+        // in topological order. Placement and values are decided here.
+        let mut execs: Vec<StageExec> = Vec::with_capacity(stages.len());
+        let mut outputs: Vec<Option<Tensor>> = vec![None; stages.len()];
+        for (si, stage) in stages.iter().enumerate() {
+            if cancel() {
+                return Err(ShmtError::Canceled);
+            }
+            let vop = self.stage_vop(stage, &outputs, input)?;
+            let platform = stage_platform(&self.nodes[stage.nodes[0]].op);
+            let mut stage_cfg = cfg.runtime;
+            if let Some(m) = stage.max_mape {
+                stage_cfg.guard = GuardConfig::enforcing(m);
+            }
+            if cfg.residency_dispatch {
+                stage_cfg.tpu_residency_hint = self.input_tpu_fraction(stage, &execs);
+            }
+            let runtime = ShmtRuntime::new(platform.clone(), stage_cfg);
+            let mut report = runtime.execute_with_sink(&vop, sink)?;
+            let out = sanitize(std::mem::replace(&mut report.output, Tensor::zeros(1, 1)));
+            let hlops = partition_vop(&vop, stage_cfg.partitions)?;
+            let tiles: Vec<Tile> = hlops.iter().map(|h| h.tile).collect();
+            crate::arena::HLOPS.put(hlops);
+            let (rows, cols) = vop.partition_space();
+            execs.push(StageExec {
+                label: vop.kernel().name(),
+                elements: rows * cols,
+                work_per_elem: vop.kernel().work_per_element(),
+                cast_s: if vop.kernel().npu_native_u8() {
+                    0.0
+                } else {
+                    platform.calibration().cast_s_per_elem
+                },
+                aggregation: vop.kernel().shape().aggregation,
+                pipelined: stage_cfg.policy.pipelined() && !stage_cfg.force_synchronous,
+                guarded: stage_cfg.guard.enabled,
+                tiles,
+                platform,
+                report,
+            });
+            outputs[si] = Some(out);
+            // Drop intermediates nobody will read again. The sink's exec
+            // stage is always last (validation guarantees every other
+            // node has a consumer), so the DAG result is never dropped
+            // here (`pi < si <= stages.len() - 1`).
+            for (pi, out) in outputs.iter_mut().enumerate().take(si) {
+                let still_needed = stages.iter().skip(si + 1).any(|s| s.deps.contains(&pi));
+                if !still_needed {
+                    *out = None;
+                }
+            }
+        }
+
+        // Residency coverage per eligible edge: intersect the producer's
+        // TPU tiles with the consumer's TPU tiles. Eligible edges are
+        // slot-0 (flowing) edges whose producer has exactly one consumer
+        // and tile-aggregated output — multi-consumer outputs must be
+        // restored for the other readers, and reduction partials fold on
+        // the host.
+        let mut resident_in: Vec<Vec<usize>> =
+            execs.iter().map(|e| vec![0usize; e.tiles.len()]).collect();
+        let mut resident_out: Vec<Vec<usize>> =
+            execs.iter().map(|e| vec![0usize; e.tiles.len()]).collect();
+        let mut resident_edges = 0usize;
+        for (ci, stage) in stages.iter().enumerate() {
+            let Some(&pi) = stage.deps.first() else {
+                continue;
+            };
+            let consumers_of_p = stages
+                .iter()
+                .map(|s| s.deps.iter().filter(|&&d| d == pi).count())
+                .sum::<usize>();
+            let eligible = consumers_of_p == 1
+                && matches!(execs[pi].aggregation, Aggregation::Tile)
+                && execs[pi].elements == execs[ci].elements;
+            if !eligible {
+                continue;
+            }
+            resident_edges += 1;
+            let p_tpu: Vec<&Tile> = tpu_tiles(&execs[pi]);
+            let c_tpu: Vec<&Tile> = tpu_tiles(&execs[ci]);
+            for r in &execs[ci].report.records {
+                if r.device != DeviceKind::EdgeTpu {
+                    continue;
+                }
+                let ct = &execs[ci].tiles[r.id];
+                let ov: usize = p_tpu.iter().map(|pt| tile_overlap(pt, ct)).sum();
+                resident_in[ci][r.id] = ov.min(r.elements);
+            }
+            for r in &execs[pi].report.records {
+                if r.device != DeviceKind::EdgeTpu {
+                    continue;
+                }
+                let pt = &execs[pi].tiles[r.id];
+                let ov: usize = c_tpu.iter().map(|ct| tile_overlap(pt, ct)).sum();
+                resident_out[pi][r.id] = ov.min(r.elements);
+            }
+        }
+
+        // Re-time every stage twice with placement pinned: once with the
+        // residency discounts, once without (the naive round-trip model).
+        let resident: Vec<Replay> = execs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| replay_stage(e, Some(&resident_in[i]), Some(&resident_out[i])))
+            .collect();
+        let naive: Vec<Replay> = execs.iter().map(|e| replay_stage(e, None, None)).collect();
+
+        // Compose the stage windows. Both compositions serialize stages on
+        // the shared device pool; the naive one additionally round-trips
+        // every edge's full tensor through a host staging buffer on the
+        // shared bus.
+        let windows_resident = compose(&stages, &resident, &execs, false);
+        let windows_naive = compose(&stages, &naive, &execs, true);
+
+        let output = outputs[stages.len() - 1]
+            .take()
+            .ok_or_else(|| ShmtError::Internal("DAG sink produced no output".into()))?;
+
+        let makespan_s = windows_resident.iter().map(|w| w.1).fold(0.0f64, f64::max);
+        let naive_makespan_s = windows_naive.iter().map(|w| w.1).fold(0.0f64, f64::max);
+        let total_latency_s: f64 = execs.iter().map(|e| e.report.makespan_s).sum();
+        let total_energy_j: f64 = execs.iter().map(|e| e.report.energy.total_j()).sum();
+        let resident_bus_bytes: u64 = resident.iter().map(|r| r.bus_bytes).sum();
+        let naive_bus_bytes: u64 = naive.iter().map(|r| r.bus_bytes).sum::<u64>()
+            + stages
+                .iter()
+                .flat_map(|s| s.deps.iter())
+                .map(|&p| 2 * 4 * output_elements(&execs[p]) as u64)
+                .sum::<u64>();
+
+        let stage_reports: Vec<DagStageReport> = stages
+            .iter()
+            .zip(execs)
+            .enumerate()
+            .map(|(i, (stage, e))| DagStageReport {
+                nodes: stage.nodes.clone(),
+                label: e.label,
+                elements: e.elements,
+                start_s: windows_resident[i].0,
+                finish_s: windows_resident[i].1,
+                naive_start_s: windows_naive[i].0,
+                naive_finish_s: windows_naive[i].1,
+                resident_in_elements: resident_in[i].iter().sum(),
+                resident_out_elements: resident_out[i].iter().sum(),
+                staged_in_elements: resident[i].staged_in_elements,
+                staged_out_elements: resident[i].staged_out_elements,
+                report: e.report,
+            })
+            .collect();
+
+        if sink.enabled() {
+            sink.counter("dag.stages", stage_reports.len() as f64);
+            sink.counter("dag.fused", fused as f64);
+            sink.counter("dag.edges", self.edge_count() as f64);
+            sink.counter("dag.resident_edges", resident_edges as f64);
+            sink.counter(
+                "dag.resident_elements",
+                stage_reports
+                    .iter()
+                    .map(|s| s.resident_in_elements as f64)
+                    .sum(),
+            );
+            sink.counter("dag.staged_bytes", resident_bus_bytes as f64);
+        }
+
+        Ok(DagReport {
+            stages: stage_reports,
+            makespan_s,
+            naive_makespan_s,
+            total_latency_s,
+            total_energy_j,
+            resident_edges,
+            resident_bus_bytes,
+            naive_bus_bytes,
+            fused,
+            output,
+        })
+    }
+
+    /// Groups nodes into execution stages, fusing chains of unary
+    /// element-wise nodes when `fuse` is set. Fusion criteria: the
+    /// producer is unary, its single consumer is unary, and the producer
+    /// is the current tail of its stage — benchmark and binary nodes
+    /// never fuse, so a linear benchmark chain always degenerates to one
+    /// stage per node.
+    fn plan_stages(&self, fuse: bool) -> Vec<ExecStage> {
+        let mut consumer_count = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            for &d in &n.deps {
+                consumer_count[d] += 1;
+            }
+        }
+        let mut stage_of: Vec<usize> = vec![usize::MAX; self.nodes.len()];
+        let mut stages: Vec<ExecStage> = Vec::new();
+        for &id in &self.topo {
+            let node = &self.nodes[id];
+            let fusable = fuse
+                && matches!(node.op, NodeOp::Unary(_))
+                && node.deps.len() == 1
+                && matches!(self.nodes[node.deps[0]].op, NodeOp::Unary(_))
+                && consumer_count[node.deps[0]] == 1
+                && stages[stage_of[node.deps[0]]].nodes.last() == Some(&node.deps[0]);
+            if fusable {
+                let si = stage_of[node.deps[0]];
+                stages[si].nodes.push(id);
+                stages[si].max_mape = merge_budget(stages[si].max_mape, node.max_mape);
+                stage_of[id] = si;
+            } else {
+                let si = stages.len();
+                stages.push(ExecStage {
+                    nodes: vec![id],
+                    deps: Vec::new(),
+                    max_mape: node.max_mape,
+                });
+                stage_of[id] = si;
+            }
+        }
+        for st in stages.iter_mut() {
+            let first = st.nodes[0];
+            st.deps = self.nodes[first]
+                .deps
+                .iter()
+                .map(|&d| stage_of[d])
+                .collect();
+        }
+        stages
+    }
+
+    /// Builds one stage's VOP from its dependencies' outputs (or the
+    /// external input for a root).
+    fn stage_vop(
+        &self,
+        stage: &ExecStage,
+        outputs: &[Option<Tensor>],
+        external: &Tensor,
+    ) -> Result<Vop> {
+        let mut inputs: Vec<Tensor> = if stage.deps.is_empty() {
+            vec![external.clone()]
+        } else {
+            stage
+                .deps
+                .iter()
+                .map(|&p| {
+                    outputs[p]
+                        .clone()
+                        .ok_or_else(|| ShmtError::Internal("dependency ran out of order".into()))
+                })
+                .collect::<Result<_>>()?
+        };
+        let first = stage.nodes[0];
+        match self.nodes[first].op {
+            NodeOp::Benchmark {
+                benchmark,
+                aux_seed,
+            } => {
+                let (rows, cols) = inputs[0].shape();
+                let arity = benchmark.kernel().shape().num_inputs;
+                if arity > inputs.len() {
+                    let mut extra = benchmark.generate_inputs(rows, cols, aux_seed);
+                    inputs.extend(extra.drain(inputs.len()..));
+                }
+                Vop::from_benchmark(benchmark, inputs)
+            }
+            NodeOp::Binary(op) => {
+                let b = inputs.pop().ok_or_else(|| {
+                    ShmtError::Internal("binary stage lost its second input".into())
+                })?;
+                let a = inputs.pop().ok_or_else(|| {
+                    ShmtError::Internal("binary stage lost its first input".into())
+                })?;
+                Vop::binary(op, a, b)
+            }
+            NodeOp::Unary(op) => {
+                let input = inputs
+                    .pop()
+                    .ok_or_else(|| ShmtError::Internal("unary stage lost its input".into()))?;
+                if stage.nodes.len() == 1 {
+                    Vop::unary(op, input)
+                } else {
+                    let ops: Vec<UnaryOp> = stage
+                        .nodes
+                        .iter()
+                        .map(|&id| match self.nodes[id].op {
+                            NodeOp::Unary(u) => u,
+                            _ => op,
+                        })
+                        .collect();
+                    let opcode = unary_opcode(ops[ops.len() - 1]);
+                    Vop::new(opcode, Box::new(FusedElementwise { ops }), vec![input])
+                }
+            }
+        }
+    }
+
+    /// Fraction of a stage's flowing input produced on the Edge TPU by
+    /// its slot-0 dependency — the residency hint handed to the planner
+    /// under [`DagConfig::residency_dispatch`].
+    fn input_tpu_fraction(&self, stage: &ExecStage, execs: &[StageExec]) -> f64 {
+        let Some(&p) = stage.deps.first() else {
+            return 0.0;
+        };
+        let e = &execs[p];
+        let tpu: usize = e
+            .report
+            .records
+            .iter()
+            .filter(|r| r.device == DeviceKind::EdgeTpu)
+            .map(|r| r.elements)
+            .sum();
+        tpu as f64 / e.elements.max(1) as f64
+    }
+}
+
+/// Configuration for one DAG execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagConfig {
+    /// The per-stage runtime configuration (policy, partitions, …).
+    pub runtime: RuntimeConfig,
+    /// Fuse adjacent unary element-wise nodes into one VOP (default on).
+    pub fuse_elementwise: bool,
+    /// Feed each stage's planner the fraction of its input already
+    /// resident on the Edge TPU ([`crate::sched::PlanContext`]'s
+    /// `tpu_residency`), letting quality-aware policies widen the TPU's
+    /// admission where the data already lives. Off by default: the hint
+    /// changes placement, so runs with it enabled are only comparable to
+    /// references executed with the same hint.
+    pub residency_dispatch: bool,
+}
+
+impl DagConfig {
+    /// Defaults (fusion on, residency dispatch off) around a runtime
+    /// configuration.
+    pub fn new(runtime: RuntimeConfig) -> Self {
+        DagConfig {
+            runtime,
+            fuse_elementwise: true,
+            residency_dispatch: false,
+        }
+    }
+}
+
+/// One executed stage of a [`DagReport`].
+#[derive(Debug)]
+pub struct DagStageReport {
+    /// The DAG nodes this stage covers (more than one after fusion).
+    pub nodes: Vec<NodeId>,
+    /// The stage kernel's name.
+    pub label: &'static str,
+    /// Elements in the stage's partition space — the *true* per-stage
+    /// size (the embedded report's `output` is a placeholder, its
+    /// `output_shape` and `records` carry the real counts).
+    pub elements: usize,
+    /// Stage start in the resident composition (virtual seconds).
+    pub start_s: f64,
+    /// Stage finish in the resident composition.
+    pub finish_s: f64,
+    /// Stage start in the naive round-trip composition.
+    pub naive_start_s: f64,
+    /// Stage finish in the naive round-trip composition.
+    pub naive_finish_s: f64,
+    /// Input elements read directly from Edge-TPU memory (per-edge
+    /// residency the replay did not charge).
+    pub resident_in_elements: usize,
+    /// Output elements left in Edge-TPU memory for the consumer.
+    pub resident_out_elements: usize,
+    /// Input elements that crossed the bus into the TPU in the resident
+    /// replay (the real cross-device edge charge).
+    pub staged_in_elements: usize,
+    /// Output elements restored to host memory in the resident replay.
+    pub staged_out_elements: usize,
+    /// The stage's pass-1 run report (Program-equivalent timing; the
+    /// `output` tensor is a placeholder).
+    pub report: RunReport,
+}
+
+/// The outcome of one DAG execution.
+#[derive(Debug)]
+pub struct DagReport {
+    /// Per-stage reports, in execution (topological) order.
+    pub stages: Vec<DagStageReport>,
+    /// End-to-end makespan of the resident composition.
+    pub makespan_s: f64,
+    /// End-to-end makespan of the naive stage-by-stage round-trip
+    /// composition (always ≥ `makespan_s`).
+    pub naive_makespan_s: f64,
+    /// Sum of the pass-1 stage makespans — exactly
+    /// [`crate::pipeline::ProgramReport::total_latency_s`] for a linear
+    /// benchmark DAG.
+    pub total_latency_s: f64,
+    /// Sum of stage energies.
+    pub total_energy_j: f64,
+    /// Edges whose intermediate was eligible to stay device-resident.
+    pub resident_edges: usize,
+    /// Bytes the resident replays charged to the per-stage interconnect
+    /// (cross-device edge traffic only).
+    pub resident_bus_bytes: u64,
+    /// Bytes the naive model charges: full per-stage staging plus the
+    /// host round-trip of every edge tensor.
+    pub naive_bus_bytes: u64,
+    /// Element-wise nodes eliminated by fusion.
+    pub fused: usize,
+    /// The sink stage's output.
+    pub output: Tensor,
+}
+
+impl DagReport {
+    /// The resident composition's speedup over naive round-tripping.
+    pub fn residency_speedup(&self) -> f64 {
+        self.naive_makespan_s / self.makespan_s.max(1e-12)
+    }
+
+    /// Collapses the DAG run into one [`RunReport`] shaped like a
+    /// single-VOP execution, for layers (serve, bench) whose responses
+    /// carry a `RunReport`: per-device accounting, energy, steals, and
+    /// quality are summed across stages; `makespan_s` is the resident
+    /// composition's end-to-end makespan; `bus_bytes` is the resident
+    /// cross-device edge traffic. Per-HLOP records stay with the stage
+    /// reports (the merged record list is empty — stage HLOP ids would
+    /// collide).
+    pub fn into_run_report(mut self) -> RunReport {
+        let mut devices: Vec<crate::report::DeviceStats> = Vec::new();
+        let mut energy = hetsim::EnergyBreakdown::default();
+        let mut quality = crate::guard::QualityReport::default();
+        let mut scheduling_overhead_s = 0.0;
+        let mut steals = 0;
+        let mut peak_memory_bytes = 0u64;
+        let mut tpu_elements = 0u64;
+        let mut total_elements = 0u64;
+        for stage in &mut self.stages {
+            let r = &mut stage.report;
+            scheduling_overhead_s += r.scheduling_overhead_s;
+            steals += r.steals;
+            peak_memory_bytes = peak_memory_bytes.max(r.peak_memory_bytes);
+            energy.idle_j += r.energy.idle_j;
+            energy.active_j += r.energy.active_j;
+            for d in &r.devices {
+                match devices.iter_mut().find(|m| m.kind == d.kind) {
+                    Some(m) => {
+                        m.busy_s += d.busy_s;
+                        m.wait_s += d.wait_s;
+                        m.hlops += d.hlops;
+                        m.max_queue_depth = m.max_queue_depth.max(d.max_queue_depth);
+                        m.stolen_away += d.stolen_away;
+                    }
+                    None => devices.push(*d),
+                }
+            }
+            for (kind, elems) in r.device_elements() {
+                if kind == DeviceKind::EdgeTpu {
+                    tpu_elements += elems;
+                }
+                total_elements += elems;
+            }
+            quality.enabled |= r.quality.enabled;
+            quality.page_verifiable |= r.quality.page_verifiable;
+            quality.approx_hlops += r.quality.approx_hlops;
+            quality.checked_hlops += r.quality.checked_hlops;
+            quality.sampled_pages += r.quality.sampled_pages;
+            quality.estimated_mape = quality.estimated_mape.max(r.quality.estimated_mape);
+            quality.true_mape = quality.true_mape.max(r.quality.true_mape);
+            quality.overhead_s += r.quality.overhead_s;
+            quality.budget_mape = quality.budget_mape.max(r.quality.budget_mape);
+            quality.repairs.append(&mut r.quality.repairs);
+        }
+        let output_shape = self.output.shape();
+        RunReport {
+            output: self.output,
+            output_shape,
+            makespan_s: self.makespan_s,
+            scheduling_overhead_s,
+            devices,
+            energy,
+            bus_bytes: self.resident_bus_bytes,
+            records: Vec::new(),
+            tpu_fraction: tpu_elements as f64 / total_elements.max(1) as f64,
+            steals,
+            peak_memory_bytes,
+            faults: hetsim::FaultReport::default(),
+            quality,
+            trace: None,
+        }
+    }
+}
+
+/// One fused execution stage (internal).
+#[derive(Debug, Clone)]
+struct ExecStage {
+    nodes: Vec<NodeId>,
+    deps: Vec<usize>,
+    max_mape: Option<f64>,
+}
+
+/// Pass-1 execution data kept per stage for the replays.
+#[derive(Debug)]
+struct StageExec {
+    label: &'static str,
+    elements: usize,
+    work_per_elem: f64,
+    cast_s: f64,
+    aggregation: Aggregation,
+    pipelined: bool,
+    guarded: bool,
+    tiles: Vec<Tile>,
+    platform: Platform,
+    report: RunReport,
+}
+
+/// Output of one pinned-schedule replay.
+#[derive(Debug, Clone, Copy)]
+struct Replay {
+    makespan_s: f64,
+    bus_bytes: u64,
+    staged_in_elements: usize,
+    staged_out_elements: usize,
+}
+
+fn stage_platform(op: &NodeOp) -> Platform {
+    match op {
+        NodeOp::Benchmark { benchmark, .. } => Platform::jetson(*benchmark),
+        _ => Platform::generic(),
+    }
+}
+
+fn merge_budget(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn tpu_tiles(e: &StageExec) -> Vec<&Tile> {
+    e.report
+        .records
+        .iter()
+        .filter(|r| r.device == DeviceKind::EdgeTpu)
+        .map(|r| &e.tiles[r.id])
+        .collect()
+}
+
+/// Elements in the intersection of two tile rectangles.
+fn tile_overlap(a: &Tile, b: &Tile) -> usize {
+    let r0 = a.row0.max(b.row0);
+    let r1 = (a.row0 + a.rows).min(b.row0 + b.rows);
+    let c0 = a.col0.max(b.col0);
+    let c1 = (a.col0 + a.cols).min(b.col0 + b.cols);
+    r1.saturating_sub(r0) * c1.saturating_sub(c0)
+}
+
+/// Elements of a stage's *output* (the bytes an edge moves): the
+/// partition space for tile aggregation, the folded reduction buffer for
+/// reductions.
+fn output_elements(e: &StageExec) -> usize {
+    let (r, c) = e.report.output_shape;
+    r * c
+}
+
+fn unary_opcode(op: UnaryOp) -> Opcode {
+    match op {
+        UnaryOp::Log => Opcode::Log,
+        UnaryOp::Relu => Opcode::Relu,
+        UnaryOp::Rsqrt => Opcode::Rsqrt,
+        UnaryOp::Sqrt => Opcode::Sqrt,
+        UnaryOp::Tanh => Opcode::Tanh,
+    }
+}
+
+/// Re-times one stage's pass-1 schedule with placement pinned,
+/// optionally skipping the cast/PCIe charges for device-resident tile
+/// regions. `None` residency maps give the naive (full round-trip)
+/// timing. Guarded stages return their pass-1 makespan unchanged — the
+/// guard's exact-device charges cannot be replayed faithfully, so they
+/// are never discounted.
+fn replay_stage(
+    e: &StageExec,
+    resident_in: Option<&[usize]>,
+    resident_out: Option<&[usize]>,
+) -> Replay {
+    if e.guarded {
+        return Replay {
+            makespan_s: e.report.makespan_s,
+            bus_bytes: e.report.bus_bytes,
+            staged_in_elements: 0,
+            staged_out_elements: 0,
+        };
+    }
+    let profiles = e.platform.device_profiles();
+    let cal = e.platform.calibration();
+    let t0 = SimTime::from_secs(e.report.scheduling_overhead_s);
+    let mut timelines: [DeviceTimeline; 3] = profiles.map(|p| DeviceTimeline::starting_at(p, t0));
+    let mut bus = e.platform.bus();
+
+    // Per-device record sequences in pass-1 execution order.
+    let mut order: Vec<usize> = (0..e.report.records.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ra, rb) = (&e.report.records[a], &e.report.records[b]);
+        ra.start_s
+            .partial_cmp(&rb.start_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(ra.id.cmp(&rb.id))
+    });
+    let mut seqs: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for &i in &order {
+        seqs[queue_index(e.report.records[i].device)].push(i);
+    }
+    let mut next = [0usize; 3];
+    let mut prev_start = [t0; 3];
+    let mut latest = t0;
+    let mut staged_in_elements = 0usize;
+    let mut staged_out_elements = 0usize;
+    let tpu_throughput = profiles[TPU].throughput;
+
+    while let Some(d) = (0..3)
+        .filter(|&i| next[i] < seqs[i].len())
+        .min_by(|&a, &b| timelines[a].free_at().cmp(&timelines[b].free_at()))
+    {
+        let r = &e.report.records[seqs[d][next[d]]];
+        next[d] += 1;
+        let elems = r.elements;
+        let work = elems as f64 * e.work_per_elem;
+
+        let data_ready = if d == TPU {
+            let res = resident_in.map_or(0, |m| m[r.id]);
+            let staged = elems - res.min(elems);
+            staged_in_elements += staged;
+            let issue = if e.pipelined {
+                prev_start[TPU].max(t0)
+            } else {
+                timelines[TPU].free_at()
+            };
+            if staged > 0 {
+                // The fp32→int8 cast of the staged (non-resident) region
+                // burns TPU-side staging time; resident regions skip it
+                // entirely — this is the cross-device edge charge.
+                let cast_done = if e.cast_s > 0.0 {
+                    timelines[TPU].occupy(issue, staged as f64 * e.cast_s * tpu_throughput)
+                } else {
+                    issue
+                };
+                let bytes = (staged as f64 * cal.tpu_bytes_per_elem_in) as usize;
+                bus.transfer(cast_done, bytes).end
+            } else {
+                issue
+            }
+        } else {
+            t0
+        };
+        let start = timelines[d].free_at().max(data_ready);
+        prev_start[d] = start;
+        let mut end = timelines[d].execute(data_ready, work);
+        if d == TPU {
+            let extra = tpu_extra_launch_time(elems, &profiles[TPU]);
+            if extra > 0.0 {
+                timelines[d].stall_until(end + extra);
+                end += extra;
+            }
+        }
+
+        let completion = if d == TPU {
+            let res = resident_out.map_or(0, |m| m[r.id]);
+            let staged = elems - res.min(elems);
+            staged_out_elements += staged;
+            if staged > 0 {
+                let bytes = (staged as f64 * cal.tpu_bytes_per_elem_out) as usize;
+                let xfer = bus.transfer(end, bytes);
+                let restored = if e.cast_s > 0.0 {
+                    timelines[TPU].occupy(xfer.end, staged as f64 * e.cast_s * tpu_throughput)
+                } else {
+                    xfer.end
+                };
+                if !e.pipelined {
+                    timelines[TPU].stall_until(restored);
+                }
+                restored
+            } else {
+                end
+            }
+        } else {
+            end
+        };
+        latest = latest.max(completion);
+    }
+
+    let ideal_gpu_s = e.elements as f64 * e.work_per_elem / profiles[GPU].throughput;
+    let staging_s = e.platform.bench_profile().host_staging_frac * ideal_gpu_s;
+    Replay {
+        makespan_s: latest.max(t0 + staging_s).as_secs(),
+        bus_bytes: bus.total_bytes(),
+        staged_in_elements,
+        staged_out_elements,
+    }
+}
+
+/// Composes stage windows over the shared device pool: every stage
+/// starts no earlier than the previous stage's finish (the stages share
+/// all three devices) and no earlier than its dependencies. The naive
+/// composition additionally round-trips every edge tensor through a host
+/// staging buffer on a shared bus.
+fn compose(
+    stages: &[ExecStage],
+    replays: &[Replay],
+    execs: &[StageExec],
+    naive: bool,
+) -> Vec<(f64, f64)> {
+    let mut bus = Interconnect::jetson_prototype();
+    let mut windows: Vec<(f64, f64)> = Vec::with_capacity(stages.len());
+    let mut prev_finish = SimTime::ZERO;
+    for (i, stage) in stages.iter().enumerate() {
+        let mut start = prev_finish;
+        for &p in &stage.deps {
+            let dep_finish = SimTime::from_secs(windows[p].1);
+            if naive {
+                let bytes = 4 * output_elements(&execs[p]);
+                let down = bus.transfer(dep_finish, bytes);
+                let up = bus.transfer(down.end, bytes);
+                start = start.max(up.end);
+            } else {
+                start = start.max(dep_finish);
+            }
+        }
+        let finish = start + replays[i].makespan_s;
+        windows.push((start.as_secs(), finish.as_secs()));
+        prev_finish = finish;
+    }
+    windows
+}
+
+fn queue_index(kind: DeviceKind) -> usize {
+    match kind {
+        DeviceKind::Gpu => GPU,
+        DeviceKind::Cpu => CPU,
+        DeviceKind::EdgeTpu => TPU,
+    }
+}
+
+/// Mirrors the runtime's extra-launch charge for HLOPs whose int8
+/// footprint exceeds the Edge TPU's device memory.
+fn tpu_extra_launch_time(elems: usize, tpu: &hetsim::DeviceProfile) -> f64 {
+    let dev_mem = tpu.device_memory_bytes.unwrap_or(usize::MAX).max(1);
+    let need = elems * 2;
+    need.div_ceil(dev_mem).saturating_sub(1) as f64 * tpu.launch_overhead
+}
+
+/// A chain of unary element-wise primitives fused into one kernel, so a
+/// `relu → sqrt` pair runs as a single VOP with one intermediate-free
+/// pass. The int8 NPU path quantizes once around the whole chain, exactly
+/// as a fused device kernel would.
+#[derive(Debug, Clone)]
+struct FusedElementwise {
+    ops: Vec<UnaryOp>,
+}
+
+impl Kernel for FusedElementwise {
+    fn name(&self) -> &'static str {
+        "fused-elementwise"
+    }
+
+    fn shape(&self) -> KernelShape {
+        KernelShape::elementwise()
+    }
+
+    fn run_exact(&self, inputs: &[&Tensor], tile: Tile, out: &mut Tensor) {
+        let input = inputs[0];
+        for r in tile.row0..tile.row0 + tile.rows {
+            let src = &input.row(r)[tile.col0..tile.col0 + tile.cols];
+            let dst = &mut out.row_mut(r)[tile.col0..tile.col0 + tile.cols];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = self.ops.iter().fold(s, |v, op| op.apply(v));
+            }
+        }
+    }
+
+    fn work_per_element(&self) -> f64 {
+        4.0 * self.ops.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Policy;
+    use shmt_tensor::gen;
+
+    fn cfg() -> DagConfig {
+        let mut rt = RuntimeConfig::new(Policy::WorkStealing);
+        rt.partitions = 8;
+        DagConfig::new(rt)
+    }
+
+    #[test]
+    fn rejects_empty_cyclic_and_multi_sink_graphs() {
+        assert!(matches!(
+            VopDag::new(vec![]),
+            Err(ShmtError::InvalidConfig(_))
+        ));
+        // 0 → 1 → 0 cycle.
+        let cyc = vec![
+            DagNode::unary(UnaryOp::Relu, 1),
+            DagNode::unary(UnaryOp::Sqrt, 0),
+        ];
+        assert!(matches!(VopDag::new(cyc), Err(ShmtError::InvalidConfig(_))));
+        // Two disconnected roots are two sinks.
+        let two = vec![
+            DagNode::benchmark(Benchmark::Sobel, 1, vec![]),
+            DagNode::benchmark(Benchmark::Sobel, 2, vec![]),
+        ];
+        assert!(matches!(VopDag::new(two), Err(ShmtError::InvalidConfig(_))));
+        // Binary arity violation.
+        let bad = vec![
+            DagNode::benchmark(Benchmark::Sobel, 1, vec![]),
+            DagNode {
+                op: NodeOp::Binary(BinaryOp::Add),
+                deps: vec![0],
+                max_mape: None,
+            },
+        ];
+        assert!(matches!(VopDag::new(bad), Err(ShmtError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn linear_dag_matches_program_exactly() {
+        let stages = [
+            Stage {
+                benchmark: Benchmark::MeanFilter,
+                aux_seed: 1,
+            },
+            Stage {
+                benchmark: Benchmark::Sobel,
+                aux_seed: 2,
+            },
+        ];
+        let dag = VopDag::linear(&stages).unwrap();
+        let input = gen::image8(96, 96, 3);
+        let c = cfg();
+        let program = crate::pipeline::Program::new(stages.to_vec()).unwrap();
+        let p = program.run_shmt(input.clone(), c.runtime).unwrap();
+        let d = dag.run(&input, &c).unwrap();
+        assert_eq!(d.output.as_slice(), p.output.as_slice());
+        assert_eq!(d.total_latency_s, p.total_latency_s);
+        for (ds, ps) in d.stages.iter().zip(&p.stages) {
+            assert_eq!(ds.report.makespan_s, ps.makespan_s);
+            assert_eq!(ds.report.bus_bytes, ps.bus_bytes);
+        }
+    }
+
+    #[test]
+    fn resident_never_loses_to_naive() {
+        let dag = VopDag::linear(&[
+            Stage {
+                benchmark: Benchmark::Sobel,
+                aux_seed: 1,
+            },
+            Stage {
+                benchmark: Benchmark::Histogram,
+                aux_seed: 2,
+            },
+        ])
+        .unwrap();
+        let input = gen::image8(128, 128, 5);
+        let d = dag.run(&input, &cfg()).unwrap();
+        assert!(
+            d.makespan_s < d.naive_makespan_s,
+            "resident {} vs naive {}",
+            d.makespan_s,
+            d.naive_makespan_s
+        );
+        assert!(d.resident_bus_bytes <= d.naive_bus_bytes);
+    }
+
+    #[test]
+    fn unary_chain_fuses_to_one_stage() {
+        let dag = VopDag::new(vec![
+            DagNode::benchmark(Benchmark::Dwt, 1, vec![]),
+            DagNode::unary(UnaryOp::Relu, 0),
+            DagNode::unary(UnaryOp::Sqrt, 1),
+        ])
+        .unwrap();
+        let input = gen::image8(64, 64, 9);
+        let d = dag.run(&input, &cfg()).unwrap();
+        assert_eq!(d.stages.len(), 2, "relu+sqrt fuse into one stage");
+        assert_eq!(d.fused, 1);
+        assert_eq!(d.stages[1].nodes, vec![1, 2]);
+        // Fusion off executes all three nodes separately.
+        let mut c = cfg();
+        c.fuse_elementwise = false;
+        let u = dag.run(&input, &c).unwrap();
+        assert_eq!(u.stages.len(), 3);
+        assert_eq!(u.fused, 0);
+    }
+
+    #[test]
+    fn diamond_dag_runs_and_merges() {
+        // source → (relu, sqrt-of-relu?) no: diamond via binary join.
+        let dag = VopDag::new(vec![
+            DagNode::benchmark(Benchmark::MeanFilter, 3, vec![]),
+            DagNode::unary(UnaryOp::Relu, 0),
+            DagNode::unary(UnaryOp::Tanh, 0),
+            DagNode::binary(BinaryOp::Add, 1, 2),
+        ])
+        .unwrap();
+        let input = gen::image8(64, 64, 4);
+        let d = dag.run(&input, &cfg()).unwrap();
+        assert_eq!(d.output.shape(), (64, 64));
+        // Node 0 has two consumers: neither edge is residency-eligible.
+        assert_eq!(d.stages.len(), 4);
+        assert!(d.makespan_s > 0.0);
+        assert!(d.naive_makespan_s > d.makespan_s);
+    }
+
+    #[test]
+    fn canceled_runs_surface_typed_error() {
+        let dag = VopDag::linear(&[Stage {
+            benchmark: Benchmark::Sobel,
+            aux_seed: 1,
+        }])
+        .unwrap();
+        let input = gen::image8(32, 32, 1);
+        let err = dag
+            .run_with_cancel(&input, &cfg(), &mut NullSink, &mut || true)
+            .unwrap_err();
+        assert!(matches!(err, ShmtError::Canceled));
+    }
+}

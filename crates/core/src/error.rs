@@ -27,6 +27,9 @@ pub enum ShmtError {
         /// The budget that estimate exceeds.
         budget_mape: f64,
     },
+    /// A cooperative cancellation hook fired between pipeline stages
+    /// (the serve layer uses this for pipeline-level deadlines).
+    Canceled,
     /// An internal scheduler invariant was violated — always a bug, never
     /// a consequence of user input, but surfaced as a typed error instead
     /// of a panic so servers degrade gracefully.
@@ -52,6 +55,7 @@ impl fmt::Display for ShmtError {
                 "quality budget unattainable: estimated MAPE {estimated_mape:.4} exceeds \
                  budget {budget_mape:.4} with no exact device left to repair"
             ),
+            ShmtError::Canceled => write!(f, "execution canceled between stages"),
             ShmtError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }

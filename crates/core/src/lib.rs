@@ -72,6 +72,7 @@ pub mod arena;
 pub mod baseline;
 pub mod calibration;
 pub mod criticality;
+pub mod dag;
 mod error;
 pub mod exec;
 pub mod experiments;
@@ -89,6 +90,7 @@ pub mod sched;
 pub mod vop;
 
 pub use calibration::{AdaptiveCalibration, AdaptiveConfig};
+pub use dag::{DagConfig, DagNode, DagReport, DagStageReport, NodeId, NodeOp, VopDag};
 pub use error::{Result, ShmtError};
 pub use guard::{GuardConfig, QualityBudget, QualityReport, RepairRecord};
 pub use hetsim::{FaultInjector, FaultPlan, FaultReport, TpuMiscalibration};
@@ -96,6 +98,7 @@ pub use platform::Platform;
 pub use report::{BaselineReport, RunReport};
 pub use runtime::{RuntimeConfig, ShmtRuntime};
 pub use sched::{Policy, QawsAssignment, QualityConfig};
+pub use shmt_tensor::Tensor;
 pub use shmt_trace as trace;
 pub use shmt_trace::{NullSink, RingBufferSink, TraceData, TraceRecorder, TraceSink};
 pub use vop::{Opcode, ParallelModel, Vop};

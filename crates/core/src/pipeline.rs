@@ -160,7 +160,8 @@ impl Program {
 
 /// Keeps flowing data inside kernel-friendly numeric ranges (image kernels
 /// expect non-negative 8-bit-scale values; transforms can emit negatives).
-fn sanitize(mut t: Tensor) -> Tensor {
+/// Shared with [`crate::dag`], which must chain stages bit-identically.
+pub(crate) fn sanitize(mut t: Tensor) -> Tensor {
     t.map_inplace(|v| {
         if v.is_finite() {
             v.clamp(-1.0e6, 1.0e6)
@@ -213,6 +214,30 @@ mod tests {
         // Sobel magnitudes are non-negative up to int8 grid rounding (the
         // TPU output grid's lower edge can dequantize a hair below zero).
         assert!(report.output.as_slice().iter().all(|&v| v >= -1e-3));
+    }
+
+    #[test]
+    fn stage_reports_carry_true_element_counts() {
+        // Stage outputs move forward and leave a 1x1 placeholder tensor
+        // behind, so observers must never infer workload from
+        // `report.output` — the per-record element counts and the
+        // recorded `output_shape` carry the real sizes.
+        let program = vision_program();
+        let (rows, cols) = (128, 128);
+        let input = gen::image8(rows, cols, 3);
+        let mut cfg = RuntimeConfig::new(Policy::WorkStealing);
+        cfg.partitions = 8;
+        let report = program.run_shmt(input, cfg).unwrap();
+        for stage in &report.stages {
+            assert_eq!(stage.output.shape(), (1, 1), "placeholder stands in");
+            assert_eq!(stage.output_shape, (rows, cols), "true shape survives");
+            let computed: u64 = stage.device_elements().iter().map(|&(_, e)| e).sum();
+            assert_eq!(
+                computed,
+                (rows * cols) as u64,
+                "per-device element counts must cover the full stage"
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct RunReport {
     /// The computed output (genuinely computed: exact on GPU/CPU
     /// partitions, int8-degraded on Edge TPU partitions).
     pub output: Tensor,
+    /// The true `(rows, cols)` of the computed output. Pipeline layers
+    /// move `output` out and leave a 1×1 placeholder behind (the PR-4
+    /// clone-avoidance), so observers must read the real size from here,
+    /// never from `output.shape()`.
+    pub output_shape: (usize, usize),
     /// End-to-end virtual latency, including scheduling overhead.
     pub makespan_s: f64,
     /// Serial scheduler overhead included in the makespan (sampling or
@@ -171,6 +176,7 @@ mod tests {
     fn sample_report() -> RunReport {
         RunReport {
             output: Tensor::zeros(2, 2),
+            output_shape: (2, 2),
             makespan_s: 1.0,
             scheduling_overhead_s: 0.0,
             devices: vec![

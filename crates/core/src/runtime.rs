@@ -63,6 +63,11 @@ pub struct RuntimeConfig {
     /// Ablation knob: force synchronous (non-double-buffered) casts and
     /// transfers regardless of policy.
     pub force_synchronous: bool,
+    /// Fraction of this VOP's input already resident on the Edge TPU
+    /// (set by the DAG layer under residency dispatch). The planner
+    /// widens the TPU admission by `1 + hint`; the neutral 0.0 default
+    /// multiplies by exactly 1.0 and stays bit-identical.
+    pub tpu_residency_hint: f64,
     /// Host worker threads for the real HLOP computations (does not affect
     /// the modeled virtual time; results are bit-identical at any count).
     pub compute_threads: usize,
@@ -79,6 +84,7 @@ impl RuntimeConfig {
             device_mask: [true; 3],
             adapt: AdaptiveCalibration::neutral(),
             force_synchronous: false,
+            tpu_residency_hint: 0.0,
             compute_threads: crate::exec::default_threads(),
         }
     }
@@ -234,6 +240,7 @@ impl ShmtRuntime {
             PlanContext {
                 gpu_throughput: profiles[GPU].throughput,
                 tpu_admission: self.config.adapt.tpu_admission,
+                tpu_residency: self.config.tpu_residency_hint,
             },
             sink,
         );
@@ -869,8 +876,10 @@ impl ShmtRuntime {
         crate::arena::STOLEN.put(stolen_ids);
         crate::arena::COMPUTE.put(compute);
 
+        let output_shape = output.shape();
         Ok(RunReport {
             output,
+            output_shape,
             makespan_s: makespan,
             scheduling_overhead_s,
             devices,

@@ -280,16 +280,29 @@ pub struct PlanContext {
     /// TPU's criticality limit under DeviceLimits. `1.0` reproduces the
     /// static planner bit-for-bit; `0.0` evicts the TPU from planning.
     pub tpu_admission: f64,
+    /// Fraction of this VOP's input already resident in Edge-TPU memory
+    /// (the DAG layer's residency-aware dispatch hint). Widens the
+    /// effective admission by `1 + tpu_residency`: data that is already
+    /// on the device has paid its staging cost, so the planner may hand
+    /// the TPU a larger share. The neutral `0.0` multiplies by exactly
+    /// 1.0 and keeps every plan bit-identical.
+    pub tpu_residency: f64,
 }
 
 impl PlanContext {
-    /// A static-planner context (neutral admission) for the given GPU
-    /// throughput.
+    /// A static-planner context (neutral admission, no residency) for
+    /// the given GPU throughput.
     pub fn new(gpu_throughput: f64) -> Self {
         PlanContext {
             gpu_throughput,
             tpu_admission: 1.0,
+            tpu_residency: 0.0,
         }
+    }
+
+    /// The TPU admission aperture after the residency widening.
+    pub fn effective_admission(&self) -> f64 {
+        self.tpu_admission * (1.0 + self.tpu_residency)
     }
 }
 
@@ -367,13 +380,13 @@ pub fn plan_traced(
                 QawsAssignment::DeviceLimits => {
                     // The admission multiplier scales the TPU's
                     // criticality limit; x1.0 is bitwise exact.
-                    let factor = quality.limit_factor * ctx.tpu_admission as f32;
+                    let factor = quality.limit_factor * ctx.effective_admission() as f32;
                     let limits = device_limits_pair(&scores, factor);
                     algorithm1_into(&scores, &limits, &mut classes);
                 }
                 QawsAssignment::TopK => {
                     let k = (vop.criticality_hint() * quality.window as f64).round() as usize;
-                    let k = adapt_top_k(k, quality.window, ctx.tpu_admission);
+                    let k = adapt_top_k(k, quality.window, ctx.effective_admission());
                     algorithm2_into(&scores, k.max(1), quality.window, &mut classes);
                 }
             }

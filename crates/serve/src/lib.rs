@@ -93,5 +93,7 @@ mod stats;
 pub use error::{ServeError, SubmitError};
 pub use flight::{Anomaly, FlightConfig, FlightRecord, FlightRecorder};
 pub use health::{DeviceHealth, HealthConfig};
-pub use server::{Priority, Request, Response, Server, ServerConfig, TelemetryConfig, Ticket};
+pub use server::{
+    Payload, Priority, Request, Response, Server, ServerConfig, TelemetryConfig, Ticket,
+};
 pub use stats::{ClassSummary, LatencyStats, PolicySummary};

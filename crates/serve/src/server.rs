@@ -7,8 +7,8 @@ use std::time::{Duration, Instant};
 
 use shmt::sched::TPU;
 use shmt::{
-    AdaptiveCalibration, AdaptiveConfig, FaultPlan, GuardConfig, Platform, RunReport,
-    RuntimeConfig, ShmtError, ShmtRuntime, Vop,
+    AdaptiveCalibration, AdaptiveConfig, DagConfig, FaultPlan, GuardConfig, NullSink, Platform,
+    RunReport, RuntimeConfig, ShmtError, ShmtRuntime, Tensor, Vop, VopDag,
 };
 use shmt_trace::{MetricsRegistry, Observatory};
 
@@ -72,11 +72,44 @@ impl Priority {
     }
 }
 
-/// One VOP execution request: what to run, on which modeled platform,
+/// What an admitted request executes: one VOP, or a whole DAG program.
+pub enum Payload {
+    /// A single VOP.
+    Vop(Vop),
+    /// A DAG of VOP stages over one external input, executed with
+    /// inter-stage data residency ([`VopDag`]). Per-stage quality
+    /// budgets travel on the DAG nodes
+    /// ([`shmt::dag::DagNode::with_quality_budget`]); the request's
+    /// `max_mape`, when set, additionally guards every stage. The
+    /// request deadline applies to the whole pipeline: it is polled
+    /// between stages, so a mid-flight DAG stops at the next stage
+    /// boundary once the deadline lapses. Fault plans and adaptive
+    /// per-opcode recalibration apply to single-VOP requests only —
+    /// a DAG submission with a non-empty fault plan fails typed.
+    Program {
+        /// The validated DAG.
+        dag: VopDag,
+        /// The external input fed to the DAG's root stages.
+        input: Tensor,
+    },
+}
+
+impl Payload {
+    /// Short display label: the opcode for a VOP, `dag[n]` for an
+    /// n-node program (used in flight records and debug output).
+    pub fn label(&self) -> String {
+        match self {
+            Payload::Vop(vop) => vop.opcode().to_string(),
+            Payload::Program { dag, .. } => format!("dag[{}]", dag.len()),
+        }
+    }
+}
+
+/// One execution request: what to run, on which modeled platform,
 /// under which runtime configuration.
 pub struct Request {
-    /// The VOP to execute.
-    pub vop: Vop,
+    /// What to execute.
+    pub payload: Payload,
     /// The modeled platform the runtime plays the schedule on.
     pub platform: Platform,
     /// Runtime configuration (policy, partitions, quality knobs).
@@ -106,13 +139,40 @@ impl Request {
     /// no quality SLO, and no fault plan.
     pub fn new(vop: Vop, platform: Platform, config: RuntimeConfig) -> Self {
         Request {
-            vop,
+            payload: Payload::Vop(vop),
             platform,
             config,
             deadline: None,
             max_mape: None,
             faults: FaultPlan::none(),
             priority: Priority::default(),
+        }
+    }
+
+    /// A DAG-program request: the whole pipeline is one admission unit,
+    /// served with inter-stage residency. Stage platforms come from the
+    /// DAG's own benchmarks (the request's `platform` field is unused),
+    /// per-stage quality budgets from the DAG nodes, and the deadline —
+    /// set via [`Request::with_deadline`] — covers the pipeline end to
+    /// end.
+    pub fn with_program(dag: VopDag, input: Tensor, config: RuntimeConfig) -> Self {
+        Request {
+            payload: Payload::Program { dag, input },
+            platform: Platform::generic(),
+            config,
+            deadline: None,
+            max_mape: None,
+            faults: FaultPlan::none(),
+            priority: Priority::default(),
+        }
+    }
+
+    /// The single VOP this request executes, when it is not a DAG
+    /// program.
+    pub fn vop(&self) -> Option<&Vop> {
+        match &self.payload {
+            Payload::Vop(vop) => Some(vop),
+            Payload::Program { .. } => None,
         }
     }
 
@@ -149,7 +209,7 @@ impl Request {
 impl std::fmt::Debug for Request {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Request")
-            .field("opcode", &self.vop.opcode())
+            .field("payload", &self.payload.label())
             .field("policy", &self.config.policy.name())
             .field("deadline", &self.deadline)
             .field("max_mape", &self.max_mape)
@@ -745,6 +805,18 @@ impl Drop for Server {
     }
 }
 
+/// DAG-run facts the executor publishes as `dag.*` counters (which the
+/// [`Server::observatory`] snapshot merges in) once the metrics lock is
+/// taken on the completion path.
+struct DagStats {
+    stages: usize,
+    fused: usize,
+    edges: usize,
+    resident_edges: usize,
+    resident_bus_bytes: u64,
+    naive_bus_bytes: u64,
+}
+
 /// Records a flight entry and bumps the `serve.flight_dumps` counter
 /// when it triggered a disk dump. Lock order: `flight`, then `metrics`,
 /// each held alone.
@@ -801,7 +873,7 @@ fn executor_loop(shared: &Shared) {
                     .add_counter("serve.deadline_missed", 1.0);
                 let mut fr = FlightRecord::new(
                     queued.request.config.policy.name(),
-                    &queued.request.vop.opcode().to_string(),
+                    &queued.request.payload.label(),
                 );
                 fr.queue_wait_s = queue_wait.as_secs_f64();
                 fr.outcome = Anomaly::DeadlineMissed.name().to_owned();
@@ -816,7 +888,7 @@ fn executor_loop(shared: &Shared) {
         }
 
         let policy = queued.request.config.policy.name();
-        let opcode = queued.request.vop.opcode().to_string();
+        let opcode = queued.request.payload.label();
         let priority = queued.request.priority;
 
         // Route around quarantined devices (health lock held alone; see
@@ -848,15 +920,21 @@ fn executor_loop(shared: &Shared) {
         // healthy observatory changes nothing. `observatory` and
         // `calibrations` locks are each taken alone, per the lock notes
         // on `Shared`.
+        // DAG programs skip adaptive recalibration: the per-opcode
+        // calibration cache keys single-VOP kernels, and each DAG stage
+        // already runs under the request's explicit configuration.
         let mut adapted = false;
-        if shared.adapt.enabled && shared.observatory_enabled {
+        if shared.adapt.enabled && shared.observatory_enabled && queued.request.vop().is_some() {
             let profiles = shared
                 .observatory
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .profiles()
                 .to_vec();
-            let work = queued.request.vop.kernel().work_per_element();
+            let work = queued
+                .request
+                .vop()
+                .map_or(1.0, |v| v.kernel().work_per_element());
             let devices = queued.request.platform.device_profiles();
             let modeled = [
                 devices[0].throughput / work,
@@ -876,9 +954,44 @@ fn executor_loop(shared: &Shared) {
             adapted = prev != cal;
         }
 
-        let runtime = ShmtRuntime::new(queued.request.platform, config);
         let service_start = Instant::now();
-        let outcome = runtime.execute_with_faults(&queued.request.vop, &queued.request.faults);
+        let mut dag_stats: Option<DagStats> = None;
+        let outcome = match &queued.request.payload {
+            Payload::Vop(vop) => {
+                let runtime = ShmtRuntime::new(queued.request.platform.clone(), config);
+                runtime.execute_with_faults(vop, &queued.request.faults)
+            }
+            Payload::Program { dag, input } => {
+                if !queued.request.faults.is_empty() {
+                    Err(ShmtError::InvalidConfig(
+                        "fault plans apply to single-VOP requests; \
+                         DAG submissions run fault-free"
+                            .into(),
+                    ))
+                } else {
+                    // The pipeline-level deadline is polled between
+                    // stages; a lapse surfaces as ShmtError::Canceled
+                    // and is mapped to DeadlineExceeded below.
+                    let dag_config = DagConfig::new(config);
+                    let admitted_at = queued.admitted_at;
+                    let deadline = queued.deadline;
+                    dag.run_with_cancel(input, &dag_config, &mut NullSink, &mut || {
+                        deadline.is_some_and(|d| admitted_at.elapsed() > d)
+                    })
+                    .map(|dr| {
+                        dag_stats = Some(DagStats {
+                            stages: dr.stages.len(),
+                            fused: dr.fused,
+                            edges: dag.edge_count(),
+                            resident_edges: dr.resident_edges,
+                            resident_bus_bytes: dr.resident_bus_bytes,
+                            naive_bus_bytes: dr.naive_bus_bytes,
+                        });
+                        dr.into_run_report()
+                    })
+                }
+            }
+        };
         let service_time = service_start.elapsed();
 
         // Per-device fault attribution: dropouts strike the device that
@@ -977,6 +1090,11 @@ fn executor_loop(shared: &Shared) {
                 fr.outcome = Anomaly::QualityUnattainable.name().to_owned();
                 fr.anomalies.push(Anomaly::QualityUnattainable);
             }
+            Err(ShmtError::Canceled) => {
+                // A DAG's pipeline deadline lapsed mid-flight.
+                fr.outcome = Anomaly::DeadlineMissed.name().to_owned();
+                fr.anomalies.push(Anomaly::DeadlineMissed);
+            }
             Err(_) => {
                 fr.outcome = Anomaly::Failure.name().to_owned();
                 fr.anomalies.push(Anomaly::Failure);
@@ -999,6 +1117,15 @@ fn executor_loop(shared: &Shared) {
         }
         if adapted {
             metrics.add_counter("serve.adapted", 1.0);
+        }
+        if let Some(ds) = &dag_stats {
+            metrics.add_counter("dag.requests", 1.0);
+            metrics.add_counter("dag.stages", ds.stages as f64);
+            metrics.add_counter("dag.fused", ds.fused as f64);
+            metrics.add_counter("dag.edges", ds.edges as f64);
+            metrics.add_counter("dag.resident_edges", ds.resident_edges as f64);
+            metrics.add_counter("dag.resident_bus_bytes", ds.resident_bus_bytes as f64);
+            metrics.add_counter("dag.naive_bus_bytes", ds.naive_bus_bytes as f64);
         }
         match outcome {
             Ok(report) => {
@@ -1028,6 +1155,14 @@ fn executor_loop(shared: &Shared) {
                     service_time,
                     policy,
                     degraded,
+                }));
+            }
+            Err(ShmtError::Canceled) => {
+                // A DAG pipeline's deadline lapsed between stages.
+                metrics.add_counter("serve.deadline_missed", 1.0);
+                queued.ticket.fulfill(Err(ServeError::DeadlineExceeded {
+                    waited: queued.admitted_at.elapsed(),
+                    deadline: queued.deadline.unwrap_or_default(),
                 }));
             }
             Err(e) => {

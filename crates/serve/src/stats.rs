@@ -44,15 +44,17 @@ impl LatencyStats {
         if count == 0 {
             return None;
         }
-        let q = |p: f64| hist.quantile(p).expect("non-empty histogram");
+        // Propagate emptiness instead of `expect`ing: a summary requested
+        // before any request completes must yield `None`, never a panic,
+        // even if a histogram's total and its bucket state ever disagree.
         Some(LatencyStats {
             count,
-            mean_s: hist.mean().expect("non-empty histogram"),
-            p50_s: q(0.50),
-            p95_s: q(0.95),
-            p99_s: q(0.99),
-            p999_s: q(0.999),
-            max_s: hist.max_value().expect("non-empty histogram"),
+            mean_s: hist.mean()?,
+            p50_s: hist.quantile(0.50)?,
+            p95_s: hist.quantile(0.95)?,
+            p99_s: hist.quantile(0.99)?,
+            p999_s: hist.quantile(0.999)?,
+            max_s: hist.max_value()?,
         })
     }
 }
@@ -162,6 +164,32 @@ mod tests {
         assert_eq!(nearest_rank(&v, 95.0), 95.0);
         assert_eq!(nearest_rank(&v, 99.0), 99.0);
         assert_eq!(nearest_rank(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn nearest_rank_edge_percentiles() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        // p0 would compute rank 0; the clamp pins it to the minimum.
+        assert_eq!(nearest_rank(&v, 0.0), 1.0);
+        // p100 computes rank == len exactly (no off-by-one past the end).
+        assert_eq!(nearest_rank(&v, 100.0), 100.0);
+        // A single sample answers every percentile.
+        assert_eq!(nearest_rank(&[42.0], 0.0), 42.0);
+        assert_eq!(nearest_rank(&[42.0], 50.0), 42.0);
+        assert_eq!(nearest_rank(&[42.0], 100.0), 42.0);
+        // Exact multiples at len=4: p25 is the 1st order statistic.
+        let q = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&q, 25.0), 1.0);
+        assert_eq!(nearest_rank(&q, 50.0), 2.0);
+        assert_eq!(nearest_rank(&q, 75.0), 3.0);
+        assert_eq!(nearest_rank(&q, 100.0), 4.0);
+    }
+
+    #[test]
+    fn empty_store_yields_no_summaries() {
+        let store = SampleStore::default();
+        assert!(store.summaries().is_empty());
+        assert!(store.class_summaries().is_empty());
     }
 
     #[test]

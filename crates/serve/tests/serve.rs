@@ -206,7 +206,7 @@ fn concurrent_serving_is_bit_identical_to_sequential() {
         .map(|&(b, seed, policy)| {
             let req = request(b, 192, seed, policy);
             ShmtRuntime::new(req.platform.clone(), req.config)
-                .execute(&req.vop)
+                .execute(req.vop().expect("single-VOP request"))
                 .expect("sequential run succeeds")
                 .output
         })
@@ -469,4 +469,86 @@ fn quality_slo_repairs_miscalibrated_output_within_budget() {
     assert!(!resp.degraded, "no device was lost or masked");
     // Guard repairs are health evidence against the TPU.
     assert_eq!(server.device_health()[TPU].total_strikes, 1);
+}
+
+mod dag_serving {
+    use super::*;
+    use shmt::dag::{DagConfig, DagNode, VopDag};
+    use shmt::Tensor;
+    use shmt_kernels::primitives::UnaryOp;
+    use shmt_tensor::gen;
+
+    fn pipeline() -> (VopDag, Tensor) {
+        let dag = VopDag::new(vec![
+            DagNode::benchmark(Benchmark::Sobel, 3, vec![]),
+            DagNode::unary(UnaryOp::Sqrt, 0),
+        ])
+        .expect("valid DAG");
+        (dag, gen::image8(96, 96, 11))
+    }
+
+    fn dag_config() -> RuntimeConfig {
+        let mut config = RuntimeConfig::new(Policy::WorkStealing);
+        config.partitions = 8;
+        config
+    }
+
+    #[test]
+    fn served_dag_is_bit_identical_to_direct_execution() {
+        let (dag, input) = pipeline();
+        let reference = dag
+            .run(&input, &DagConfig::new(dag_config()))
+            .expect("direct DAG run succeeds")
+            .output;
+        let server = Server::new(ServerConfig::default());
+        let response = server
+            .submit_blocking(Request::with_program(dag, input, dag_config()))
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert_eq!(response.report.output.as_slice(), reference.as_slice());
+        assert!(response.report.makespan_s > 0.0);
+        // The dag.* counters feed the merged observatory snapshot.
+        let metrics = server.observatory().metrics().clone();
+        assert_eq!(metrics.counter("dag.requests"), 1.0);
+        assert_eq!(metrics.counter("dag.stages"), 2.0);
+        assert!(metrics.counter("dag.naive_bus_bytes") > metrics.counter("dag.resident_bus_bytes"));
+    }
+
+    #[test]
+    fn dag_with_fault_plan_fails_typed() {
+        let (dag, input) = pipeline();
+        let server = Server::new(ServerConfig::default());
+        let req = Request::with_program(dag, input, dag_config())
+            .with_faults(FaultPlan::none().with_dropout(0, 0.0));
+        let err = server
+            .submit_blocking(req)
+            .expect("admitted")
+            .wait()
+            .expect_err("fault plans are single-VOP only");
+        assert!(matches!(err, ServeError::Runtime(_)), "{err}");
+    }
+
+    #[test]
+    fn lapsed_pipeline_deadline_fails_typed() {
+        // Big enough that execution takes far longer than the deadline:
+        // the between-stage poll fires and the DAG stops early. (If the
+        // machine is so loaded the deadline lapses while still queued,
+        // the queue-side check produces the same typed error.)
+        let dag = VopDag::new(vec![
+            DagNode::benchmark(Benchmark::Sobel, 3, vec![]),
+            DagNode::unary(UnaryOp::Sqrt, 0),
+        ])
+        .expect("valid DAG");
+        let server = Server::new(ServerConfig::default());
+        let req = Request::with_program(dag, gen::image8(512, 512, 11), dag_config())
+            .with_deadline(Duration::from_millis(2));
+        let err = server
+            .submit_blocking(req)
+            .expect("admitted")
+            .wait()
+            .expect_err("deadline lapsed");
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err}");
+        assert_eq!(server.metrics().counter("serve.deadline_missed"), 1.0);
+    }
 }

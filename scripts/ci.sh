@@ -154,4 +154,27 @@ grep -q '"static_breaches":true' "$f" || { echo "static SLO breach flag missing 
 grep -q '"adaptive_holds":true' "$f" || { echo "adaptive SLO hold flag missing in $f"; exit 1; }
 echo "adaptive scheduling smoke validated: $f"
 
+echo "== dag composition smoke check =="
+# dag_report runs three pipelines through the VopDag layer and certifies
+# its contract: the degenerate linear DAG reproduces Program exactly,
+# the resident composition strictly beats naive host round-tripping on
+# every pipeline, the unfused DAG is bit-identical to hand-chained
+# sequential execution, the unary tail fuses, and identical element-wise
+# stages leave interior edges fully resident (zero staged elements). The
+# bin aborts on any violation and re-validates its own artifact with the
+# workspace's JSON parser.
+cargo run --release -q -p shmt-bench --bin dag_report -- --smoke >/dev/null
+f=results/BENCH_dag_smoke.json
+[ -s "$f" ] || { echo "empty dag report: $f"; exit 1; }
+grep -q '"degenerate_matches_program":true' "$f" || { echo "linear DAG diverged from Program in $f"; exit 1; }
+grep -q '"zero_staged_interior":true' "$f" || { echo "all-resident chain staged elements in $f"; exit 1; }
+grep -q '"fusion_computes_chain":true' "$f" || { echo "fused kernel computed the wrong chain in $f"; exit 1; }
+if grep -q '"resident_beats_naive":false' "$f"; then
+    echo "a resident composition lost to naive round-tripping in $f"; exit 1
+fi
+if grep -q '"bit_identical":false' "$f"; then
+    echo "a DAG pipeline diverged from its sequential reference in $f"; exit 1
+fi
+echo "dag composition smoke validated: $f"
+
 echo "CI OK"

@@ -1,0 +1,177 @@
+//! Randomized property tests over [`shmt::VopDag`]: node labels and the
+//! implied topological order must never change computed values, and
+//! fully-overlapping Edge-TPU placements must make interior edges
+//! entirely device-resident (zero staged input elements).
+//!
+//! Cases are drawn from a seeded [`Pcg32`] stream, so every run explores
+//! the same graphs and failures reproduce exactly.
+
+use shmt::dag::{DagConfig, DagNode, VopDag};
+use shmt::{Policy, RuntimeConfig};
+use shmt_kernels::primitives::{BinaryOp, UnaryOp};
+use shmt_kernels::Benchmark;
+use shmt_tensor::gen;
+use shmt_tensor::rng::Pcg32;
+
+fn cfg() -> DagConfig {
+    let mut rt = RuntimeConfig::new(Policy::WorkStealing);
+    rt.partitions = 8;
+    DagConfig::new(rt)
+}
+
+/// Builds a random single-sink DAG: a benchmark root, a layer of unary
+/// nodes over random earlier producers, and binary joins folding every
+/// dangling output down to one sink.
+fn random_dag(rng: &mut Pcg32) -> VopDag {
+    const UNARY: [UnaryOp; 3] = [UnaryOp::Relu, UnaryOp::Sqrt, UnaryOp::Tanh];
+    const BINARY: [BinaryOp; 3] = [BinaryOp::Add, BinaryOp::Max, BinaryOp::Min];
+    const ROOTS: [Benchmark; 3] = [Benchmark::MeanFilter, Benchmark::Sobel, Benchmark::Dwt];
+
+    let root = ROOTS[rng.gen_range(0usize..ROOTS.len())];
+    let mut nodes = vec![DagNode::benchmark(root, rng.gen_range(0u64..100), vec![])];
+    for _ in 0..rng.gen_range(2usize..7) {
+        let op = UNARY[rng.gen_range(0usize..UNARY.len())];
+        let dep = rng.gen_range(0usize..nodes.len());
+        nodes.push(DagNode::unary(op, dep));
+    }
+    // Fold all current sinks pairwise until exactly one remains.
+    loop {
+        let mut consumed = vec![false; nodes.len()];
+        for n in &nodes {
+            for &d in &n.deps {
+                consumed[d] = true;
+            }
+        }
+        let sinks: Vec<usize> = (0..nodes.len()).filter(|&i| !consumed[i]).collect();
+        if sinks.len() < 2 {
+            break;
+        }
+        let op = BINARY[rng.gen_range(0usize..BINARY.len())];
+        nodes.push(DagNode::binary(op, sinks[0], sinks[1]));
+    }
+    VopDag::new(nodes).expect("generated DAG validates")
+}
+
+/// Relabels a DAG's nodes through a random permutation (dependencies
+/// remapped, slot order preserved). Acyclicity is label-independent, so
+/// the permuted graph still validates — but its internal topological
+/// order, and hence stage execution order, generally differs.
+fn relabel(dag: &VopDag, rng: &mut Pcg32) -> VopDag {
+    let n = dag.len();
+    // Fisher–Yates: perm[old] = new.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0usize..i + 1);
+        perm.swap(i, j);
+    }
+    let mut nodes: Vec<Option<DagNode>> = vec![None; n];
+    for (old, node) in dag.nodes().iter().enumerate() {
+        let mut moved = node.clone();
+        moved.deps = node.deps.iter().map(|&d| perm[d]).collect();
+        nodes[perm[old]] = Some(moved);
+    }
+    let nodes: Vec<DagNode> = nodes.into_iter().map(|n| n.expect("bijection")).collect();
+    VopDag::new(nodes).expect("relabeled DAG validates")
+}
+
+/// Any relabeling of a DAG — and therefore any admissible topological
+/// execution order — produces bit-identical outputs: values are decided
+/// per stage by the ordinary runtime, never by graph traversal order.
+#[test]
+fn relabeled_dags_are_bit_identical() {
+    let mut rng = Pcg32::seed_from_u64(0xDA61);
+    for case in 0..6 {
+        let dag = random_dag(&mut rng);
+        let input = gen::image8(48, 48, 7 + case);
+        let reference = dag.run(&input, &cfg()).expect("reference run");
+        for _ in 0..2 {
+            let shuffled = relabel(&dag, &mut rng);
+            let got = shuffled.run(&input, &cfg()).expect("relabeled run");
+            assert_eq!(
+                got.output.as_slice(),
+                reference.output.as_slice(),
+                "case {case}: relabeling changed computed values"
+            );
+            assert_eq!(got.stages.len(), reference.stages.len(), "case {case}");
+            assert_eq!(got.fused, reference.fused, "case {case}");
+        }
+    }
+}
+
+/// Fusion is an execution-plan change with one sanctioned numeric
+/// effect: the fused kernel quantizes *once* around the whole chain on
+/// the int8 Edge-TPU path (as a real fused device kernel does) instead
+/// of once per stage. So a run that fused nothing must be bit-identical
+/// to the unfused plan, and a run that did fuse must stay within a
+/// couple of int8 grid steps of it.
+#[test]
+fn fusion_stays_within_quantization_tolerance() {
+    let mut rng = Pcg32::seed_from_u64(0xDA62);
+    for case in 0..4 {
+        let dag = random_dag(&mut rng);
+        let input = gen::image8(48, 48, 11 + case);
+        let fused = dag.run(&input, &cfg()).expect("fused run");
+        let mut unfused_cfg = cfg();
+        unfused_cfg.fuse_elementwise = false;
+        let unfused = dag.run(&input, &unfused_cfg).expect("unfused run");
+        if fused.fused == 0 {
+            assert_eq!(
+                fused.output.as_slice(),
+                unfused.output.as_slice(),
+                "case {case}: nothing fused, yet values changed"
+            );
+        } else {
+            let err = shmt::quality::mape(&unfused.output, &fused.output);
+            assert!(
+                err < 0.02,
+                "case {case}: fused chain drifted {err} MAPE from the unfused plan"
+            );
+        }
+        assert!(fused.stages.len() <= unfused.stages.len(), "case {case}");
+    }
+}
+
+/// An interior edge between two identically-shaped element-wise stages
+/// is fully resident: the consumer's Edge-TPU tiles coincide with the
+/// producer's, so no input element is staged over the interconnect and
+/// the resident composition strictly beats the naive round-trip.
+#[test]
+fn identical_stage_chain_is_fully_resident() {
+    // Fusion off so the unary chain stays three distinct stages with two
+    // interior edges.
+    let mut c = cfg();
+    c.fuse_elementwise = false;
+    let root = DagNode {
+        op: shmt::NodeOp::Unary(UnaryOp::Relu),
+        deps: vec![],
+        max_mape: None,
+    };
+    let dag = VopDag::new(vec![
+        root,
+        DagNode::unary(UnaryOp::Sqrt, 0),
+        DagNode::unary(UnaryOp::Tanh, 1),
+    ])
+    .expect("valid chain");
+    let input = gen::image8(128, 128, 3);
+    let d = dag.run(&input, &c).expect("chain runs");
+    assert_eq!(d.stages.len(), 3);
+    for (i, stage) in d.stages.iter().enumerate().skip(1) {
+        let tpu_elems: usize = stage
+            .report
+            .device_elements()
+            .iter()
+            .filter(|(kind, _)| matches!(kind, hetsim::DeviceKind::EdgeTpu))
+            .map(|&(_, e)| e as usize)
+            .sum();
+        assert_eq!(
+            stage.staged_in_elements, 0,
+            "stage {i}: identical placements must leave the whole edge resident"
+        );
+        assert_eq!(
+            stage.resident_in_elements, tpu_elems,
+            "stage {i}: residency must cover every Edge-TPU element"
+        );
+    }
+    assert!(d.resident_bus_bytes < d.naive_bus_bytes);
+    assert!(d.makespan_s < d.naive_makespan_s);
+}

@@ -71,7 +71,7 @@ fn telemetry_stays_off_the_data_path() {
     {
         let req = request(b, 64, 10 + i as u64, qaws());
         let reference = ShmtRuntime::new(req.platform.clone(), req.config)
-            .execute(&req.vop)
+            .execute(req.vop().expect("single-VOP request"))
             .expect("sequential run succeeds")
             .output;
         let served = server
