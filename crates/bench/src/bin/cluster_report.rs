@@ -1,0 +1,541 @@
+//! Machine-readable cluster-robustness report.
+//!
+//! ```text
+//! cargo run --release -p shmt-bench --bin cluster_report
+//! cargo run --release -p shmt-bench --bin cluster_report -- --smoke
+//! ```
+//!
+//! Drives a simulated SHMT fleet ([`shmt_cluster`]) open-loop through a
+//! battery of chaos scenarios and certifies the router's robustness
+//! contract:
+//!
+//! * **steady / bursty / diurnal** — seeded arrival processes against a
+//!   healthy fleet: every request resolves (nothing lost, nothing
+//!   hangs), latency percentiles and throughput recorded.
+//! * **node_crash** — one node crashes mid-run with requests in flight.
+//!   Failover + retries must resolve *every* offered request: zero lost,
+//!   zero failed.
+//! * **slow_node (hedge off vs on)** — one node delivers 30 ms late;
+//!   affinity keeps a third of the traffic pinned to it. With hedging
+//!   off, that tail pollutes p99; with hedging on (p95-derived delay,
+//!   loser canceled), p99 must improve materially and hedges must win.
+//! * **overload_shed** — 2x the fleet's measured capacity. Admission
+//!   must shed BestEffort first (never Interactive), and the Interactive
+//!   p95 must hold its SLO while overloaded.
+//! * **flapping** — a node flaps down twice; the breaker must
+//!   quarantine, probe, and reintegrate it, losing nothing.
+//! * **dual_failure** — a crash *and* an overlapping down-window leave
+//!   one node standing; the fleet keeps serving on it.
+//!
+//! The default output is `BENCH_cluster.json` at the repository root;
+//! `--smoke` shrinks every scenario and writes
+//! `results/BENCH_cluster_smoke.json` (the CI gate). The artifact is
+//! re-read with the workspace's own JSON parser and the bin aborts on
+//! any violated flag, so CI's grep never sees a half-true file.
+
+use std::time::Duration;
+
+use shmt_cluster::loadgen::{arrival_times, drive, ArrivalProcess, DriveReport, RequestSpec};
+use shmt_cluster::{
+    ClusterConfig, ClusterRouter, NodeConfig, NodeFaultPlan, RetryBudgetConfig, RetryConfig,
+    RouteOptions, ScoreWeights, ShedConfig,
+};
+use shmt_kernels::Benchmark;
+use shmt_serve::{Priority, ServerConfig};
+use shmt_trace::json::{JsonValue, ObjectBuilder};
+
+/// Interactive p95 SLO under 2x overload, seconds.
+const INTERACTIVE_SLO_S: f64 = 0.050;
+/// The slow node's extra delivery latency.
+const SLOW_EXTRA: Duration = Duration::from_millis(30);
+/// No request may take longer than this end to end, in any scenario —
+/// the "no hangs" bound (attempt timeouts are 2 s; retries are bounded).
+const HANG_BOUND_S: f64 = 10.0;
+
+struct Opts {
+    smoke: bool,
+    out: Option<String>,
+}
+
+fn parse_opts(args: impl Iterator<Item = String>) -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        out: None,
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                opts.out = Some(args.next().unwrap_or_else(|| panic!("--out needs a path")));
+            }
+            other => panic!("unknown flag {other}; accepted: --smoke --out"),
+        }
+    }
+    opts
+}
+
+/// The workload every scenario offers: a small Sobel the virtual devices
+/// finish in well under a millisecond.
+fn base_spec(seed: u64) -> RequestSpec {
+    let mut spec = RequestSpec::new(Benchmark::Sobel, 32, seed);
+    spec.partitions = 2;
+    spec
+}
+
+/// `n` healthy nodes with single executors and deep admission queues
+/// (the router's shedding, not node bounce, is the overload control).
+fn fleet(n: usize) -> Vec<NodeConfig> {
+    (0..n)
+        .map(|_| {
+            NodeConfig::new(ServerConfig {
+                executors: 1,
+                queue_capacity: 64,
+                ..ServerConfig::default()
+            })
+        })
+        .collect()
+}
+
+fn base_config(nodes: Vec<NodeConfig>) -> ClusterConfig {
+    let mut cfg = ClusterConfig::with_nodes(1);
+    cfg.nodes = nodes;
+    cfg.attempt_timeout = Duration::from_secs(2);
+    cfg.retry = RetryConfig {
+        max_attempts: 5,
+        backoff: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(20),
+    };
+    cfg.budget = RetryBudgetConfig {
+        initial: 50.0,
+        deposit_per_request: 0.5,
+        cap: 5_000.0,
+    };
+    cfg.shed = ShedConfig {
+        enabled: true,
+        capacity: 256,
+        batch_fraction: 0.75,
+        best_effort_fraction: 0.5,
+    };
+    cfg.hedge.enabled = false;
+    cfg
+}
+
+/// Measures the fleet's single-stream service rate (requests per
+/// second): one node, sequential requests. Scenario rates derive from
+/// it so the report is honest on any host speed.
+fn calibrate() -> f64 {
+    let router = ClusterRouter::new(base_config(fleet(1)));
+    for i in 0..10 {
+        let s = base_spec(i);
+        router
+            .route(RouteOptions::new(), &|| s.build())
+            .expect("calibration request");
+    }
+    let started = std::time::Instant::now();
+    let n = 200u64;
+    for i in 0..n {
+        let s = base_spec(100 + i);
+        router
+            .route(RouteOptions::new(), &|| s.build())
+            .expect("calibration request");
+    }
+    let rate = n as f64 / started.elapsed().as_secs_f64();
+    // Clamp to keep arrival gaps above scheduler granularity and the
+    // derived scenarios meaningful on absurdly fast or slow hosts.
+    rate.clamp(200.0, 10_000.0)
+}
+
+/// One scenario's tallies plus the router-side state it ended with.
+struct ScenarioResult {
+    report: DriveReport,
+    quarantines: usize,
+    reintegrations: usize,
+    budget_withdrawn: u64,
+    budget_denied: u64,
+}
+
+fn run_scenario(
+    cfg: ClusterConfig,
+    specs: &[RequestSpec],
+    arrivals: &[f64],
+    workers: usize,
+) -> ScenarioResult {
+    let router = ClusterRouter::new(cfg);
+    let report = drive(&router, specs, arrivals, workers);
+    let health = router.node_health();
+    let stats = router.budget_stats();
+    ScenarioResult {
+        report,
+        quarantines: health.iter().map(|h| h.quarantines).sum(),
+        reintegrations: health.iter().map(|h| h.reintegrations).sum(),
+        budget_withdrawn: stats.withdrawn,
+        budget_denied: stats.denied,
+    }
+}
+
+fn scenario_json(r: &ScenarioResult) -> JsonValue {
+    let rep = &r.report;
+    let pct = |p: f64| JsonValue::Number(rep.latency_percentile(p).unwrap_or(0.0) * 1e3);
+    ObjectBuilder::new()
+        .field("offered", JsonValue::Number(rep.offered as f64))
+        .field("ok", JsonValue::Number(rep.ok as f64))
+        .field("lost", JsonValue::Number(rep.lost as f64))
+        .field("shed", JsonValue::Number(rep.shed() as f64))
+        .field(
+            "shed_interactive",
+            JsonValue::Number(rep.shed_by_class[Priority::Interactive.index()] as f64),
+        )
+        .field(
+            "shed_batch",
+            JsonValue::Number(rep.shed_by_class[Priority::Batch.index()] as f64),
+        )
+        .field(
+            "shed_best_effort",
+            JsonValue::Number(rep.shed_by_class[Priority::BestEffort.index()] as f64),
+        )
+        .field(
+            "deadline_exceeded",
+            JsonValue::Number(rep.deadline_exceeded as f64),
+        )
+        .field(
+            "budget_exhausted",
+            JsonValue::Number(rep.budget_exhausted as f64),
+        )
+        .field(
+            "nodes_exhausted",
+            JsonValue::Number(rep.nodes_exhausted as f64),
+        )
+        .field("other_failed", JsonValue::Number(rep.other_failed as f64))
+        .field("retries", JsonValue::Number(rep.retries as f64))
+        .field("hedged", JsonValue::Number(rep.hedged as f64))
+        .field("hedge_wins", JsonValue::Number(rep.hedge_wins as f64))
+        .field("p50_ms", pct(50.0))
+        .field("p95_ms", pct(95.0))
+        .field("p99_ms", pct(99.0))
+        .field("p999_ms", pct(99.9))
+        .field("max_latency_ms", JsonValue::Number(rep.max_latency_s * 1e3))
+        .field("throughput_rps", JsonValue::Number(rep.throughput_rps()))
+        .field("wall_s", JsonValue::Number(rep.wall_s))
+        .field("quarantines", JsonValue::Number(r.quarantines as f64))
+        .field("reintegrations", JsonValue::Number(r.reintegrations as f64))
+        .field(
+            "budget_withdrawn",
+            JsonValue::Number(r.budget_withdrawn as f64),
+        )
+        .field("budget_denied", JsonValue::Number(r.budget_denied as f64))
+        .build()
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let opts = parse_opts(std::env::args().skip(1));
+    let default_out = if opts.smoke {
+        "results/BENCH_cluster_smoke.json"
+    } else {
+        "BENCH_cluster.json"
+    };
+    let out_path = opts.out.as_deref().unwrap_or(default_out);
+
+    let svc_rate = calibrate();
+    // Scenario request counts: the full run offers 10^5+ requests total.
+    let scale = |full: usize, smoke: usize| if opts.smoke { smoke } else { full };
+
+    // --- steady / bursty / diurnal against a healthy 3-node fleet ---
+    let steady_rate = 0.6 * svc_rate;
+    let n_steady = scale(30_000, 600);
+    let steady = run_scenario(
+        base_config(fleet(3)),
+        &[base_spec(1)],
+        &arrival_times(ArrivalProcess::Poisson { rate: steady_rate }, n_steady, 11),
+        16,
+    );
+
+    let n_bursty = scale(12_000, 400);
+    let bursty = run_scenario(
+        base_config(fleet(3)),
+        &[base_spec(2)],
+        &arrival_times(
+            ArrivalProcess::Bursty {
+                base_rate: 0.3 * svc_rate,
+                burst_rate: 1.2 * svc_rate,
+                mean_on_s: 0.2,
+                mean_off_s: 0.6,
+            },
+            n_bursty,
+            13,
+        ),
+        24,
+    );
+
+    let n_diurnal = scale(12_000, 400);
+    let diurnal = run_scenario(
+        base_config(fleet(3)),
+        &[base_spec(3)],
+        &arrival_times(
+            ArrivalProcess::Diurnal {
+                mean_rate: 0.5 * svc_rate,
+                period_s: (n_diurnal as f64 / (0.5 * svc_rate)).max(0.5),
+                depth: 0.8,
+            },
+            n_diurnal,
+            17,
+        ),
+        16,
+    );
+
+    // --- node_crash: node 0 dies a quarter of the way in, mid-flight ---
+    let n_crash = scale(12_000, 500);
+    let crash_rate = 0.5 * svc_rate;
+    let crash_at = 0.25 * n_crash as f64 / crash_rate;
+    let mut crash_cfg = base_config(fleet(3));
+    crash_cfg.nodes[0] = crash_cfg.nodes[0]
+        .clone()
+        .with_faults(NodeFaultPlan::none().with_crash_at(crash_at));
+    let crash = run_scenario(
+        crash_cfg,
+        &[base_spec(4)],
+        &arrival_times(ArrivalProcess::Poisson { rate: crash_rate }, n_crash, 19),
+        16,
+    );
+
+    // --- slow_node A/B: hedging off vs on, same fleet, same load ---
+    let n_slow = scale(8_000, 400);
+    let slow_rate = (0.15 * svc_rate).min(1_200.0);
+    let slow_cfg = || {
+        let mut cfg = base_config(fleet(3));
+        cfg.nodes[1] = cfg.nodes[1]
+            .clone()
+            .with_faults(NodeFaultPlan::none().with_slow_window(0.0, 3600.0, SLOW_EXTRA));
+        // Sticky affinity routing with performance steering off: the slow
+        // node keeps its third of the traffic in both arms, so the A/B
+        // isolates exactly what hedging buys.
+        cfg.score = ScoreWeights {
+            load: 0.2,
+            perf: 0.0,
+            locality: 5.0,
+            quality: 0.0,
+            pressure: 2.0,
+        };
+        cfg.hedge.quantile = 0.95;
+        cfg.hedge.min_samples = 64;
+        cfg.hedge.min_delay = Duration::from_millis(2);
+        cfg.hedge.max_delay = SLOW_EXTRA / 3;
+        cfg
+    };
+    let slow_specs: Vec<RequestSpec> = (0..3)
+        .map(|k| base_spec(5).with_options(RouteOptions::new().with_affinity(k)))
+        .collect();
+    let slow_arrivals = arrival_times(ArrivalProcess::Poisson { rate: slow_rate }, n_slow, 23);
+    let hedge_off = run_scenario(slow_cfg(), &slow_specs, &slow_arrivals, 32);
+    let mut on_cfg = slow_cfg();
+    on_cfg.hedge.enabled = true;
+    let hedge_on = run_scenario(on_cfg, &slow_specs, &slow_arrivals, 32);
+
+    // --- overload_shed: 2x capacity, mixed classes ---
+    let n_overload = scale(14_000, 600);
+    let overload_rate = 2.0 * svc_rate;
+    let mut overload_cfg = base_config(fleet(3));
+    overload_cfg.shed = ShedConfig {
+        enabled: true,
+        capacity: 16,
+        batch_fraction: 0.6,
+        best_effort_fraction: 0.25,
+    };
+    // 30% Interactive, 40% Batch, 30% BestEffort.
+    let overload_specs: Vec<RequestSpec> = (0..10)
+        .map(|i| {
+            let class = match i {
+                0..=2 => Priority::Interactive,
+                3..=6 => Priority::Batch,
+                _ => Priority::BestEffort,
+            };
+            base_spec(6).with_options(RouteOptions::new().with_priority(class))
+        })
+        .collect();
+    let overload = run_scenario(
+        overload_cfg,
+        &overload_specs,
+        &arrival_times(
+            ArrivalProcess::Poisson {
+                rate: overload_rate,
+            },
+            n_overload,
+            29,
+        ),
+        12,
+    );
+
+    // --- flapping: node 2 drops out twice and must come back ---
+    let n_flap = scale(8_000, 400);
+    let flap_rate = 0.5 * svc_rate;
+    let flap_d = n_flap as f64 / flap_rate;
+    let mut flap_cfg = base_config(fleet(3));
+    flap_cfg.nodes[2] = flap_cfg.nodes[2].clone().with_faults(
+        NodeFaultPlan::none()
+            .with_down_window(0.20 * flap_d, 0.40 * flap_d)
+            .with_down_window(0.60 * flap_d, 0.70 * flap_d),
+    );
+    flap_cfg.breaker.quarantine_after = 2;
+    flap_cfg.breaker.probe_after = 8;
+    let flapping = run_scenario(
+        flap_cfg,
+        &[base_spec(7)],
+        &arrival_times(ArrivalProcess::Poisson { rate: flap_rate }, n_flap, 31),
+        16,
+    );
+
+    // --- dual_failure: a crash and an overlapping down-window leave one
+    // node standing ---
+    let n_dual = scale(8_000, 400);
+    let dual_rate = 0.4 * svc_rate;
+    let dual_d = n_dual as f64 / dual_rate;
+    let mut dual_cfg = base_config(fleet(3));
+    dual_cfg.nodes[0] = dual_cfg.nodes[0]
+        .clone()
+        .with_faults(NodeFaultPlan::none().with_crash_at(0.3 * dual_d));
+    dual_cfg.nodes[1] = dual_cfg.nodes[1]
+        .clone()
+        .with_faults(NodeFaultPlan::none().with_down_window(0.3 * dual_d, 0.6 * dual_d));
+    let dual = run_scenario(
+        dual_cfg,
+        &[base_spec(8)],
+        &arrival_times(ArrivalProcess::Poisson { rate: dual_rate }, n_dual, 37),
+        16,
+    );
+
+    // --- the robustness flags CI gates on ---
+    let scenarios: [(&str, &ScenarioResult); 9] = [
+        ("steady_poisson", &steady),
+        ("bursty", &bursty),
+        ("diurnal", &diurnal),
+        ("node_crash", &crash),
+        ("slow_node_hedge_off", &hedge_off),
+        ("slow_node_hedge_on", &hedge_on),
+        ("overload_shed", &overload),
+        ("flapping", &flapping),
+        ("dual_failure", &dual),
+    ];
+    let total_offered: usize = scenarios.iter().map(|(_, s)| s.report.offered).sum();
+    let zero_lost_everywhere = scenarios.iter().all(|(_, s)| s.report.lost == 0);
+    let no_hangs = scenarios
+        .iter()
+        .all(|(_, s)| s.report.max_latency_s < HANG_BOUND_S);
+    let crash_zero_lost = crash.report.lost == 0 && crash.report.ok == crash.report.offered;
+    let off_p99 = hedge_off.report.latency_percentile(99.0).unwrap_or(0.0);
+    let on_p99 = hedge_on.report.latency_percentile(99.0).unwrap_or(f64::MAX);
+    let hedging_improves_p99 = on_p99 < 0.9 * off_p99
+        && hedge_on.report.hedge_wins > 0
+        && hedge_on.report.lost == 0
+        && hedge_off.report.lost == 0;
+    let interactive_p95 = overload
+        .report
+        .class_percentile(Priority::Interactive, 95.0)
+        .unwrap_or(f64::MAX);
+    let interactive_slo_held = interactive_p95 <= INTERACTIVE_SLO_S
+        && overload.report.shed_by_class[Priority::Interactive.index()] == 0;
+    let besteffort_shed_first = overload.report.shed_by_class[Priority::BestEffort.index()] > 0
+        && overload.report.shed_by_class[Priority::BestEffort.index()]
+            >= overload.report.shed_by_class[Priority::Batch.index()];
+    let flapping_reintegrated =
+        flapping.quarantines >= 1 && flapping.reintegrations >= 1 && flapping.report.lost == 0;
+    let dual_failure_served =
+        dual.report.lost == 0 && dual.report.ok as f64 >= 0.98 * dual.report.offered as f64;
+
+    let mut root = ObjectBuilder::new()
+        .field("smoke", JsonValue::Bool(opts.smoke))
+        .field("service_rate_rps", JsonValue::Number(svc_rate))
+        .field("total_offered", JsonValue::Number(total_offered as f64))
+        .field(
+            "interactive_slo_ms",
+            JsonValue::Number(INTERACTIVE_SLO_S * 1e3),
+        )
+        .field("no_hangs", JsonValue::Bool(no_hangs))
+        .field(
+            "zero_lost_everywhere",
+            JsonValue::Bool(zero_lost_everywhere),
+        )
+        .field("crash_zero_lost", JsonValue::Bool(crash_zero_lost))
+        .field(
+            "hedging_improves_p99",
+            JsonValue::Bool(hedging_improves_p99),
+        )
+        .field(
+            "interactive_slo_held",
+            JsonValue::Bool(interactive_slo_held),
+        )
+        .field(
+            "besteffort_shed_first",
+            JsonValue::Bool(besteffort_shed_first),
+        )
+        .field(
+            "flapping_reintegrated",
+            JsonValue::Bool(flapping_reintegrated),
+        )
+        .field("dual_failure_served", JsonValue::Bool(dual_failure_served));
+    for (name, s) in &scenarios {
+        root = root.field(&format!("scenario/{name}"), scenario_json(s));
+    }
+    let json = root.build().to_string();
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(out_path, &json).expect("write cluster report");
+
+    // Re-read and self-validate with the workspace's own parser.
+    let written = std::fs::read_to_string(out_path).expect("re-read cluster report");
+    let report = JsonValue::parse(&written).expect("cluster report is valid JSON");
+    for flag in [
+        "no_hangs",
+        "zero_lost_everywhere",
+        "crash_zero_lost",
+        "hedging_improves_p99",
+        "interactive_slo_held",
+        "besteffort_shed_first",
+        "flapping_reintegrated",
+        "dual_failure_served",
+    ] {
+        assert_eq!(
+            report.get(flag),
+            Some(&JsonValue::Bool(true)),
+            "robustness flag {flag} did not hold (hedge p99 {:.2} ms -> {:.2} ms, \
+             interactive p95 {:.2} ms)",
+            off_p99 * 1e3,
+            on_p99 * 1e3,
+            interactive_p95 * 1e3,
+        );
+    }
+    if !opts.smoke {
+        assert!(
+            total_offered >= 100_000,
+            "full run offers 10^5+ requests, got {total_offered}"
+        );
+    }
+
+    for (name, s) in &scenarios {
+        let rep = &s.report;
+        println!(
+            "{name}: offered {} ok {} lost {} shed {} | p50 {:.2} ms p99 {:.2} ms | \
+             {:.0} rps | hedges {} wins {} retries {}",
+            rep.offered,
+            rep.ok,
+            rep.lost,
+            rep.shed(),
+            rep.latency_percentile(50.0).unwrap_or(0.0) * 1e3,
+            rep.latency_percentile(99.0).unwrap_or(0.0) * 1e3,
+            rep.throughput_rps(),
+            rep.hedged,
+            rep.hedge_wins,
+            rep.retries,
+        );
+    }
+    println!(
+        "hedging: p99 {:.2} ms -> {:.2} ms; interactive p95 under 2x overload: {:.2} ms",
+        off_p99 * 1e3,
+        on_p99 * 1e3,
+        interactive_p95 * 1e3
+    );
+    println!("cluster report validated: {out_path}");
+}

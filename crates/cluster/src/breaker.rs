@@ -1,0 +1,280 @@
+//! Node-level circuit breaker: the serve crate's per-device
+//! strike/quarantine/probe state machine lifted one level up, where the
+//! unit of failure is a whole node instead of a device.
+//!
+//! Availability faults (unreachable at dispatch, connection lost
+//! mid-flight, attempt timeout) accumulate as consecutive strikes;
+//! enough strikes quarantine the node out of routing. The quarantine
+//! clock ticks once per routed request, and when it reaches the probe
+//! threshold a single request is allowed through as a *probe* — a clean
+//! response reintegrates the node, a failure re-arms the quarantine. A
+//! probe that never reports (its dispatcher died, or the fleet shut
+//! down around it) is declared lost after another probe-threshold's
+//! worth of routed requests, so quarantine can stall but never stick —
+//! the same guarantee the device-level breaker makes.
+
+/// Breaker tuning for [`crate::ClusterConfig::breaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeBreakerConfig {
+    /// Master switch. Disabled, every node stays routable forever.
+    pub enabled: bool,
+    /// Consecutive availability strikes that quarantine a node.
+    pub quarantine_after: usize,
+    /// Routed requests while quarantined before one probes the node.
+    pub probe_after: usize,
+}
+
+impl Default for NodeBreakerConfig {
+    fn default() -> Self {
+        NodeBreakerConfig {
+            enabled: true,
+            quarantine_after: 2,
+            probe_after: 8,
+        }
+    }
+}
+
+/// Public snapshot of one node's breaker state
+/// ([`crate::ClusterRouter::node_health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeHealth {
+    /// Whether the node is currently quarantined out of routing.
+    pub quarantined: bool,
+    /// Availability strikes since the node's last clean response.
+    pub consecutive_strikes: usize,
+    /// Strikes over the router's lifetime.
+    pub total_strikes: usize,
+    /// Times the breaker tripped.
+    pub quarantines: usize,
+    /// Probe dispatches to this node while quarantined.
+    pub probes: usize,
+    /// Probes that came back clean and closed the breaker.
+    pub reintegrations: usize,
+    /// A dispatched probe has not reported back yet.
+    pub probe_inflight: bool,
+}
+
+/// Counter increments one recorded outcome produced, applied to the
+/// router's metrics after the breaker lock drops.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BreakerDelta {
+    pub strikes: usize,
+    pub quarantines: usize,
+    pub reintegrations: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    quarantined: bool,
+    probe_inflight: bool,
+    consecutive: usize,
+    since_quarantine: usize,
+    total_strikes: usize,
+    quarantines: usize,
+    probes: usize,
+    reintegrations: usize,
+}
+
+/// The mutable breaker behind the router's state mutex.
+#[derive(Debug)]
+pub(crate) struct FleetBreaker {
+    config: NodeBreakerConfig,
+    slots: Vec<Slot>,
+}
+
+impl FleetBreaker {
+    pub(crate) fn new(config: NodeBreakerConfig, nodes: usize) -> Self {
+        FleetBreaker {
+            config,
+            slots: vec![Slot::default(); nodes],
+        }
+    }
+
+    /// Whether the node may take regular (non-probe) traffic.
+    pub(crate) fn routable(&self, id: usize) -> bool {
+        !self.config.enabled || !self.slots[id].quarantined
+    }
+
+    /// Whether the node's quarantine clock has earned it a probe.
+    pub(crate) fn probe_ready(&self, id: usize) -> bool {
+        let s = &self.slots[id];
+        self.config.enabled
+            && s.quarantined
+            && !s.probe_inflight
+            && s.since_quarantine >= self.config.probe_after
+    }
+
+    /// Marks a probe dispatch to `id` (single-flight: `probe_ready` goes
+    /// false until the probe records or is declared lost).
+    pub(crate) fn begin_probe(&mut self, id: usize) {
+        let s = &mut self.slots[id];
+        s.probe_inflight = true;
+        s.since_quarantine = 0;
+        s.probes += 1;
+    }
+
+    /// Advances every quarantined node's clock by one routed request,
+    /// releasing probes that never reported (see module docs).
+    pub(crate) fn tick(&mut self) {
+        if !self.config.enabled {
+            return;
+        }
+        for s in &mut self.slots {
+            if !s.quarantined {
+                continue;
+            }
+            s.since_quarantine += 1;
+            if s.probe_inflight && s.since_quarantine >= self.config.probe_after.max(1) {
+                // The in-flight probe is lost; let the next due request
+                // probe again instead of waiting on it forever.
+                s.probe_inflight = false;
+            }
+        }
+    }
+
+    /// Folds one dispatch outcome back in. `ok` is whether the node
+    /// produced a response; `was_probe` whether the dispatch was the
+    /// node's quarantine probe.
+    pub(crate) fn record(&mut self, id: usize, ok: bool, was_probe: bool) -> BreakerDelta {
+        let mut delta = BreakerDelta::default();
+        if !self.config.enabled {
+            return delta;
+        }
+        let s = &mut self.slots[id];
+        if ok {
+            s.consecutive = 0;
+            if was_probe {
+                s.probe_inflight = false;
+                s.quarantined = false;
+                s.reintegrations += 1;
+                delta.reintegrations += 1;
+            }
+        } else {
+            s.consecutive += 1;
+            s.total_strikes += 1;
+            delta.strikes += 1;
+            if was_probe {
+                // Failed probe: breaker stays open, probe clock restarts.
+                s.probe_inflight = false;
+                s.since_quarantine = 0;
+            } else if !s.quarantined && s.consecutive >= self.config.quarantine_after.max(1) {
+                s.quarantined = true;
+                s.since_quarantine = 0;
+                s.quarantines += 1;
+                delta.quarantines += 1;
+            }
+        }
+        delta
+    }
+
+    /// Strike pressure against a node that is still routable — used as a
+    /// scoring penalty so a node one failure away from quarantine stops
+    /// attracting traffic first.
+    pub(crate) fn pressure(&self, id: usize) -> f64 {
+        let s = &self.slots[id];
+        if !self.config.enabled {
+            return 0.0;
+        }
+        s.consecutive as f64 / self.config.quarantine_after.max(1) as f64
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<NodeHealth> {
+        self.slots
+            .iter()
+            .map(|s| NodeHealth {
+                quarantined: s.quarantined,
+                consecutive_strikes: s.consecutive,
+                total_strikes: s.total_strikes,
+                quarantines: s.quarantines,
+                probes: s.probes,
+                reintegrations: s.reintegrations,
+                probe_inflight: s.probe_inflight,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(quarantine_after: usize, probe_after: usize) -> NodeBreakerConfig {
+        NodeBreakerConfig {
+            enabled: true,
+            quarantine_after,
+            probe_after,
+        }
+    }
+
+    #[test]
+    fn strikes_quarantine_and_a_clean_probe_reintegrates() {
+        let mut b = FleetBreaker::new(cfg(2, 3), 2);
+        b.record(0, false, false);
+        assert!(b.routable(0));
+        b.record(0, false, false);
+        assert!(!b.routable(0), "two strikes trip the breaker");
+        assert!(!b.probe_ready(0));
+        for _ in 0..3 {
+            b.tick();
+        }
+        assert!(b.probe_ready(0), "probe due after the clock runs");
+        b.begin_probe(0);
+        assert!(!b.probe_ready(0), "single-flight probe");
+        let delta = b.record(0, true, true);
+        assert_eq!(delta.reintegrations, 1);
+        assert!(b.routable(0));
+        assert_eq!(b.snapshot()[0].reintegrations, 1);
+    }
+
+    #[test]
+    fn failed_probe_restarts_the_clock() {
+        let mut b = FleetBreaker::new(cfg(1, 2), 1);
+        b.record(0, false, false);
+        for _ in 0..2 {
+            b.tick();
+        }
+        assert!(b.probe_ready(0));
+        b.begin_probe(0);
+        b.record(0, false, true);
+        assert!(!b.routable(0));
+        assert!(!b.probe_ready(0), "clock restarted");
+        b.tick();
+        b.tick();
+        assert!(b.probe_ready(0), "and runs again");
+    }
+
+    #[test]
+    fn lost_probe_is_released_by_the_clock() {
+        let mut b = FleetBreaker::new(cfg(1, 2), 1);
+        b.record(0, false, false);
+        b.tick();
+        b.tick();
+        b.begin_probe(0);
+        // The probe never records (its dispatcher died): two more routed
+        // requests declare it lost and the node probes again.
+        b.tick();
+        b.tick();
+        assert!(
+            !b.snapshot()[0].probe_inflight,
+            "lost probe must be released"
+        );
+        assert!(b.probe_ready(0));
+    }
+
+    #[test]
+    fn disabled_breaker_is_inert() {
+        let mut b = FleetBreaker::new(
+            NodeBreakerConfig {
+                enabled: false,
+                ..NodeBreakerConfig::default()
+            },
+            1,
+        );
+        for _ in 0..10 {
+            let d = b.record(0, false, false);
+            assert_eq!(d.strikes, 0);
+        }
+        assert!(b.routable(0));
+        assert_eq!(b.pressure(0), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cluster-wide retry budget: a token bucket in the Finagle/Envoy
+//! tradition. Every first-attempt dispatch deposits a fraction of a
+//! token; every retry or hedge withdraws a whole one. Healthy traffic
+//! thus earns a bounded reserve of extra attempts (~`deposit_per_request`
+//! of offered load), and when the fleet degrades the reserve drains and
+//! retries *stop* — the router surfaces failures instead of amplifying
+//! an outage with a retry storm.
+
+/// Budget tuning for [`crate::ClusterConfig::budget`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Tokens the bucket starts with (cold-start allowance, so early
+    /// failures can still retry before any deposits accrue).
+    pub initial: f64,
+    /// Tokens deposited per routed request. `0.1` allows roughly one
+    /// extra attempt per ten requests in steady state.
+    pub deposit_per_request: f64,
+    /// Bucket capacity: deposits beyond this are discarded, bounding the
+    /// burst of retries an idle period can bank.
+    pub cap: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            initial: 10.0,
+            deposit_per_request: 0.1,
+            cap: 100.0,
+        }
+    }
+}
+
+/// Point-in-time budget accounting
+/// ([`crate::ClusterRouter::budget_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BudgetStats {
+    /// Tokens currently available.
+    pub tokens: f64,
+    /// Tokens deposited over the router's lifetime (excluding the
+    /// initial allowance; capped deposits are not counted).
+    pub deposited: f64,
+    /// Extra attempts (retries and hedges) the budget paid for.
+    pub withdrawn: u64,
+    /// Extra attempts refused because the bucket was empty.
+    pub denied: u64,
+}
+
+/// The mutable bucket behind the router's state mutex.
+#[derive(Debug)]
+pub(crate) struct RetryBudget {
+    config: RetryBudgetConfig,
+    tokens: f64,
+    deposited: f64,
+    withdrawn: u64,
+    denied: u64,
+}
+
+impl RetryBudget {
+    pub(crate) fn new(config: RetryBudgetConfig) -> Self {
+        RetryBudget {
+            tokens: config.initial.max(0.0).min(config.cap.max(0.0)),
+            config,
+            deposited: 0.0,
+            withdrawn: 0,
+            denied: 0,
+        }
+    }
+
+    /// Credits one routed request's deposit.
+    pub(crate) fn deposit(&mut self) {
+        let headroom = (self.config.cap - self.tokens).max(0.0);
+        let credit = self.config.deposit_per_request.max(0.0).min(headroom);
+        self.tokens += credit;
+        self.deposited += credit;
+    }
+
+    /// Pays for one extra attempt, or refuses if the bucket is empty.
+    pub(crate) fn try_withdraw(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            self.withdrawn += 1;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+
+    pub(crate) fn stats(&self) -> BudgetStats {
+        BudgetStats {
+            tokens: self.tokens,
+            deposited: self.deposited,
+            withdrawn: self.withdrawn,
+            denied: self.denied,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn withdrawals_spend_the_initial_allowance_then_deny() {
+        let mut b = RetryBudget::new(RetryBudgetConfig {
+            initial: 2.0,
+            deposit_per_request: 0.0,
+            cap: 10.0,
+        });
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "empty bucket refuses");
+        let s = b.stats();
+        assert_eq!(s.withdrawn, 2);
+        assert_eq!(s.denied, 1);
+    }
+
+    #[test]
+    fn deposits_accrue_and_respect_the_cap() {
+        let mut b = RetryBudget::new(RetryBudgetConfig {
+            initial: 0.0,
+            deposit_per_request: 0.5,
+            cap: 1.0,
+        });
+        assert!(!b.try_withdraw(), "cold bucket is empty");
+        for _ in 0..10 {
+            b.deposit();
+        }
+        let s = b.stats();
+        assert_eq!(s.tokens, 1.0, "cap bounds banked retries");
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw());
+    }
+}

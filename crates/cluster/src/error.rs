@@ -1,0 +1,91 @@
+//! Typed cluster-routing errors.
+//!
+//! Every way a routed request can fail is a distinct variant carrying
+//! the numbers a caller needs to react — how loaded the cluster was when
+//! it shed, how much of the deadline was burned, how many nodes were
+//! tried. Nothing in the router panics or hangs: a request either
+//! returns a [`crate::ClusterResponse`] or one of these.
+
+use std::fmt;
+use std::time::Duration;
+
+use shmt_serve::{Priority, ServeError};
+
+/// Why the cluster did not produce a response for a routed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Admission control shed the request under overload before any node
+    /// saw it. Lower QoS classes shed first (BestEffort, then Batch,
+    /// then Interactive), so this is the router degrading gracefully
+    /// rather than letting queues grow without bound.
+    Shed {
+        /// The request's QoS class.
+        priority: Priority,
+        /// Requests in flight across the cluster at the shed decision.
+        inflight: usize,
+        /// The inflight ceiling this class is admitted under.
+        limit: usize,
+    },
+    /// The request's deadline lapsed before any attempt produced a
+    /// response — including the case where the remaining budget could
+    /// not cover the next retry's backoff, which fails *promptly* rather
+    /// than sleeping through schedule it can never win.
+    DeadlineExceeded {
+        /// Time spent routing before giving up.
+        elapsed: Duration,
+        /// The deadline the request carried.
+        deadline: Duration,
+    },
+    /// The cluster-wide retry budget (token bucket) had no token for
+    /// another attempt. Retries never storm a degraded fleet: once the
+    /// budget drains, failures surface instead of multiplying load.
+    RetryBudgetExhausted {
+        /// Dispatch attempts made before the budget ran dry.
+        attempts: usize,
+    },
+    /// Every node was tried (or unroutable) and the final attempt failed.
+    NodesExhausted {
+        /// Dispatch attempts made in total.
+        attempts: usize,
+        /// The last per-node failure observed.
+        last: String,
+    },
+    /// A node's serving layer failed the request for a reason retrying
+    /// elsewhere cannot fix (e.g. an invalid configuration).
+    Request(ServeError),
+    /// The router has shut down.
+    Shutdown,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Shed {
+                priority,
+                inflight,
+                limit,
+            } => write!(
+                f,
+                "request shed under overload: class {} admitted up to {limit} in flight, \
+                 observed {inflight}",
+                priority.name()
+            ),
+            ClusterError::DeadlineExceeded { elapsed, deadline } => write!(
+                f,
+                "cluster deadline exceeded: {elapsed:?} elapsed against {deadline:?}"
+            ),
+            ClusterError::RetryBudgetExhausted { attempts } => write!(
+                f,
+                "retry budget exhausted after {attempts} dispatch attempt(s)"
+            ),
+            ClusterError::NodesExhausted { attempts, last } => write!(
+                f,
+                "no node produced a response after {attempts} attempt(s); last failure: {last}"
+            ),
+            ClusterError::Request(e) => write!(f, "request failed terminally: {e}"),
+            ClusterError::Shutdown => write!(f, "cluster router is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

@@ -1,0 +1,423 @@
+//! Open-loop load generation against a [`ClusterRouter`].
+//!
+//! Arrival times come from a seeded stochastic process (Poisson, bursty
+//! Markov-modulated Poisson, or diurnal) laid out *before* the run —
+//! open-loop, so a slow cluster does not slow the offered load down and
+//! coordinated omission cannot hide queueing delay: every request's
+//! latency is measured from its scheduled arrival, not from when a
+//! worker got around to sending it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use shmt::{Platform, Policy, RuntimeConfig, Vop};
+use shmt_kernels::Benchmark;
+use shmt_serve::{Priority, Request};
+use shmt_tensor::rng::Pcg32;
+
+use crate::error::ClusterError;
+use crate::router::{ClusterRouter, RouteOptions};
+
+/// A seeded arrival process. All rates are requests per second; all
+/// processes are deterministic given the same seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate.
+    Poisson {
+        /// Mean arrival rate.
+        rate: f64,
+    },
+    /// Markov-modulated Poisson: the process flips between a quiet state
+    /// and a burst state with exponentially distributed dwell times.
+    Bursty {
+        /// Arrival rate in the quiet state.
+        base_rate: f64,
+        /// Arrival rate inside a burst.
+        burst_rate: f64,
+        /// Mean burst duration, seconds.
+        mean_on_s: f64,
+        /// Mean quiet duration, seconds.
+        mean_off_s: f64,
+    },
+    /// Sinusoidal rate modulation (a compressed day), sampled by
+    /// thinning.
+    Diurnal {
+        /// Mean arrival rate over a full period.
+        mean_rate: f64,
+        /// Modulation period, seconds.
+        period_s: f64,
+        /// Modulation depth in `[0, 1)`: rate swings between
+        /// `mean * (1 - depth)` and `mean * (1 + depth)`.
+        depth: f64,
+    },
+}
+
+/// Exponential draw via inversion; `1 - u` keeps `ln` away from zero.
+fn exp_draw(rng: &mut Pcg32, rate: f64) -> f64 {
+    let u = rng.next_f64();
+    -(1.0 - u).ln() / rate.max(1e-9)
+}
+
+/// Lays out `n` arrival instants (seconds from the drive start) for the
+/// given process. Monotonically non-decreasing.
+pub fn arrival_times(process: ArrivalProcess, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut times = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    match process {
+        ArrivalProcess::Poisson { rate } => {
+            for _ in 0..n {
+                t += exp_draw(&mut rng, rate);
+                times.push(t);
+            }
+        }
+        ArrivalProcess::Bursty {
+            base_rate,
+            burst_rate,
+            mean_on_s,
+            mean_off_s,
+        } => {
+            let mut bursting = false;
+            let mut state_end = exp_draw(&mut rng, 1.0 / mean_off_s.max(1e-9));
+            while times.len() < n {
+                let rate = if bursting { burst_rate } else { base_rate };
+                let next = t + exp_draw(&mut rng, rate);
+                if next < state_end {
+                    t = next;
+                    times.push(t);
+                } else {
+                    // No arrival before the state flips; restart the
+                    // (memoryless) draw under the new rate.
+                    t = state_end;
+                    bursting = !bursting;
+                    let mean = if bursting { mean_on_s } else { mean_off_s };
+                    state_end = t + exp_draw(&mut rng, 1.0 / mean.max(1e-9));
+                }
+            }
+        }
+        ArrivalProcess::Diurnal {
+            mean_rate,
+            period_s,
+            depth,
+        } => {
+            let depth = depth.clamp(0.0, 0.99);
+            let peak = mean_rate * (1.0 + depth);
+            while times.len() < n {
+                // Thinning: draw at the peak rate, accept with the
+                // instantaneous relative rate.
+                t += exp_draw(&mut rng, peak);
+                let phase = (t / period_s.max(1e-9)) * std::f64::consts::TAU;
+                let rate = mean_rate * (1.0 + depth * phase.sin());
+                if rng.next_f64() < rate / peak {
+                    times.push(t);
+                }
+            }
+        }
+    }
+    times
+}
+
+/// Recipe for the requests a drive offers: the workload payload plus the
+/// routing options every instance carries.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestSpec {
+    /// Kernel benchmark the request runs.
+    pub benchmark: Benchmark,
+    /// Square input size (n x n).
+    pub n: usize,
+    /// Partition count for the runtime config.
+    pub partitions: usize,
+    /// Scheduling policy inside each node.
+    pub policy: Policy,
+    /// Input-generation seed (varied per instance by the drive).
+    pub seed: u64,
+    /// Routing options (class, deadline, affinity, quality SLO).
+    pub options: RouteOptions,
+}
+
+impl RequestSpec {
+    /// A Batch-class spec with default partitioning.
+    pub fn new(benchmark: Benchmark, n: usize, seed: u64) -> Self {
+        RequestSpec {
+            benchmark,
+            n,
+            partitions: 4,
+            policy: Policy::WorkStealing,
+            seed,
+            options: RouteOptions::default(),
+        }
+    }
+
+    /// Sets the routing options.
+    #[must_use]
+    pub fn with_options(mut self, options: RouteOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Builds one request instance. Called once per dispatch (retries
+    /// and hedges each rebuild), deterministic per spec.
+    pub fn build(&self) -> Request {
+        let b = self.benchmark;
+        let vop = Vop::from_benchmark(b, b.generate_inputs(self.n, self.n, self.seed))
+            .expect("valid VOP");
+        let mut config = RuntimeConfig::new(self.policy);
+        config.partitions = self.partitions;
+        Request::new(vop, Platform::jetson(b), config)
+    }
+}
+
+/// Per-class tallies inside a [`DriveReport`], indexed by
+/// [`Priority::index`].
+pub type ByClass = [usize; 3];
+
+/// What an open-loop drive observed, end to end.
+#[derive(Debug, Clone, Default)]
+pub struct DriveReport {
+    /// Requests offered (the arrival schedule's length).
+    pub offered: usize,
+    /// Requests offered per class.
+    pub offered_by_class: ByClass,
+    /// Requests that returned a response.
+    pub ok: usize,
+    /// Requests shed by admission control, per class.
+    pub shed_by_class: ByClass,
+    /// Requests that failed with `DeadlineExceeded`.
+    pub deadline_exceeded: usize,
+    /// Requests that failed with `RetryBudgetExhausted`.
+    pub budget_exhausted: usize,
+    /// Requests that failed with `NodesExhausted`.
+    pub nodes_exhausted: usize,
+    /// Requests that failed terminally or hit a shut-down router.
+    pub other_failed: usize,
+    /// Offered requests that never resolved to any outcome. Zero unless
+    /// a drive worker died — the "no request is lost" invariant.
+    pub lost: usize,
+    /// Requests that launched a hedge.
+    pub hedged: usize,
+    /// Requests whose hedge beat the primary.
+    pub hedge_wins: usize,
+    /// Extra dispatch tries beyond each request's first.
+    pub retries: usize,
+    /// Worst single end-to-end latency observed, seconds.
+    pub max_latency_s: f64,
+    /// Wall-clock span of the drive, seconds.
+    pub wall_s: f64,
+    /// Successful-response latencies (scheduled arrival to response),
+    /// seconds, paired with the class index. Unsorted.
+    pub samples: Vec<(usize, f64)>,
+}
+
+impl DriveReport {
+    /// Completed throughput, responses per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.ok as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Total requests shed across classes.
+    pub fn shed(&self) -> usize {
+        self.shed_by_class.iter().sum()
+    }
+
+    /// The `p`-th latency percentile (0..=100) over successful requests,
+    /// seconds.
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        Self::percentile_of(self.samples.iter().map(|&(_, s)| s), p)
+    }
+
+    /// The `p`-th latency percentile over one class's successes.
+    pub fn class_percentile(&self, priority: Priority, p: f64) -> Option<f64> {
+        let class = priority.index();
+        Self::percentile_of(
+            self.samples
+                .iter()
+                .filter(|&&(c, _)| c == class)
+                .map(|&(_, s)| s),
+            p,
+        )
+    }
+
+    /// Mean latency over successful requests, seconds.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|&(_, s)| s).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    fn percentile_of(samples: impl Iterator<Item = f64>, p: f64) -> Option<f64> {
+        let mut v: Vec<f64> = samples.collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p / 100.0).clamp(0.0, 1.0) * (v.len() - 1) as f64).round() as usize;
+        Some(v[rank.min(v.len() - 1)])
+    }
+
+    fn absorb(&mut self, other: DriveReport) {
+        self.ok += other.ok;
+        for c in 0..3 {
+            self.offered_by_class[c] += other.offered_by_class[c];
+            self.shed_by_class[c] += other.shed_by_class[c];
+        }
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.budget_exhausted += other.budget_exhausted;
+        self.nodes_exhausted += other.nodes_exhausted;
+        self.other_failed += other.other_failed;
+        self.hedged += other.hedged;
+        self.hedge_wins += other.hedge_wins;
+        self.retries += other.retries;
+        self.max_latency_s = self.max_latency_s.max(other.max_latency_s);
+        self.samples.extend(other.samples);
+    }
+}
+
+/// Drives the arrival schedule against the router with `workers`
+/// open-loop sender threads and tallies every outcome. Requests cycle
+/// through `specs` in arrival order (instance `i` uses
+/// `specs[i % specs.len()]` with a decorrelated input seed).
+///
+/// Latency is measured from each request's *scheduled* arrival, so time
+/// a saturated cluster spends making the sender wait counts against it.
+pub fn drive(
+    router: &ClusterRouter,
+    specs: &[RequestSpec],
+    arrivals: &[f64],
+    workers: usize,
+) -> DriveReport {
+    assert!(!specs.is_empty(), "drive needs at least one request spec");
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let mut report = DriveReport {
+        offered: arrivals.len(),
+        ..DriveReport::default()
+    };
+    let worker_reports: Vec<DriveReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = DriveReport::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= arrivals.len() {
+                            break;
+                        }
+                        let spec = &specs[i % specs.len()];
+                        let scheduled = started + Duration::from_secs_f64(arrivals[i].max(0.0));
+                        let now = Instant::now();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        let mut spec = *spec;
+                        spec.seed = spec.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9);
+                        let class = spec.options.priority.index();
+                        local.offered_by_class[class] += 1;
+                        let outcome = router.route(spec.options, &|| spec.build());
+                        let latency_s = scheduled.elapsed().as_secs_f64();
+                        match outcome {
+                            Ok(resp) => {
+                                local.ok += 1;
+                                local.retries += resp.tries.saturating_sub(1);
+                                if resp.hedged {
+                                    local.hedged += 1;
+                                }
+                                if resp.hedge_won {
+                                    local.hedge_wins += 1;
+                                }
+                                local.samples.push((class, latency_s));
+                            }
+                            Err(ClusterError::Shed { priority, .. }) => {
+                                local.shed_by_class[priority.index()] += 1;
+                            }
+                            Err(ClusterError::DeadlineExceeded { .. }) => {
+                                local.deadline_exceeded += 1;
+                            }
+                            Err(ClusterError::RetryBudgetExhausted { .. }) => {
+                                local.budget_exhausted += 1;
+                            }
+                            Err(ClusterError::NodesExhausted { .. }) => {
+                                local.nodes_exhausted += 1;
+                            }
+                            Err(ClusterError::Request(_)) | Err(ClusterError::Shutdown) => {
+                                local.other_failed += 1;
+                            }
+                        }
+                        local.max_latency_s = local.max_latency_s.max(latency_s);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    for wr in worker_reports {
+        report.absorb(wr);
+    }
+    report.wall_s = started.elapsed().as_secs_f64();
+    let resolved = report.ok
+        + report.shed()
+        + report.deadline_exceeded
+        + report.budget_exhausted
+        + report.nodes_exhausted
+        + report.other_failed;
+    report.lost = report.offered.saturating_sub(resolved);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_processes_are_seeded_monotone_and_rate_faithful() {
+        for process in [
+            ArrivalProcess::Poisson { rate: 200.0 },
+            ArrivalProcess::Bursty {
+                base_rate: 50.0,
+                burst_rate: 500.0,
+                mean_on_s: 0.05,
+                mean_off_s: 0.2,
+            },
+            ArrivalProcess::Diurnal {
+                mean_rate: 200.0,
+                period_s: 1.0,
+                depth: 0.6,
+            },
+        ] {
+            let a = arrival_times(process, 2000, 7);
+            let b = arrival_times(process, 2000, 7);
+            let c = arrival_times(process, 2000, 8);
+            assert_eq!(a, b, "same seed, same schedule");
+            assert_ne!(a, c, "different seed, different schedule");
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "monotone arrivals");
+            assert!(a.iter().all(|&t| t >= 0.0));
+        }
+        // Poisson mean rate within 15% of nominal.
+        let times = arrival_times(ArrivalProcess::Poisson { rate: 1000.0 }, 10_000, 3);
+        let span = times.last().copied().unwrap_or(0.0);
+        let rate = 10_000.0 / span;
+        assert!((850.0..1150.0).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_known_samples() {
+        let mut r = DriveReport::default();
+        for i in 1..=100 {
+            r.samples.push((Priority::Batch.index(), i as f64));
+        }
+        assert_eq!(r.latency_percentile(0.0), Some(1.0));
+        assert_eq!(r.latency_percentile(100.0), Some(100.0));
+        assert_eq!(r.latency_percentile(50.0), Some(51.0));
+        assert_eq!(r.class_percentile(Priority::Interactive, 50.0), None);
+        assert_eq!(r.class_percentile(Priority::Batch, 99.0), Some(99.0));
+    }
+}

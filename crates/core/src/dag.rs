@@ -331,7 +331,12 @@ impl VopDag {
                 return Err(ShmtError::Canceled);
             }
             let vop = self.stage_vop(stage, &outputs, input)?;
-            let platform = stage_platform(&self.nodes[stage.nodes[0]].op);
+            let first = stage
+                .nodes
+                .first()
+                .copied()
+                .ok_or_else(|| ShmtError::Internal("execution stage has no nodes".into()))?;
+            let platform = stage_platform(&self.nodes[first].op);
             let mut stage_cfg = cfg.runtime;
             if let Some(m) = stage.max_mape {
                 stage_cfg.guard = GuardConfig::enforcing(m);
@@ -541,7 +546,10 @@ impl VopDag {
             }
         }
         for st in stages.iter_mut() {
-            let first = st.nodes[0];
+            // Stages are created with one node and only ever gain more.
+            let Some(&first) = st.nodes.first() else {
+                continue;
+            };
             st.deps = self.nodes[first]
                 .deps
                 .iter()
@@ -572,13 +580,20 @@ impl VopDag {
                 })
                 .collect::<Result<_>>()?
         };
-        let first = stage.nodes[0];
+        let first = stage
+            .nodes
+            .first()
+            .copied()
+            .ok_or_else(|| ShmtError::Internal("execution stage has no nodes".into()))?;
         match self.nodes[first].op {
             NodeOp::Benchmark {
                 benchmark,
                 aux_seed,
             } => {
-                let (rows, cols) = inputs[0].shape();
+                let (rows, cols) = inputs
+                    .first()
+                    .ok_or_else(|| ShmtError::Internal("benchmark stage has no input".into()))?
+                    .shape();
                 let arity = benchmark.kernel().shape().num_inputs;
                 if arity > inputs.len() {
                     let mut extra = benchmark.generate_inputs(rows, cols, aux_seed);
@@ -610,7 +625,8 @@ impl VopDag {
                             _ => op,
                         })
                         .collect();
-                    let opcode = unary_opcode(ops[ops.len() - 1]);
+                    // `ops` mirrors `stage.nodes`, proven non-empty above.
+                    let opcode = unary_opcode(ops.last().copied().unwrap_or(op));
                     Vop::new(opcode, Box::new(FusedElementwise { ops }), vec![input])
                 }
             }

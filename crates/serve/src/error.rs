@@ -60,7 +60,10 @@ pub enum ServeError {
         /// The deadline it was admitted with.
         deadline: Duration,
     },
-    /// The server shut down before an executor reached the request.
+    /// The request was canceled before it produced a response: the server
+    /// shut down before an executor reached it, or its cancellation token
+    /// ([`crate::Request::with_cancel`]) was set — e.g. by a hedging
+    /// router whose duplicate dispatch already won.
     Canceled,
     /// The request's `max_mape` quality SLO cannot be met: the guard found
     /// over-budget output and no exact device was available to repair it
@@ -85,7 +88,7 @@ impl fmt::Display for ServeError {
                 f,
                 "deadline exceeded: waited {waited:?} against a deadline of {deadline:?}"
             ),
-            ServeError::Canceled => write!(f, "request canceled by server shutdown"),
+            ServeError::Canceled => write!(f, "request canceled before completion"),
             ServeError::QualityUnattainable {
                 estimated_mape,
                 budget_mape,

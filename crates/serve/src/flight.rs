@@ -199,7 +199,11 @@ impl FlightRecorder {
             self.ring.pop_front();
         }
         self.ring.push_back(record);
-        let trigger = self.ring.back().expect("just pushed");
+        let Some(trigger) = self.ring.back() else {
+            // Unreachable (a record was just pushed), but telemetry must
+            // never panic a request — degrade to "no dump" instead.
+            return None;
+        };
         if trigger.anomalies.is_empty() || self.dumps_written >= self.config.max_dumps {
             return None;
         }

@@ -56,6 +56,12 @@ pub struct DeviceHealth {
     pub probes: usize,
     /// Probes that came back clean and closed the breaker.
     pub reintegrations: usize,
+    /// A dispatched probe has not reported back yet. A probe that never
+    /// reports (its executor died, or the server shut down with the probe
+    /// still queued) is declared lost after `probe_after` further planned
+    /// requests and the breaker probes again — the quarantine can stall,
+    /// but never stick.
+    pub probe_inflight: bool,
 }
 
 /// What the tracker decided for one request before execution.
@@ -135,6 +141,15 @@ impl HealthTracker {
             } else {
                 slot.since_quarantine += 1;
                 mask[d] = false;
+                if slot.probe_inflight && slot.since_quarantine >= self.config.probe_after.max(1) {
+                    // The in-flight probe never reported a verdict — its
+                    // executor is gone (shutdown raced the probe, or the
+                    // thread died). Declare it lost so the quarantine
+                    // clock keeps running and the next due request can
+                    // probe again; otherwise the breaker would stay open
+                    // forever with `probe_inflight` stuck.
+                    slot.probe_inflight = false;
+                }
             }
         }
         if !mask.iter().any(|&m| m) {
@@ -209,6 +224,7 @@ impl HealthTracker {
             quarantines: s.quarantines,
             probes: s.probes,
             reintegrations: s.reintegrations,
+            probe_inflight: s.probe_inflight,
         })
     }
 }
@@ -332,6 +348,49 @@ mod tests {
         let snap = t.snapshot()[2];
         assert!(snap.quarantined);
         assert_eq!(snap.total_strikes, 1, "no verdict, no strike");
+    }
+
+    #[test]
+    fn lost_probe_is_released_and_the_device_probes_again() {
+        // A probe whose executor never reports back (shutdown raced the
+        // probe, or the thread died) must not leave `probe_inflight`
+        // stuck forever: after `probe_after` further planned requests the
+        // probe is declared lost and the next request probes again.
+        let cfg = HealthConfig {
+            quarantine_after: 1,
+            probe_after: 2,
+            ..HealthConfig::default()
+        };
+        let mut t = HealthTracker::new(cfg);
+        let dec = t.plan(ALL);
+        t.record(&dec, strikes_on(2));
+        for _ in 0..2 {
+            let dec = t.plan(ALL);
+            t.record(&dec, Some([false; DEVICES]));
+        }
+        let dec = t.plan(ALL);
+        assert!(dec.probed[2], "probe due");
+        assert!(t.snapshot()[2].probe_inflight);
+        // The probe's record() never arrives. Two more planned requests
+        // declare it lost...
+        for _ in 0..2 {
+            let dec = t.plan(ALL);
+            assert!(!dec.probed[2]);
+            t.record(&dec, Some([false; DEVICES]));
+        }
+        assert!(
+            !t.snapshot()[2].probe_inflight,
+            "lost probe must be released"
+        );
+        // ...and the next request probes again; a clean verdict closes
+        // the breaker as usual.
+        let dec = t.plan(ALL);
+        assert!(dec.probed[2], "breaker must probe again after a lost probe");
+        t.record(&dec, Some([false; DEVICES]));
+        let snap = t.snapshot()[2];
+        assert!(!snap.quarantined);
+        assert_eq!(snap.probes, 2);
+        assert_eq!(snap.reintegrations, 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The serving core: bounded admission queue, executor team, tickets.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -132,6 +133,9 @@ pub struct Request {
     /// default. Affects only *when* the request is dequeued, never what
     /// it computes.
     pub priority: Priority,
+    /// Cooperative cancellation token ([`Request::with_cancel`]). `None`
+    /// means the request cannot be canceled by the client.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Request {
@@ -146,6 +150,7 @@ impl Request {
             max_mape: None,
             faults: FaultPlan::none(),
             priority: Priority::default(),
+            cancel: None,
         }
     }
 
@@ -164,6 +169,7 @@ impl Request {
             max_mape: None,
             faults: FaultPlan::none(),
             priority: Priority::default(),
+            cancel: None,
         }
     }
 
@@ -204,6 +210,26 @@ impl Request {
         self.priority = priority;
         self
     }
+
+    /// Attaches a cooperative cancellation token. Setting the token to
+    /// `true` cancels the request at the next cancellation point: before
+    /// an executor picks it up (the common case — a hedged duplicate
+    /// whose sibling already won), or between DAG stages for a
+    /// [`Payload::Program`]. A single VOP already executing runs to
+    /// completion; its response is simply never delivered. A canceled
+    /// request fails with [`ServeError::Canceled`].
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Whether the request's cancellation token has been set.
+    pub fn canceled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
 }
 
 impl std::fmt::Debug for Request {
@@ -215,6 +241,7 @@ impl std::fmt::Debug for Request {
             .field("max_mape", &self.max_mape)
             .field("faulted", &!self.faults.is_empty())
             .field("priority", &self.priority)
+            .field("cancelable", &self.cancel.is_some())
             .finish()
     }
 }
@@ -887,6 +914,19 @@ fn executor_loop(shared: &Shared) {
             }
         }
 
+        if queued.request.canceled() {
+            // The client (or a hedging router) gave up on this request
+            // while it sat in the queue; fail it typed without touching
+            // a device.
+            shared
+                .metrics
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .add_counter("serve.canceled", 1.0);
+            queued.ticket.fulfill(Err(ServeError::Canceled));
+            continue;
+        }
+
         let policy = queued.request.config.policy.name();
         let opcode = queued.request.payload.label();
         let priority = queued.request.priority;
@@ -969,14 +1009,18 @@ fn executor_loop(shared: &Shared) {
                             .into(),
                     ))
                 } else {
-                    // The pipeline-level deadline is polled between
-                    // stages; a lapse surfaces as ShmtError::Canceled
-                    // and is mapped to DeadlineExceeded below.
+                    // The pipeline-level deadline and the request's
+                    // cancellation token are both polled between stages;
+                    // either surfaces as ShmtError::Canceled and is
+                    // disambiguated below (token → Canceled, deadline →
+                    // DeadlineExceeded).
                     let dag_config = DagConfig::new(config);
                     let admitted_at = queued.admitted_at;
                     let deadline = queued.deadline;
+                    let token = queued.request.cancel.clone();
                     dag.run_with_cancel(input, &dag_config, &mut NullSink, &mut || {
-                        deadline.is_some_and(|d| admitted_at.elapsed() > d)
+                        token.as_ref().is_some_and(|t| t.load(Ordering::Relaxed))
+                            || deadline.is_some_and(|d| admitted_at.elapsed() > d)
                     })
                     .map(|dr| {
                         dag_stats = Some(DagStats {
@@ -1091,9 +1135,15 @@ fn executor_loop(shared: &Shared) {
                 fr.anomalies.push(Anomaly::QualityUnattainable);
             }
             Err(ShmtError::Canceled) => {
-                // A DAG's pipeline deadline lapsed mid-flight.
-                fr.outcome = Anomaly::DeadlineMissed.name().to_owned();
-                fr.anomalies.push(Anomaly::DeadlineMissed);
+                if queued.request.canceled() {
+                    // The client canceled mid-pipeline: expected, not an
+                    // anomaly.
+                    fr.outcome = "canceled".to_owned();
+                } else {
+                    // A DAG's pipeline deadline lapsed mid-flight.
+                    fr.outcome = Anomaly::DeadlineMissed.name().to_owned();
+                    fr.anomalies.push(Anomaly::DeadlineMissed);
+                }
             }
             Err(_) => {
                 fr.outcome = Anomaly::Failure.name().to_owned();
@@ -1158,12 +1208,19 @@ fn executor_loop(shared: &Shared) {
                 }));
             }
             Err(ShmtError::Canceled) => {
-                // A DAG pipeline's deadline lapsed between stages.
-                metrics.add_counter("serve.deadline_missed", 1.0);
-                queued.ticket.fulfill(Err(ServeError::DeadlineExceeded {
-                    waited: queued.admitted_at.elapsed(),
-                    deadline: queued.deadline.unwrap_or_default(),
-                }));
+                if queued.request.canceled() {
+                    // The client's token stopped the pipeline between
+                    // stages.
+                    metrics.add_counter("serve.canceled", 1.0);
+                    queued.ticket.fulfill(Err(ServeError::Canceled));
+                } else {
+                    // A DAG pipeline's deadline lapsed between stages.
+                    metrics.add_counter("serve.deadline_missed", 1.0);
+                    queued.ticket.fulfill(Err(ServeError::DeadlineExceeded {
+                        waited: queued.admitted_at.elapsed(),
+                        deadline: queued.deadline.unwrap_or_default(),
+                    }));
+                }
             }
             Err(e) => {
                 let err = ServeError::from(e);

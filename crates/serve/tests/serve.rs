@@ -471,6 +471,97 @@ fn quality_slo_repairs_miscalibrated_output_within_budget() {
     assert_eq!(server.device_health()[TPU].total_strikes, 1);
 }
 
+#[test]
+fn cancel_token_fails_queued_request_typed() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // One executor pinned on a blocker; a queued request whose token is
+    // set must resolve Canceled at pickup without touching a device,
+    // while an uncanceled sibling completes normally.
+    let server = Server::new(ServerConfig {
+        executors: 1,
+        queue_capacity: 4,
+        ..ServerConfig::default()
+    });
+    let blocker = request(Benchmark::Sobel, 512, 20, Policy::WorkStealing);
+    let token = Arc::new(AtomicBool::new(false));
+    let doomed =
+        request(Benchmark::Sobel, 128, 21, Policy::WorkStealing).with_cancel(Arc::clone(&token));
+    let sibling = request(Benchmark::Sobel, 128, 22, Policy::WorkStealing);
+    let first = server.submit(blocker).expect("admitted");
+    wait_until_executor_popped(&server);
+    let doomed = server.submit(doomed).expect("admitted");
+    let sibling = server.submit(sibling).expect("admitted");
+    token.store(true, Ordering::Relaxed);
+    match doomed.wait() {
+        Err(ServeError::Canceled) => {}
+        other => panic!("expected Canceled, got {other:?}"),
+    }
+    first.wait().expect("blocker unaffected");
+    sibling.wait().expect("uncanceled sibling completes");
+    assert_eq!(server.metrics().counter("serve.canceled"), 1.0);
+    assert_eq!(server.metrics().counter("serve.failed"), 0.0);
+}
+
+#[test]
+fn probe_racing_shutdown_resolves_typed_without_sticking_quarantine() {
+    // Regression for the probe/shutdown race: a request that *would*
+    // probe a quarantined device, drained by shutdown before an executor
+    // reaches it, must resolve to a typed Canceled — and must not leave
+    // the breaker holding a phantom in-flight probe.
+    let mut server = Server::new(ServerConfig {
+        executors: 1,
+        queue_capacity: 4,
+        health: HealthConfig {
+            enabled: true,
+            quarantine_after: 1,
+            probe_after: 1,
+        },
+        ..ServerConfig::default()
+    });
+    let dropout = FaultPlan::none().with_dropout(TPU, 1e-9);
+    serve_one(
+        &server,
+        request(Benchmark::Sobel, 128, 30, Policy::WorkStealing).with_faults(dropout),
+    )
+    .expect("dropout run completes degraded");
+    assert!(server.device_health()[TPU].quarantined);
+
+    // Pin the executor (its plan ticks the probe clock to due), queue
+    // the would-be probe, then shut down while it still sits in the
+    // queue. Earlier requests already left 0-depth gauge samples, so
+    // wait for a *new* one rather than reusing the fresh-server helper.
+    let zero_depth_samples = |server: &Server| {
+        server
+            .metrics()
+            .gauge_series("serve.queue_depth")
+            .iter()
+            .filter(|&&(_, depth)| depth == 0.0)
+            .count()
+    };
+    let blocker = request(Benchmark::Sobel, 512, 31, Policy::WorkStealing);
+    let probe = request(Benchmark::Sobel, 128, 32, Policy::WorkStealing);
+    let seen = zero_depth_samples(&server);
+    let first = server.submit(blocker).expect("admitted");
+    while zero_depth_samples(&server) == seen {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let probe = server.submit(probe).expect("admitted");
+    server.shutdown();
+    first.wait().expect("running request finishes normally");
+    match probe.wait() {
+        Err(ServeError::Canceled) => {}
+        other => panic!("expected Canceled, got {other:?}"),
+    }
+    let health = server.device_health()[TPU];
+    assert!(
+        !health.probe_inflight,
+        "a drained probe request must not leave the breaker awaiting a verdict"
+    );
+    assert!(health.quarantined, "the breaker simply stays open");
+}
+
 mod dag_serving {
     use super::*;
     use shmt::dag::{DagConfig, DagNode, VopDag};

@@ -19,7 +19,7 @@ if cargo clippy --version >/dev/null 2>&1; then
     # path is an allocation the arena work exists to eliminate.
     echo "== clippy hot-path (redundant_clone is an error) =="
     cargo clippy -q -p shmt-tensor -p shmt-kernels -p shmt -p shmt-serve \
-        --all-targets -- -D warnings -D clippy::redundant_clone
+        -p shmt-cluster --all-targets -- -D warnings -D clippy::redundant_clone
 else
     echo "== clippy skipped (unavailable) =="
 fi
@@ -176,5 +176,28 @@ if grep -q '"bit_identical":false' "$f"; then
     echo "a DAG pipeline diverged from its sequential reference in $f"; exit 1
 fi
 echo "dag composition smoke validated: $f"
+
+echo "== cluster robustness smoke check =="
+# cluster_report drives an N-node fleet through seeded chaos (mid-run
+# crash, slow node with a hedging A/B, 2x overload, a flapping node, a
+# correlated dual failure) under open-loop Poisson/bursty/diurnal load
+# and certifies the routing contract: every request resolves (no hangs),
+# a single-node crash loses nothing, hedging cuts p99 under a slow node,
+# the Interactive p95 SLO holds under 2x overload with BestEffort shed
+# first, and a flapping node is quarantined, probed, and reintegrated.
+# The bin re-reads the artifact with the workspace's own JSON parser and
+# aborts on any violation.
+cargo run --release -q -p shmt-bench --bin cluster_report -- --smoke >/dev/null
+f=results/BENCH_cluster_smoke.json
+[ -s "$f" ] || { echo "empty cluster report: $f"; exit 1; }
+grep -q '"no_hangs":true' "$f" || { echo "a routed request hung in $f"; exit 1; }
+grep -q '"zero_lost_everywhere":true' "$f" || { echo "requests were lost in $f"; exit 1; }
+grep -q '"crash_zero_lost":true' "$f" || { echo "a node crash lost requests in $f"; exit 1; }
+grep -q '"hedging_improves_p99":true' "$f" || { echo "hedging failed to cut p99 in $f"; exit 1; }
+grep -q '"interactive_slo_held":true' "$f" || { echo "Interactive p95 SLO broke under overload in $f"; exit 1; }
+grep -q '"besteffort_shed_first":true' "$f" || { echo "shed ordering violated in $f"; exit 1; }
+grep -q '"flapping_reintegrated":true' "$f" || { echo "flapping node never reintegrated in $f"; exit 1; }
+grep -q '"dual_failure_served":true' "$f" || { echo "correlated dual failure dropped requests in $f"; exit 1; }
+echo "cluster robustness smoke validated: $f"
 
 echo "CI OK"
